@@ -1,0 +1,223 @@
+//! A growable Fenwick (binary indexed) tree over `u128` weights.
+//!
+//! SJoin needs positional access into groups whose items carry *exact*,
+//! ever-growing weights: "find the item owning prefix position `z`" and
+//! "increase item `i`'s weight". Both are `O(log n)` here. Weights only
+//! grow (insert-only streams), so no signed deltas are needed.
+
+/// Growable binary indexed tree with prefix-sum search.
+#[derive(Clone, Debug, Default)]
+pub struct Fenwick {
+    /// 1-based BIT array; `tree[i]` covers `(i - lowbit(i), i]`.
+    tree: Vec<u128>,
+    /// Raw weights (0-based), kept for appends and direct reads.
+    weights: Vec<u128>,
+}
+
+#[inline]
+fn lowbit(i: usize) -> usize {
+    i & i.wrapping_neg()
+}
+
+impl Fenwick {
+    /// Creates an empty tree.
+    pub fn new() -> Fenwick {
+        Fenwick::default()
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Appends an item with the given weight; returns its index.
+    pub fn push(&mut self, weight: u128) -> usize {
+        let idx = self.weights.len();
+        self.weights.push(weight);
+        // tree[i] (1-based i = idx+1) = sum of weights[(i - lowbit(i))..i].
+        let i = idx + 1;
+        let lb = lowbit(i);
+        let mut node = weight;
+        // Fold in the already-complete subtrees this node covers.
+        let mut j = i - 1;
+        while j > i - lb {
+            node += self.tree[j - 1];
+            j -= lowbit(j);
+        }
+        self.tree.push(node);
+        idx
+    }
+
+    /// Increases item `idx`'s weight by `delta`.
+    pub fn add(&mut self, idx: usize, delta: u128) {
+        self.weights[idx] += delta;
+        let mut i = idx + 1;
+        while i <= self.tree.len() {
+            self.tree[i - 1] += delta;
+            i += lowbit(i);
+        }
+    }
+
+    /// Current weight of item `idx`.
+    pub fn weight(&self, idx: usize) -> u128 {
+        self.weights[idx]
+    }
+
+    /// Sets item `idx`'s weight (weights may only grow).
+    pub fn set(&mut self, idx: usize, weight: u128) {
+        let old = self.weights[idx];
+        assert!(weight >= old, "Fenwick weights may only grow");
+        self.add(idx, weight - old);
+    }
+
+    /// Total weight.
+    pub fn total(&self) -> u128 {
+        self.prefix(self.len())
+    }
+
+    /// Sum of weights of items `0..n`.
+    pub fn prefix(&self, n: usize) -> u128 {
+        let mut s = 0u128;
+        let mut i = n;
+        while i > 0 {
+            s += self.tree[i - 1];
+            i -= lowbit(i);
+        }
+        s
+    }
+
+    /// Finds the item owning global position `z < total()`: returns
+    /// `(index, z - prefix(index))`, i.e. the offset within that item.
+    pub fn search(&self, z: u128) -> (usize, u128) {
+        debug_assert!(z < self.total(), "search past total");
+        let mut idx = 0usize; // 1-based node walked so far
+        let mut rem = z;
+        let mut mask = self.tree.len().next_power_of_two();
+        while mask > 0 {
+            let next = idx + mask;
+            if next <= self.tree.len() && self.tree[next - 1] <= rem {
+                rem -= self.tree[next - 1];
+                idx = next;
+            }
+            mask >>= 1;
+        }
+        // idx items have total weight <= z; item `idx` (0-based) owns it,
+        // but zero-weight items must be skipped forward.
+        let mut i = idx;
+        while self.weights[i] == 0 {
+            i += 1;
+        }
+        (i, rem)
+    }
+
+    /// Estimated heap bytes.
+    pub fn heap_size(&self) -> usize {
+        (self.tree.capacity() + self.weights.capacity()) * std::mem::size_of::<u128>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_prefix() {
+        let mut f = Fenwick::new();
+        for w in [3u128, 0, 5, 2] {
+            f.push(w);
+        }
+        assert_eq!(f.total(), 10);
+        assert_eq!(f.prefix(0), 0);
+        assert_eq!(f.prefix(1), 3);
+        assert_eq!(f.prefix(2), 3);
+        assert_eq!(f.prefix(3), 8);
+        assert_eq!(f.prefix(4), 10);
+    }
+
+    #[test]
+    fn search_maps_positions_to_items() {
+        let mut f = Fenwick::new();
+        for w in [3u128, 0, 5, 2] {
+            f.push(w);
+        }
+        assert_eq!(f.search(0), (0, 0));
+        assert_eq!(f.search(2), (0, 2));
+        assert_eq!(f.search(3), (2, 0)); // item 1 has weight 0 — skipped
+        assert_eq!(f.search(7), (2, 4));
+        assert_eq!(f.search(8), (3, 0));
+        assert_eq!(f.search(9), (3, 1));
+    }
+
+    #[test]
+    fn add_and_set_update_sums() {
+        let mut f = Fenwick::new();
+        f.push(1);
+        f.push(1);
+        f.add(0, 4);
+        assert_eq!(f.weight(0), 5);
+        assert_eq!(f.total(), 6);
+        f.set(1, 10);
+        assert_eq!(f.total(), 15);
+        assert_eq!(f.search(5), (1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "only grow")]
+    fn shrinking_panics() {
+        let mut f = Fenwick::new();
+        f.push(5);
+        f.set(0, 3);
+    }
+
+    #[test]
+    fn randomized_against_naive() {
+        use rsj_common::rng::RsjRng;
+        let mut rng = RsjRng::seed_from_u64(9);
+        let mut f = Fenwick::new();
+        let mut naive: Vec<u128> = Vec::new();
+        for _ in 0..2000 {
+            if naive.is_empty() || rng.index(3) == 0 {
+                let w = rng.below_u64(5) as u128;
+                f.push(w);
+                naive.push(w);
+            } else {
+                let i = rng.index(naive.len());
+                let d = rng.below_u64(7) as u128;
+                f.add(i, d);
+                naive[i] += d;
+            }
+        }
+        let total: u128 = naive.iter().sum();
+        assert_eq!(f.total(), total);
+        // Check every prefix and a sweep of searches.
+        let mut acc = 0u128;
+        for (i, &w) in naive.iter().enumerate() {
+            assert_eq!(f.prefix(i), acc, "prefix {i}");
+            acc += w;
+        }
+        if total > 0 {
+            let mut rng2 = RsjRng::seed_from_u64(10);
+            for _ in 0..200 {
+                let z = rng2.below_u128(total);
+                let (idx, rem) = f.search(z);
+                assert!(rem < naive[idx]);
+                assert_eq!(f.prefix(idx) + rem, z);
+            }
+        }
+    }
+
+    #[test]
+    fn large_weights() {
+        let mut f = Fenwick::new();
+        f.push(1u128 << 100);
+        f.push(1u128 << 101);
+        assert_eq!(f.total(), (1u128 << 100) + (1u128 << 101));
+        let (i, rem) = f.search(1u128 << 100);
+        assert_eq!((i, rem), (1, 0));
+    }
+}

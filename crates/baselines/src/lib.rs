@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Baselines the paper compares against (§6.1).
+//!
+//! * [`sjoin::SJoin`] — a re-implementation of Zhao et al. [31]
+//!   ("Efficient join synopsis maintenance for data warehouse", SIGMOD'20),
+//!   the state of the art the paper beats. Same framework as `RSJoin`
+//!   (per-tuple delta batches fed to a skip-based reservoir), but the index
+//!   maintains *exact* delta sizes: every insert recomputes the exact
+//!   weights of all matching ancestor items, which is `O(N)` per update in
+//!   the worst case — the quadratic blow-up the paper's rounding avoids.
+//!   Exact batches contain no dummies, so its reservoir never wastes a stop.
+//! * [`sjoin::SJoinOpt`] — SJoin behind the same foreign-key combination
+//!   rewrite (`SJoin_opt`).
+//! * [`symmetric::SymmetricHashJoin`] — the classical streaming two-table
+//!   join [2] paired with a classic reservoir; dominated by SJoin in [31]
+//!   but kept as the simplest correct comparator.
+//! * [`naive::NaiveRebuild`] — recompute `Q(R_i)` and redraw the sample at
+//!   every step; the `O(N²)`-and-worse strawman of §1, used as ground truth
+//!   in tests.
+//! * [`fenwick::Fenwick`] — growable binary indexed tree over `u128`
+//!   weights with prefix search, SJoin's positional-access workhorse.
+
+pub mod fenwick;
+pub mod naive;
+pub mod sjoin;
+pub mod symmetric;
+
+pub use fenwick::Fenwick;
+pub use naive::NaiveRebuild;
+pub use sjoin::{SJoin, SJoinIndex, SJoinOpt};
+pub use symmetric::SymmetricHashJoin;

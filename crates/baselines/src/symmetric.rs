@@ -1,0 +1,128 @@
+//! Symmetric hash join + classic reservoir: the simplest streaming
+//! two-table baseline (paper §6.1, [2]).
+//!
+//! Both inputs are hashed on the join key as they arrive; each arrival
+//! probes the opposite table and offers every new join result to a classic
+//! reservoir. Total time is proportional to the number of join results —
+//! fine when the join is small, hopeless when it is polynomially larger
+//! than the input, which is exactly the gap RSJoin closes.
+
+use rsj_common::{FxHashMap, Key, Value};
+use rsj_stream::ClassicReservoir;
+
+/// Streaming two-table natural join with reservoir sampling.
+pub struct SymmetricHashJoin {
+    /// Join-key positions in the left / right schemas.
+    left_key: Vec<usize>,
+    right_key: Vec<usize>,
+    left: FxHashMap<Key, Vec<Vec<Value>>>,
+    right: FxHashMap<Key, Vec<Vec<Value>>>,
+    reservoir: ClassicReservoir<(Vec<Value>, Vec<Value>)>,
+    results_seen: u128,
+}
+
+impl SymmetricHashJoin {
+    /// Creates the operator. `left_key[i]` must join with `right_key[i]`.
+    pub fn new(
+        left_key: Vec<usize>,
+        right_key: Vec<usize>,
+        k: usize,
+        seed: u64,
+    ) -> SymmetricHashJoin {
+        assert_eq!(left_key.len(), right_key.len());
+        SymmetricHashJoin {
+            left_key,
+            right_key,
+            left: FxHashMap::default(),
+            right: FxHashMap::default(),
+            reservoir: ClassicReservoir::new(k, seed),
+            results_seen: 0,
+        }
+    }
+
+    /// Inserts a left tuple, offering all new matches to the reservoir.
+    pub fn insert_left(&mut self, tuple: &[Value]) {
+        let key = Key::project(tuple, &self.left_key);
+        for r in self.right.get(&key).into_iter().flatten() {
+            self.results_seen += 1;
+            self.reservoir.offer((tuple.to_vec(), r.clone()));
+        }
+        self.left.entry(key).or_default().push(tuple.to_vec());
+    }
+
+    /// Inserts a right tuple, offering all new matches to the reservoir.
+    pub fn insert_right(&mut self, tuple: &[Value]) {
+        let key = Key::project(tuple, &self.right_key);
+        for l in self.left.get(&key).into_iter().flatten() {
+            self.results_seen += 1;
+            self.reservoir.offer((l.clone(), tuple.to_vec()));
+        }
+        self.right.entry(key).or_default().push(tuple.to_vec());
+    }
+
+    /// Samples: `(left_tuple, right_tuple)` pairs.
+    pub fn samples(&self) -> &[(Vec<Value>, Vec<Value>)] {
+        self.reservoir.samples()
+    }
+
+    /// Exact number of join results produced so far.
+    pub fn results_seen(&self) -> u128 {
+        self.results_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_common::FxHashSet;
+
+    #[test]
+    fn join_results_complete() {
+        let mut shj = SymmetricHashJoin::new(vec![1], vec![0], 100, 1);
+        shj.insert_left(&[1, 10]);
+        shj.insert_right(&[10, 5]);
+        shj.insert_right(&[10, 6]);
+        shj.insert_left(&[2, 10]); // matches both rights
+        shj.insert_left(&[3, 99]); // no match
+        assert_eq!(shj.results_seen(), 4);
+        let got: FxHashSet<(Vec<u64>, Vec<u64>)> =
+            shj.samples().iter().cloned().collect();
+        let expect: FxHashSet<(Vec<u64>, Vec<u64>)> = [
+            (vec![1, 10], vec![10, 5]),
+            (vec![1, 10], vec![10, 6]),
+            (vec![2, 10], vec![10, 5]),
+            (vec![2, 10], vec![10, 6]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn arrival_order_irrelevant_for_results() {
+        let run = |order: &[(bool, [u64; 2])]| -> u128 {
+            let mut shj = SymmetricHashJoin::new(vec![1], vec![0], 10, 2);
+            for &(is_left, t) in order {
+                if is_left {
+                    shj.insert_left(&t);
+                } else {
+                    shj.insert_right(&t);
+                }
+            }
+            shj.results_seen()
+        };
+        let a = run(&[(true, [1, 7]), (false, [7, 2]), (true, [3, 7])]);
+        let b = run(&[(false, [7, 2]), (true, [3, 7]), (true, [1, 7])]);
+        assert_eq!(a, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn composite_keys_join() {
+        let mut shj = SymmetricHashJoin::new(vec![0, 1], vec![1, 2], 10, 3);
+        shj.insert_left(&[1, 2, 77]);
+        shj.insert_right(&[88, 1, 2]);
+        shj.insert_right(&[88, 1, 3]); // second key differs
+        assert_eq!(shj.results_seen(), 1);
+    }
+}

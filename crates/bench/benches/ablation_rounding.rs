@@ -1,0 +1,74 @@
+//! Ablation (beyond the paper): power-of-two rounding vs. exact counts.
+//!
+//! The paper's central design choice is to round sub-join counts up to
+//! powers of two so that updates propagate only on doublings, paying for
+//! it with dummy positions. This ablation isolates that choice: the same
+//! rooted-tree index maintained with rounded counters (`DynamicIndex`) vs.
+//! exact counters (`SJoinIndex`), with sampling disabled, across degree
+//! skews. Expected: comparable costs at zero skew; exact propagation
+//! explodes as skew concentrates updates on hot keys, while rounded
+//! propagation grows like `N log N` regardless.
+
+use rsj_baselines::SJoinIndex;
+use rsj_bench::*;
+use rsj_datagen::GraphConfig;
+use rsj_index::{DynamicIndex, IndexOptions};
+use rsj_queries::line_k;
+use std::time::Instant;
+
+fn main() {
+    banner("Ablation", "power-of-two rounding vs exact count propagation");
+    println!(
+        "\n{:>6} {:>12} {:>12} {:>14} {:>14}",
+        "zipf", "rounded", "exact", "work(rounded)", "work(exact)"
+    );
+    for zipf in [0.0, 0.6, 1.0, 1.3] {
+        let edges = GraphConfig {
+            nodes: scaled(3000),
+            edges: scaled(12_000),
+            zipf,
+            seed: 42,
+        }
+        .generate();
+        let w = line_k(3, &edges, 1);
+
+        let t0 = Instant::now();
+        let mut rounded = DynamicIndex::new(w.query.clone(), IndexOptions::default()).unwrap();
+        for t in w.stream.iter() {
+            rounded.insert(t.relation, &t.values);
+        }
+        let rounded_time = t0.elapsed();
+        let rounded_work = rounded.stats().propagation_loops;
+
+        let cap = run_cap();
+        let t0 = Instant::now();
+        let mut exact = SJoinIndex::new(w.query.clone()).unwrap();
+        let mut capped = false;
+        for (i, t) in w.stream.iter().enumerate() {
+            exact.insert(t.relation, &t.values);
+            if i % 1024 == 0 && t0.elapsed() > cap {
+                capped = true;
+                break;
+            }
+        }
+        let exact_time = t0.elapsed();
+        let exact_work = exact.stats().item_updates;
+
+        println!(
+            "{:>6.1} {:>12} {:>12} {:>14} {:>14}",
+            zipf,
+            format!("{rounded_time:.2?}"),
+            if capped {
+                ">cap".to_string()
+            } else {
+                format!("{exact_time:.2?}")
+            },
+            rounded_work,
+            exact_work
+        );
+    }
+    println!(
+        "\nexpected shape: the rounded/exact work gap widens with skew — \
+         rounding is what turns Ω(N²) exact maintenance into O(N log N)."
+    );
+}

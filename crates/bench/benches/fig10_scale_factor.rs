@@ -1,0 +1,34 @@
+//! Figure 10: running time vs. TPC-DS scale factor (QZ).
+//!
+//! Paper setup: scale factors 1, 3, 10, 30 (226 MB → 6.6 GB); SJoin is
+//! omitted because it exceeds 4 hours already at sf = 1. Expected shape:
+//! RSJoin's runtime grows ~linearly in the scale factor even without the
+//! foreign-key optimization.
+
+use rsj_bench::*;
+use rsj_datagen::TpcdsLite;
+use rsj_queries::qz;
+
+fn main() {
+    banner("Figure 10", "running time vs scale factor (QZ)");
+    let k = scaled(20_000);
+    // Paper uses 1, 3, 10, 30; we keep the 1:3:10:30 spread.
+    let sfs = [1usize, 3, 10, 30];
+    println!("\n{:>4} {:>10} {:>12} {:>12}", "sf", "stream", "RSJoin", "RSJoin_opt");
+    let mut times = Vec::new();
+    for &sf in &sfs {
+        let data = TpcdsLite::generate(scaled(sf), 7);
+        let w = qz(&data, 2);
+        let (t, _) = run_rsjoin(&w, k, 1);
+        let (to, _) = run_rsjoin_opt(&w, k, 1);
+        println!("{:>4} {:>10} {:>12} {:>12}", sf, w.stream.len(), t, to);
+        times.push(t.secs());
+    }
+    if times[0].is_finite() && times[3].is_finite() {
+        println!(
+            "\nshape check: sf 1 -> 30 (30x input) grew RSJoin time {:.1}x \
+             (linear => ~30x; paper reports linear growth)",
+            times[3] / times[0]
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 5: total running time over all benchmark queries.
+//!
+//! Paper setup: graph queries (line-3/4/5, star-4/5/6, dumbbell) on
+//! Epinions with k = 100,000; relational queries (QX, QY, QZ on TPC-DS
+//! sf=10, Q10 on LDBC sf=1) with k = 1,000,000; algorithms RSJoin,
+//! RSJoin_opt, SJoin, SJoin_opt; 12-hour timeout.
+//!
+//! Here: a seeded Epinions-like graph and tpcds/ldbc-lite at laptop scale,
+//! proportionally scaled k, soft per-run cap. Expected shape (paper §6.2):
+//! RSJoin fastest everywhere (4.6×–147.6× over SJoin); SJoin times out on
+//! line-5 and QZ; SJoin has no dumbbell entry (no cyclic support); the
+//! `_opt` variants narrow but do not close the gap.
+
+use rsj_bench::*;
+use rsj_datagen::{GraphConfig, LdbcLite, TpcdsLite};
+use rsj_queries::{dumbbell, line_k, q10, qx, qy, qz, star_k};
+
+fn main() {
+    banner("Figure 5", "running time over different join queries");
+    let edges = GraphConfig {
+        nodes: scaled(3000),
+        edges: scaled(15_000),
+        zipf: 1.0,
+        seed: 42,
+    }
+    .generate();
+    let k_graph = scaled(10_000);
+    let k_rel = scaled(50_000);
+    let tpcds = TpcdsLite::generate(scaled(2), 7);
+    let ldbc = LdbcLite::generate(scaled(1), 7);
+
+    println!(
+        "\n{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "query", "RSJoin", "RSJoin_opt", "SJoin", "SJoin_opt"
+    );
+
+    // Graph queries: no foreign keys, so the _opt variants equal the plain
+    // ones (printed as "=").
+    for k in 3..=5 {
+        let w = line_k(k, &edges, 1);
+        let (rs, _) = run_rsjoin(&w, k_graph, 1);
+        let (sj, _) = run_sjoin(&w, k_graph, 1);
+        println!("{:<10} {:>12} {:>12} {:>12} {:>12}", w.name, rs, "=", sj, "=");
+    }
+    for k in 4..=6 {
+        let w = star_k(k, &edges, 1);
+        let (rs, _) = run_rsjoin(&w, k_graph, 1);
+        let (sj, _) = run_sjoin(&w, k_graph, 1);
+        println!("{:<10} {:>12} {:>12} {:>12} {:>12}", w.name, rs, "=", sj, "=");
+    }
+    {
+        let w = dumbbell(&edges, 1);
+        let (rs, _) = run_cyclic(&w, k_graph, 1);
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} {:>12}",
+            w.name, rs, "=", "n/a", "n/a"
+        );
+    }
+
+    // Relational queries: all four variants.
+    let rel_workloads = vec![
+        qx(&tpcds, 2),
+        qy(&tpcds, 2),
+        qz(&tpcds, 2),
+        q10(&ldbc, 2),
+    ];
+    for w in rel_workloads {
+        let (rs, _) = run_rsjoin(&w, k_rel, 1);
+        let (rso, _) = run_rsjoin_opt(&w, k_rel, 1);
+        let (sj, _) = run_sjoin(&w, k_rel, 1);
+        let (sjo, _) = run_sjoin_opt(&w, k_rel, 1);
+        println!("{:<10} {:>12} {:>12} {:>12} {:>12}", w.name, rs, rso, sj, sjo);
+        if rs.secs().is_finite() && sj.secs().is_finite() {
+            println!(
+                "{:<10} RSJoin speedup over SJoin: {:.1}x",
+                "", sj.secs() / rs.secs()
+            );
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 8: running time vs. sample size k (line-3).
+//!
+//! Paper setup: k from 10,000 to 5,000,000 against N = 508,837 input tuples
+//! and 3.7e9 join results. Expected shape: total time nearly flat while
+//! k <= N (the N log N term dominates), then rising once k > N (the
+//! k log N log(N/k) term takes over); SJoin slower than RSJoin's largest-k
+//! run already at its smallest k.
+
+use rsj_bench::*;
+use rsj_datagen::GraphConfig;
+use rsj_queries::line_k;
+
+fn main() {
+    banner("Figure 8", "running time vs sample size (line-3)");
+    let edges = GraphConfig {
+        nodes: scaled(3000),
+        edges: scaled(15_000),
+        zipf: 1.0,
+        seed: 42,
+    }
+    .generate();
+    let w = line_k(3, &edges, 1);
+    let n = w.stream.len();
+    // k sweep straddling N, mirroring the paper's 10k..5M around N=508k.
+    let ks: Vec<usize> = [n / 50, n / 10, n / 2, n, 2 * n, 10 * n]
+        .into_iter()
+        .map(|k| k.max(10))
+        .collect();
+
+    println!("\ninput N = {n} tuples (dashed line of the paper)\n");
+    println!("{:>10} {:>12} {:>12} {:>14}", "k", "RSJoin", "SJoin", "RSJoin stops");
+    let mut rs_times = Vec::new();
+    for &k in &ks {
+        let (rs, rj) = run_rsjoin(&w, k, 1);
+        let (sj, _) = run_sjoin(&w, k, 1);
+        println!(
+            "{:>10} {:>12} {:>12} {:>14}",
+            k,
+            rs,
+            sj,
+            rj.reservoir_stops()
+        );
+        rs_times.push(rs.secs());
+    }
+    let below_n = rs_times[0];
+    let at_n = rs_times[3];
+    let above_n = *rs_times.last().unwrap();
+    println!(
+        "\nshape check: k=N/50 -> {below_n:.2}s, k=N -> {at_n:.2}s \
+         (flat regime), k=10N -> {above_n:.2}s (rising regime)"
+    );
+}

@@ -1,0 +1,100 @@
+//! Criterion microbenchmarks for the primitive operations whose costs the
+//! paper's complexity claims are built from: index insert (`O(log N)`
+//! amortized), positional retrieve (`O(log N)`), full-query sample
+//! (`O(log N)` expected), and the reservoir skip machinery.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rsj_common::rng::RsjRng;
+use rsj_datagen::GraphConfig;
+use rsj_index::{DynamicIndex, FullSampler, IndexOptions};
+use rsj_queries::line_k;
+use rsj_stream::{Reservoir, SliceBatch};
+use std::hint::black_box;
+
+fn loaded_index() -> DynamicIndex {
+    let edges = GraphConfig {
+        nodes: 1000,
+        edges: 8000,
+        zipf: 1.0,
+        seed: 42,
+    }
+    .generate();
+    let w = line_k(3, &edges, 1);
+    let mut idx = DynamicIndex::new(w.query.clone(), IndexOptions::default()).unwrap();
+    for t in w.stream.iter() {
+        idx.insert(t.relation, &t.values);
+    }
+    idx
+}
+
+fn bench_index_insert(c: &mut Criterion) {
+    let edges = GraphConfig {
+        nodes: 1000,
+        edges: 8000,
+        zipf: 1.0,
+        seed: 42,
+    }
+    .generate();
+    let w = line_k(3, &edges, 1);
+    c.bench_function("index_insert_8k_edges_line3", |b| {
+        b.iter_batched(
+            || DynamicIndex::new(w.query.clone(), IndexOptions::default()).unwrap(),
+            |mut idx| {
+                for t in w.stream.iter() {
+                    idx.insert(t.relation, &t.values);
+                }
+                black_box(idx.stats().inserts)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_full_sample(c: &mut Criterion) {
+    let idx = loaded_index();
+    let sampler = FullSampler::default();
+    let mut rng = RsjRng::seed_from_u64(1);
+    c.bench_function("full_query_sample", |b| {
+        b.iter(|| black_box(sampler.sample(&idx, &mut rng)))
+    });
+}
+
+fn bench_delta_retrieve(c: &mut Criterion) {
+    let idx = loaded_index();
+    // Pick a tuple of relation 0 with a non-empty batch.
+    let mut target = None;
+    for tid in 0..idx.database().relation(0).len() as u32 {
+        let b = idx.delta_batch(0, tid);
+        if b.size() > 4 {
+            target = Some((tid, b.size()));
+            break;
+        }
+    }
+    let (tid, size) = target.expect("some tuple has results");
+    let mut rng = RsjRng::seed_from_u64(2);
+    c.bench_function("delta_retrieve_random_position", |b| {
+        b.iter(|| {
+            let z = rng.below_u128(size);
+            black_box(idx.delta_batch(0, tid).retrieve(z))
+        })
+    });
+}
+
+fn bench_reservoir_skip(c: &mut Criterion) {
+    let items: Vec<u64> = (0..1_000_000).collect();
+    c.bench_function("reservoir_1m_items_k100", |b| {
+        b.iter(|| {
+            let mut r = Reservoir::new(100, 7);
+            let mut batch = SliceBatch::new(&items);
+            r.process_batch(&mut batch, Some);
+            black_box(r.stops())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_index_insert, bench_full_sample, bench_delta_retrieve, bench_reservoir_skip
+}
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! Shared harness utilities for the figure-reproduction benches.
+//!
+//! Every bench target prints the same rows/series its figure or table in
+//! the paper reports. Absolute numbers differ from the paper's C++/Xeon
+//! setup; the *shape* (who wins, by what factor, where crossovers fall) is
+//! the reproduction target — see EXPERIMENTS.md.
+//!
+//! All harnesses honour the `RSJ_SCALE` environment variable (default `1`,
+//! laptop-scale). `RSJ_SCALE=4` quadruples input sizes; per-run soft
+//! timeouts stand in for the paper's 12-hour cap.
+
+use rsj_baselines::{SJoin, SJoinOpt};
+use rsj_core::{CyclicReservoirJoin, FkReservoirJoin, ReservoirJoin};
+use rsj_queries::Workload;
+use std::time::{Duration, Instant};
+
+/// Global size multiplier from `RSJ_SCALE`.
+pub fn scale() -> f64 {
+    std::env::var("RSJ_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Scales an integer size.
+pub fn scaled(base: usize) -> usize {
+    ((base as f64) * scale()).round().max(1.0) as usize
+}
+
+/// Per-run soft timeout (the paper used 12 hours; we use seconds).
+pub fn run_cap() -> Duration {
+    let secs: f64 = std::env::var("RSJ_CAP_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20.0);
+    Duration::from_secs_f64(secs)
+}
+
+/// Outcome of one timed run.
+#[derive(Clone, Copy, Debug)]
+pub enum Outcome {
+    /// Finished the whole stream in the given time.
+    Finished(Duration),
+    /// Hit the cap after processing `frac` of the stream.
+    TimedOut { frac: f64 },
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Outcome::Finished(d) => format!("{d:.2?}"),
+            Outcome::TimedOut { frac } => format!(">cap({:.0}%)", frac * 100.0),
+        };
+        f.pad(&s)
+    }
+}
+
+impl Outcome {
+    /// Seconds if finished, `f64::INFINITY` otherwise.
+    pub fn secs(&self) -> f64 {
+        match self {
+            Outcome::Finished(d) => d.as_secs_f64(),
+            Outcome::TimedOut { .. } => f64::INFINITY,
+        }
+    }
+}
+
+/// Drives `process` over the workload stream with the soft cap; preload is
+/// applied by the caller (untimed).
+pub fn timed_stream(
+    w: &Workload,
+    cap: Duration,
+    mut process: impl FnMut(usize, &[u64]),
+) -> Outcome {
+    let start = Instant::now();
+    let n = w.stream.len();
+    for (i, t) in w.stream.iter().enumerate() {
+        process(t.relation, &t.values);
+        if i % 4096 == 0 && start.elapsed() > cap {
+            return Outcome::TimedOut {
+                frac: i as f64 / n as f64,
+            };
+        }
+    }
+    Outcome::Finished(start.elapsed())
+}
+
+/// Runs plain `RSJoin` over a workload.
+pub fn run_rsjoin(w: &Workload, k: usize, seed: u64) -> (Outcome, ReservoirJoin) {
+    let mut rj = ReservoirJoin::new(w.query.clone(), k, seed).expect("acyclic workload");
+    for t in &w.preload {
+        rj.process(t.relation, &t.values);
+    }
+    let out = timed_stream(w, run_cap(), |rel, t| {
+        rj.process(rel, t);
+    });
+    (out, rj)
+}
+
+/// Runs `RSJoin_opt` (foreign-key rewrite) over a workload.
+pub fn run_rsjoin_opt(w: &Workload, k: usize, seed: u64) -> (Outcome, FkReservoirJoin) {
+    let mut rj = FkReservoirJoin::new(&w.query, &w.fks, k, seed).expect("acyclic rewrite");
+    for t in &w.preload {
+        rj.process(t.relation, &t.values);
+    }
+    let out = timed_stream(w, run_cap(), |rel, t| {
+        rj.process(rel, t);
+    });
+    (out, rj)
+}
+
+/// Runs the `SJoin` baseline over a workload.
+pub fn run_sjoin(w: &Workload, k: usize, seed: u64) -> (Outcome, SJoin) {
+    let mut sj = SJoin::new(w.query.clone(), k, seed).expect("acyclic workload");
+    for t in &w.preload {
+        sj.process(t.relation, &t.values);
+    }
+    let out = timed_stream(w, run_cap(), |rel, t| {
+        sj.process(rel, t);
+    });
+    (out, sj)
+}
+
+/// Runs the `SJoin_opt` baseline over a workload.
+pub fn run_sjoin_opt(w: &Workload, k: usize, seed: u64) -> (Outcome, SJoinOpt) {
+    let mut sj = SJoinOpt::new(&w.query, &w.fks, k, seed).expect("acyclic rewrite");
+    for t in &w.preload {
+        sj.process(t.relation, &t.values);
+    }
+    let out = timed_stream(w, run_cap(), |rel, t| {
+        sj.process(rel, t);
+    });
+    (out, sj)
+}
+
+/// Runs the cyclic GHD driver over a workload.
+pub fn run_cyclic(w: &Workload, k: usize, seed: u64) -> (Outcome, CyclicReservoirJoin) {
+    let mut crj = CyclicReservoirJoin::new(w.query.clone(), k, seed).expect("GHD found");
+    for t in &w.preload {
+        crj.process(t.relation, &t.values);
+    }
+    let out = timed_stream(w, run_cap(), |rel, t| {
+        crj.process(rel, t);
+    });
+    (out, crj)
+}
+
+/// Prints a figure banner.
+pub fn banner(fig: &str, what: &str) {
+    println!("\n================================================================");
+    println!("{fig} — {what}");
+    println!("(RSJ_SCALE={}, cap {:?}/run)", scale(), run_cap());
+    println!("================================================================");
+}

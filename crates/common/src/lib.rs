@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Shared substrate for the reservoir-sampling-over-joins workspace.
+//!
+//! This crate holds the small, dependency-free building blocks that every
+//! other crate uses:
+//!
+//! * [`value`] — attribute values, tuple identifiers and inline composite
+//!   join [`Key`](value::Key)s;
+//! * [`hash`] — an fx-style fast hasher and the [`FxHashMap`](hash::FxHashMap)
+//!   / [`FxHashSet`](hash::FxHashSet) aliases used on every hot path;
+//! * [`rng`] — seeded random-number helpers, in particular the geometric
+//!   skip-length draw at the heart of skip-based reservoir sampling;
+//! * [`pow2`] — power-of-two rounding used by the approximate degree counters
+//!   (`cnt~` in the paper);
+//! * [`stats`] — chi-square uniformity testing, histograms and percentile
+//!   summaries for the experiment harnesses;
+//! * [`heap`] — structural heap-size accounting used by the memory
+//!   experiments (Figure 11).
+
+pub mod hash;
+pub mod heap;
+pub mod pow2;
+pub mod rng;
+pub mod stats;
+pub mod value;
+
+pub use hash::{FxHashMap, FxHashSet};
+pub use heap::HeapSize;
+pub use value::{Key, TupleId, Value};

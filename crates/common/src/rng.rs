@@ -1,0 +1,197 @@
+//! Seeded randomness helpers.
+//!
+//! Everything in this workspace that flips a coin goes through [`RsjRng`] so
+//! experiments and tests are reproducible from a single `u64` seed. The two
+//! non-trivial pieces are:
+//!
+//! * [`RsjRng::geometric`] — the skip-length draw `q ~ Geo(w)` computed as
+//!   `floor(ln(u) / ln(1-w))` (paper Algorithm 1, lines 7/15). Skip lengths
+//!   over a simulated join-result stream can reach `N^{ρ*}`, so the result
+//!   saturates into `u128`.
+//! * [`RsjRng::below_u128`] — unbiased uniform draw from `[0, n)` for
+//!   128-bit batch positions, via rejection sampling.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// A small, fast, seedable RNG used across the workspace.
+#[derive(Clone, Debug)]
+pub struct RsjRng {
+    inner: SmallRng,
+}
+
+impl RsjRng {
+    /// Creates an RNG from a seed. Equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> RsjRng {
+        RsjRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform draw from the open interval `(0, 1)`.
+    ///
+    /// Zero is excluded so that `ln(u)` and `u^(1/k)` are always finite and
+    /// non-degenerate, exactly as the reservoir algorithms require.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        loop {
+            let u: f64 = self.inner.random();
+            if u > 0.0 {
+                return u;
+            }
+        }
+    }
+
+    /// Draws `w_new = w * u^(1/k)` — the reservoir parameter update
+    /// (Algorithm 1 lines 6/14).
+    #[inline]
+    pub fn decay_w(&mut self, w: f64, k: usize) -> f64 {
+        w * self.unit().powf(1.0 / k as f64)
+    }
+
+    /// Geometric skip length `q ~ Geo(w)`: the number of items to skip
+    /// before the next reservoir stop, computed as
+    /// `floor(ln(u) / ln(1-w))`.
+    ///
+    /// Saturates at `u128::MAX` when `w` is so small that the draw exceeds
+    /// 128 bits (practically: never re-stop in this stream).
+    #[inline]
+    pub fn geometric(&mut self, w: f64) -> u128 {
+        debug_assert!((0.0..=1.0).contains(&w), "w out of range: {w}");
+        if w >= 1.0 {
+            return 0;
+        }
+        let u = self.unit();
+        let q = u.ln() / (1.0 - w).ln();
+        if !q.is_finite() || q >= u128::MAX as f64 {
+            u128::MAX
+        } else {
+            q as u128
+        }
+    }
+
+    /// Unbiased uniform draw from `[0, n)`, `n > 0`, over 128 bits.
+    #[inline]
+    pub fn below_u128(&mut self, n: u128) -> u128 {
+        assert!(n > 0, "below_u128(0)");
+        if n <= u64::MAX as u128 {
+            return self.inner.random_range(0..n as u64) as u128;
+        }
+        // Rejection sampling on the smallest power-of-two zone >= n.
+        let zone_bits = 128 - (n - 1).leading_zeros();
+        loop {
+            let hi = self.inner.random::<u64>() as u128;
+            let lo = self.inner.random::<u64>() as u128;
+            let x = ((hi << 64) | lo) >> (128 - zone_bits);
+            if x < n {
+                return x;
+            }
+        }
+    }
+
+    /// Uniform index into a collection of length `n > 0`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform `u64` from `[0, n)`.
+    #[inline]
+    pub fn below_u64(&mut self, n: u64) -> u64 {
+        self.inner.random_range(0..n)
+    }
+
+    /// A fresh RNG split off from this one (for sub-streams that must not
+    /// perturb the parent's sequence).
+    pub fn split(&mut self) -> RsjRng {
+        RsjRng::seed_from_u64(self.inner.random())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible() {
+        let mut a = RsjRng::seed_from_u64(7);
+        let mut b = RsjRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.unit().to_bits(), b.unit().to_bits());
+        }
+    }
+
+    #[test]
+    fn unit_in_open_interval() {
+        let mut r = RsjRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let u = r.unit();
+            assert!(u > 0.0 && u < 1.0);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_matches_theory() {
+        // E[Geo(w)] = (1-w)/w; check within 5% over many draws.
+        let mut r = RsjRng::seed_from_u64(2);
+        let w = 0.01;
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| r.geometric(w) as f64).sum::<f64>() / n as f64;
+        let expected = (1.0 - w) / w;
+        assert!(
+            (mean - expected).abs() / expected < 0.05,
+            "mean={mean} expected={expected}"
+        );
+    }
+
+    #[test]
+    fn geometric_w_one_is_zero() {
+        let mut r = RsjRng::seed_from_u64(3);
+        assert_eq!(r.geometric(1.0), 0);
+    }
+
+    #[test]
+    fn below_u128_bounds_and_coverage() {
+        let mut r = RsjRng::seed_from_u64(4);
+        let n: u128 = (1u128 << 90) + 12345;
+        for _ in 0..1000 {
+            assert!(r.below_u128(n) < n);
+        }
+        // Small n: every residue must appear.
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[r.below_u128(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn below_u128_is_roughly_uniform_in_halves() {
+        let mut r = RsjRng::seed_from_u64(5);
+        let n: u128 = 1u128 << 100;
+        let half = n / 2;
+        let lows = (0..20_000).filter(|_| r.below_u128(n) < half).count();
+        assert!((8_000..12_000).contains(&lows), "lows={lows}");
+    }
+
+    #[test]
+    fn decay_w_shrinks() {
+        let mut r = RsjRng::seed_from_u64(6);
+        let mut w = 1.0;
+        for _ in 0..50 {
+            let next = r.decay_w(w, 10);
+            assert!(next < w && next > 0.0);
+            w = next;
+        }
+    }
+
+    #[test]
+    fn split_decorrelates() {
+        let mut a = RsjRng::seed_from_u64(9);
+        let mut c = a.split();
+        // Parent and child should not produce identical streams.
+        let pa: Vec<u64> = (0..10).map(|_| a.below_u64(1 << 60)).collect();
+        let pc: Vec<u64> = (0..10).map(|_| c.below_u64(1 << 60)).collect();
+        assert_ne!(pa, pc);
+    }
+}

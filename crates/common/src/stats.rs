@@ -1,0 +1,216 @@
+//! Statistics for the experiment harnesses and uniformity tests.
+//!
+//! * [`chi_square_uniform`] backs the statistical correctness tests: a
+//!   reservoir over an enumerable join is run many times and the sample
+//!   frequencies are compared against the uniform distribution.
+//! * [`Summary`] and [`LogHistogram`] back the update-time experiment
+//!   (Figure 6), which reports the distribution of per-tuple update costs.
+
+/// Chi-square statistic of observed counts against the uniform distribution.
+///
+/// Returns `(statistic, degrees_of_freedom)`. Callers compare against a
+/// critical value from [`chi_square_critical`].
+pub fn chi_square_uniform(observed: &[u64]) -> (f64, usize) {
+    assert!(!observed.is_empty());
+    let total: u64 = observed.iter().sum();
+    let expected = total as f64 / observed.len() as f64;
+    assert!(expected > 0.0, "no observations");
+    let stat = observed
+        .iter()
+        .map(|&o| {
+            let d = o as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    (stat, observed.len() - 1)
+}
+
+/// Approximate upper critical value of the chi-square distribution with `df`
+/// degrees of freedom at significance `alpha` (one of 0.01, 0.001, 0.0001).
+///
+/// Uses the Wilson–Hilferty cube approximation, accurate to a few percent
+/// for `df >= 3` — plenty for loose statistical smoke tests that must never
+/// flake under a fixed seed.
+pub fn chi_square_critical(df: usize, alpha: f64) -> f64 {
+    // Standard normal upper quantiles for the supported alphas.
+    let z = if alpha <= 0.0001 {
+        3.719
+    } else if alpha <= 0.001 {
+        3.090
+    } else {
+        2.326
+    };
+    let d = df as f64;
+    let t = 1.0 - 2.0 / (9.0 * d) + z * (2.0 / (9.0 * d)).sqrt();
+    d * t * t * t
+}
+
+/// Online summary of a sequence of measurements (times, sizes).
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    values: Vec<f64>,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Summary {
+        Summary::default()
+    }
+
+    /// Records one measurement.
+    pub fn record(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    /// Number of recorded measurements.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean; 0 for an empty summary.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Maximum; 0 for an empty summary.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The `p`-th percentile (0..=100), nearest-rank; 0 for empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Total of all measurements.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+}
+
+/// A base-2 logarithmic histogram, for distributions spanning many orders of
+/// magnitude (per-tuple update times range from nanoseconds to milliseconds).
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    /// `buckets[i]` counts values `v` with `2^i <= v < 2^(i+1)`; bucket 0
+    /// also holds everything below 1.
+    buckets: Vec<u64>,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: vec![0; 64],
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram::default()
+    }
+
+    /// Records a non-negative value.
+    pub fn record(&mut self, v: u64) {
+        let b = if v <= 1 { 0 } else { 63 - v.leading_zeros() as usize };
+        let last = self.buckets.len() - 1;
+        self.buckets[b.min(last)] += 1;
+    }
+
+    /// `(lower_bound, count)` pairs for all non-empty buckets.
+    pub fn non_empty(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64 << i, c))
+            .collect()
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chi_square_detects_uniform() {
+        // Perfectly uniform counts give statistic 0.
+        let (stat, df) = chi_square_uniform(&[100, 100, 100, 100]);
+        assert_eq!(stat, 0.0);
+        assert_eq!(df, 3);
+    }
+
+    #[test]
+    fn chi_square_detects_skew() {
+        let (stat, df) = chi_square_uniform(&[400, 0, 0, 0]);
+        assert!(stat > chi_square_critical(df, 0.0001));
+    }
+
+    #[test]
+    fn critical_values_are_sane() {
+        // Known chi-square 0.99 quantiles: df=10 -> 23.21, df=100 -> 135.8.
+        let c10 = chi_square_critical(10, 0.01);
+        assert!((c10 - 23.2).abs() < 1.0, "c10={c10}");
+        let c100 = chi_square_critical(100, 0.01);
+        assert!((c100 - 135.8).abs() < 3.0, "c100={c100}");
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = Summary::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 100.0] {
+            s.record(v);
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.mean(), 22.0);
+        assert_eq!(s.max(), 100.0);
+        assert_eq!(s.percentile(50.0), 3.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert_eq!(s.total(), 110.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroes() {
+        let s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(99.0), 0.0);
+    }
+
+    #[test]
+    fn log_histogram_buckets() {
+        let mut h = LogHistogram::new();
+        for v in [0, 1, 2, 3, 4, 1000, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        let ne = h.non_empty();
+        // 0 and 1 share bucket 0; 2,3 in bucket 1; 4 in bucket 2; 1000 in
+        // bucket 9 (512..1024); u64::MAX clamps to the last bucket.
+        assert_eq!(ne[0], (1, 2));
+        assert_eq!(ne[1], (2, 2));
+        assert_eq!(ne[2], (4, 1));
+        assert!(ne.iter().any(|&(lb, c)| lb == 512 && c == 1));
+    }
+}

@@ -1,0 +1,366 @@
+//! Foreign-key combination runtime (§4.4) — the `_opt` variants.
+//!
+//! The static rewrite ([`rsj_query::CombinePlan`]) decides which relations
+//! merge; this module executes it on the stream. Each combined relation is
+//! a fact plus an ordered list of dimension joins, every one on the
+//! dimension's primary key (at most one match). A fact tuple walks the
+//! dimension chain, parking in a waiting list at the first missing
+//! dimension; a dimension arrival releases its waiters. Every combined
+//! tuple is emitted exactly once, as soon as its last constituent arrives —
+//! matching the paper: "when a tuple t_j is inserted into R_j, we need to
+//! identify all tuples in R_i that can join with t_j".
+
+use rsj_common::{FxHashMap, Key, Value};
+use rsj_query::foreign_key::{CombinePlan, Routing};
+use rsj_query::Query;
+use rsj_stream::Reservoir;
+
+/// Per-combined-relation streaming state.
+#[derive(Clone, Debug, Default)]
+struct CombinedState {
+    /// Per dimension step: PK value -> dimension tuple.
+    dim_maps: Vec<FxHashMap<Key, Vec<Value>>>,
+    /// Per dimension step: FK value -> accumulated fact tuples waiting.
+    waiting: Vec<FxHashMap<Key, Vec<Vec<Value>>>>,
+}
+
+/// Executes a [`CombinePlan`] over the input stream, emitting tuples of the
+/// rewritten query's relations.
+#[derive(Clone, Debug)]
+pub struct FkCombiner {
+    plan: CombinePlan,
+    states: Vec<CombinedState>,
+}
+
+impl FkCombiner {
+    /// Creates a combiner for a plan.
+    pub fn new(plan: CombinePlan) -> FkCombiner {
+        let states = plan
+            .combined
+            .iter()
+            .map(|c| CombinedState {
+                dim_maps: vec![FxHashMap::default(); c.dims.len()],
+                waiting: vec![FxHashMap::default(); c.dims.len()],
+            })
+            .collect();
+        FkCombiner { plan, states }
+    }
+
+    /// The static plan.
+    pub fn plan(&self) -> &CombinePlan {
+        &self.plan
+    }
+
+    /// The rewritten query the emitted tuples belong to.
+    pub fn rewritten_query(&self) -> &Query {
+        &self.plan.rewritten
+    }
+
+    /// Processes one original-stream tuple; returns the emitted
+    /// `(rewritten_relation, tuple)` pairs (possibly empty or many).
+    pub fn process(&mut self, orig_rel: usize, tuple: &[Value]) -> Vec<(usize, Vec<Value>)> {
+        match self.plan.routing[orig_rel] {
+            Routing::Fact { combined } => self
+                .advance(combined, tuple.to_vec(), 0)
+                .map(|t| vec![(combined, t)])
+                .unwrap_or_default(),
+            Routing::Dim { combined, step } => self.on_dim(combined, step, tuple),
+        }
+    }
+
+    /// Walks the dimension chain from `step`; parks at the first missing
+    /// dimension, returns the full combined tuple otherwise.
+    fn advance(&mut self, combined: usize, mut acc: Vec<Value>, step: usize) -> Option<Vec<Value>> {
+        let dims = &self.plan.combined[combined].dims;
+        for s in step..dims.len() {
+            let d = &dims[s];
+            let fk = Key::project(&acc, &d.fk_positions_in_acc);
+            match self.states[combined].dim_maps[s].get(&fk) {
+                Some(dim_tuple) => {
+                    for &p in &d.append_positions {
+                        acc.push(dim_tuple[p]);
+                    }
+                }
+                None => {
+                    self.states[combined].waiting[s]
+                        .entry(fk)
+                        .or_default()
+                        .push(acc);
+                    return None;
+                }
+            }
+        }
+        Some(acc)
+    }
+
+    /// A dimension tuple arrived: register it and release waiters.
+    fn on_dim(&mut self, combined: usize, step: usize, tuple: &[Value]) -> Vec<(usize, Vec<Value>)> {
+        let d = &self.plan.combined[combined].dims[step];
+        let pk = Key::project(tuple, &d.pk_positions_in_dim);
+        let append: Vec<usize> = d.append_positions.clone();
+        let prev = self.states[combined].dim_maps[step].insert(pk, tuple.to_vec());
+        assert!(
+            prev.is_none(),
+            "duplicate primary key {pk} in dimension {}",
+            self.plan.combined[combined].name
+        );
+        let waiters = self.states[combined].waiting[step]
+            .remove(&pk)
+            .unwrap_or_default();
+        let mut out = Vec::new();
+        for mut acc in waiters {
+            for &p in &append {
+                acc.push(tuple[p]);
+            }
+            if let Some(full) = self.advance(combined, acc, step + 1) {
+                out.push((combined, full));
+            }
+        }
+        out
+    }
+}
+
+/// `RSJoin_opt`: a [`super::ReservoirJoin`] over the FK-rewritten query,
+/// fed through an [`FkCombiner`].
+pub struct FkReservoirJoin {
+    combiner: FkCombiner,
+    inner: super::ReservoirJoin,
+}
+
+impl FkReservoirJoin {
+    /// Builds the optimized driver from the original query, its FK schema,
+    /// and reservoir parameters.
+    pub fn new(
+        query: &Query,
+        fks: &rsj_query::FkSchema,
+        k: usize,
+        seed: u64,
+    ) -> Result<FkReservoirJoin, rsj_index::dynamic::IndexError> {
+        let plan = CombinePlan::build(query, fks);
+        let inner = super::ReservoirJoin::new(plan.rewritten.clone(), k, seed)?;
+        Ok(FkReservoirJoin {
+            combiner: FkCombiner::new(plan),
+            inner,
+        })
+    }
+
+    /// Processes one original-stream tuple.
+    pub fn process(&mut self, orig_rel: usize, tuple: &[Value]) {
+        for (rel, t) in self.combiner.process(orig_rel, tuple) {
+            self.inner.process(rel, &t);
+        }
+    }
+
+    /// Current samples, as value tuples of the *rewritten* query (attribute
+    /// names are preserved; use [`Self::rewritten_query`] to interpret).
+    pub fn samples(&self) -> &[Vec<Value>] {
+        self.inner.samples()
+    }
+
+    /// The rewritten query.
+    pub fn rewritten_query(&self) -> &Query {
+        self.combiner.rewritten_query()
+    }
+
+    /// The inner acyclic driver.
+    pub fn inner(&self) -> &super::ReservoirJoin {
+        &self.inner
+    }
+
+    /// Estimated heap bytes (combiner state + inner driver).
+    pub fn heap_size(&self) -> usize {
+        // Dimension maps and waiting lists dominated by stored tuples.
+        let combiner: usize = self
+            .combiner
+            .states
+            .iter()
+            .map(|s| {
+                s.dim_maps
+                    .iter()
+                    .map(|m| {
+                        m.values()
+                            .map(|v| v.capacity() * std::mem::size_of::<Value>() + 48)
+                            .sum::<usize>()
+                    })
+                    .sum::<usize>()
+                    + s.waiting
+                        .iter()
+                        .map(|m| {
+                            m.values()
+                                .flat_map(|vs| vs.iter())
+                                .map(|v| v.capacity() * std::mem::size_of::<Value>() + 48)
+                                .sum::<usize>()
+                        })
+                        .sum::<usize>()
+            })
+            .sum();
+        combiner + self.inner.heap_size()
+    }
+}
+
+/// `RS_opt` building block used by benches: classic reservoir over combined
+/// tuples when the rewritten query is a single relation (degenerate case).
+pub type CombinedReservoir = Reservoir<Vec<Value>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_common::rng::RsjRng;
+    use rsj_common::FxHashSet;
+    use rsj_query::{FkSchema, QueryBuilder};
+
+    /// fact(K, M) ⋈ dim(K, D), PK(dim) = K.
+    fn simple_plan() -> CombinePlan {
+        let mut qb = QueryBuilder::new();
+        qb.relation("fact", &["K", "M"]);
+        qb.relation("dim", &["K", "D"]);
+        let q = qb.build().unwrap();
+        let fks = FkSchema::none(2).with_pk(1, vec![0]);
+        CombinePlan::build(&q, &fks)
+    }
+
+    #[test]
+    fn fact_after_dim_emits_immediately() {
+        let mut c = FkCombiner::new(simple_plan());
+        assert!(c.process(1, &[7, 100]).is_empty());
+        let out = c.process(0, &[7, 1]);
+        assert_eq!(out, vec![(0, vec![7, 1, 100])]);
+    }
+
+    #[test]
+    fn fact_before_dim_waits_then_flushes() {
+        let mut c = FkCombiner::new(simple_plan());
+        assert!(c.process(0, &[7, 1]).is_empty());
+        assert!(c.process(0, &[7, 2]).is_empty());
+        let out = c.process(1, &[7, 100]);
+        let set: FxHashSet<Vec<u64>> = out.into_iter().map(|(_, t)| t).collect();
+        assert_eq!(
+            set,
+            [vec![7, 1, 100], vec![7, 2, 100]].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn unmatched_fact_never_emits() {
+        let mut c = FkCombiner::new(simple_plan());
+        assert!(c.process(0, &[9, 1]).is_empty());
+        assert!(c.process(1, &[7, 100]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate primary key")]
+    fn duplicate_pk_asserts() {
+        let mut c = FkCombiner::new(simple_plan());
+        c.process(1, &[7, 100]);
+        c.process(1, &[7, 200]);
+    }
+
+    /// Chain: fact(K,M) ⋈ d1(K,L) ⋈ d2(L,W); PKs d1.K, d2.L.
+    fn chain_plan() -> CombinePlan {
+        let mut qb = QueryBuilder::new();
+        qb.relation("fact", &["K", "M"]);
+        qb.relation("d1", &["K", "L"]);
+        qb.relation("d2", &["L", "W"]);
+        let q = qb.build().unwrap();
+        let fks = FkSchema::none(3).with_pk(1, vec![0]).with_pk(2, vec![2]);
+        CombinePlan::build(&q, &fks)
+    }
+
+    #[test]
+    fn chain_resolves_in_any_arrival_order() {
+        // All 6 arrival orders of {fact, d1, d2} must emit the same single
+        // combined tuple.
+        let events: [(usize, Vec<u64>); 3] =
+            [(0, vec![7, 1]), (1, vec![7, 3]), (2, vec![3, 9])];
+        let orders: Vec<Vec<usize>> = vec![
+            vec![0, 1, 2],
+            vec![0, 2, 1],
+            vec![1, 0, 2],
+            vec![1, 2, 0],
+            vec![2, 0, 1],
+            vec![2, 1, 0],
+        ];
+        for order in orders {
+            let mut c = FkCombiner::new(chain_plan());
+            let mut emitted = Vec::new();
+            for &i in &order {
+                let (rel, t) = &events[i];
+                emitted.extend(c.process(*rel, t));
+            }
+            assert_eq!(
+                emitted,
+                vec![(0, vec![7, 1, 3, 9])],
+                "order {order:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fk_reservoir_matches_plain_reservoir_results() {
+        // QY-like query; with k >= results, RSJoin and RSJoin_opt must
+        // collect the same set of value assignments.
+        let build_query = || {
+            let mut qb = QueryBuilder::new();
+            qb.relation("ss", &["CK", "M"]);
+            qb.relation("c1", &["CK", "HD1"]);
+            qb.relation("d1", &["HD1", "IB"]);
+            qb.relation("d2", &["HD2", "IB"]);
+            qb.relation("c2", &["HD2", "M2"]);
+            qb.build().unwrap()
+        };
+        let q = build_query();
+        let fks = FkSchema::none(5)
+            .with_pk(1, vec![0])
+            .with_pk(2, vec![2])
+            .with_pk(3, vec![4]);
+        let mut rng = RsjRng::seed_from_u64(21);
+        // Dimensions with unique PKs; facts with random FKs.
+        let mut stream: Vec<(usize, Vec<u64>)> = Vec::new();
+        for ck in 0..10u64 {
+            stream.push((1, vec![ck, ck % 4]));
+        }
+        for hd in 0..4u64 {
+            stream.push((2, vec![hd, hd % 2]));
+            stream.push((3, vec![hd, hd % 2]));
+        }
+        for _ in 0..30 {
+            stream.push((0, vec![rng.below_u64(10), rng.below_u64(100)]));
+            stream.push((4, vec![rng.below_u64(4), rng.below_u64(100)]));
+        }
+        let mut s = stream.clone();
+        let mut shuffle_rng = RsjRng::seed_from_u64(33);
+        for i in (1..s.len()).rev() {
+            let j = shuffle_rng.index(i + 1);
+            s.swap(i, j);
+        }
+        // Plain driver over the original query.
+        let mut plain = super::super::ReservoirJoin::new(q.clone(), 100_000, 1).unwrap();
+        // Optimized driver.
+        let mut opt = FkReservoirJoin::new(&q, &fks, 100_000, 2).unwrap();
+        for (rel, t) in &s {
+            plain.process(*rel, t);
+            opt.process(*rel, t);
+        }
+        // Compare as sets of (attr name -> value) maps, since the rewritten
+        // query orders attributes differently.
+        let project = |samples: &[Vec<u64>], query: &Query| -> FxHashSet<Vec<(String, u64)>> {
+            samples
+                .iter()
+                .map(|s| {
+                    let mut kv: Vec<(String, u64)> = query
+                        .attr_names()
+                        .iter()
+                        .cloned()
+                        .zip(s.iter().copied())
+                        .collect();
+                    kv.sort();
+                    kv
+                })
+                .collect()
+        };
+        let a = project(plain.samples(), &q);
+        let b = project(opt.samples(), opt.rewritten_query());
+        assert!(!a.is_empty(), "test instance produced no results");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Reservoir sampling over joins: the paper's headline algorithms, wired
+//! together.
+//!
+//! This crate combines the predicate-aware reservoir (`rsj-stream`) with the
+//! dynamic index (`rsj-index`) into the end-to-end drivers of the paper:
+//!
+//! * [`reservoir_join::ReservoirJoin`] — Algorithm 6 (`RSJoin`): maintain
+//!   `k` uniform samples without replacement of `Q(R_i)` for every prefix
+//!   `R_i` of an insert-only stream, over any acyclic join, in
+//!   `O(N log N + k log N log(N/k))` total expected time (Corollary 4.3);
+//! * [`fk_runtime`] — the foreign-key combination runtime (§4.4), yielding
+//!   `RSJoin_opt`;
+//! * [`wcoj`] — hash tries and generic worst-case-optimal delta enumeration,
+//!   the substrate for cyclic queries;
+//! * [`cyclic::CyclicReservoirJoin`] — the GHD driver of §5: bag sub-joins
+//!   are materialized incrementally by delta enumeration and fed as inserts
+//!   to an acyclic `ReservoirJoin` over the bag-level query (Theorem 5.4);
+//! * [`sampler_facade::DynamicSampleIndex`] — the "sampling over joins"
+//!   operation (draw a fresh uniform sample of `Q(R)` on demand,
+//!   `O(log N)` update and sample).
+
+pub mod cyclic;
+pub mod export;
+pub mod fk_runtime;
+pub mod reservoir_join;
+pub mod sampler_facade;
+pub mod wcoj;
+
+pub use cyclic::CyclicReservoirJoin;
+pub use fk_runtime::{FkCombiner, FkReservoirJoin};
+pub use reservoir_join::ReservoirJoin;
+pub use sampler_facade::DynamicSampleIndex;

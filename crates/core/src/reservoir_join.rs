@@ -1,0 +1,342 @@
+//! `ReservoirJoin` — Algorithm 6, the paper's headline driver.
+//!
+//! Per input tuple: update the dynamic index (`O(log N)` amortized), ask it
+//! for the implicit delta batch `ΔJ ⊇ ΔQ(R, t)`, and feed that batch to the
+//! batched predicate reservoir. The reservoir's `skip` jumps over batch
+//! positions without touching them; only its `O(Σ min(1, k/(r+1)))` stops
+//! perform an `O(log N)` positional retrieve, and a retrieve that lands on
+//! rounding slack is exactly a falsified predicate.
+
+use rsj_common::{TupleId, Value};
+use rsj_index::{DynamicIndex, IndexOptions, IndexStats};
+use rsj_query::Query;
+use rsj_storage::TupleStream;
+use rsj_stream::{FnBatch, Reservoir};
+
+/// Maintains `k` uniform samples without replacement of the join results of
+/// an acyclic query over an insert-only tuple stream.
+///
+/// Samples are materialized full-width value tuples (indexed by the query's
+/// attribute ids), so they stay valid as the stream continues.
+///
+/// ```
+/// use rsj_query::QueryBuilder;
+/// use rsj_core::ReservoirJoin;
+///
+/// let mut qb = QueryBuilder::new();
+/// qb.relation("R", &["X", "Y"]);
+/// qb.relation("S", &["Y", "Z"]);
+/// let mut rj = ReservoirJoin::new(qb.build().unwrap(), 10, 42).unwrap();
+/// rj.process(0, &[1, 2]);
+/// rj.process(1, &[2, 3]);
+/// assert_eq!(rj.samples(), &[vec![1, 2, 3]]);
+/// ```
+pub struct ReservoirJoin {
+    index: DynamicIndex,
+    reservoir: Reservoir<Vec<Value>>,
+    tuples_processed: u64,
+}
+
+impl ReservoirJoin {
+    /// Creates a driver with the default index options (grouping on).
+    pub fn new(query: Query, k: usize, seed: u64) -> Result<ReservoirJoin, rsj_index::dynamic::IndexError> {
+        Self::with_options(query, k, seed, IndexOptions::default())
+    }
+
+    /// Creates a driver with explicit index options.
+    pub fn with_options(
+        query: Query,
+        k: usize,
+        seed: u64,
+        options: IndexOptions,
+    ) -> Result<ReservoirJoin, rsj_index::dynamic::IndexError> {
+        Ok(ReservoirJoin {
+            index: DynamicIndex::new(query, options)?,
+            reservoir: Reservoir::new(k, seed),
+            tuples_processed: 0,
+        })
+    }
+
+    /// Processes one input tuple (Algorithm 6 lines 5–7).
+    ///
+    /// Returns the tuple's id, or `None` if it was a duplicate (no effect).
+    pub fn process(&mut self, rel: usize, tuple: &[Value]) -> Option<TupleId> {
+        let tid = self.index.insert(rel, tuple)?;
+        self.tuples_processed += 1;
+        let index = &self.index;
+        let batch = index.delta_batch(rel, tid);
+        if batch.size() > 0 {
+            let mut fb = FnBatch::new(batch.size(), |z| batch.retrieve(z));
+            self.reservoir
+                .process_batch(&mut fb, |item| item.map(|r| index.materialize(&r)));
+        }
+        Some(tid)
+    }
+
+    /// Processes an entire stream in arrival order.
+    pub fn process_stream(&mut self, stream: &TupleStream) {
+        for t in stream.iter() {
+            self.process(t.relation, &t.values);
+        }
+    }
+
+    /// The current samples: uniform without replacement over `Q(R)`, fewer
+    /// than `k` while `|Q(R)| < k`.
+    pub fn samples(&self) -> &[Vec<Value>] {
+        self.reservoir.samples()
+    }
+
+    /// Reservoir capacity `k`.
+    pub fn k(&self) -> usize {
+        self.reservoir.capacity()
+    }
+
+    /// The underlying index (for sizes, stats, full-query sampling).
+    pub fn index(&self) -> &DynamicIndex {
+        &self.index
+    }
+
+    /// Index instrumentation counters.
+    pub fn index_stats(&self) -> IndexStats {
+        self.index.stats()
+    }
+
+    /// Number of predicate-evaluating stops the reservoir performed (each
+    /// costing one `O(log N)` retrieve).
+    pub fn reservoir_stops(&self) -> u64 {
+        self.reservoir.stops()
+    }
+
+    /// Tuples accepted so far (the paper's `N`).
+    pub fn tuples_processed(&self) -> u64 {
+        self.tuples_processed
+    }
+
+    /// Estimated heap bytes of index + reservoir.
+    pub fn heap_size(&self) -> usize {
+        self.index.heap_size()
+            + self
+                .samples()
+                .iter()
+                .map(|s| s.capacity() * std::mem::size_of::<Value>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_common::rng::RsjRng;
+    use rsj_common::stats::{chi_square_critical, chi_square_uniform};
+    use rsj_common::{FxHashMap, FxHashSet};
+    use rsj_query::QueryBuilder;
+
+    fn line3() -> Query {
+        let mut qb = QueryBuilder::new();
+        qb.relation("G1", &["A", "B"]);
+        qb.relation("G2", &["B", "C"]);
+        qb.relation("G3", &["C", "D"]);
+        qb.build().unwrap()
+    }
+
+    /// Brute-force all line-3 join results of a tuple multiset.
+    fn brute_line3(tuples: &[(usize, [u64; 2])]) -> FxHashSet<Vec<u64>> {
+        let mut out = FxHashSet::default();
+        for &(r1, t1) in tuples.iter().filter(|(r, _)| *r == 0) {
+            for &(r2, t2) in tuples.iter().filter(|(r, _)| *r == 1) {
+                for &(r3, t3) in tuples.iter().filter(|(r, _)| *r == 2) {
+                    let _ = (r1, r2, r3);
+                    if t1[1] == t2[0] && t2[1] == t3[0] {
+                        out.insert(vec![t1[0], t1[1], t2[1], t3[1]]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn collects_all_when_k_exceeds_results() {
+        let mut rj = ReservoirJoin::new(line3(), 1000, 1).unwrap();
+        let mut rng = RsjRng::seed_from_u64(2);
+        let mut tuples = Vec::new();
+        for _ in 0..120 {
+            let rel = rng.index(3);
+            let t = [rng.below_u64(5), rng.below_u64(5)];
+            if rj.process(rel, &t).is_some() {
+                tuples.push((rel, t));
+            }
+        }
+        let expect = brute_line3(&tuples);
+        let got: FxHashSet<Vec<u64>> = rj.samples().iter().cloned().collect();
+        assert_eq!(got.len(), rj.samples().len(), "duplicates in reservoir");
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn samples_always_valid_join_results() {
+        let mut rj = ReservoirJoin::new(line3(), 20, 3).unwrap();
+        let mut rng = RsjRng::seed_from_u64(4);
+        let mut tuples = Vec::new();
+        for step in 0..400 {
+            let rel = rng.index(3);
+            let t = [rng.below_u64(6), rng.below_u64(6)];
+            if rj.process(rel, &t).is_some() {
+                tuples.push((rel, t));
+            }
+            if step % 50 == 49 {
+                let valid = brute_line3(&tuples);
+                for s in rj.samples() {
+                    assert!(valid.contains(s), "invalid sample {s:?} at {step}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reservoir_is_uniform_over_join_results() {
+        // Small instance with 12 join results; run many seeds, count
+        // inclusion per result, chi-square for uniformity.
+        let stream: Vec<(usize, [u64; 2])> = vec![
+            (0, [1, 10]),
+            (2, [20, 5]),
+            (1, [10, 20]),
+            (0, [2, 10]),
+            (2, [20, 6]),
+            (0, [3, 10]),
+            (1, [10, 21]),
+            (2, [21, 7]),
+            (2, [21, 8]),
+        ];
+        let expect = brute_line3(&stream);
+        // G1: 3 tuples on B=10; G2: (10,20),(10,21); G3: 20->{5,6}, 21->{7,8}
+        // Results: 3 * (2 + 2) = 12.
+        assert_eq!(expect.len(), 12);
+        let k = 3;
+        let trials = 6000u64;
+        let mut counts: FxHashMap<Vec<u64>, u64> = FxHashMap::default();
+        for seed in 0..trials {
+            let mut rj = ReservoirJoin::new(line3(), k, seed).unwrap();
+            for (rel, t) in &stream {
+                rj.process(*rel, t);
+            }
+            assert_eq!(rj.samples().len(), k);
+            for s in rj.samples() {
+                *counts.entry(s.clone()).or_default() += 1;
+            }
+        }
+        assert_eq!(counts.len(), 12);
+        let observed: Vec<u64> = counts.values().copied().collect();
+        let (stat, df) = chi_square_uniform(&observed);
+        assert!(
+            stat < chi_square_critical(df, 0.0001),
+            "chi2={stat} df={df}"
+        );
+    }
+
+    #[test]
+    fn uniform_at_intermediate_timestamps() {
+        // The reservoir must be uniform over Q(R_i) at *every* i. Check a
+        // specific prefix: after 5 tuples there are 2 results; with k=1 each
+        // must be sampled ~half the time.
+        let stream: Vec<(usize, [u64; 2])> = vec![
+            (0, [1, 10]),
+            (1, [10, 20]),
+            (2, [20, 5]),
+            (2, [20, 6]),
+            (0, [9, 9]), // irrelevant
+            (2, [20, 7]),
+        ];
+        let trials = 4000;
+        let mut first_hits = 0u64;
+        for seed in 0..trials {
+            let mut rj = ReservoirJoin::new(line3(), 1, 70_000 + seed).unwrap();
+            for (rel, t) in &stream[..5] {
+                rj.process(*rel, t);
+            }
+            assert_eq!(rj.samples().len(), 1);
+            if rj.samples()[0] == vec![1, 10, 20, 5] {
+                first_hits += 1;
+            }
+        }
+        let f = first_hits as f64 / trials as f64;
+        assert!((f - 0.5).abs() < 0.05, "f={f}");
+    }
+
+    #[test]
+    fn duplicate_tuples_do_not_skew() {
+        let mut rj = ReservoirJoin::new(line3(), 100, 5).unwrap();
+        rj.process(0, &[1, 10]);
+        rj.process(1, &[10, 20]);
+        rj.process(2, &[20, 30]);
+        for _ in 0..10 {
+            assert!(rj.process(0, &[1, 10]).is_none());
+        }
+        assert_eq!(rj.samples().len(), 1);
+        assert_eq!(rj.tuples_processed(), 3);
+    }
+
+    #[test]
+    fn empty_stream_no_samples() {
+        let rj = ReservoirJoin::new(line3(), 10, 0).unwrap();
+        assert!(rj.samples().is_empty());
+    }
+
+    #[test]
+    fn two_table_doc_example() {
+        let mut qb = QueryBuilder::new();
+        qb.relation("R", &["X", "Y"]);
+        qb.relation("S", &["Y", "Z"]);
+        let mut rj = ReservoirJoin::new(qb.build().unwrap(), 10, 42).unwrap();
+        rj.process(0, &[1, 2]);
+        rj.process(1, &[2, 3]);
+        assert_eq!(rj.samples(), &[vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn grouping_on_off_same_distribution() {
+        // Distribution equality smoke test: same stream, k >= results, both
+        // variants must collect the identical full set.
+        let mut rng = RsjRng::seed_from_u64(8);
+        let mut stream = Vec::new();
+        for _ in 0..150 {
+            stream.push((rng.index(3), [rng.below_u64(5), rng.below_u64(5)]));
+        }
+        let run = |grouping: bool| {
+            let mut rj = ReservoirJoin::with_options(
+                line3(),
+                10_000,
+                9,
+                IndexOptions { grouping },
+            )
+            .unwrap();
+            for (rel, t) in &stream {
+                rj.process(*rel, t);
+            }
+            let mut s: Vec<Vec<u64>> = rj.samples().to_vec();
+            s.sort();
+            s
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn stops_stay_near_linear() {
+        // On a dense random line-3 stream, reservoir stops must be far
+        // below the total join size.
+        let mut rj = ReservoirJoin::new(line3(), 50, 10).unwrap();
+        let mut rng = RsjRng::seed_from_u64(11);
+        for _ in 0..3000 {
+            let rel = rng.index(3);
+            rj.process(rel, &[rng.below_u64(40), rng.below_u64(40)]);
+        }
+        let size = rsj_index::FullSampler::default().implicit_size(rj.index());
+        assert!(size > 10_000, "want a large join, got {size}");
+        // Stops ≈ N (fill) + k log(total/k) — must be way below total.
+        assert!(
+            (rj.reservoir_stops() as u128) < size / 4,
+            "stops={} size={size}",
+            rj.reservoir_stops()
+        );
+    }
+}

@@ -1,0 +1,283 @@
+//! Edit-distance string streams (paper §6.3).
+//!
+//! The RSWP-vs-RS experiment fixes a random 1024-character query string and
+//! streams random strings at controlled edit distance; the predicate keeps
+//! strings within distance 16. Density is the knob: a φ-dense stream has a
+//! φ fraction of close strings. Real items are produced by substituting at
+//! most 16 positions; dummies by substituting ≥ 32 distinct positions with
+//! different characters, which keeps them safely beyond the threshold.
+//!
+//! [`levenshtein_within`] is the banded (Ukkonen) dynamic program: `O(n·d)`
+//! with early exit — the predicate-evaluation cost the experiment measures.
+
+use rsj_common::rng::RsjRng;
+
+const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+
+/// Configuration for a string stream.
+#[derive(Clone, Debug)]
+pub struct StringStreamConfig {
+    /// Length of the query string and of every stream item.
+    pub len: usize,
+    /// Number of items.
+    pub n: usize,
+    /// Fraction of items within the predicate threshold.
+    pub density: f64,
+    /// Edit-distance threshold of the predicate.
+    pub threshold: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StringStreamConfig {
+    fn default() -> Self {
+        StringStreamConfig {
+            len: 1024,
+            n: 100_000,
+            density: 0.1,
+            threshold: 16,
+            seed: 1,
+        }
+    }
+}
+
+/// A generated stream: query string plus items.
+#[derive(Clone, Debug)]
+pub struct StringStream {
+    /// The fixed query string.
+    pub query: Vec<u8>,
+    /// Stream items in arrival order.
+    pub items: Vec<Vec<u8>>,
+    /// The predicate threshold the stream was built for.
+    pub threshold: usize,
+}
+
+impl StringStream {
+    /// Generates a stream.
+    pub fn generate(cfg: &StringStreamConfig) -> StringStream {
+        let mut rng = RsjRng::seed_from_u64(cfg.seed);
+        let query: Vec<u8> = (0..cfg.len)
+            .map(|_| ALPHABET[rng.index(ALPHABET.len())])
+            .collect();
+        let far = (cfg.threshold * 2).max(cfg.threshold + 16).min(cfg.len / 2);
+        let mut items = Vec::with_capacity(cfg.n);
+        for _ in 0..cfg.n {
+            let close = rng.unit() < cfg.density;
+            let subs = if close {
+                rng.index(cfg.threshold + 1)
+            } else {
+                far + rng.index(far)
+            };
+            items.push(mutate(&query, subs, &mut rng));
+        }
+        StringStream {
+            query,
+            items,
+            threshold: cfg.threshold,
+        }
+    }
+
+    /// Evaluates the predicate on one item (the §6.3 θ): edit distance to
+    /// the query within the threshold.
+    pub fn is_real(&self, item: &[u8]) -> bool {
+        levenshtein_within(&self.query, item, self.threshold).is_some()
+    }
+
+    /// Measured density of the generated stream.
+    pub fn measured_density(&self) -> f64 {
+        let real = self.items.iter().filter(|i| self.is_real(i)).count();
+        real as f64 / self.items.len() as f64
+    }
+}
+
+/// Substitutes `subs` distinct positions with different characters
+/// (Hamming — and for random strings, edit — distance exactly `subs`).
+fn mutate(base: &[u8], subs: usize, rng: &mut RsjRng) -> Vec<u8> {
+    let mut s = base.to_vec();
+    let n = s.len();
+    // Partial Fisher–Yates to pick `subs` distinct positions.
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..subs.min(n) {
+        let j = i + rng.index(n - i);
+        idx.swap(i, j);
+        let p = idx[i];
+        let old = s[p];
+        loop {
+            let c = ALPHABET[rng.index(ALPHABET.len())];
+            if c != old {
+                s[p] = c;
+                break;
+            }
+        }
+    }
+    s
+}
+
+/// Banded Levenshtein distance: `Some(d)` if `d <= limit`, else `None`.
+///
+/// Classic Ukkonen band of width `2·limit + 1` over the DP matrix:
+/// `O(max(len)·limit)` time, early exit when the whole band exceeds the
+/// limit.
+pub fn levenshtein_within(a: &[u8], b: &[u8], limit: usize) -> Option<usize> {
+    let (n, m) = (a.len(), b.len());
+    if n.abs_diff(m) > limit {
+        return None;
+    }
+    let inf = limit + 1;
+    // prev[j] = distance for prefix (i-1, j offsets within band).
+    // Band: for row i, columns j in [i-limit, i+limit].
+    let width = 2 * limit + 1;
+    let mut prev = vec![inf; width];
+    let mut cur = vec![inf; width];
+    // Row 0: D[0][j] = j for j <= limit.
+    for (off, p) in prev.iter_mut().enumerate() {
+        let j = off as isize - limit as isize;
+        if (0..=m as isize).contains(&j) && j as usize <= limit {
+            *p = j as usize;
+        }
+    }
+    for i in 1..=n {
+        let mut row_min = inf;
+        for off in 0..width {
+            let j = i as isize + off as isize - limit as isize;
+            if j < 0 || j > m as isize {
+                cur[off] = inf;
+                continue;
+            }
+            let j = j as usize;
+            let mut best = inf;
+            if j == 0 {
+                best = i.min(inf);
+            } else {
+                // Deletion: D[i-1][j] sits at off+1 in prev's frame.
+                if off + 1 < width {
+                    best = best.min(prev[off + 1].saturating_add(1));
+                }
+                // Insertion: D[i][j-1] at off-1 in cur's frame.
+                if off > 0 {
+                    best = best.min(cur[off - 1].saturating_add(1));
+                }
+                // Substitution/match: D[i-1][j-1] at off in prev's frame.
+                let cost = usize::from(a[i - 1] != b[j - 1]);
+                best = best.min(prev[off].saturating_add(cost));
+            }
+            cur[off] = best.min(inf);
+            row_min = row_min.min(cur[off]);
+        }
+        if row_min > limit {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    // D[n][m] sits at offset m - n + limit in prev's frame.
+    let off = (m as isize - n as isize + limit as isize) as usize;
+    let d = prev[off];
+    (d <= limit).then_some(d)
+}
+
+/// Reference quadratic Levenshtein (tests only).
+#[doc(hidden)]
+pub fn levenshtein_full(a: &[u8], b: &[u8]) -> usize {
+    let m = b.len();
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut cur = vec![0; m + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            cur[j + 1] = (prev[j] + usize::from(ca != cb))
+                .min(prev[j + 1] + 1)
+                .min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banded_matches_full_small() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"kitten", b"sitting"),
+            (b"abc", b"abc"),
+            (b"abc", b""),
+            (b"", b"xyz"),
+            (b"flaw", b"lawn"),
+            (b"intention", b"execution"),
+        ];
+        for &(a, b) in cases {
+            let full = levenshtein_full(a, b);
+            for limit in 0..=10 {
+                let banded = levenshtein_within(a, b, limit);
+                if full <= limit {
+                    assert_eq!(banded, Some(full), "{a:?} {b:?} limit {limit}");
+                } else {
+                    assert_eq!(banded, None, "{a:?} {b:?} limit {limit}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn banded_matches_full_randomized() {
+        let mut rng = RsjRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let n = 10 + rng.index(30);
+            let a: Vec<u8> = (0..n).map(|_| ALPHABET[rng.index(4)]).collect();
+            let b: Vec<u8> = (0..n + rng.index(5))
+                .map(|_| ALPHABET[rng.index(4)])
+                .collect();
+            let full = levenshtein_full(&a, &b);
+            let limit = rng.index(12);
+            let banded = levenshtein_within(&a, &b, limit);
+            assert_eq!(banded, (full <= limit).then_some(full));
+        }
+    }
+
+    #[test]
+    fn mutate_controls_distance() {
+        let mut rng = RsjRng::seed_from_u64(7);
+        let base: Vec<u8> = (0..256).map(|_| ALPHABET[rng.index(26)]).collect();
+        for subs in [0usize, 1, 8, 16] {
+            let m = mutate(&base, subs, &mut rng);
+            let d = levenshtein_full(&base, &m);
+            assert!(d <= subs, "subs={subs} d={d}");
+            // For random strings, substitutions rarely collapse.
+            assert!(d + 2 >= subs, "subs={subs} d={d}");
+        }
+    }
+
+    #[test]
+    fn stream_density_is_controlled() {
+        for density in [0.0, 0.3, 1.0] {
+            let cfg = StringStreamConfig {
+                len: 128,
+                n: 600,
+                density,
+                threshold: 8,
+                seed: 11,
+            };
+            let s = StringStream::generate(&cfg);
+            let measured = s.measured_density();
+            assert!(
+                (measured - density).abs() < 0.07,
+                "density={density} measured={measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn far_items_fail_predicate() {
+        let cfg = StringStreamConfig {
+            len: 128,
+            n: 100,
+            density: 0.0,
+            threshold: 8,
+            seed: 13,
+        };
+        let s = StringStream::generate(&cfg);
+        assert!(s.items.iter().all(|i| !s.is_real(i)));
+    }
+}

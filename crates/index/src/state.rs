@@ -1,0 +1,446 @@
+//! Per-node index state: groups, weight buckets, and item bookkeeping.
+//!
+//! Within one rooted tree, every join-tree node `e` partitions its *items*
+//! (base tuples, or group tuples under the §4.4 grouping optimization) into
+//! groups by their `key(e)` value. Within a group, items live in buckets by
+//! their *weight level*: item weight is the product of the children's
+//! rounded counts (times `feq~` when grouped), always a power of two, so a
+//! bucket at level `i` holds items of weight exactly `2^i` — the paper's
+//! `Φ_i(t)` with `φ_i(t) = 2^i · |Φ_i(t)|`. A group's `cnt` is the sum of
+//! its items' weights, maintained incrementally.
+//!
+//! Items whose weight is zero (some child key still unmatched) sit in a
+//! separate zero list: they contribute nothing to `cnt` and are skipped by
+//! retrieval, but must be reachable so a later child insertion can lift
+//! them into a real bucket.
+
+use rsj_common::{FxHashMap, HeapSize, Key, TupleId};
+
+/// Index of an item within a node: a base [`TupleId`] for ungrouped nodes,
+/// or a group-tuple id for grouped nodes.
+pub type ItemId = u32;
+
+/// Identifier of a group within a node.
+pub type GroupId = u32;
+
+/// Where an item currently lives.
+#[derive(Clone, Copy, Debug)]
+pub struct ItemPos {
+    /// Owning group.
+    pub group: GroupId,
+    /// Weight level: `Some(i)` for bucket `Φ_i`, `None` for the zero list.
+    pub level: Option<u32>,
+    /// Position within the bucket / zero list.
+    pub pos: u32,
+}
+
+/// One weight bucket `Φ_i`.
+#[derive(Clone, Debug, Default)]
+pub struct Bucket {
+    /// The level `i`; items here have weight `2^i`.
+    pub level: u32,
+    /// Item ids, unordered; removal is swap-remove.
+    pub items: Vec<ItemId>,
+}
+
+/// One key group of a node.
+#[derive(Clone, Debug, Default)]
+pub struct Group {
+    /// The paper's `cnt[T, e, t]`: total weight of all bucketed items.
+    pub cnt: u128,
+    /// Non-empty buckets, sorted ascending by level.
+    pub buckets: Vec<Bucket>,
+    /// Items of weight zero.
+    pub zero: Vec<ItemId>,
+}
+
+impl Group {
+    /// `cnt~`: the rounded count. Zero for an empty group.
+    #[inline]
+    pub fn cnt_tilde(&self) -> u128 {
+        rsj_common::pow2::round_up_pow2(self.cnt)
+    }
+
+    /// Level of `cnt~` (`None` when `cnt == 0`).
+    #[inline]
+    pub fn tilde_level(&self) -> Option<u32> {
+        rsj_common::pow2::level_of(self.cnt)
+    }
+
+    /// Inserts `item` at `level` (or the zero list), returning its position.
+    pub fn insert_item(&mut self, item: ItemId, level: Option<u32>) -> u32 {
+        match level {
+            None => {
+                self.zero.push(item);
+                (self.zero.len() - 1) as u32
+            }
+            Some(l) => {
+                self.cnt += 1u128 << l;
+                let idx = match self.buckets.binary_search_by_key(&l, |b| b.level) {
+                    Ok(i) => i,
+                    Err(i) => {
+                        self.buckets.insert(
+                            i,
+                            Bucket {
+                                level: l,
+                                items: Vec::new(),
+                            },
+                        );
+                        i
+                    }
+                };
+                self.buckets[idx].items.push(item);
+                (self.buckets[idx].items.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Removes the item at (`level`, `pos`), returning the id of the item
+    /// that was moved into `pos` by the swap-remove (if any). The caller
+    /// must update that item's stored position.
+    pub fn remove_item(&mut self, level: Option<u32>, pos: u32) -> Option<ItemId> {
+        match level {
+            None => {
+                self.zero.swap_remove(pos as usize);
+                self.zero.get(pos as usize).copied()
+            }
+            Some(l) => {
+                self.cnt -= 1u128 << l;
+                let idx = self
+                    .buckets
+                    .binary_search_by_key(&l, |b| b.level)
+                    .expect("bucket must exist");
+                self.buckets[idx].items.swap_remove(pos as usize);
+                let moved = self.buckets[idx].items.get(pos as usize).copied();
+                if self.buckets[idx].items.is_empty() {
+                    self.buckets.remove(idx);
+                }
+                moved
+            }
+        }
+    }
+
+    /// Locates position `z < cnt` inside the bucketed items: returns
+    /// `(item, within)` where `within < 2^level(item)` is the offset inside
+    /// that item's conceptual sub-batch. This is the bucket scan of
+    /// Algorithm 9 lines 15–18 (`O(#buckets) = O(log N)` per call).
+    pub fn locate(&self, z: u128) -> (ItemId, u128) {
+        debug_assert!(z < self.cnt, "locate past cnt");
+        let mut acc = 0u128;
+        for b in &self.buckets {
+            let width = (b.items.len() as u128) << b.level;
+            if z < acc + width {
+                let off = z - acc;
+                let j = (off >> b.level) as usize;
+                let within = off & ((1u128 << b.level) - 1);
+                return (b.items[j], within);
+            }
+            acc += width;
+        }
+        unreachable!("z < cnt guaranteed a bucket");
+    }
+
+    /// Number of bucketed (non-zero-weight) items.
+    pub fn bucketed_len(&self) -> usize {
+        self.buckets.iter().map(|b| b.items.len()).sum()
+    }
+}
+
+impl HeapSize for Group {
+    fn heap_size(&self) -> usize {
+        self.buckets.capacity() * std::mem::size_of::<Bucket>()
+            + self
+                .buckets
+                .iter()
+                .map(|b| b.items.heap_size())
+                .sum::<usize>()
+            + self.zero.heap_size()
+    }
+}
+
+/// Grouped-node payload (§4.4): the distinct `ē`-projections with their
+/// multiplicities and base-tuple lists.
+#[derive(Clone, Debug, Default)]
+pub struct GroupedData {
+    /// `ē`-projection -> group-tuple id.
+    pub map: FxHashMap<Key, ItemId>,
+    /// Group-tuple `ē` values.
+    pub ebar_vals: Vec<Key>,
+    /// `feq[gt]`: number of base tuples projecting to this group tuple.
+    pub feq: Vec<u64>,
+    /// Base tuples per group tuple, in arrival order (positional access for
+    /// Algorithm 11 line 22).
+    pub base: Vec<Vec<TupleId>>,
+}
+
+impl GroupedData {
+    /// Looks up or creates the group tuple for an `ē` projection.
+    /// Returns `(id, created)`.
+    pub fn intern(&mut self, ebar: Key) -> (ItemId, bool) {
+        if let Some(&id) = self.map.get(&ebar) {
+            return (id, false);
+        }
+        let id = self.ebar_vals.len() as ItemId;
+        self.map.insert(ebar, id);
+        self.ebar_vals.push(ebar);
+        self.feq.push(0);
+        self.base.push(Vec::new());
+        (id, true)
+    }
+}
+
+impl HeapSize for GroupedData {
+    fn heap_size(&self) -> usize {
+        self.map.heap_size()
+            + self.ebar_vals.heap_size()
+            + self.feq.heap_size()
+            + self.base.capacity() * std::mem::size_of::<Vec<TupleId>>()
+            + self.base.iter().map(HeapSize::heap_size).sum::<usize>()
+    }
+}
+
+/// Full per-node state within one rooted tree.
+#[derive(Clone, Debug)]
+pub struct NodeState {
+    /// `key(e)` value -> group id.
+    pub groups: FxHashMap<Key, GroupId>,
+    /// Group arena.
+    pub arena: Vec<Group>,
+    /// Per-item location, indexed by [`ItemId`].
+    pub item_pos: Vec<ItemPos>,
+    /// For each child (by child index): `key(c)` value -> items of this node
+    /// whose projection matches. Drives upward propagation (Algorithm 7
+    /// line 9).
+    pub child_indexes: Vec<FxHashMap<Key, Vec<ItemId>>>,
+    /// Whether this node runs the grouping optimization.
+    pub grouped: bool,
+    /// Grouping payload when `grouped`.
+    pub grouped_data: GroupedData,
+}
+
+impl NodeState {
+    /// Creates empty state for a node with `num_children` children.
+    pub fn new(num_children: usize, grouped: bool) -> NodeState {
+        NodeState {
+            groups: FxHashMap::default(),
+            arena: Vec::new(),
+            item_pos: Vec::new(),
+            child_indexes: vec![FxHashMap::default(); num_children],
+            grouped,
+            grouped_data: GroupedData::default(),
+        }
+    }
+
+    /// Group id for a key, creating an empty group when absent.
+    pub fn group_for(&mut self, key: Key) -> GroupId {
+        if let Some(&g) = self.groups.get(&key) {
+            return g;
+        }
+        let g = self.arena.len() as GroupId;
+        self.groups.insert(key, g);
+        self.arena.push(Group::default());
+        g
+    }
+
+    /// Group id for a key, if present.
+    #[inline]
+    pub fn group_id(&self, key: &Key) -> Option<GroupId> {
+        self.groups.get(key).copied()
+    }
+
+    /// The group for an existing id.
+    #[inline]
+    pub fn group(&self, id: GroupId) -> &Group {
+        &self.arena[id as usize]
+    }
+
+    /// `cnt~` level of the group at `key` (`None` for missing/empty groups).
+    #[inline]
+    pub fn tilde_level_of(&self, key: &Key) -> Option<u32> {
+        self.group_id(key)
+            .and_then(|g| self.arena[g as usize].tilde_level())
+    }
+
+    /// Places a brand-new item into its group at `level` and records its
+    /// position. `item` must equal `item_pos.len()`.
+    pub fn place_new_item(&mut self, item: ItemId, group: GroupId, level: Option<u32>) {
+        debug_assert_eq!(item as usize, self.item_pos.len());
+        let pos = self.arena[group as usize].insert_item(item, level);
+        self.item_pos.push(ItemPos { group, level, pos });
+    }
+
+    /// Moves an existing item to a new level within its group, fixing the
+    /// displaced item's position. Returns `(old_weight, new_weight)` so the
+    /// caller can adjust derived counts... weights are implied by levels;
+    /// cnt is adjusted internally by insert/remove.
+    pub fn move_item(&mut self, item: ItemId, new_level: Option<u32>) {
+        let ItemPos { group, level, pos } = self.item_pos[item as usize];
+        if level == new_level {
+            return;
+        }
+        let g = &mut self.arena[group as usize];
+        if let Some(moved) = g.remove_item(level, pos) {
+            self.item_pos[moved as usize].pos = pos;
+        }
+        let new_pos = self.arena[group as usize].insert_item(item, new_level);
+        self.item_pos[item as usize] = ItemPos {
+            group,
+            level: new_level,
+            pos: new_pos,
+        };
+    }
+}
+
+impl HeapSize for NodeState {
+    fn heap_size(&self) -> usize {
+        self.groups.heap_size()
+            + self.arena.capacity() * std::mem::size_of::<Group>()
+            + self.arena.iter().map(HeapSize::heap_size).sum::<usize>()
+            + self.item_pos.heap_size()
+            + self
+                .child_indexes
+                .iter()
+                .map(|m| {
+                    m.heap_size() + m.values().map(HeapSize::heap_size).sum::<usize>()
+                })
+                .sum::<usize>()
+            + self.grouped_data.heap_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_insert_accumulates_cnt() {
+        let mut g = Group::default();
+        g.insert_item(0, Some(0)); // weight 1
+        g.insert_item(1, Some(2)); // weight 4
+        g.insert_item(2, None); // zero
+        assert_eq!(g.cnt, 5);
+        assert_eq!(g.cnt_tilde(), 8);
+        assert_eq!(g.tilde_level(), Some(3));
+        assert_eq!(g.bucketed_len(), 2);
+        assert_eq!(g.zero.len(), 1);
+    }
+
+    #[test]
+    fn buckets_stay_sorted() {
+        let mut g = Group::default();
+        for (item, level) in [(0u32, 5u32), (1, 1), (2, 3), (3, 1)] {
+            g.insert_item(item, Some(level));
+        }
+        let levels: Vec<u32> = g.buckets.iter().map(|b| b.level).collect();
+        assert_eq!(levels, vec![1, 3, 5]);
+        assert_eq!(g.cnt, 2 + 2 + 8 + 32);
+    }
+
+    #[test]
+    fn locate_walks_buckets_in_level_order() {
+        let mut g = Group::default();
+        g.insert_item(10, Some(0)); // 1 slot   [0]
+        g.insert_item(11, Some(0)); // 1 slot   [1]
+        g.insert_item(12, Some(2)); // 4 slots  [2..6)
+        assert_eq!(g.locate(0), (10, 0));
+        assert_eq!(g.locate(1), (11, 0));
+        assert_eq!(g.locate(2), (12, 0));
+        assert_eq!(g.locate(5), (12, 3));
+    }
+
+    #[test]
+    fn remove_swaps_and_reports() {
+        let mut g = Group::default();
+        g.insert_item(0, Some(1));
+        g.insert_item(1, Some(1));
+        g.insert_item(2, Some(1));
+        // Remove position 0: item 2 swaps into it.
+        let moved = g.remove_item(Some(1), 0);
+        assert_eq!(moved, Some(2));
+        assert_eq!(g.cnt, 4);
+        // Removing the last leaves None.
+        let moved = g.remove_item(Some(1), 1);
+        assert_eq!(moved, None);
+    }
+
+    #[test]
+    fn empty_bucket_is_dropped() {
+        let mut g = Group::default();
+        g.insert_item(0, Some(3));
+        g.remove_item(Some(3), 0);
+        assert!(g.buckets.is_empty());
+        assert_eq!(g.cnt, 0);
+        assert_eq!(g.tilde_level(), None);
+    }
+
+    #[test]
+    fn node_state_move_item_updates_positions() {
+        let mut ns = NodeState::new(0, false);
+        let g = ns.group_for(Key::single(7));
+        ns.place_new_item(0, g, Some(0));
+        ns.place_new_item(1, g, Some(0));
+        ns.place_new_item(2, g, Some(0));
+        assert_eq!(ns.group(g).cnt, 3);
+        // Move item 0 to level 2; item 2 swaps into its slot.
+        ns.move_item(0, Some(2));
+        assert_eq!(ns.group(g).cnt, 2 + 4);
+        let p2 = ns.item_pos[2];
+        assert_eq!(p2.pos, 0);
+        let p0 = ns.item_pos[0];
+        assert_eq!(p0.level, Some(2));
+        // Every item findable through its recorded position.
+        for item in 0..3u32 {
+            let p = ns.item_pos[item as usize];
+            let grp = ns.group(p.group);
+            let found = match p.level {
+                None => grp.zero[p.pos as usize],
+                Some(l) => {
+                    let b = grp
+                        .buckets
+                        .iter()
+                        .find(|b| b.level == l)
+                        .expect("bucket");
+                    b.items[p.pos as usize]
+                }
+            };
+            assert_eq!(found, item);
+        }
+    }
+
+    #[test]
+    fn move_to_same_level_is_noop() {
+        let mut ns = NodeState::new(0, false);
+        let g = ns.group_for(Key::EMPTY);
+        ns.place_new_item(0, g, Some(1));
+        ns.move_item(0, Some(1));
+        assert_eq!(ns.group(g).cnt, 2);
+        assert_eq!(ns.item_pos[0].pos, 0);
+    }
+
+    #[test]
+    fn zero_list_transitions() {
+        let mut ns = NodeState::new(0, false);
+        let g = ns.group_for(Key::EMPTY);
+        ns.place_new_item(0, g, None);
+        assert_eq!(ns.group(g).cnt, 0);
+        ns.move_item(0, Some(4));
+        assert_eq!(ns.group(g).cnt, 16);
+        assert!(ns.group(g).zero.is_empty());
+        ns.move_item(0, None);
+        assert_eq!(ns.group(g).cnt, 0);
+        assert_eq!(ns.group(g).zero, vec![0]);
+    }
+
+    #[test]
+    fn grouped_data_interning() {
+        let mut gd = GroupedData::default();
+        let (a, created) = gd.intern(Key::single(1));
+        assert!(created);
+        let (b, created) = gd.intern(Key::single(1));
+        assert!(!created);
+        assert_eq!(a, b);
+        let (c, _) = gd.intern(Key::single(2));
+        assert_ne!(a, c);
+        assert_eq!(gd.ebar_vals.len(), 2);
+    }
+}

@@ -1,0 +1,172 @@
+//! Deeper-tree index tests: line-4/line-5 and star-4 exercise multi-level
+//! propagation cascades and multi-child radix decomposition harder than
+//! the in-module line-3 tests.
+
+use rsj_common::rng::RsjRng;
+use rsj_common::{FxHashSet, Value};
+use rsj_index::{DynamicIndex, FullSampler, IndexOptions};
+use rsj_query::{Query, QueryBuilder};
+
+fn line_query(k: usize) -> Query {
+    let mut qb = QueryBuilder::new();
+    for i in 0..k {
+        qb.relation(&format!("G{i}"), &[&format!("A{i}"), &format!("A{}", i + 1)]);
+    }
+    qb.build().unwrap()
+}
+
+fn star_query(k: usize) -> Query {
+    let mut qb = QueryBuilder::new();
+    for i in 0..k {
+        qb.relation(&format!("G{i}"), &["HUB", &format!("B{i}")]);
+    }
+    qb.build().unwrap()
+}
+
+/// Brute-force join over binary relations described by (rel, [a, b]).
+fn brute_join(q: &Query, tuples: &[(usize, [Value; 2])]) -> FxHashSet<Vec<Value>> {
+    let mut out = FxHashSet::default();
+    let nrel = q.num_relations();
+    let mut stack: Vec<(usize, Vec<Option<Value>>)> = vec![(0, vec![None; q.num_attrs()])];
+    while let Some((rel, partial)) = stack.pop() {
+        if rel == nrel {
+            out.insert(partial.into_iter().map(Option::unwrap).collect());
+            continue;
+        }
+        let attrs = &q.relation(rel).attrs;
+        't: for &(r, t) in tuples.iter().filter(|(r, _)| *r == rel) {
+            let _ = r;
+            let mut next = partial.clone();
+            for (pos, &a) in attrs.iter().enumerate() {
+                match next[a] {
+                    Some(v) if v != t[pos] => continue 't,
+                    _ => next[a] = Some(t[pos]),
+                }
+            }
+            stack.push((rel + 1, next));
+        }
+    }
+    out
+}
+
+fn check_full_enumeration(q: &Query, tuples: &[(usize, [Value; 2])], grouping: bool) {
+    let mut idx = DynamicIndex::new(q.clone(), IndexOptions { grouping }).unwrap();
+    let mut accepted = Vec::new();
+    let mut delta_reals = 0usize;
+    for &(rel, t) in tuples {
+        if let Some(tid) = idx.insert(rel, &t) {
+            accepted.push((rel, t));
+            let b = idx.delta_batch(rel, tid);
+            for z in 0..b.size() {
+                if b.retrieve(z).is_some() {
+                    delta_reals += 1;
+                }
+            }
+        }
+    }
+    let truth = brute_join(q, &accepted);
+    assert_eq!(delta_reals, truth.len(), "delta partition");
+    // Full-array enumeration through the sampler's tree must also match.
+    let sampler = FullSampler::default();
+    let size = sampler.implicit_size(&idx);
+    assert!(size >= truth.len() as u128);
+    let mut rng = RsjRng::seed_from_u64(1);
+    if !truth.is_empty() {
+        // Sampling repeatedly covers the support.
+        let mut seen: FxHashSet<Vec<Value>> = FxHashSet::default();
+        for _ in 0..truth.len() * 60 {
+            if let Some(r) = sampler.sample(&idx, &mut rng) {
+                seen.insert(idx.materialize(&r));
+            }
+        }
+        assert_eq!(seen, truth, "sampler support");
+    }
+}
+
+#[test]
+fn line4_random_instances() {
+    let q = line_query(4);
+    for seed in 0..4 {
+        let mut rng = RsjRng::seed_from_u64(seed);
+        let tuples: Vec<(usize, [Value; 2])> = (0..120)
+            .map(|_| (rng.index(4), [rng.below_u64(4), rng.below_u64(4)]))
+            .collect();
+        check_full_enumeration(&q, &tuples, seed % 2 == 0);
+    }
+}
+
+#[test]
+fn line5_random_instances() {
+    let q = line_query(5);
+    let mut rng = RsjRng::seed_from_u64(9);
+    let tuples: Vec<(usize, [Value; 2])> = (0..140)
+        .map(|_| (rng.index(5), [rng.below_u64(3), rng.below_u64(3)]))
+        .collect();
+    check_full_enumeration(&q, &tuples, false);
+}
+
+#[test]
+fn star4_random_instances() {
+    let q = star_query(4);
+    for seed in 0..3 {
+        let mut rng = RsjRng::seed_from_u64(20 + seed);
+        let tuples: Vec<(usize, [Value; 2])> = (0..100)
+            .map(|_| (rng.index(4), [rng.below_u64(3), rng.below_u64(6)]))
+            .collect();
+        check_full_enumeration(&q, &tuples, false);
+    }
+}
+
+#[test]
+fn doubling_cascade_stays_consistent() {
+    // Adversarial: one hub key whose counts double many times, forcing
+    // repeated propagation through a 4-node chain.
+    let q = line_query(4);
+    let mut idx = DynamicIndex::new(q.clone(), IndexOptions::default()).unwrap();
+    let mut tuples = Vec::new();
+    // Chain skeleton: G1(x,0) G2(0,0) G3(0,0) G4(0,y).
+    for i in 0..64u64 {
+        for (rel, t) in [
+            (0, [i, 0]),
+            (3, [0, i]),
+        ] {
+            if idx.insert(rel, &t).is_some() {
+                tuples.push((rel, t));
+            }
+        }
+    }
+    for (rel, t) in [(1usize, [0u64, 0u64]), (2, [0, 0])] {
+        if idx.insert(rel, &t).is_some() {
+            tuples.push((rel, t));
+        }
+    }
+    let truth = brute_join(&q, &tuples);
+    assert_eq!(truth.len(), 64 * 64);
+    let bound = FullSampler::default().implicit_size(&idx);
+    assert!(bound >= truth.len() as u128);
+    assert!(bound <= truth.len() as u128 * 32, "bound {bound}");
+    // Amortized propagation: total loops must be O(N log N)-ish, far from
+    // quadratic (N=130, quadratic would be ~17k per tree).
+    let loops = idx.stats().propagation_loops;
+    assert!(loops < 8_000, "propagation loops {loops}");
+}
+
+#[test]
+fn update_cost_logarithmic_amortized_on_skew() {
+    // Paper Theorem 4.2(1): amortized O(log N). Feed N tuples hitting one
+    // hot key; propagation loop total must grow ~N log N, not N^2.
+    let q = line_query(3);
+    let mut idx = DynamicIndex::new(q, IndexOptions::default()).unwrap();
+    let n = 3000u64;
+    for i in 0..n {
+        idx.insert(0, &[i, 0]);
+        idx.insert(1, &[0, 0]);
+        idx.insert(2, &[0, i]);
+    }
+    let loops = idx.stats().propagation_loops;
+    let nlogn = (3 * n) as f64 * (3.0 * n as f64).log2();
+    assert!(
+        (loops as f64) < 12.0 * nlogn,
+        "loops {loops} vs N log N {nlogn}"
+    );
+}

@@ -1,0 +1,146 @@
+//! Property tests over the query-structure machinery: GYO accepts exactly
+//! the queries built from trees; join trees satisfy the connectedness
+//! property; rooted-tree bookkeeping is internally consistent; ρ* respects
+//! its LP bounds; GHD search never beats the fractional cover of the whole
+//! query.
+
+use proptest::prelude::*;
+use rsj_query::fractional::rho_star;
+use rsj_query::rooted::all_rooted_trees;
+use rsj_query::{Ghd, JoinTree, Query, QueryBuilder};
+
+/// Builds a random *tree-shaped* (hence acyclic) query: relation i > 0
+/// shares one attribute with a random earlier relation and adds one fresh
+/// attribute.
+fn tree_query(edges_to_parent: &[usize]) -> Query {
+    let n = edges_to_parent.len() + 1;
+    let mut qb = QueryBuilder::new();
+    // Relation 0: attrs f0, f0b.
+    qb.relation("R0", &["f0", "f0b"]);
+    for i in 1..n {
+        let p = edges_to_parent[i - 1] % i;
+        // Share parent's fresh attribute f{p}, add own fresh f{i}.
+        let shared = format!("f{p}");
+        let fresh = format!("f{i}");
+        qb.relation(&format!("R{i}"), &[&shared, &fresh]);
+    }
+    qb.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gyo_accepts_tree_queries(parents in proptest::collection::vec(0usize..8, 1..8)) {
+        let q = tree_query(&parents);
+        let t = JoinTree::build(&q).expect("tree query must be acyclic");
+        prop_assert!(t.satisfies_connectedness(&q));
+        // A tree over n relations has n-1 edges.
+        prop_assert_eq!(t.edges().len(), q.num_relations() - 1);
+    }
+
+    #[test]
+    fn rooted_trees_bookkeeping_consistent(parents in proptest::collection::vec(0usize..8, 1..8)) {
+        let q = tree_query(&parents);
+        let t = JoinTree::build(&q).unwrap();
+        for rt in all_rooted_trees(&q, &t).unwrap() {
+            let mut child_edges = 0;
+            for node in rt.nodes() {
+                // Parent-child symmetry.
+                for (ci, &c) in node.children.iter().enumerate() {
+                    prop_assert_eq!(rt.node(c).parent, Some(node.relation));
+                    // key(c) attrs live in both schemas.
+                    let ck = &rt.node(c).key_attrs;
+                    prop_assert_eq!(node.child_key_positions[ci].len(), ck.len());
+                    for (pos_idx, &a) in ck.iter().enumerate() {
+                        let p = node.child_key_positions[ci][pos_idx];
+                        prop_assert_eq!(q.relation(node.relation).attrs[p], a);
+                    }
+                    child_edges += 1;
+                }
+                // key positions point at key attrs in own schema.
+                for (i, &a) in node.key_attrs.iter().enumerate() {
+                    let p = node.key_positions[i];
+                    prop_assert_eq!(q.relation(node.relation).attrs[p], a);
+                }
+                // Root has empty key; non-roots don't (tree queries always
+                // share an attribute with the parent).
+                if node.parent.is_none() {
+                    prop_assert!(node.key_attrs.is_empty());
+                } else {
+                    prop_assert!(!node.key_attrs.is_empty());
+                }
+            }
+            prop_assert_eq!(child_edges, q.num_relations() - 1);
+            // Subtree sizes sum correctly at the root.
+            prop_assert_eq!(rt.node(rt.root()).subtree_size, q.num_relations());
+        }
+    }
+
+    #[test]
+    fn rho_star_bounds(parents in proptest::collection::vec(0usize..6, 1..6)) {
+        let q = tree_query(&parents);
+        let rho = rho_star(&q);
+        // Any query: 1 <= rho* <= |E|.
+        prop_assert!(rho >= 1.0 - 1e-9);
+        prop_assert!(rho <= q.num_relations() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn ghd_of_acyclic_is_width_one(parents in proptest::collection::vec(0usize..5, 1..5)) {
+        let q = tree_query(&parents);
+        let ghd = Ghd::search(&q).unwrap();
+        prop_assert!((ghd.width() - 1.0).abs() < 1e-9, "width {}", ghd.width());
+        prop_assert_eq!(ghd.bags().len(), q.num_relations());
+    }
+}
+
+#[test]
+fn gyo_rejects_all_small_cycles() {
+    for len in 3..=6 {
+        let mut qb = QueryBuilder::new();
+        for i in 0..len {
+            qb.relation(
+                &format!("R{i}"),
+                &[&format!("x{i}"), &format!("x{}", (i + 1) % len)],
+            );
+        }
+        let q = qb.build().unwrap();
+        assert!(JoinTree::build(&q).is_none(), "cycle of length {len}");
+    }
+}
+
+#[test]
+fn ghd_width_never_exceeds_rho_star() {
+    // The one-bag GHD always achieves rho*(Q); the search must do at least
+    // as well on every cyclic query we care about.
+    for (name, specs) in [
+        (
+            "triangle",
+            vec![("R1", vec!["X", "Y"]), ("R2", vec!["Y", "Z"]), ("R3", vec!["Z", "X"])],
+        ),
+        (
+            "cycle4",
+            vec![
+                ("R1", vec!["A", "B"]),
+                ("R2", vec!["B", "C"]),
+                ("R3", vec!["C", "D"]),
+                ("R4", vec!["D", "A"]),
+            ],
+        ),
+    ] {
+        let mut qb = QueryBuilder::new();
+        for (n, attrs) in &specs {
+            let refs: Vec<&str> = attrs.iter().map(|s| &**s).collect();
+            qb.relation(n, &refs);
+        }
+        let q = qb.build().unwrap();
+        let ghd = Ghd::search(&q).unwrap();
+        assert!(
+            ghd.width() <= rho_star(&q) + 1e-9,
+            "{name}: width {} > rho* {}",
+            ghd.width(),
+            rho_star(&q)
+        );
+    }
+}

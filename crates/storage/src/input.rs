@@ -1,0 +1,127 @@
+//! The typed input stream fed to join drivers.
+//!
+//! The paper models each stream element as a triple `(t, i, R_e)`: tuple `t`
+//! inserted into relation `R_e` at time `i`. Timestamps are implicit in
+//! stream order here.
+
+use rsj_common::Value;
+
+/// One stream element: a tuple destined for a relation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InputTuple {
+    /// Index of the target relation in the query's relation list.
+    pub relation: usize,
+    /// Attribute values, in the relation's schema order.
+    pub values: Vec<Value>,
+}
+
+impl InputTuple {
+    /// Creates an input tuple.
+    pub fn new(relation: usize, values: Vec<Value>) -> InputTuple {
+        InputTuple { relation, values }
+    }
+}
+
+/// A finite input stream: tuples in arrival order.
+///
+/// Kept materialized (the experiments replay the same stream across
+/// algorithms and need multiple passes); the drivers themselves consume it
+/// one tuple at a time and never look ahead.
+#[derive(Clone, Debug, Default)]
+pub struct TupleStream {
+    tuples: Vec<InputTuple>,
+}
+
+impl TupleStream {
+    /// Creates an empty stream.
+    pub fn new() -> TupleStream {
+        TupleStream::default()
+    }
+
+    /// Builds a stream from a vector of tuples.
+    pub fn from_vec(tuples: Vec<InputTuple>) -> TupleStream {
+        TupleStream { tuples }
+    }
+
+    /// Appends a tuple at the end of the stream.
+    pub fn push(&mut self, relation: usize, values: Vec<Value>) {
+        self.tuples.push(InputTuple::new(relation, values));
+    }
+
+    /// Stream length (the paper's `N`).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True for an empty stream.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples in arrival order.
+    pub fn tuples(&self) -> &[InputTuple] {
+        &self.tuples
+    }
+
+    /// Iterates in arrival order.
+    pub fn iter(&self) -> std::slice::Iter<'_, InputTuple> {
+        self.tuples.iter()
+    }
+
+    /// Shuffles arrival order with the Fisher–Yates algorithm (used by the
+    /// graph workloads: "we randomly shuffle all edges for each relation to
+    /// simulate the input stream").
+    pub fn shuffle(&mut self, rng: &mut rsj_common::rng::RsjRng) {
+        for i in (1..self.tuples.len()).rev() {
+            let j = rng.index(i + 1);
+            self.tuples.swap(i, j);
+        }
+    }
+}
+
+impl FromIterator<InputTuple> for TupleStream {
+    fn from_iter<I: IntoIterator<Item = InputTuple>>(iter: I) -> TupleStream {
+        TupleStream {
+            tuples: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_common::rng::RsjRng;
+
+    #[test]
+    fn push_and_iterate() {
+        let mut s = TupleStream::new();
+        s.push(0, vec![1, 2]);
+        s.push(1, vec![3]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.tuples()[0], InputTuple::new(0, vec![1, 2]));
+        assert_eq!(s.iter().count(), 2);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut s: TupleStream = (0..100u64)
+            .map(|v| InputTuple::new(0, vec![v]))
+            .collect();
+        let mut rng = RsjRng::seed_from_u64(5);
+        s.shuffle(&mut rng);
+        let mut vals: Vec<Value> = s.iter().map(|t| t.values[0]).collect();
+        assert_ne!(vals, (0..100).collect::<Vec<_>>(), "shuffle moved nothing");
+        vals.sort_unstable();
+        assert_eq!(vals, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic() {
+        let base: TupleStream = (0..50u64).map(|v| InputTuple::new(0, vec![v])).collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        a.shuffle(&mut RsjRng::seed_from_u64(9));
+        b.shuffle(&mut RsjRng::seed_from_u64(9));
+        assert_eq!(a.tuples(), b.tuples());
+    }
+}

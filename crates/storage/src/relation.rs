@@ -1,0 +1,252 @@
+//! Flat, arena-backed relations with set-semantics deduplication.
+
+use rsj_common::hash::fx_hash_one;
+use rsj_common::{FxHashMap, HeapSize, TupleId, Value};
+
+/// A relation instance: a growing arena of fixed-arity tuples.
+///
+/// Tuples are stored flattened (`data[id*arity .. (id+1)*arity]`), giving
+/// cache-friendly scans and 4-byte tuple references. Set semantics are
+/// enforced at insertion: re-inserting an existing tuple is a no-op, exactly
+/// as the paper assumes ("we follow the set semantics, so inserting a tuple
+/// into a relation that already has it has no effect").
+#[derive(Clone, Debug)]
+pub struct Relation {
+    name: String,
+    arity: usize,
+    data: Vec<Value>,
+    /// Content hash -> candidate tuple ids (collisions verified by compare).
+    dedup: FxHashMap<u64, Vec<TupleId>>,
+}
+
+impl Relation {
+    /// Creates an empty relation.
+    pub fn new(name: impl Into<String>, arity: usize) -> Relation {
+        assert!(arity > 0, "relations must have at least one attribute");
+        Relation {
+            name: name.into(),
+            arity,
+            data: Vec::new(),
+            dedup: FxHashMap::default(),
+        }
+    }
+
+    /// The relation's name (diagnostics only).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes per tuple.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.arity
+    }
+
+    /// True when no tuple has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Inserts a tuple, returning its id, or `None` if it was already
+    /// present (set semantics).
+    ///
+    /// # Panics
+    /// Panics if `tuple.len() != arity`.
+    pub fn insert(&mut self, tuple: &[Value]) -> Option<TupleId> {
+        assert_eq!(
+            tuple.len(),
+            self.arity,
+            "arity mismatch inserting into {}",
+            self.name
+        );
+        let h = fx_hash_one(&tuple);
+        if let Some(candidates) = self.dedup.get(&h) {
+            if candidates.iter().any(|&id| self.tuple_at(id, tuple)) {
+                return None;
+            }
+        }
+        let id = self.len() as TupleId;
+        self.dedup.entry(h).or_default().push(id);
+        self.data.extend_from_slice(tuple);
+        Some(id)
+    }
+
+    #[inline]
+    fn tuple_at(&self, id: TupleId, tuple: &[Value]) -> bool {
+        let start = id as usize * self.arity;
+        &self.data[start..start + self.arity] == tuple
+    }
+
+    /// The tuple with the given id.
+    #[inline]
+    pub fn tuple(&self, id: TupleId) -> &[Value] {
+        let start = id as usize * self.arity;
+        &self.data[start..start + self.arity]
+    }
+
+    /// True if `tuple` is already stored.
+    pub fn contains(&self, tuple: &[Value]) -> bool {
+        let h = fx_hash_one(&tuple);
+        self.dedup
+            .get(&h)
+            .is_some_and(|c| c.iter().any(|&id| self.tuple_at(id, tuple)))
+    }
+
+    /// Iterates over `(id, tuple)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &[Value])> {
+        self.data
+            .chunks_exact(self.arity)
+            .enumerate()
+            .map(|(i, t)| (i as TupleId, t))
+    }
+}
+
+impl HeapSize for Relation {
+    fn heap_size(&self) -> usize {
+        self.data.heap_size()
+            + self.dedup.heap_size()
+            + self
+                .dedup
+                .values()
+                .map(|v| v.heap_size())
+                .sum::<usize>()
+            + self.name.heap_size()
+    }
+}
+
+/// A database instance: the relations of one query, indexed by position.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    relations: Vec<Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Adds a relation, returning its index.
+    pub fn add_relation(&mut self, name: impl Into<String>, arity: usize) -> usize {
+        self.relations.push(Relation::new(name, arity));
+        self.relations.len() - 1
+    }
+
+    /// The relation at `idx`.
+    pub fn relation(&self, idx: usize) -> &Relation {
+        &self.relations[idx]
+    }
+
+    /// Mutable access to the relation at `idx`.
+    pub fn relation_mut(&mut self, idx: usize) -> &mut Relation {
+        &mut self.relations[idx]
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True when the database has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Total number of stored tuples across all relations (the paper's `N`).
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// Iterates over the relations.
+    pub fn iter(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.iter()
+    }
+}
+
+impl HeapSize for Database {
+    fn heap_size(&self) -> usize {
+        self.relations.iter().map(HeapSize::heap_size).sum::<usize>()
+            + self.relations.capacity() * std::mem::size_of::<Relation>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut r = Relation::new("R", 2);
+        let a = r.insert(&[1, 2]).unwrap();
+        let b = r.insert(&[3, 4]).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.tuple(a), &[1, 2]);
+        assert_eq!(r.tuple(b), &[3, 4]);
+    }
+
+    #[test]
+    fn set_semantics_dedup() {
+        let mut r = Relation::new("R", 2);
+        assert!(r.insert(&[1, 2]).is_some());
+        assert!(r.insert(&[1, 2]).is_none());
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&[1, 2]));
+        assert!(!r.contains(&[2, 1]));
+    }
+
+    #[test]
+    fn dedup_survives_hash_collisions() {
+        // Different tuples that may share a hash bucket must both insert.
+        let mut r = Relation::new("R", 1);
+        for v in 0..10_000u64 {
+            assert!(r.insert(&[v]).is_some());
+        }
+        assert_eq!(r.len(), 10_000);
+        for v in 0..10_000u64 {
+            assert!(r.insert(&[v]).is_none());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        Relation::new("R", 2).insert(&[1]);
+    }
+
+    #[test]
+    fn iteration_order_is_insertion_order() {
+        let mut r = Relation::new("R", 1);
+        for v in [5u64, 3, 9] {
+            r.insert(&[v]);
+        }
+        let seen: Vec<Value> = r.iter().map(|(_, t)| t[0]).collect();
+        assert_eq!(seen, vec![5, 3, 9]);
+    }
+
+    #[test]
+    fn database_counts() {
+        let mut db = Database::new();
+        let r1 = db.add_relation("R1", 2);
+        let r2 = db.add_relation("R2", 3);
+        db.relation_mut(r1).insert(&[1, 2]);
+        db.relation_mut(r2).insert(&[1, 2, 3]);
+        db.relation_mut(r2).insert(&[4, 5, 6]);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.total_tuples(), 3);
+        assert_eq!(db.relation(r2).name(), "R2");
+    }
+
+    #[test]
+    fn heap_size_grows() {
+        let mut r = Relation::new("R", 2);
+        let before = r.heap_size();
+        for v in 0..1000u64 {
+            r.insert(&[v, v + 1]);
+        }
+        assert!(r.heap_size() > before + 1000 * 16);
+    }
+}

@@ -1,0 +1,145 @@
+//! Positional semi-join lists.
+//!
+//! `SemijoinIndex` maintains, for a fixed attribute subset `x ⊆ e`, the
+//! lists `R_e ⋉ t` for every key value `t ∈ π_x R_e`: exactly the "arrays
+//! `R_1 ⋉ b` and `R_2 ⋉ b` ... as well as their sizes" of the paper's
+//! two-table index (§4.1), generalized to composite keys. Because the
+//! stream is insert-only, lists only grow and *the position of a tuple in
+//! its list never changes* — positional retrieval (`the element at position
+//! z in R_e ⋉ t`, Algorithm 9 line 4) is a vector index.
+
+use rsj_common::{FxHashMap, HeapSize, Key, TupleId, Value};
+
+/// A hash index from a composite key to the positional list of matching
+/// tuple ids.
+#[derive(Clone, Debug)]
+pub struct SemijoinIndex {
+    /// Attribute positions forming the key, in key order.
+    attrs: Vec<usize>,
+    map: FxHashMap<Key, Vec<TupleId>>,
+}
+
+impl SemijoinIndex {
+    /// Creates an index on the given attribute positions.
+    pub fn new(attrs: Vec<usize>) -> SemijoinIndex {
+        SemijoinIndex {
+            attrs,
+            map: FxHashMap::default(),
+        }
+    }
+
+    /// The indexed attribute positions.
+    pub fn attrs(&self) -> &[usize] {
+        &self.attrs
+    }
+
+    /// Projects `tuple` onto this index's key attributes.
+    #[inline]
+    pub fn key_of(&self, tuple: &[Value]) -> Key {
+        Key::project(tuple, &self.attrs)
+    }
+
+    /// Appends `id` to the list of its key; returns the key and the new
+    /// list length.
+    pub fn insert(&mut self, tuple: &[Value], id: TupleId) -> (Key, usize) {
+        let key = self.key_of(tuple);
+        let list = self.map.entry(key).or_default();
+        list.push(id);
+        (key, list.len())
+    }
+
+    /// The list `R ⋉ key` (empty slice if the key is absent).
+    #[inline]
+    pub fn list(&self, key: &Key) -> &[TupleId] {
+        self.map.get(key).map_or(&[], |v| v.as_slice())
+    }
+
+    /// `|R ⋉ key|`.
+    #[inline]
+    pub fn count(&self, key: &Key) -> usize {
+        self.map.get(key).map_or(0, Vec::len)
+    }
+
+    /// The tuple id at position `z` in `R ⋉ key`, or `None` when out of
+    /// range — the dummy case of Algorithm 9 line 3.
+    #[inline]
+    pub fn at(&self, key: &Key, z: usize) -> Option<TupleId> {
+        self.map.get(key).and_then(|v| v.get(z)).copied()
+    }
+
+    /// Number of distinct keys.
+    pub fn num_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterates over `(key, list)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &[TupleId])> {
+        self.map.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+}
+
+impl HeapSize for SemijoinIndex {
+    fn heap_size(&self) -> usize {
+        self.attrs.heap_size()
+            + self.map.heap_size()
+            + self.map.values().map(HeapSize::heap_size).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping_by_single_attr() {
+        let mut idx = SemijoinIndex::new(vec![1]);
+        idx.insert(&[1, 7], 0);
+        idx.insert(&[2, 7], 1);
+        idx.insert(&[3, 8], 2);
+        assert_eq!(idx.list(&Key::single(7)), &[0, 1]);
+        assert_eq!(idx.list(&Key::single(8)), &[2]);
+        assert_eq!(idx.count(&Key::single(9)), 0);
+        assert_eq!(idx.num_keys(), 2);
+    }
+
+    #[test]
+    fn positional_access_is_stable() {
+        let mut idx = SemijoinIndex::new(vec![0]);
+        for i in 0..100u32 {
+            idx.insert(&[5, i as Value], i);
+        }
+        let k = Key::single(5);
+        // Position of early tuples never moves as the list grows.
+        assert_eq!(idx.at(&k, 0), Some(0));
+        assert_eq!(idx.at(&k, 42), Some(42));
+        assert_eq!(idx.at(&k, 100), None);
+    }
+
+    #[test]
+    fn composite_keys() {
+        let mut idx = SemijoinIndex::new(vec![0, 2]);
+        idx.insert(&[1, 99, 2], 0);
+        idx.insert(&[1, 88, 2], 1);
+        idx.insert(&[1, 99, 3], 2);
+        assert_eq!(idx.list(&Key::from_slice(&[1, 2])), &[0, 1]);
+        assert_eq!(idx.list(&Key::from_slice(&[1, 3])), &[2]);
+    }
+
+    #[test]
+    fn insert_reports_new_length() {
+        let mut idx = SemijoinIndex::new(vec![0]);
+        assert_eq!(idx.insert(&[4], 0).1, 1);
+        assert_eq!(idx.insert(&[4], 1).1, 2);
+        assert_eq!(idx.insert(&[5], 2).1, 1);
+    }
+
+    #[test]
+    fn empty_key_groups_everything() {
+        // An index on no attributes groups the whole relation under the
+        // empty key — exactly how join-tree roots are handled.
+        let mut idx = SemijoinIndex::new(vec![]);
+        idx.insert(&[1, 2], 0);
+        idx.insert(&[3, 4], 1);
+        assert_eq!(idx.list(&Key::EMPTY), &[0, 1]);
+    }
+}

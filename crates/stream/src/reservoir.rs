@@ -1,0 +1,421 @@
+//! The reservoir sampling algorithms (paper §3.1–§3.3).
+//!
+//! [`ClassicReservoir`] is Waterman's algorithm: one uniform draw per item,
+//! `O(N)` total. [`Reservoir`] is the paper's contribution — Algorithm 1
+//! (reservoir sampling with a predicate) in the batched formulation of
+//! Algorithms 4–5. It only *stops* at (and therefore only evaluates the
+//! predicate on) an expected `Σ_i min(1, k/(r_i+1))` positions, where `r_i`
+//! counts real items before position `i`; everything between stops is
+//! skipped in `O(1)` stream operations.
+//!
+//! The two are distribution-equivalent: the predicate version is exactly
+//! classic reservoir sampling run over the subsequence of real items
+//! (Theorem 3.1). Splitting a stream into batches does not change the
+//! random sequence consumed, so for a fixed seed the batched and unbatched
+//! runs produce byte-identical reservoirs — a property the tests rely on.
+
+use crate::batch::Batch;
+use rsj_common::rng::RsjRng;
+
+/// Waterman's classic `O(N)` reservoir (paper §3.1, the `RS` baseline).
+///
+/// Maintains `k` uniform samples without replacement of all items offered so
+/// far. Every item costs one RNG draw; there is no skipping.
+#[derive(Clone, Debug)]
+pub struct ClassicReservoir<T> {
+    k: usize,
+    seen: u128,
+    samples: Vec<T>,
+    rng: RsjRng,
+}
+
+impl<T> ClassicReservoir<T> {
+    /// Creates a reservoir of capacity `k > 0`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "reservoir size must be positive");
+        ClassicReservoir {
+            k,
+            seen: 0,
+            samples: Vec::with_capacity(k),
+            rng: RsjRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Offers one item to the reservoir.
+    pub fn offer(&mut self, item: T) {
+        self.seen += 1;
+        if self.samples.len() < self.k {
+            self.samples.push(item);
+        } else {
+            let j = self.rng.below_u128(self.seen);
+            if j < self.k as u128 {
+                self.samples[j as usize] = item;
+            }
+        }
+    }
+
+    /// The current samples (length `min(k, items offered)`).
+    pub fn samples(&self) -> &[T] {
+        &self.samples
+    }
+
+    /// Number of items offered so far.
+    pub fn seen(&self) -> u128 {
+        self.seen
+    }
+
+    /// Consumes the reservoir, returning the samples.
+    pub fn into_samples(self) -> Vec<T> {
+        self.samples
+    }
+}
+
+/// Reservoir sampling with a predicate over a stream of batches
+/// (paper Algorithms 1, 4 and 5).
+///
+/// The predicate is fused with payload extraction: each stop hands the
+/// stream item to a `theta` closure returning `Some(payload)` for real items
+/// and `None` for dummies. For join batches the "predicate evaluation" *is*
+/// the positional retrieve — a dummy position comes back as `None`.
+///
+/// State carried across batches: the reservoir `S`, the parameter `w`
+/// (`∞` until the reservoir first fills — see Algorithm 4 line 1), and the
+/// pending skip count `q` (what remains of the last geometric draw after the
+/// previous batch ended; Algorithm 5 line 15).
+#[derive(Clone, Debug)]
+pub struct Reservoir<T> {
+    k: usize,
+    samples: Vec<T>,
+    w: f64,
+    q: u128,
+    rng: RsjRng,
+    stops: u64,
+    replacements: u64,
+}
+
+impl<T> Reservoir<T> {
+    /// Creates a reservoir of capacity `k > 0`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "reservoir size must be positive");
+        Reservoir {
+            k,
+            samples: Vec::with_capacity(k.min(1 << 20)),
+            w: f64::INFINITY,
+            q: 0,
+            rng: RsjRng::seed_from_u64(seed),
+            stops: 0,
+            replacements: 0,
+        }
+    }
+
+    /// Processes one batch (Algorithm 5, `BatchUpdate`).
+    ///
+    /// `theta` is invoked once per *stop*; it returns the sample payload for
+    /// real items and `None` for dummies.
+    pub fn process_batch<B, F>(&mut self, batch: &mut B, mut theta: F)
+    where
+        B: Batch,
+        F: FnMut(B::Item) -> Option<T>,
+    {
+        // Fill phase (Alg. 5 lines 1–4): scan sequentially, keeping only
+        // real items, until the reservoir holds k samples.
+        while self.samples.len() < self.k {
+            match batch.next() {
+                None => return,
+                Some(x) => {
+                    self.stops += 1;
+                    if let Some(t) = theta(x) {
+                        self.samples.push(t);
+                    }
+                }
+            }
+        }
+        // One-time initialization of (w, q) the first time the reservoir is
+        // full (Alg. 5 lines 5–7; w stays <= 1 forever after).
+        if self.w > 1.0 {
+            self.w = self.rng.unit().powf(1.0 / self.k as f64);
+            self.q = self.rng.geometric(self.w);
+        }
+        // Skip phase (Alg. 5 lines 8–14).
+        while batch.remain() > self.q {
+            let x = batch.skip(self.q).expect("stop within batch");
+            self.stops += 1;
+            if let Some(t) = theta(x) {
+                let victim = self.rng.index(self.k);
+                self.samples[victim] = t;
+                self.replacements += 1;
+                self.w = self.rng.decay_w(self.w, self.k);
+            }
+            self.q = self.rng.geometric(self.w);
+        }
+        // The rest of the batch is skipped wholesale; carry the remainder of
+        // the geometric draw into the next batch (Alg. 5 line 15).
+        self.q -= batch.remain();
+    }
+
+    /// The current samples (fewer than `k` until enough real items arrive).
+    pub fn samples(&self) -> &[T] {
+        &self.samples
+    }
+
+    /// Reservoir capacity `k`.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Instrumentation: number of stream positions the algorithm stopped at
+    /// (and thus evaluated the predicate on). Theorem 3.2 bounds its
+    /// expectation by `(p-1) + Σ_{i>=p} k/(r_i+1)`.
+    pub fn stops(&self) -> u64 {
+        self.stops
+    }
+
+    /// Instrumentation: number of reservoir replacements performed.
+    pub fn replacements(&self) -> u64 {
+        self.replacements
+    }
+
+    /// Consumes the reservoir, returning the samples.
+    pub fn into_samples(self) -> Vec<T> {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::SliceBatch;
+    use rsj_common::stats::{chi_square_critical, chi_square_uniform};
+
+    /// Runs `trials` reservoirs of size `k` over `0..n` and returns per-item
+    /// inclusion counts.
+    fn inclusion_counts_classic(n: u64, k: usize, trials: u64) -> Vec<u64> {
+        let mut counts = vec![0u64; n as usize];
+        for t in 0..trials {
+            let mut r = ClassicReservoir::new(k, 1000 + t);
+            for x in 0..n {
+                r.offer(x);
+            }
+            for &x in r.samples() {
+                counts[x as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    fn inclusion_counts_predicate(
+        n: u64,
+        k: usize,
+        trials: u64,
+        batch_size: usize,
+        real: impl Fn(u64) -> bool,
+    ) -> Vec<u64> {
+        let mut counts = vec![0u64; n as usize];
+        let items: Vec<u64> = (0..n).collect();
+        for t in 0..trials {
+            let mut r = Reservoir::new(k, 2000 + t);
+            for chunk in items.chunks(batch_size) {
+                let mut b = SliceBatch::new(chunk);
+                r.process_batch(&mut b, |x| if real(x) { Some(x) } else { None });
+            }
+            for &x in r.samples() {
+                counts[x as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    #[test]
+    fn classic_uniformity() {
+        let counts = inclusion_counts_classic(50, 10, 4000);
+        let (stat, df) = chi_square_uniform(&counts);
+        assert!(
+            stat < chi_square_critical(df, 0.0001),
+            "chi2={stat} df={df}"
+        );
+    }
+
+    #[test]
+    fn classic_without_replacement() {
+        let mut r = ClassicReservoir::new(10, 1);
+        for x in 0..5u64 {
+            r.offer(x);
+        }
+        let mut s = r.into_samples();
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn predicate_uniform_over_reals_only() {
+        // Items divisible by 3 are real; dummies must never be sampled and
+        // reals must be uniform.
+        let n = 90;
+        let counts = inclusion_counts_predicate(n, 6, 4000, 17, |x| x % 3 == 0);
+        for (x, &c) in counts.iter().enumerate() {
+            if x % 3 != 0 {
+                assert_eq!(c, 0, "dummy {x} sampled");
+            }
+        }
+        let real_counts: Vec<u64> = counts
+            .iter()
+            .enumerate()
+            .filter(|(x, _)| x % 3 == 0)
+            .map(|(_, &c)| c)
+            .collect();
+        let (stat, df) = chi_square_uniform(&real_counts);
+        assert!(
+            stat < chi_square_critical(df, 0.0001),
+            "chi2={stat} df={df}"
+        );
+    }
+
+    #[test]
+    fn batching_is_invisible_to_the_distribution() {
+        // Same seed, different batch splits => byte-identical reservoirs,
+        // because skips across batch boundaries consume no randomness.
+        let items: Vec<u64> = (0..10_000).collect();
+        let run = |sizes: &[usize]| {
+            let mut r = Reservoir::new(20, 777);
+            let mut rest: &[u64] = &items;
+            let mut i = 0;
+            while !rest.is_empty() {
+                let take = sizes[i % sizes.len()].min(rest.len());
+                let (chunk, tail) = rest.split_at(take);
+                let mut b = SliceBatch::new(chunk);
+                r.process_batch(&mut b, |x| if x % 2 == 0 { Some(x) } else { None });
+                rest = tail;
+                i += 1;
+            }
+            r.into_samples()
+        };
+        assert_eq!(run(&[10_000]), run(&[1]));
+        assert_eq!(run(&[10_000]), run(&[7, 1, 313, 50]));
+    }
+
+    #[test]
+    fn all_dummy_stream_never_fills() {
+        let items: Vec<u64> = (0..1000).collect();
+        let mut r = Reservoir::new(5, 3);
+        let mut b = SliceBatch::new(&items);
+        r.process_batch(&mut b, |_| None::<u64>);
+        assert!(r.samples().is_empty());
+        // Not safe to skip anything: every position must be a stop.
+        assert_eq!(r.stops(), 1000);
+    }
+
+    #[test]
+    fn single_real_item_always_found() {
+        // The adversarial case from §1: exactly one real item hiding in a
+        // sea of dummies must always end up in the reservoir.
+        for seed in 0..50 {
+            let mut r = Reservoir::new(3, seed);
+            let items: Vec<u64> = (0..500).collect();
+            let mut b = SliceBatch::new(&items);
+            r.process_batch(&mut b, |x| if x == 499 { Some(x) } else { None });
+            assert_eq!(r.samples(), &[499]);
+        }
+    }
+
+    #[test]
+    fn dense_stream_stops_are_logarithmic() {
+        // Fully real stream of n items, reservoir k: expected stops
+        // ~ k + k ln(n/k) ≈ 100 + 100*ln(1000) ≈ 790. Allow generous slack.
+        let n: u64 = 100_000;
+        let k = 100;
+        let items: Vec<u64> = (0..n).collect();
+        let mut r = Reservoir::new(k, 11);
+        let mut b = SliceBatch::new(&items);
+        r.process_batch(&mut b, Some);
+        let stops = r.stops();
+        assert!(
+            (300..4000).contains(&stops),
+            "stops={stops}, expected ~790"
+        );
+    }
+
+    #[test]
+    fn half_dense_stream_stops_stay_logarithmic() {
+        // Theorem 3.2: for φ-dense streams with constant φ, stops stay
+        // O(k log(N/k)) — far below N.
+        let n: u64 = 100_000;
+        let items: Vec<u64> = (0..n).collect();
+        let mut r = Reservoir::new(100, 13);
+        let mut b = SliceBatch::new(&items);
+        r.process_batch(&mut b, |x| if x % 2 == 0 { Some(x) } else { None });
+        assert!(r.stops() < 8000, "stops={}", r.stops());
+    }
+
+    #[test]
+    fn reservoir_correct_at_every_prefix() {
+        // Uniformity must hold at every timestamp, not just the end: check
+        // inclusion frequency of item 0 after 10 and after 40 items.
+        let trials = 3000u64;
+        let (mut hit10, mut hit40) = (0u64, 0u64);
+        for t in 0..trials {
+            let mut r = Reservoir::new(2, 5000 + t);
+            let items: Vec<u64> = (0..40).collect();
+            let mut b = SliceBatch::new(&items[..10]);
+            r.process_batch(&mut b, Some);
+            if r.samples().contains(&0) {
+                hit10 += 1;
+            }
+            let mut b = SliceBatch::new(&items[10..]);
+            r.process_batch(&mut b, Some);
+            if r.samples().contains(&0) {
+                hit40 += 1;
+            }
+        }
+        let f10 = hit10 as f64 / trials as f64; // expect 2/10
+        let f40 = hit40 as f64 / trials as f64; // expect 2/40
+        assert!((f10 - 0.2).abs() < 0.03, "f10={f10}");
+        assert!((f40 - 0.05).abs() < 0.02, "f40={f40}");
+    }
+
+    #[test]
+    fn fewer_reals_than_k_collects_all() {
+        let items: Vec<u64> = (0..100).collect();
+        let mut r = Reservoir::new(50, 9);
+        let mut b = SliceBatch::new(&items);
+        r.process_batch(&mut b, |x| if x % 10 == 0 { Some(x) } else { None });
+        let mut s = r.into_samples();
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 10, 20, 30, 40, 50, 60, 70, 80, 90]);
+    }
+
+    #[test]
+    fn predicate_matches_classic_distribution() {
+        // Theorem 3.1: Alg. 1 == classic reservoir over the real
+        // subsequence. Compare inclusion-frequency vectors statistically.
+        let n = 60u64;
+        let trials = 4000;
+        let pred_counts = inclusion_counts_predicate(n, 5, trials, 13, |x| x % 2 == 0);
+        let classic: Vec<u64> = {
+            let mut counts = vec![0u64; n as usize];
+            for t in 0..trials {
+                let mut r = ClassicReservoir::new(5, 9000 + t);
+                for x in (0..n).filter(|x| x % 2 == 0) {
+                    r.offer(x);
+                }
+                for &x in r.samples() {
+                    counts[x as usize] += 1;
+                }
+            }
+            counts
+        };
+        // Both should be uniform over the 30 reals with mean trials*5/30.
+        for x in (0..n).step_by(2) {
+            let a = pred_counts[x as usize] as f64;
+            let b = classic[x as usize] as f64;
+            let expect = trials as f64 * 5.0 / 30.0;
+            assert!((a - expect).abs() < expect * 0.25, "pred {x}: {a}");
+            assert!((b - expect).abs() < expect * 0.25, "classic {x}: {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        Reservoir::<u64>::new(0, 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Concurrent ingestion pipeline: a producer thread streams tuples while
+//! the sampling engine consumes them, and readers take consistent sample
+//! snapshots at any time.
+//!
+//! Run with: `cargo run --example concurrent_ingest`
+//!
+//! This is the deployment shape the paper's streaming model implies: the
+//! reservoir driver is single-writer (its state is one linear stream
+//! fold), so ingestion runs on one thread behind a channel, and readers
+//! get snapshots through a lock that is held only long enough to clone
+//! `k` sample tuples.
+
+use crossbeam::channel;
+use parking_lot::RwLock;
+use rsjoin::prelude::*;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn main() {
+    let mut qb = QueryBuilder::new();
+    qb.relation("clicks", &["user", "page"]);
+    qb.relation("purchases", &["user", "item"]);
+    let query = qb.build().unwrap();
+
+    let (tx, rx) = channel::bounded::<InputTuple>(1024);
+    let snapshots: Arc<RwLock<Vec<Vec<Value>>>> = Arc::new(RwLock::new(Vec::new()));
+
+    // Producer: a click/purchase stream with skewed users.
+    let producer = thread::spawn(move || {
+        let mut rng = RsjRng::seed_from_u64(1);
+        for i in 0..200_000u64 {
+            let user = rng.below_u64(1 + i / 100); // user base grows over time
+            let t = if i % 10 == 0 {
+                InputTuple::new(1, vec![user, rng.below_u64(500)]) // purchase
+            } else {
+                InputTuple::new(0, vec![user, rng.below_u64(10_000)]) // click
+            };
+            if tx.send(t).is_err() {
+                return;
+            }
+        }
+    });
+
+    // Consumer: folds the stream into the reservoir, publishing snapshots.
+    let consumer = {
+        let snapshots = Arc::clone(&snapshots);
+        thread::spawn(move || {
+            let mut rj = ReservoirJoin::new(query, 50, 7).expect("acyclic");
+            let mut since_publish = 0u32;
+            for t in rx.iter() {
+                rj.process(t.relation, &t.values);
+                since_publish += 1;
+                if since_publish == 10_000 {
+                    *snapshots.write() = rj.samples().to_vec();
+                    since_publish = 0;
+                }
+            }
+            *snapshots.write() = rj.samples().to_vec();
+            (rj.tuples_processed(), rj.reservoir_stops())
+        })
+    };
+
+    // Reader: polls snapshots while ingestion is running.
+    for tick in 1..=5 {
+        thread::sleep(Duration::from_millis(150));
+        let snap = snapshots.read().clone();
+        println!(
+            "tick {tick}: snapshot holds {} samples of clicks ⋈ purchases",
+            snap.len()
+        );
+    }
+
+    producer.join().unwrap();
+    let (n, stops) = consumer.join().unwrap();
+    let final_snap = snapshots.read().clone();
+    println!(
+        "\ningested N = {n} tuples; reservoir stopped {stops} times; \
+         final snapshot = {} samples",
+        final_snap.len()
+    );
+    for s in final_snap.iter().take(5) {
+        println!("  user={} page={} item={}", s[0], s[1], s[2]);
+    }
+    assert_eq!(final_snap.len(), 50);
+}

@@ -1,0 +1,52 @@
+//! Quickstart: maintain a uniform sample over a streaming two-table join.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! The scenario: an `orders(order_id, customer)` stream joins a
+//! `customers(customer, region)` stream, and we keep 10 uniform samples of
+//! the join at all times — without ever materializing it.
+
+use rsjoin::prelude::*;
+
+fn main() {
+    // SELECT * FROM orders, customers WHERE orders.customer = customers.customer
+    let mut qb = QueryBuilder::new();
+    let orders = qb.relation("orders", &["order_id", "customer"]);
+    let customers = qb.relation("customers", &["customer", "region"]);
+    let query = qb.build().expect("two-table join is acyclic");
+    let attr_names: Vec<String> = query.attr_names().to_vec();
+
+    let k = 10;
+    let mut rj = ReservoirJoin::new(query, k, /*seed*/ 2024).expect("acyclic");
+
+    // Simulate an interleaved stream: customers trickle in while orders
+    // arrive at high velocity.
+    let mut rng = RsjRng::seed_from_u64(7);
+    for step in 0..5_000u64 {
+        if step % 50 == 0 {
+            let c = step / 50;
+            rj.process(customers, &[c, c % 7]);
+        }
+        rj.process(orders, &[step, rng.below_u64(1 + step / 50)]);
+
+        if step % 1000 == 999 {
+            println!(
+                "after {:>5} arrivals: {} samples held, index heap ≈ {} KiB",
+                step + 1,
+                rj.samples().len(),
+                rj.heap_size() / 1024
+            );
+        }
+    }
+
+    println!("\nfinal reservoir ({} uniform samples of the join):", k);
+    println!("  {:?}", attr_names);
+    for s in rj.samples() {
+        println!("  {s:?}");
+    }
+    println!(
+        "\nstream length N = {}, reservoir stops = {} (≪ join size)",
+        rj.tuples_processed(),
+        rj.reservoir_stops()
+    );
+}

@@ -1,0 +1,219 @@
+//! Cross-algorithm equivalence: with `k` larger than the join, every
+//! algorithm must hold *exactly* the full result set, for every query
+//! shape, under randomized streams. This pins RSJoin, RSJoin_opt, SJoin,
+//! SJoin_opt, the cyclic driver and the naive baseline to one another.
+
+use rsjoin::prelude::*;
+
+type ResultSet = std::collections::BTreeSet<Vec<(String, u64)>>;
+
+/// Normalizes samples to sorted (attr-name, value) sets so drivers with
+/// different attribute orders compare equal.
+fn normalize(samples: &[Vec<u64>], q: &Query) -> ResultSet {
+    samples
+        .iter()
+        .map(|s| {
+            let mut kv: Vec<(String, u64)> = q
+                .attr_names()
+                .iter()
+                .cloned()
+                .zip(s.iter().copied())
+                .collect();
+            kv.sort();
+            kv
+        })
+        .collect()
+}
+
+fn line4_query() -> Query {
+    let mut qb = QueryBuilder::new();
+    qb.relation("G1", &["A", "B"]);
+    qb.relation("G2", &["B", "C"]);
+    qb.relation("G3", &["C", "D"]);
+    qb.relation("G4", &["D", "E"]);
+    qb.build().unwrap()
+}
+
+fn star3_query() -> Query {
+    let mut qb = QueryBuilder::new();
+    qb.relation("G1", &["A", "B1"]);
+    qb.relation("G2", &["A", "B2"]);
+    qb.relation("G3", &["A", "B3"]);
+    qb.build().unwrap()
+}
+
+fn random_binary_stream(rels: usize, n: usize, dom: u64, seed: u64) -> Vec<(usize, Vec<u64>)> {
+    let mut rng = RsjRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            (
+                rng.index(rels),
+                vec![rng.below_u64(dom), rng.below_u64(dom)],
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn rsjoin_equals_naive_on_line4() {
+    for seed in 0..3 {
+        let stream = random_binary_stream(4, 120, 4, 100 + seed);
+        let q = line4_query();
+        let mut rj = ReservoirJoin::new(q.clone(), 1_000_000, seed).unwrap();
+        let mut naive = NaiveRebuild::new(q.clone(), usize::MAX >> 1, seed);
+        for (rel, t) in &stream {
+            rj.process(*rel, t);
+            naive.process(*rel, t);
+        }
+        assert_eq!(
+            normalize(rj.samples(), &q),
+            normalize(naive.samples(), &q),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn rsjoin_equals_sjoin_on_star3() {
+    for seed in 0..3 {
+        let stream = random_binary_stream(3, 150, 5, 200 + seed);
+        let q = star3_query();
+        let mut rj = ReservoirJoin::new(q.clone(), 1_000_000, seed).unwrap();
+        let mut sj = SJoin::new(q.clone(), 1_000_000, seed + 77).unwrap();
+        for (rel, t) in &stream {
+            rj.process(*rel, t);
+            sj.process(*rel, t);
+        }
+        assert!(!rj.samples().is_empty(), "degenerate instance");
+        assert_eq!(
+            normalize(rj.samples(), &q),
+            normalize(sj.samples(), &q),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn grouping_never_changes_results() {
+    // A 3-relation query with a wide (groupable) middle node.
+    let build = || {
+        let mut qb = QueryBuilder::new();
+        qb.relation("Ra", &["X", "Y"]);
+        qb.relation("Rb", &["Y", "Z", "W"]);
+        qb.relation("Rc", &["W", "U"]);
+        qb.build().unwrap()
+    };
+    let mut rng = RsjRng::seed_from_u64(5);
+    let mut stream: Vec<(usize, Vec<u64>)> = Vec::new();
+    for _ in 0..200 {
+        let rel = rng.index(3);
+        let t = if rel == 1 {
+            vec![rng.below_u64(4), rng.below_u64(8), rng.below_u64(4)]
+        } else {
+            vec![rng.below_u64(4), rng.below_u64(4)]
+        };
+        stream.push((rel, t));
+    }
+    let run = |grouping: bool| {
+        let q = build();
+        let mut rj = rsjoin::core::ReservoirJoin::with_options(
+            q.clone(),
+            1_000_000,
+            3,
+            IndexOptions { grouping },
+        )
+        .unwrap();
+        for (rel, t) in &stream {
+            rj.process(*rel, t);
+        }
+        normalize(rj.samples(), &q)
+    };
+    let with = run(true);
+    assert!(!with.is_empty());
+    assert_eq!(with, run(false));
+}
+
+#[test]
+fn cyclic_triangle_equals_naive() {
+    let mut qb = QueryBuilder::new();
+    qb.relation("R1", &["X", "Y"]);
+    qb.relation("R2", &["Y", "Z"]);
+    qb.relation("R3", &["Z", "X"]);
+    let q = qb.build().unwrap();
+    for seed in 0..3 {
+        let stream = random_binary_stream(3, 150, 6, 300 + seed);
+        let mut crj = CyclicReservoirJoin::new(q.clone(), 1_000_000, seed).unwrap();
+        let mut naive = NaiveRebuild::new(q.clone(), usize::MAX >> 1, seed);
+        for (rel, t) in &stream {
+            crj.process(*rel, t);
+            naive.process(*rel, t);
+        }
+        // Bag-level query has the same attribute names.
+        let got = normalize(crj.samples(), crj.inner().index().query());
+        let expect = normalize(naive.samples(), &q);
+        assert_eq!(got, expect, "seed {seed}");
+    }
+}
+
+#[test]
+fn fk_rewrite_preserves_results_under_all_orders() {
+    // fact(K,M) ⋈ c(K,HD) ⋈ d(HD,IB) with PKs on c and d; plain vs _opt
+    // drivers on a shuffled stream including late-arriving dimensions.
+    let build = || {
+        let mut qb = QueryBuilder::new();
+        qb.relation("fact", &["K", "M"]);
+        qb.relation("c", &["K", "HD"]);
+        qb.relation("d", &["HD", "IB"]);
+        qb.build().unwrap()
+    };
+    let q = build();
+    let fks = FkSchema::none(3).with_pk(1, vec![0]).with_pk(2, vec![2]);
+    let mut rng = RsjRng::seed_from_u64(9);
+    let mut stream: Vec<(usize, Vec<u64>)> = Vec::new();
+    for k in 0..12u64 {
+        stream.push((1, vec![k, k % 5]));
+    }
+    for hd in 0..5u64 {
+        stream.push((2, vec![hd, hd % 2]));
+    }
+    for _ in 0..60 {
+        stream.push((0, vec![rng.below_u64(12), rng.below_u64(30)]));
+    }
+    for perm_seed in 0..4 {
+        let mut s = stream.clone();
+        let mut prng = RsjRng::seed_from_u64(perm_seed);
+        for i in (1..s.len()).rev() {
+            let j = prng.index(i + 1);
+            s.swap(i, j);
+        }
+        let mut plain = ReservoirJoin::new(q.clone(), 1_000_000, 1).unwrap();
+        let mut opt = FkReservoirJoin::new(&q, &fks, 1_000_000, 2).unwrap();
+        for (rel, t) in &s {
+            plain.process(*rel, t);
+            opt.process(*rel, t);
+        }
+        let a = normalize(plain.samples(), &q);
+        let b = normalize(opt.samples(), opt.rewritten_query());
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "perm {perm_seed}");
+    }
+}
+
+#[test]
+fn dynamic_sampler_and_reservoir_agree_on_support() {
+    // Every result the ad-hoc sampler can produce must be in the full
+    // result set collected by the reservoir with huge k, and vice versa.
+    let q = star3_query();
+    let stream = random_binary_stream(3, 100, 4, 11);
+    let mut rj = ReservoirJoin::new(q.clone(), 1_000_000, 1).unwrap();
+    let mut ix = DynamicSampleIndex::new(q.clone(), 2).unwrap();
+    for (rel, t) in &stream {
+        rj.process(*rel, t);
+        ix.insert(*rel, t);
+    }
+    let full = normalize(rj.samples(), &q);
+    let sampled = normalize(&ix.sample_many(3000), &q);
+    assert!(!full.is_empty());
+    // With 3000 draws over a small result set, support should be covered.
+    assert_eq!(sampled, full);
+}

@@ -1,0 +1,191 @@
+//! End-to-end tests of the packaged benchmark workloads (QX, QY, QZ, Q10,
+//! graph queries) at miniature scale: every driver runs the full pipeline
+//! (preload + stream) and the optimized variants agree with the plain ones.
+
+use rsjoin::datagen::{GraphConfig, LdbcLite, TpcdsLite};
+use rsjoin::prelude::*;
+use rsjoin::queries::{dumbbell, line_k, q10, qx, qy, qz, star_k, Workload};
+
+type ResultSet = std::collections::BTreeSet<Vec<(String, u64)>>;
+
+fn normalize(samples: &[Vec<u64>], q: &Query) -> ResultSet {
+    samples
+        .iter()
+        .map(|s| {
+            let mut kv: Vec<(String, u64)> = q
+                .attr_names()
+                .iter()
+                .cloned()
+                .zip(s.iter().copied())
+                .collect();
+            kv.sort();
+            kv
+        })
+        .collect()
+}
+
+fn run_all_and_compare(w: &Workload) -> usize {
+    let k = 1 << 22; // collect everything
+    let mut plain = ReservoirJoin::new(w.query.clone(), k, 1).unwrap();
+    let mut opt = FkReservoirJoin::new(&w.query, &w.fks, k, 2).unwrap();
+    let mut sj = SJoin::new(w.query.clone(), k, 3).unwrap();
+    let mut sjo = SJoinOpt::new(&w.query, &w.fks, k, 4).unwrap();
+    for t in &w.preload {
+        plain.process(t.relation, &t.values);
+        opt.process(t.relation, &t.values);
+        sj.process(t.relation, &t.values);
+        sjo.process(t.relation, &t.values);
+    }
+    for t in w.stream.iter() {
+        plain.process(t.relation, &t.values);
+        opt.process(t.relation, &t.values);
+        sj.process(t.relation, &t.values);
+        sjo.process(t.relation, &t.values);
+    }
+    let a = normalize(plain.samples(), &w.query);
+    let b = normalize(opt.samples(), opt.rewritten_query());
+    let c = normalize(sj.samples(), &w.query);
+    let d = normalize(sjo.samples(), sjo.rewritten_query());
+    assert_eq!(a, b, "{}: plain vs fk-opt", w.name);
+    assert_eq!(a, c, "{}: rsjoin vs sjoin", w.name);
+    assert_eq!(a, d, "{}: rsjoin vs sjoin_opt", w.name);
+    // Exact count cross-check against SJoin's counter.
+    assert_eq!(a.len() as u128, sj.index().total_results(), "{}", w.name);
+    a.len()
+}
+
+/// A tiny tpcds-lite instance so full enumeration stays cheap.
+fn mini_tpcds() -> TpcdsLite {
+    let mut d = TpcdsLite::generate(1, 77);
+    d.store_sales.truncate(120);
+    d.store_returns = d
+        .store_sales
+        .iter()
+        .take(30)
+        .map(|s| [s[0], s[1], s[2]])
+        .collect();
+    d.catalog_sales.truncate(60);
+    d.customer.truncate(80);
+    // Re-point sales FKs into the truncated customer table.
+    for s in &mut d.store_sales {
+        s[2] %= 80;
+    }
+    for r in &mut d.store_returns {
+        r[2] %= 80;
+    }
+    for c in &mut d.catalog_sales {
+        c[0] %= 80;
+    }
+    d.item.truncate(40);
+    for s in &mut d.store_sales {
+        s[0] %= 40;
+    }
+    for r in &mut d.store_returns {
+        r[0] %= 40;
+    }
+    d
+}
+
+#[test]
+fn qx_all_drivers_agree() {
+    let d = mini_tpcds();
+    let n = run_all_and_compare(&qx(&d, 5));
+    assert!(n > 0, "QX produced no results at mini scale");
+}
+
+#[test]
+fn qy_all_drivers_agree() {
+    let d = mini_tpcds();
+    let n = run_all_and_compare(&qy(&d, 5));
+    assert!(n > 0, "QY produced no results");
+}
+
+#[test]
+fn qz_all_drivers_agree() {
+    let d = mini_tpcds();
+    let n = run_all_and_compare(&qz(&d, 5));
+    assert!(n > 0, "QZ produced no results");
+}
+
+#[test]
+fn q10_all_drivers_agree() {
+    let mut d = LdbcLite::generate(1, 77);
+    d.message.truncate(100);
+    d.has_tag.retain(|h| h[0] < 100);
+    d.knows.truncate(150);
+    let n = run_all_and_compare(&q10(&d, 5));
+    assert!(n > 0, "Q10 produced no results");
+}
+
+#[test]
+fn graph_queries_rsjoin_vs_sjoin() {
+    let edges = GraphConfig {
+        nodes: 40,
+        edges: 150,
+        zipf: 0.8,
+        seed: 5,
+    }
+    .generate();
+    for w in [
+        line_k(3, &edges, 1),
+        line_k(4, &edges, 1),
+        star_k(4, &edges, 1),
+    ] {
+        let k = 1 << 22;
+        let mut rj = ReservoirJoin::new(w.query.clone(), k, 1).unwrap();
+        let mut sj = SJoin::new(w.query.clone(), k, 2).unwrap();
+        for t in w.stream.iter() {
+            rj.process(t.relation, &t.values);
+            sj.process(t.relation, &t.values);
+        }
+        assert_eq!(
+            normalize(rj.samples(), &w.query),
+            normalize(sj.samples(), &w.query),
+            "{}",
+            w.name
+        );
+        assert_eq!(
+            rj.samples().len() as u128,
+            sj.index().total_results(),
+            "{}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn dumbbell_cyclic_driver_runs_and_validates() {
+    let edges = GraphConfig {
+        nodes: 25,
+        edges: 120,
+        zipf: 0.6,
+        seed: 9,
+    }
+    .generate();
+    let w = dumbbell(&edges, 1);
+    let mut crj = CyclicReservoirJoin::new(w.query.clone(), 1 << 22, 1).unwrap();
+    for t in w.stream.iter() {
+        crj.process(t.relation, &t.values);
+    }
+    // Validate every sample is a genuine dumbbell: two triangles + bridge.
+    let q = crj.inner().index().query().clone();
+    let pos = |n: &str| q.attr_names().iter().position(|a| a == n).unwrap();
+    let (x1, x2, x3, x4, x5, x6) = (
+        pos("x1"),
+        pos("x2"),
+        pos("x3"),
+        pos("x4"),
+        pos("x5"),
+        pos("x6"),
+    );
+    let edge_set: std::collections::BTreeSet<(u64, u64)> = edges.iter().copied().collect();
+    for s in crj.samples() {
+        assert!(edge_set.contains(&(s[x1], s[x2])), "G1 edge");
+        assert!(edge_set.contains(&(s[x1], s[x3])), "G2 edge");
+        assert!(edge_set.contains(&(s[x2], s[x3])), "G3 edge");
+        assert!(edge_set.contains(&(s[x5], s[x6])), "G4 edge");
+        assert!(edge_set.contains(&(s[x4], s[x5])), "G5 edge");
+        assert!(edge_set.contains(&(s[x4], s[x6])), "G6 edge");
+        assert!(edge_set.contains(&(s[x3], s[x4])), "G7 bridge");
+    }
+}

@@ -1,0 +1,203 @@
+//! Statistical uniformity tests: the sample distribution of every driver
+//! matches the uniform distribution over the true result set, at final and
+//! intermediate timestamps. Fixed seeds; thresholds at alpha = 1e-4 so the
+//! suite never flakes.
+
+use rsjoin::common::stats::{chi_square_critical, chi_square_uniform};
+use rsjoin::common::FxHashMap;
+use rsjoin::prelude::*;
+
+fn line3_query() -> Query {
+    let mut qb = QueryBuilder::new();
+    qb.relation("G1", &["A", "B"]);
+    qb.relation("G2", &["B", "C"]);
+    qb.relation("G3", &["C", "D"]);
+    qb.build().unwrap()
+}
+
+/// A fixed line-3 instance with 24 results and skewed multiplicities.
+fn skewed_stream() -> Vec<(usize, Vec<u64>)> {
+    let mut s = Vec::new();
+    for a in 0..4u64 {
+        s.push((0, vec![a, 1]));
+    }
+    s.push((1, vec![1, 2]));
+    s.push((1, vec![1, 3]));
+    for d in 0..2u64 {
+        s.push((2, vec![2, d]));
+    }
+    for d in 0..4u64 {
+        s.push((2, vec![3, 10 + d]));
+    }
+    // 4 * (2 + 4) = 24 results.
+    s
+}
+
+fn assert_uniform(counts: &FxHashMap<Vec<u64>, u64>, expected_support: usize, label: &str) {
+    assert_eq!(counts.len(), expected_support, "{label}: support");
+    let obs: Vec<u64> = counts.values().copied().collect();
+    let (stat, df) = chi_square_uniform(&obs);
+    let crit = chi_square_critical(df, 0.0001);
+    assert!(stat < crit, "{label}: chi2={stat:.1} > crit={crit:.1}");
+}
+
+#[test]
+fn rsjoin_uniform_with_k3() {
+    let stream = skewed_stream();
+    let q = line3_query();
+    let mut counts: FxHashMap<Vec<u64>, u64> = FxHashMap::default();
+    for seed in 0..6000 {
+        let mut rj = ReservoirJoin::new(q.clone(), 3, seed).unwrap();
+        for (rel, t) in &stream {
+            rj.process(*rel, t);
+        }
+        assert_eq!(rj.samples().len(), 3);
+        for s in rj.samples() {
+            *counts.entry(s.clone()).or_default() += 1;
+        }
+    }
+    assert_uniform(&counts, 24, "rsjoin k=3");
+}
+
+#[test]
+fn sjoin_uniform_with_k3() {
+    let stream = skewed_stream();
+    let q = line3_query();
+    let mut counts: FxHashMap<Vec<u64>, u64> = FxHashMap::default();
+    for seed in 0..6000 {
+        let mut sj = SJoin::new(q.clone(), 3, seed).unwrap();
+        for (rel, t) in &stream {
+            sj.process(*rel, t);
+        }
+        for s in sj.samples() {
+            *counts.entry(s.clone()).or_default() += 1;
+        }
+    }
+    assert_uniform(&counts, 24, "sjoin k=3");
+}
+
+#[test]
+fn rsjoin_and_sjoin_agree_distributionally() {
+    // Same instance, same k: the two algorithms' inclusion frequencies per
+    // result must both be k/|Q(R)| within noise.
+    let stream = skewed_stream();
+    let q = line3_query();
+    let trials = 4000u64;
+    let k = 4;
+    let mut rs_counts: FxHashMap<Vec<u64>, f64> = FxHashMap::default();
+    let mut sj_counts: FxHashMap<Vec<u64>, f64> = FxHashMap::default();
+    for seed in 0..trials {
+        let mut rj = ReservoirJoin::new(q.clone(), k, seed).unwrap();
+        let mut sj = SJoin::new(q.clone(), k, seed + 50_000).unwrap();
+        for (rel, t) in &stream {
+            rj.process(*rel, t);
+            sj.process(*rel, t);
+        }
+        for s in rj.samples() {
+            *rs_counts.entry(s.clone()).or_default() += 1.0;
+        }
+        for s in sj.samples() {
+            *sj_counts.entry(s.clone()).or_default() += 1.0;
+        }
+    }
+    let expect = trials as f64 * k as f64 / 24.0;
+    for (r, c) in &rs_counts {
+        assert!(
+            (c - expect).abs() < expect * 0.25,
+            "rsjoin freq off for {r:?}: {c} vs {expect}"
+        );
+        let sc = sj_counts.get(r).copied().unwrap_or(0.0);
+        assert!(
+            (sc - expect).abs() < expect * 0.25,
+            "sjoin freq off for {r:?}: {sc} vs {expect}"
+        );
+    }
+}
+
+#[test]
+fn uniform_at_intermediate_prefix() {
+    // After only part of the stream, the reservoir must be uniform over
+    // the partial result set.
+    let stream = skewed_stream();
+    let q = line3_query();
+    // Prefix: 4 G1 tuples + both G2 tuples + the two C=2 G3 tuples
+    // => 4 * 2 = 8 results.
+    let prefix = 8;
+    let trials = 5000u64;
+    let mut counts: FxHashMap<Vec<u64>, u64> = FxHashMap::default();
+    for seed in 0..trials {
+        let mut rj = ReservoirJoin::new(q.clone(), 2, 90_000 + seed).unwrap();
+        for (rel, t) in &stream[..prefix] {
+            rj.process(*rel, t);
+        }
+        for s in rj.samples() {
+            *counts.entry(s.clone()).or_default() += 1;
+        }
+    }
+    assert_uniform(&counts, 8, "prefix");
+}
+
+#[test]
+fn fk_driver_uniform() {
+    // fact ⋈ dim with k=1 over a 6-result instance.
+    let mut qb = QueryBuilder::new();
+    qb.relation("fact", &["K", "M"]);
+    qb.relation("dim", &["K", "D"]);
+    let q = qb.build().unwrap();
+    let fks = FkSchema::none(2).with_pk(1, vec![0]);
+    let stream: Vec<(usize, Vec<u64>)> = vec![
+        (0, vec![1, 100]),
+        (0, vec![1, 101]),
+        (1, vec![1, 7]),
+        (0, vec![1, 102]),
+        (0, vec![2, 103]),
+        (1, vec![2, 8]),
+        (0, vec![2, 104]),
+        (0, vec![2, 105]),
+    ];
+    let trials = 6000u64;
+    let mut counts: FxHashMap<Vec<u64>, u64> = FxHashMap::default();
+    for seed in 0..trials {
+        let mut rj = FkReservoirJoin::new(&q, &fks, 1, seed).unwrap();
+        for (rel, t) in &stream {
+            rj.process(*rel, t);
+        }
+        assert_eq!(rj.samples().len(), 1);
+        *counts.entry(rj.samples()[0].clone()).or_default() += 1;
+    }
+    assert_uniform(&counts, 6, "fk k=1");
+}
+
+#[test]
+fn cyclic_driver_uniform() {
+    // Triangle instance with 4 triangles; k=1.
+    let mut qb = QueryBuilder::new();
+    qb.relation("R1", &["X", "Y"]);
+    qb.relation("R2", &["Y", "Z"]);
+    qb.relation("R3", &["Z", "X"]);
+    let q = qb.build().unwrap();
+    // Hub vertex 0: edges (0,y) for y in 1..3, (y,z) for z in 4..6 matching
+    // (z,0) closures.
+    let stream: Vec<(usize, Vec<u64>)> = vec![
+        (0, vec![0, 1]),
+        (0, vec![0, 2]),
+        (1, vec![1, 4]),
+        (1, vec![2, 4]),
+        (1, vec![1, 5]),
+        (1, vec![2, 5]),
+        (2, vec![4, 0]),
+        (2, vec![5, 0]),
+    ];
+    // Triangles: (0,1,4), (0,2,4), (0,1,5), (0,2,5).
+    let trials = 6000u64;
+    let mut counts: FxHashMap<Vec<u64>, u64> = FxHashMap::default();
+    for seed in 0..trials {
+        let mut crj = CyclicReservoirJoin::new(q.clone(), 1, seed).unwrap();
+        for (rel, t) in &stream {
+            crj.process(*rel, t);
+        }
+        assert_eq!(crj.samples().len(), 1);
+        *counts.entry(crj.samples()[0].clone()).or_default() += 1;
+    }
+    assert_uniform(&counts, 4, "cyclic k=1");
+}
