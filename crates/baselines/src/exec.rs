@@ -1,0 +1,256 @@
+//! [`JoinSampler`] implementations for the baseline engines, plus the
+//! [`SymmetricSampler`] adapter that gives the two-table symmetric hash
+//! join the same full-width-tuple interface as every other engine.
+
+use crate::naive::NaiveRebuild;
+use crate::sjoin::{SJoin, SJoinOpt};
+use crate::symmetric::SymmetricHashJoin;
+use rsj_common::{FxHashSet, Value};
+use rsj_core::exec::{JoinSampler, SamplerStats};
+use rsj_query::Query;
+
+impl JoinSampler for NaiveRebuild {
+    fn name(&self) -> &'static str {
+        "NaiveRebuild"
+    }
+
+    fn output_query(&self) -> &Query {
+        self.query()
+    }
+
+    fn process(&mut self, rel: usize, tuple: &[Value]) {
+        NaiveRebuild::process(self, rel, tuple);
+    }
+
+    fn samples(&self) -> Vec<Vec<Value>> {
+        NaiveRebuild::samples(self).to_vec()
+    }
+
+    fn k(&self) -> usize {
+        NaiveRebuild::k(self)
+    }
+}
+
+impl JoinSampler for SJoin {
+    fn name(&self) -> &'static str {
+        "SJoin"
+    }
+
+    fn output_query(&self) -> &Query {
+        self.index().query()
+    }
+
+    fn process(&mut self, rel: usize, tuple: &[Value]) {
+        SJoin::process(self, rel, tuple);
+    }
+
+    fn samples(&self) -> Vec<Vec<Value>> {
+        SJoin::samples(self).to_vec()
+    }
+
+    fn k(&self) -> usize {
+        SJoin::k(self)
+    }
+
+    fn stats(&self) -> SamplerStats {
+        SamplerStats {
+            tuples_processed: Some(self.index().stats().inserts),
+            reservoir_stops: Some(self.reservoir_stops()),
+            heap_bytes: Some(self.heap_size()),
+            exact_results: Some(self.index().total_results()),
+        }
+    }
+}
+
+impl JoinSampler for SJoinOpt {
+    fn name(&self) -> &'static str {
+        "SJoin_opt"
+    }
+
+    fn output_query(&self) -> &Query {
+        self.rewritten_query()
+    }
+
+    fn process(&mut self, rel: usize, tuple: &[Value]) {
+        SJoinOpt::process(self, rel, tuple);
+    }
+
+    fn samples(&self) -> Vec<Vec<Value>> {
+        SJoinOpt::samples(self).to_vec()
+    }
+
+    fn k(&self) -> usize {
+        SJoinOpt::k(self)
+    }
+
+    fn stats(&self) -> SamplerStats {
+        SamplerStats {
+            tuples_processed: Some(self.inner().index().stats().inserts),
+            reservoir_stops: Some(self.inner().reservoir_stops()),
+            heap_bytes: Some(self.inner().heap_size()),
+            exact_results: Some(self.inner().index().total_results()),
+        }
+    }
+}
+
+/// [`SymmetricHashJoin`] behind the executor interface.
+///
+/// The raw operator exposes `insert_left` / `insert_right` and pair-shaped
+/// samples; this adapter derives the join-key positions from the query's
+/// shared attributes, routes `process(rel, ..)` to the correct side,
+/// enforces the workspace-wide set semantics (duplicate tuples are
+/// no-ops — the raw operator would double-count them), and materializes
+/// samples into full-width value tuples of the query.
+pub struct SymmetricSampler {
+    query: Query,
+    inner: SymmetricHashJoin,
+    k: usize,
+    seen: [FxHashSet<Vec<Value>>; 2],
+    tuples_processed: u64,
+}
+
+impl SymmetricSampler {
+    /// Builds the adapter for a two-relation natural-join query.
+    pub fn new(query: Query, k: usize, seed: u64) -> Result<SymmetricSampler, String> {
+        if query.num_relations() != 2 {
+            return Err(format!(
+                "SymmetricHashJoin supports exactly 2 relations, query has {}",
+                query.num_relations()
+            ));
+        }
+        let left_attrs = &query.relation(0).attrs;
+        let right_attrs = &query.relation(1).attrs;
+        let mut left_key = Vec::new();
+        let mut right_key = Vec::new();
+        for (i, a) in left_attrs.iter().enumerate() {
+            if let Some(j) = right_attrs.iter().position(|b| b == a) {
+                left_key.push(i);
+                right_key.push(j);
+            }
+        }
+        Ok(SymmetricSampler {
+            inner: SymmetricHashJoin::new(left_key, right_key, k, seed),
+            query,
+            k,
+            seen: [FxHashSet::default(), FxHashSet::default()],
+            tuples_processed: 0,
+        })
+    }
+
+    /// The underlying operator.
+    pub fn inner(&self) -> &SymmetricHashJoin {
+        &self.inner
+    }
+}
+
+impl JoinSampler for SymmetricSampler {
+    fn name(&self) -> &'static str {
+        "SymmetricHashJoin"
+    }
+
+    fn output_query(&self) -> &Query {
+        &self.query
+    }
+
+    fn process(&mut self, rel: usize, tuple: &[Value]) {
+        assert!(
+            rel < 2,
+            "relation index {rel} out of range for 2-table join"
+        );
+        if !self.seen[rel].insert(tuple.to_vec()) {
+            return;
+        }
+        self.tuples_processed += 1;
+        if rel == 0 {
+            self.inner.insert_left(tuple);
+        } else {
+            self.inner.insert_right(tuple);
+        }
+    }
+
+    fn samples(&self) -> Vec<Vec<Value>> {
+        self.inner
+            .samples()
+            .iter()
+            .map(|(l, r)| {
+                let mut out = vec![0; self.query.num_attrs()];
+                for (pos, &attr) in self.query.relation(0).attrs.iter().enumerate() {
+                    out[attr] = l[pos];
+                }
+                for (pos, &attr) in self.query.relation(1).attrs.iter().enumerate() {
+                    out[attr] = r[pos];
+                }
+                out
+            })
+            .collect()
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn stats(&self) -> SamplerStats {
+        SamplerStats {
+            tuples_processed: Some(self.tuples_processed),
+            reservoir_stops: None,
+            heap_bytes: None,
+            exact_results: Some(self.inner.results_seen()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_query::QueryBuilder;
+
+    fn two_table() -> Query {
+        let mut qb = QueryBuilder::new();
+        qb.relation("R", &["X", "Y"]);
+        qb.relation("S", &["Y", "Z"]);
+        qb.build().unwrap()
+    }
+
+    #[test]
+    fn symmetric_adapter_materializes_full_width() {
+        let mut s = SymmetricSampler::new(two_table(), 10, 1).unwrap();
+        JoinSampler::process(&mut s, 0, &[1, 2]);
+        JoinSampler::process(&mut s, 1, &[2, 3]);
+        assert_eq!(JoinSampler::samples(&s), vec![vec![1, 2, 3]]);
+        assert_eq!(s.stats().exact_results, Some(1));
+    }
+
+    #[test]
+    fn symmetric_adapter_deduplicates() {
+        let mut s = SymmetricSampler::new(two_table(), 10, 1).unwrap();
+        JoinSampler::process(&mut s, 0, &[1, 2]);
+        JoinSampler::process(&mut s, 0, &[1, 2]);
+        JoinSampler::process(&mut s, 1, &[2, 3]);
+        assert_eq!(s.stats().tuples_processed, Some(2));
+        assert_eq!(s.stats().exact_results, Some(1));
+    }
+
+    #[test]
+    fn symmetric_adapter_rejects_non_binary_queries() {
+        let mut qb = QueryBuilder::new();
+        qb.relation("A", &["X", "Y"]);
+        qb.relation("B", &["Y", "Z"]);
+        qb.relation("C", &["Z", "W"]);
+        assert!(SymmetricSampler::new(qb.build().unwrap(), 10, 1).is_err());
+    }
+
+    #[test]
+    fn baselines_work_as_trait_objects() {
+        let q = two_table();
+        let mut engines: Vec<Box<dyn JoinSampler>> = vec![
+            Box::new(NaiveRebuild::new(q.clone(), 100, 1)),
+            Box::new(SJoin::new(q.clone(), 100, 1).unwrap()),
+            Box::new(SymmetricSampler::new(q.clone(), 100, 1).unwrap()),
+        ];
+        for e in &mut engines {
+            e.process(0, &[1, 2]);
+            e.process(1, &[2, 3]);
+            assert_eq!(e.samples_named().len(), 1, "{}", e.name());
+        }
+    }
+}

@@ -20,12 +20,18 @@
 //!   in tests.
 //! * [`fenwick::Fenwick`] — growable binary indexed tree over `u128`
 //!   weights with prefix search, SJoin's positional-access workhorse.
+//!
+//! Every baseline implements the [`rsj_core::JoinSampler`] executor
+//! interface (see [`exec`]), so tests, benches and examples drive them
+//! through the same loop as the paper's engines.
 
+pub mod exec;
 pub mod fenwick;
 pub mod naive;
 pub mod sjoin;
 pub mod symmetric;
 
+pub use exec::SymmetricSampler;
 pub use fenwick::Fenwick;
 pub use naive::NaiveRebuild;
 pub use sjoin::{SJoin, SJoinIndex, SJoinOpt};

@@ -56,7 +56,12 @@ impl NaiveRebuild {
 
     fn recurse(&self, rel: usize, partial: &mut Vec<Option<Value>>, out: &mut Vec<Vec<Value>>) {
         if rel == self.query.num_relations() {
-            out.push(partial.iter().map(|v| v.expect("all attrs bound")).collect());
+            out.push(
+                partial
+                    .iter()
+                    .map(|v| v.expect("all attrs bound"))
+                    .collect(),
+            );
             return;
         }
         let schema = &self.query.relation(rel).attrs;
@@ -88,15 +93,21 @@ impl NaiveRebuild {
     pub fn samples(&self) -> &[Vec<Value>] {
         &self.samples
     }
+
+    /// The query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Sample capacity `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
 }
 
 /// Uniform sample of `min(k, n)` items without replacement (partial
 /// Fisher–Yates).
-pub fn sample_without_replacement<T: Clone>(
-    items: &[T],
-    k: usize,
-    rng: &mut RsjRng,
-) -> Vec<T> {
+pub fn sample_without_replacement<T: Clone>(items: &[T], k: usize, rng: &mut RsjRng) -> Vec<T> {
     let n = items.len();
     if n <= k {
         return items.to_vec();
@@ -129,8 +140,7 @@ mod tests {
         nb.process(0, &[3, 2]);
         nb.process(1, &[2, 9]);
         let got: FxHashSet<Vec<u64>> = nb.samples().iter().cloned().collect();
-        let expect: FxHashSet<Vec<u64>> =
-            [vec![1, 2, 9], vec![3, 2, 9]].into_iter().collect();
+        let expect: FxHashSet<Vec<u64>> = [vec![1, 2, 9], vec![3, 2, 9]].into_iter().collect();
         assert_eq!(got, expect);
     }
 
@@ -138,7 +148,10 @@ mod tests {
     fn sample_without_replacement_is_exact_when_small() {
         let mut rng = RsjRng::seed_from_u64(4);
         let items = [1, 2, 3];
-        assert_eq!(sample_without_replacement(&items, 10, &mut rng), vec![1, 2, 3]);
+        assert_eq!(
+            sample_without_replacement(&items, 10, &mut rng),
+            vec![1, 2, 3]
+        );
     }
 
     #[test]

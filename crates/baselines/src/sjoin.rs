@@ -121,8 +121,7 @@ impl SJoinIndex {
     /// Builds an empty exact index for an acyclic query.
     pub fn new(query: Query) -> Result<SJoinIndex, String> {
         let jt = rsj_query::JoinTree::build(&query).ok_or("query is cyclic")?;
-        let rooted =
-            rsj_query::rooted::all_rooted_trees(&query, &jt).map_err(|e| e.to_string())?;
+        let rooted = rsj_query::rooted::all_rooted_trees(&query, &jt).map_err(|e| e.to_string())?;
         let mut db = Database::new();
         for r in query.relations() {
             db.add_relation(r.name.clone(), r.attrs.len());
@@ -266,11 +265,19 @@ fn exact_weight(ts: &ExactTree, rel: usize, child_keys: &[Key]) -> u128 {
     w
 }
 
-fn exact_propagate(ts: &mut ExactTree, db: &Database, child_rel: usize, key: Key, updates: &mut u64) {
+fn exact_propagate(
+    ts: &mut ExactTree,
+    db: &Database,
+    child_rel: usize,
+    key: Key,
+    updates: &mut u64,
+) {
     let Some(parent) = ts.tree.node(child_rel).parent else {
         return;
     };
-    let ci = ts.tree.node(parent)
+    let ci = ts
+        .tree
+        .node(parent)
         .children
         .iter()
         .position(|&c| c == child_rel)
@@ -393,6 +400,16 @@ impl SJoin {
         self.reservoir.samples()
     }
 
+    /// Reservoir capacity `k`.
+    pub fn k(&self) -> usize {
+        self.reservoir.capacity()
+    }
+
+    /// Predicate-evaluating stops the reservoir performed.
+    pub fn reservoir_stops(&self) -> u64 {
+        self.reservoir.stops()
+    }
+
     /// The exact index.
     pub fn index(&self) -> &SJoinIndex {
         &self.index
@@ -451,6 +468,11 @@ impl SJoinOpt {
     /// The inner driver.
     pub fn inner(&self) -> &SJoin {
         &self.inner
+    }
+
+    /// Reservoir capacity `k`.
+    pub fn k(&self) -> usize {
+        self.inner.k()
     }
 }
 

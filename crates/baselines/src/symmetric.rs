@@ -85,8 +85,7 @@ mod tests {
         shj.insert_left(&[2, 10]); // matches both rights
         shj.insert_left(&[3, 99]); // no match
         assert_eq!(shj.results_seen(), 4);
-        let got: FxHashSet<(Vec<u64>, Vec<u64>)> =
-            shj.samples().iter().cloned().collect();
+        let got: FxHashSet<(Vec<u64>, Vec<u64>)> = shj.samples().iter().cloned().collect();
         let expect: FxHashSet<(Vec<u64>, Vec<u64>)> = [
             (vec![1, 10], vec![10, 5]),
             (vec![1, 10], vec![10, 6]),

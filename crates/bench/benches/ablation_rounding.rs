@@ -17,7 +17,10 @@ use rsj_queries::line_k;
 use std::time::Instant;
 
 fn main() {
-    banner("Ablation", "power-of-two rounding vs exact count propagation");
+    banner(
+        "Ablation",
+        "power-of-two rounding vs exact count propagation",
+    );
     println!(
         "\n{:>6} {:>12} {:>12} {:>14} {:>14}",
         "zipf", "rounded", "exact", "work(rounded)", "work(exact)"

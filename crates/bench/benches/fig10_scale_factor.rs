@@ -8,19 +8,23 @@
 use rsj_bench::*;
 use rsj_datagen::TpcdsLite;
 use rsj_queries::qz;
+use rsjoin::engine::Engine;
 
 fn main() {
     banner("Figure 10", "running time vs scale factor (QZ)");
     let k = scaled(20_000);
     // Paper uses 1, 3, 10, 30; we keep the 1:3:10:30 spread.
     let sfs = [1usize, 3, 10, 30];
-    println!("\n{:>4} {:>10} {:>12} {:>12}", "sf", "stream", "RSJoin", "RSJoin_opt");
+    println!(
+        "\n{:>4} {:>10} {:>12} {:>12}",
+        "sf", "stream", "RSJoin", "RSJoin_opt"
+    );
     let mut times = Vec::new();
     for &sf in &sfs {
         let data = TpcdsLite::generate(scaled(sf), 7);
         let w = qz(&data, 2);
-        let (t, _) = run_rsjoin(&w, k, 1);
-        let (to, _) = run_rsjoin_opt(&w, k, 1);
+        let (t, _) = run_engine(&w, Engine::Reservoir, k, 1);
+        let (to, _) = run_engine(&w, Engine::FkReservoir, k, 1);
         println!("{:>4} {:>10} {:>12} {:>12}", sf, w.stream.len(), t, to);
         times.push(t.secs());
     }

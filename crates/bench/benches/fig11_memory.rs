@@ -5,23 +5,28 @@
 //! Q10; all curves are linear in the input even when the join size grows
 //! polynomially. We report structural heap accounting (DESIGN.md).
 
-use rsj_baselines::{SJoin, SJoinOpt};
 use rsj_bench::*;
-use rsj_core::{FkReservoirJoin, ReservoirJoin};
 use rsj_datagen::{GraphConfig, LdbcLite};
-use rsj_queries::{line_k, q10};
+use rsj_queries::{line_k, q10, Workload};
+use rsjoin::engine::Engine;
 
-/// Runs `step(i, at_checkpoint)` for every arrival; when `at_checkpoint`,
-/// the closure returns the current heap size.
-fn checkpoint_mems(n: usize, mut step: impl FnMut(usize, bool) -> Option<usize>) -> Vec<usize> {
+/// Streams the workload through `engine`, recording the trait-reported
+/// heap footprint after every 10% of the stream (preload untimed).
+fn checkpoint_mems(w: &Workload, engine: Engine, k: usize) -> Vec<usize> {
+    let mut s = engine
+        .build(&w.query, k, 1, &workload_opts(w))
+        .unwrap_or_else(|e| panic!("{}: {engine}: {e}", w.name));
+    for t in &w.preload {
+        s.process(t.relation, &t.values);
+    }
+    let tuples = w.stream.tuples();
+    let checkpoints: Vec<usize> = (1..=10).map(|i| i * tuples.len() / 10).collect();
     let mut out = Vec::new();
-    let checkpoints: Vec<usize> = (1..=10).map(|i| i * n / 10).collect();
     let mut next = 0;
-    for i in 0..n {
-        let at_cp = i + 1 == checkpoints[next];
-        let mem = step(i, at_cp);
-        if at_cp {
-            out.push(mem.expect("heap size at checkpoint"));
+    for (i, t) in tuples.iter().enumerate() {
+        s.process(t.relation, &t.values);
+        if i + 1 == checkpoints[next] {
+            out.push(s.stats().heap_bytes.expect("engine tracks heap"));
             next += 1;
             if next == checkpoints.len() {
                 break;
@@ -44,19 +49,13 @@ fn main() {
     .generate();
     let w = line_k(3, &edges, 1);
     let k = scaled(10_000);
-    let tuples = w.stream.tuples().to_vec();
-    let mut rj = ReservoirJoin::new(w.query.clone(), k, 1).unwrap();
-    let rj_mem = checkpoint_mems(tuples.len(), |i, cp| {
-        rj.process(tuples[i].relation, &tuples[i].values);
-        cp.then(|| rj.heap_size())
-    });
-    let mut sj = SJoin::new(w.query.clone(), k, 1).unwrap();
-    let sj_mem = checkpoint_mems(tuples.len(), |i, cp| {
-        sj.process(tuples[i].relation, &tuples[i].values);
-        cp.then(|| sj.heap_size())
-    });
+    let rj_mem = checkpoint_mems(&w, Engine::Reservoir, k);
+    let sj_mem = checkpoint_mems(&w, Engine::SJoin, k);
     println!("\nline-3 (KiB):");
-    println!("{:>6} {:>12} {:>12} {:>8}", "input", "RSJoin", "SJoin", "ratio");
+    println!(
+        "{:>6} {:>12} {:>12} {:>8}",
+        "input", "RSJoin", "SJoin", "ratio"
+    );
     for i in 0..10 {
         println!(
             "{:>5}% {:>12} {:>12} {:>7.2}",
@@ -71,23 +70,8 @@ fn main() {
     let ldbc = LdbcLite::generate(scaled(1), 7);
     let w = q10(&ldbc, 2);
     let k = scaled(20_000);
-    let tuples = w.stream.tuples().to_vec();
-    let mut rj = FkReservoirJoin::new(&w.query, &w.fks, k, 1).unwrap();
-    for t in &w.preload {
-        rj.process(t.relation, &t.values);
-    }
-    let rj_mem = checkpoint_mems(tuples.len(), |i, cp| {
-        rj.process(tuples[i].relation, &tuples[i].values);
-        cp.then(|| rj.heap_size())
-    });
-    let mut sj = SJoinOpt::new(&w.query, &w.fks, k, 1).unwrap();
-    for t in &w.preload {
-        sj.process(t.relation, &t.values);
-    }
-    let sj_mem = checkpoint_mems(tuples.len(), |i, cp| {
-        sj.process(tuples[i].relation, &tuples[i].values);
-        cp.then(|| sj.inner().heap_size())
-    });
+    let rj_mem = checkpoint_mems(&w, Engine::FkReservoir, k);
+    let sj_mem = checkpoint_mems(&w, Engine::SJoinOpt, k);
     println!("\nQ10 (KiB):");
     println!(
         "{:>6} {:>12} {:>12} {:>8}",

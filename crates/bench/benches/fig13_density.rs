@@ -14,7 +14,10 @@ fn main() {
     banner("Figure 13", "RSWP vs RS running time vs density");
     let n = scaled(30_000);
     let k = scaled(1000);
-    println!("\n{:>8} {:>12} {:>12} {:>10}", "density", "RS", "RSWP", "speedup");
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>10}",
+        "density", "RS", "RSWP", "speedup"
+    );
     let mut first_ratio = None;
     let mut last_ratio = None;
     for d in 0..=10 {

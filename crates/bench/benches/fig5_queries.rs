@@ -14,6 +14,7 @@
 use rsj_bench::*;
 use rsj_datagen::{GraphConfig, LdbcLite, TpcdsLite};
 use rsj_queries::{dumbbell, line_k, q10, qx, qy, qz, star_k};
+use rsjoin::engine::Engine;
 
 fn main() {
     banner("Figure 5", "running time over different join queries");
@@ -38,19 +39,25 @@ fn main() {
     // ones (printed as "=").
     for k in 3..=5 {
         let w = line_k(k, &edges, 1);
-        let (rs, _) = run_rsjoin(&w, k_graph, 1);
-        let (sj, _) = run_sjoin(&w, k_graph, 1);
-        println!("{:<10} {:>12} {:>12} {:>12} {:>12}", w.name, rs, "=", sj, "=");
+        let (rs, _) = run_engine(&w, Engine::Reservoir, k_graph, 1);
+        let (sj, _) = run_engine(&w, Engine::SJoin, k_graph, 1);
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} {:>12}",
+            w.name, rs, "=", sj, "="
+        );
     }
     for k in 4..=6 {
         let w = star_k(k, &edges, 1);
-        let (rs, _) = run_rsjoin(&w, k_graph, 1);
-        let (sj, _) = run_sjoin(&w, k_graph, 1);
-        println!("{:<10} {:>12} {:>12} {:>12} {:>12}", w.name, rs, "=", sj, "=");
+        let (rs, _) = run_engine(&w, Engine::Reservoir, k_graph, 1);
+        let (sj, _) = run_engine(&w, Engine::SJoin, k_graph, 1);
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} {:>12}",
+            w.name, rs, "=", sj, "="
+        );
     }
     {
         let w = dumbbell(&edges, 1);
-        let (rs, _) = run_cyclic(&w, k_graph, 1);
+        let (rs, _) = run_engine(&w, Engine::Cyclic, k_graph, 1);
         println!(
             "{:<10} {:>12} {:>12} {:>12} {:>12}",
             w.name, rs, "=", "n/a", "n/a"
@@ -58,22 +65,21 @@ fn main() {
     }
 
     // Relational queries: all four variants.
-    let rel_workloads = vec![
-        qx(&tpcds, 2),
-        qy(&tpcds, 2),
-        qz(&tpcds, 2),
-        q10(&ldbc, 2),
-    ];
+    let rel_workloads = vec![qx(&tpcds, 2), qy(&tpcds, 2), qz(&tpcds, 2), q10(&ldbc, 2)];
     for w in rel_workloads {
-        let (rs, _) = run_rsjoin(&w, k_rel, 1);
-        let (rso, _) = run_rsjoin_opt(&w, k_rel, 1);
-        let (sj, _) = run_sjoin(&w, k_rel, 1);
-        let (sjo, _) = run_sjoin_opt(&w, k_rel, 1);
-        println!("{:<10} {:>12} {:>12} {:>12} {:>12}", w.name, rs, rso, sj, sjo);
+        let (rs, _) = run_engine(&w, Engine::Reservoir, k_rel, 1);
+        let (rso, _) = run_engine(&w, Engine::FkReservoir, k_rel, 1);
+        let (sj, _) = run_engine(&w, Engine::SJoin, k_rel, 1);
+        let (sjo, _) = run_engine(&w, Engine::SJoinOpt, k_rel, 1);
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} {:>12}",
+            w.name, rs, rso, sj, sjo
+        );
         if rs.secs().is_finite() && sj.secs().is_finite() {
             println!(
                 "{:<10} RSJoin speedup over SJoin: {:.1}x",
-                "", sj.secs() / rs.secs()
+                "",
+                sj.secs() / rs.secs()
             );
         }
     }

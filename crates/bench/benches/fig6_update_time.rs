@@ -14,7 +14,10 @@ use rsj_queries::line_k;
 use std::time::Instant;
 
 fn main() {
-    banner("Figure 6", "update time distribution (line-4, sampling disabled)");
+    banner(
+        "Figure 6",
+        "update time distribution (line-4, sampling disabled)",
+    );
     let edges = GraphConfig {
         nodes: scaled(3000),
         edges: scaled(15_000),

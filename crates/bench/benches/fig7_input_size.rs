@@ -6,15 +6,17 @@
 //! cumulative time grows ~linearly in the *input*; SJoin's tracks the
 //! *join size*.
 
-use rsj_baselines::SJoin;
 use rsj_bench::*;
-use rsj_core::ReservoirJoin;
 use rsj_datagen::GraphConfig;
 use rsj_queries::line_k;
+use rsjoin::engine::Engine;
 use std::time::{Duration, Instant};
 
 fn main() {
-    banner("Figure 7", "running time vs input size and join size (line-3)");
+    banner(
+        "Figure 7",
+        "running time vs input size and join size (line-3)",
+    );
     let edges = GraphConfig {
         nodes: scaled(3000),
         edges: scaled(15_000),
@@ -30,7 +32,9 @@ fn main() {
     // RSJoin pass (join size reported exactly by a parallel SJoin index is
     // too slow at scale; we track the exact result count with SJoin's exact
     // counters only until its cap, and report RSJoin's own bound after).
-    let mut rj = ReservoirJoin::new(w.query.clone(), k, 1).unwrap();
+    let mut rj = Engine::Reservoir
+        .build(&w.query, k, 1, &workload_opts(&w))
+        .unwrap();
     let mut rj_times = Vec::new();
     {
         let start = Instant::now();
@@ -48,7 +52,9 @@ fn main() {
     }
 
     // SJoin pass with cap; also yields exact join sizes at checkpoints.
-    let mut sj = SJoin::new(w.query.clone(), k, 1).unwrap();
+    let mut sj = Engine::SJoin
+        .build(&w.query, k, 1, &workload_opts(&w))
+        .unwrap();
     let mut sj_times: Vec<Option<Duration>> = Vec::new();
     let mut join_sizes: Vec<Option<u128>> = Vec::new();
     {
@@ -65,7 +71,7 @@ fn main() {
             }
             if i + 1 == checkpoints[next] {
                 sj_times.push((!capped).then(|| start.elapsed()));
-                join_sizes.push((!capped).then(|| sj.index().total_results()));
+                join_sizes.push((!capped).then(|| sj.stats().exact_results.expect("SJoin counts")));
                 next += 1;
                 if next == checkpoints.len() {
                     break;

@@ -9,6 +9,7 @@
 use rsj_bench::*;
 use rsj_datagen::GraphConfig;
 use rsj_queries::line_k;
+use rsjoin::engine::Engine;
 
 fn main() {
     banner("Figure 8", "running time vs sample size (line-3)");
@@ -28,17 +29,20 @@ fn main() {
         .collect();
 
     println!("\ninput N = {n} tuples (dashed line of the paper)\n");
-    println!("{:>10} {:>12} {:>12} {:>14}", "k", "RSJoin", "SJoin", "RSJoin stops");
+    println!(
+        "{:>10} {:>12} {:>12} {:>14}",
+        "k", "RSJoin", "SJoin", "RSJoin stops"
+    );
     let mut rs_times = Vec::new();
     for &k in &ks {
-        let (rs, rj) = run_rsjoin(&w, k, 1);
-        let (sj, _) = run_sjoin(&w, k, 1);
+        let (rs, rj) = run_engine(&w, Engine::Reservoir, k, 1);
+        let (sj, _) = run_engine(&w, Engine::SJoin, k, 1);
         println!(
             "{:>10} {:>12} {:>12} {:>14}",
             k,
             rs,
             sj,
-            rj.reservoir_stops()
+            rj.stats().reservoir_stops.expect("RSJoin tracks stops")
         );
         rs_times.push(rs.secs());
     }

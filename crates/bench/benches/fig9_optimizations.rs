@@ -24,13 +24,8 @@ fn main() {
     let k = scaled(50_000);
 
     let run_plain = |grouping: bool| -> (Outcome, u64) {
-        let mut rj = ReservoirJoin::with_options(
-            w.query.clone(),
-            k,
-            1,
-            IndexOptions { grouping },
-        )
-        .unwrap();
+        let mut rj =
+            ReservoirJoin::with_options(w.query.clone(), k, 1, IndexOptions { grouping }).unwrap();
         for t in &w.preload {
             rj.process(t.relation, &t.values);
         }
@@ -42,13 +37,9 @@ fn main() {
     let run_fk = |grouping: bool| -> (Outcome, u64) {
         let plan = CombinePlan::build(&w.query, &w.fks);
         let mut comb = FkCombiner::new(plan.clone());
-        let mut rj = ReservoirJoin::with_options(
-            plan.rewritten.clone(),
-            k,
-            1,
-            IndexOptions { grouping },
-        )
-        .unwrap();
+        let mut rj =
+            ReservoirJoin::with_options(plan.rewritten.clone(), k, 1, IndexOptions { grouping })
+                .unwrap();
         let mut feed = |rel: usize, t: &[u64]| {
             for (r, v) in comb.process(rel, t) {
                 rj.process(r, &v);
@@ -65,10 +56,16 @@ fn main() {
     let (t_fk, l_fk) = run_fk(false);
     let (t_both, l_both) = run_fk(true);
 
-    println!("\n{:<26} {:>14} {:>12}", "optimizations", "#executions", "run-time");
+    println!(
+        "\n{:<26} {:>14} {:>12}",
+        "optimizations", "#executions", "run-time"
+    );
     println!("{:<26} {:>14} {:>12}", "N/A", l_none, t_none);
     println!("{:<26} {:>14} {:>12}", "Foreign-key", l_fk, t_fk);
-    println!("{:<26} {:>14} {:>12}", "Foreign-key + Grouping", l_both, t_both);
+    println!(
+        "{:<26} {:>14} {:>12}",
+        "Foreign-key + Grouping", l_both, t_both
+    );
     if t_none.secs().is_finite() && t_both.secs().is_finite() {
         println!(
             "\nshape check: full optimizations give {:.1}x speedup \

@@ -1,15 +1,30 @@
-//! Criterion microbenchmarks for the primitive operations whose costs the
-//! paper's complexity claims are built from: index insert (`O(log N)`
-//! amortized), positional retrieve (`O(log N)`), full-query sample
-//! (`O(log N)` expected), and the reservoir skip machinery.
+//! Microbenchmarks for the primitive operations whose costs the paper's
+//! complexity claims are built from: index insert (`O(log N)` amortized),
+//! positional retrieve (`O(log N)`), full-query sample (`O(log N)`
+//! expected), and the reservoir skip machinery.
+//!
+//! Custom harness (no external bench framework): each benchmark runs a
+//! timed loop after a warmup pass and reports mean wall time per
+//! iteration.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rsj_common::rng::RsjRng;
 use rsj_datagen::GraphConfig;
 use rsj_index::{DynamicIndex, FullSampler, IndexOptions};
 use rsj_queries::line_k;
 use rsj_stream::{Reservoir, SliceBatch};
 use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `iters` runs of `f` (after one warmup call) and prints the mean.
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per_iter = start.elapsed() / iters;
+    println!("{name:<36} {per_iter:>12.2?}/iter  ({iters} iters)");
+}
 
 fn loaded_index() -> DynamicIndex {
     let edges = GraphConfig {
@@ -27,7 +42,7 @@ fn loaded_index() -> DynamicIndex {
     idx
 }
 
-fn bench_index_insert(c: &mut Criterion) {
+fn bench_index_insert() {
     let edges = GraphConfig {
         nodes: 1000,
         edges: 8000,
@@ -36,30 +51,25 @@ fn bench_index_insert(c: &mut Criterion) {
     }
     .generate();
     let w = line_k(3, &edges, 1);
-    c.bench_function("index_insert_8k_edges_line3", |b| {
-        b.iter_batched(
-            || DynamicIndex::new(w.query.clone(), IndexOptions::default()).unwrap(),
-            |mut idx| {
-                for t in w.stream.iter() {
-                    idx.insert(t.relation, &t.values);
-                }
-                black_box(idx.stats().inserts)
-            },
-            BatchSize::LargeInput,
-        )
+    bench("index_insert_8k_edges_line3", 10, || {
+        let mut idx = DynamicIndex::new(w.query.clone(), IndexOptions::default()).unwrap();
+        for t in w.stream.iter() {
+            idx.insert(t.relation, &t.values);
+        }
+        black_box(idx.stats().inserts);
     });
 }
 
-fn bench_full_sample(c: &mut Criterion) {
+fn bench_full_sample() {
     let idx = loaded_index();
     let sampler = FullSampler::default();
     let mut rng = RsjRng::seed_from_u64(1);
-    c.bench_function("full_query_sample", |b| {
-        b.iter(|| black_box(sampler.sample(&idx, &mut rng)))
+    bench("full_query_sample", 10_000, || {
+        black_box(sampler.sample(&idx, &mut rng));
     });
 }
 
-fn bench_delta_retrieve(c: &mut Criterion) {
+fn bench_delta_retrieve() {
     let idx = loaded_index();
     // Pick a tuple of relation 0 with a non-empty batch.
     let mut target = None;
@@ -72,29 +82,26 @@ fn bench_delta_retrieve(c: &mut Criterion) {
     }
     let (tid, size) = target.expect("some tuple has results");
     let mut rng = RsjRng::seed_from_u64(2);
-    c.bench_function("delta_retrieve_random_position", |b| {
-        b.iter(|| {
-            let z = rng.below_u128(size);
-            black_box(idx.delta_batch(0, tid).retrieve(z))
-        })
+    bench("delta_retrieve_random_position", 10_000, || {
+        let z = rng.below_u128(size);
+        black_box(idx.delta_batch(0, tid).retrieve(z));
     });
 }
 
-fn bench_reservoir_skip(c: &mut Criterion) {
+fn bench_reservoir_skip() {
     let items: Vec<u64> = (0..1_000_000).collect();
-    c.bench_function("reservoir_1m_items_k100", |b| {
-        b.iter(|| {
-            let mut r = Reservoir::new(100, 7);
-            let mut batch = SliceBatch::new(&items);
-            r.process_batch(&mut batch, Some);
-            black_box(r.stops())
-        })
+    bench("reservoir_1m_items_k100", 10, || {
+        let mut r = Reservoir::new(100, 7);
+        let mut batch = SliceBatch::new(&items);
+        r.process_batch(&mut batch, Some);
+        black_box(r.stops());
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_index_insert, bench_full_sample, bench_delta_retrieve, bench_reservoir_skip
+fn main() {
+    println!("micro — primitive-operation costs\n");
+    bench_index_insert();
+    bench_full_sample();
+    bench_delta_retrieve();
+    bench_reservoir_skip();
 }
-criterion_main!(benches);

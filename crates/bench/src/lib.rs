@@ -9,9 +9,10 @@
 //! laptop-scale). `RSJ_SCALE=4` quadruples input sizes; per-run soft
 //! timeouts stand in for the paper's 12-hour cap.
 
-use rsj_baselines::{SJoin, SJoinOpt};
-use rsj_core::{CyclicReservoirJoin, FkReservoirJoin, ReservoirJoin};
+use rsj_core::JoinSampler;
 use rsj_queries::Workload;
+pub use rsjoin::engine::workload_opts;
+use rsjoin::engine::Engine;
 use std::time::{Duration, Instant};
 
 /// Global size multiplier from `RSJ_SCALE`.
@@ -85,64 +86,29 @@ pub fn timed_stream(
     Outcome::Finished(start.elapsed())
 }
 
-/// Runs plain `RSJoin` over a workload.
-pub fn run_rsjoin(w: &Workload, k: usize, seed: u64) -> (Outcome, ReservoirJoin) {
-    let mut rj = ReservoirJoin::new(w.query.clone(), k, seed).expect("acyclic workload");
+/// Applies the untimed preload, then drives the timed stream through the
+/// executor trait — the single driver loop every figure harness shares.
+pub fn run_sampler(w: &Workload, sampler: &mut dyn JoinSampler) -> Outcome {
     for t in &w.preload {
-        rj.process(t.relation, &t.values);
+        sampler.process(t.relation, &t.values);
     }
-    let out = timed_stream(w, run_cap(), |rel, t| {
-        rj.process(rel, t);
-    });
-    (out, rj)
+    timed_stream(w, run_cap(), |rel, t| sampler.process(rel, t))
 }
 
-/// Runs `RSJoin_opt` (foreign-key rewrite) over a workload.
-pub fn run_rsjoin_opt(w: &Workload, k: usize, seed: u64) -> (Outcome, FkReservoirJoin) {
-    let mut rj = FkReservoirJoin::new(&w.query, &w.fks, k, seed).expect("acyclic rewrite");
-    for t in &w.preload {
-        rj.process(t.relation, &t.values);
-    }
-    let out = timed_stream(w, run_cap(), |rel, t| {
-        rj.process(rel, t);
-    });
-    (out, rj)
-}
-
-/// Runs the `SJoin` baseline over a workload.
-pub fn run_sjoin(w: &Workload, k: usize, seed: u64) -> (Outcome, SJoin) {
-    let mut sj = SJoin::new(w.query.clone(), k, seed).expect("acyclic workload");
-    for t in &w.preload {
-        sj.process(t.relation, &t.values);
-    }
-    let out = timed_stream(w, run_cap(), |rel, t| {
-        sj.process(rel, t);
-    });
-    (out, sj)
-}
-
-/// Runs the `SJoin_opt` baseline over a workload.
-pub fn run_sjoin_opt(w: &Workload, k: usize, seed: u64) -> (Outcome, SJoinOpt) {
-    let mut sj = SJoinOpt::new(&w.query, &w.fks, k, seed).expect("acyclic rewrite");
-    for t in &w.preload {
-        sj.process(t.relation, &t.values);
-    }
-    let out = timed_stream(w, run_cap(), |rel, t| {
-        sj.process(rel, t);
-    });
-    (out, sj)
-}
-
-/// Runs the cyclic GHD driver over a workload.
-pub fn run_cyclic(w: &Workload, k: usize, seed: u64) -> (Outcome, CyclicReservoirJoin) {
-    let mut crj = CyclicReservoirJoin::new(w.query.clone(), k, seed).expect("GHD found");
-    for t in &w.preload {
-        crj.process(t.relation, &t.values);
-    }
-    let out = timed_stream(w, run_cap(), |rel, t| {
-        crj.process(rel, t);
-    });
-    (out, crj)
+/// Builds `engine` for the workload and runs preload + timed stream.
+/// Engine-agnostic: figures sweep `Engine` values instead of calling one
+/// runner per algorithm.
+pub fn run_engine(
+    w: &Workload,
+    engine: Engine,
+    k: usize,
+    seed: u64,
+) -> (Outcome, Box<dyn JoinSampler>) {
+    let mut sampler = engine
+        .build(&w.query, k, seed, &workload_opts(w))
+        .unwrap_or_else(|e| panic!("{}: {engine}: {e}", w.name));
+    let out = run_sampler(w, sampler.as_mut());
+    (out, sampler)
 }
 
 /// Prints a figure banner.

@@ -49,7 +49,7 @@ impl HeapSize for String {
 
 /// Sums the heap sizes of a slice of sized items, including per-item heap.
 pub fn heap_size_of_nested<T: HeapSize>(items: &[T]) -> usize {
-    items.len() * std::mem::size_of::<T>() + items.iter().map(HeapSize::heap_size).sum::<usize>()
+    std::mem::size_of_val(items) + items.iter().map(HeapSize::heap_size).sum::<usize>()
 }
 
 #[cfg(test)]

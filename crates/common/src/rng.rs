@@ -11,20 +11,58 @@
 //! * [`RsjRng::below_u128`] — unbiased uniform draw from `[0, n)` for
 //!   128-bit batch positions, via rejection sampling.
 
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+/// xoshiro256++ core — the same generator family `rand`'s `SmallRng` uses
+/// on 64-bit targets, inlined here so the workspace builds offline with no
+/// external dependencies. Seeding expands the `u64` through splitmix64,
+/// matching the conventional `seed_from_u64` construction.
+#[derive(Clone, Debug)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    fn seed_from_u64(seed: u64) -> Xoshiro256pp {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256pp {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
 
 /// A small, fast, seedable RNG used across the workspace.
 #[derive(Clone, Debug)]
 pub struct RsjRng {
-    inner: SmallRng,
+    inner: Xoshiro256pp,
 }
 
 impl RsjRng {
     /// Creates an RNG from a seed. Equal seeds yield equal streams.
     pub fn seed_from_u64(seed: u64) -> RsjRng {
         RsjRng {
-            inner: SmallRng::seed_from_u64(seed),
+            inner: Xoshiro256pp::seed_from_u64(seed),
         }
     }
 
@@ -35,7 +73,8 @@ impl RsjRng {
     #[inline]
     pub fn unit(&mut self) -> f64 {
         loop {
-            let u: f64 = self.inner.random();
+            // 53 uniform mantissa bits in [0, 1).
+            let u = (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
             if u > 0.0 {
                 return u;
             }
@@ -75,13 +114,13 @@ impl RsjRng {
     pub fn below_u128(&mut self, n: u128) -> u128 {
         assert!(n > 0, "below_u128(0)");
         if n <= u64::MAX as u128 {
-            return self.inner.random_range(0..n as u64) as u128;
+            return self.below_u64(n as u64) as u128;
         }
         // Rejection sampling on the smallest power-of-two zone >= n.
         let zone_bits = 128 - (n - 1).leading_zeros();
         loop {
-            let hi = self.inner.random::<u64>() as u128;
-            let lo = self.inner.random::<u64>() as u128;
+            let hi = self.inner.next_u64() as u128;
+            let lo = self.inner.next_u64() as u128;
             let x = ((hi << 64) | lo) >> (128 - zone_bits);
             if x < n {
                 return x;
@@ -92,19 +131,28 @@ impl RsjRng {
     /// Uniform index into a collection of length `n > 0`.
     #[inline]
     pub fn index(&mut self, n: usize) -> usize {
-        self.inner.random_range(0..n)
+        self.below_u64(n as u64) as usize
     }
 
-    /// Uniform `u64` from `[0, n)`.
+    /// Uniform `u64` from `[0, n)` via rejection sampling (unbiased).
     #[inline]
     pub fn below_u64(&mut self, n: u64) -> u64 {
-        self.inner.random_range(0..n)
+        assert!(n > 0, "below_u64(0)");
+        // Reject draws from the tail zone where `u64::MAX % n` residues
+        // would be over-represented.
+        let zone = u64::MAX - u64::MAX.wrapping_rem(n).wrapping_add(1) % n;
+        loop {
+            let x = self.inner.next_u64();
+            if x <= zone {
+                return x % n;
+            }
+        }
     }
 
     /// A fresh RNG split off from this one (for sub-streams that must not
     /// perturb the parent's sequence).
     pub fn split(&mut self) -> RsjRng {
-        RsjRng::seed_from_u64(self.inner.random())
+        RsjRng::seed_from_u64(self.inner.next_u64())
     }
 }
 

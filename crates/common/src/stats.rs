@@ -128,7 +128,11 @@ impl LogHistogram {
 
     /// Records a non-negative value.
     pub fn record(&mut self, v: u64) {
-        let b = if v <= 1 { 0 } else { 63 - v.leading_zeros() as usize };
+        let b = if v <= 1 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
         let last = self.buckets.len() - 1;
         self.buckets[b.min(last)] += 1;
     }

@@ -37,8 +37,19 @@ impl CyclicReservoirJoin {
         k: usize,
         seed: u64,
     ) -> Result<CyclicReservoirJoin, Box<dyn std::error::Error>> {
+        Self::with_options(query, k, seed, rsj_index::IndexOptions::default())
+    }
+
+    /// Builds the driver with explicit index options for the inner
+    /// bag-level acyclic driver, searching for a minimum-width GHD.
+    pub fn with_options(
+        query: Query,
+        k: usize,
+        seed: u64,
+        options: rsj_index::IndexOptions,
+    ) -> Result<CyclicReservoirJoin, Box<dyn std::error::Error>> {
         let ghd = Ghd::search(&query)?;
-        Self::with_ghd(query, ghd, k, seed)
+        Self::with_ghd_options(query, ghd, k, seed, options)
     }
 
     /// Builds the driver with an explicit decomposition.
@@ -47,6 +58,17 @@ impl CyclicReservoirJoin {
         ghd: Ghd,
         k: usize,
         seed: u64,
+    ) -> Result<CyclicReservoirJoin, Box<dyn std::error::Error>> {
+        Self::with_ghd_options(query, ghd, k, seed, rsj_index::IndexOptions::default())
+    }
+
+    /// Builds the driver with an explicit decomposition and index options.
+    pub fn with_ghd_options(
+        query: Query,
+        ghd: Ghd,
+        k: usize,
+        seed: u64,
+        options: rsj_index::IndexOptions,
     ) -> Result<CyclicReservoirJoin, Box<dyn std::error::Error>> {
         // Attribute-id translation: bag attrs are ids of the *original*
         // query; the bag-level query re-interns the same names in bag
@@ -79,7 +101,7 @@ impl CyclicReservoirJoin {
                 BagJoin::new(bag.attrs.len(), &rel_attrs)
             })
             .collect();
-        let inner = ReservoirJoin::new(ghd.bag_query().clone(), k, seed)?;
+        let inner = ReservoirJoin::with_options(ghd.bag_query().clone(), k, seed, options)?;
         Ok(CyclicReservoirJoin {
             query,
             ghd,
@@ -209,12 +231,7 @@ mod tests {
         assert!(!brute.is_empty());
         // Samples carry attrs X, Y, Z (bag query attr names).
         let q = crj.inner().index().query().clone();
-        let pos = |n: &str| {
-            q.attr_names()
-                .iter()
-                .position(|a| a == n)
-                .unwrap()
-        };
+        let pos = |n: &str| q.attr_names().iter().position(|a| a == n).unwrap();
         let (px, py, pz) = (pos("X"), pos("Y"), pos("Z"));
         let got: FxHashSet<(u64, u64, u64)> = crj
             .samples()

@@ -1,0 +1,262 @@
+//! The executor layer: one uniform interface over every join-sampling
+//! engine.
+//!
+//! The paper's evaluation (§6) compares seven engines — `RSJoin`,
+//! `RSJoin_opt`, the cyclic GHD driver, and the `NaiveRebuild` / `SJoin` /
+//! `SJoin_opt` / `SymmetricHashJoin` baselines. Each historically exposed
+//! its own ad-hoc `process` method, so every test, bench and example
+//! re-implemented the same driver loop per engine. [`JoinSampler`] is the
+//! shared operator interface: feed original-stream tuples in arrival
+//! order, read back the current uniform sample, inspect instrumentation.
+//!
+//! Implementations for the three paper engines live here; the baselines
+//! implement the trait in `rsj-baselines`, and the `Engine` factory that
+//! constructs any of the seven behind `Box<dyn JoinSampler>` lives in the
+//! `rsjoin` facade crate.
+
+use crate::cyclic::CyclicReservoirJoin;
+use crate::fk_runtime::FkReservoirJoin;
+use crate::reservoir_join::ReservoirJoin;
+use rsj_common::Value;
+use rsj_query::Query;
+use rsj_storage::TupleStream;
+
+/// Uniform instrumentation snapshot across engines.
+///
+/// Every field is optional: engines report what they actually measure
+/// (`None` never means zero, it means "not tracked by this engine").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SamplerStats {
+    /// Distinct tuples accepted (set semantics) — the paper's `N`.
+    pub tuples_processed: Option<u64>,
+    /// Predicate-evaluating reservoir stops, each costing one retrieve.
+    pub reservoir_stops: Option<u64>,
+    /// Estimated heap footprint in bytes (index + reservoir).
+    pub heap_bytes: Option<usize>,
+    /// Exact `|Q(R)|` when the engine maintains it (SJoin family,
+    /// symmetric hash join).
+    pub exact_results: Option<u128>,
+}
+
+/// A streaming join-sampling engine: maintains `k` uniform samples without
+/// replacement of `Q(R)` while tuples of `R` stream in.
+///
+/// The unit of work is [`process`](JoinSampler::process): one tuple of the
+/// *original* query's stream. Engines that internally rewrite the query
+/// (foreign-key combination, GHD bag-level queries) still accept original
+/// relation indices and translate internally; their samples are tuples of
+/// [`output_query`](JoinSampler::output_query), which may order attributes
+/// differently from the original. [`samples_named`](JoinSampler::samples_named)
+/// is the engine-independent view used for cross-engine comparison.
+pub trait JoinSampler {
+    /// Short display name (`"RSJoin"`, `"SJoin_opt"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// The query whose attribute ids index the rows of
+    /// [`samples`](JoinSampler::samples). For rewriting engines this is
+    /// the rewritten/bag-level query; attribute *names* always match the
+    /// original query's.
+    fn output_query(&self) -> &Query;
+
+    /// Feeds one tuple of the original stream. Duplicate tuples are no-ops
+    /// (set semantics).
+    fn process(&mut self, rel: usize, tuple: &[Value]);
+
+    /// Feeds an entire stream in arrival order.
+    fn process_stream(&mut self, stream: &TupleStream) {
+        for t in stream.iter() {
+            self.process(t.relation, &t.values);
+        }
+    }
+
+    /// The current samples as materialized full-width value tuples of
+    /// [`output_query`](JoinSampler::output_query): uniform without
+    /// replacement over `Q(R)`, fewer than `k` while `|Q(R)| < k`.
+    ///
+    /// Returns an owned vector because some engines materialize on demand;
+    /// hot paths needing zero-copy access should use the engine's inherent
+    /// accessors.
+    fn samples(&self) -> Vec<Vec<Value>>;
+
+    /// Reservoir capacity `k`.
+    fn k(&self) -> usize;
+
+    /// Instrumentation snapshot; engines fill the fields they track.
+    fn stats(&self) -> SamplerStats {
+        SamplerStats::default()
+    }
+
+    /// Samples as sorted `(attribute name, value)` pairs — identical
+    /// across engines regardless of internal attribute order, so
+    /// cross-engine tests compare these.
+    fn samples_named(&self) -> Vec<Vec<(String, Value)>> {
+        let q = self.output_query();
+        self.samples()
+            .iter()
+            .map(|s| {
+                let mut kv: Vec<(String, Value)> = q
+                    .attr_names()
+                    .iter()
+                    .cloned()
+                    .zip(s.iter().copied())
+                    .collect();
+                kv.sort();
+                kv
+            })
+            .collect()
+    }
+}
+
+impl JoinSampler for ReservoirJoin {
+    fn name(&self) -> &'static str {
+        "RSJoin"
+    }
+
+    fn output_query(&self) -> &Query {
+        self.index().query()
+    }
+
+    fn process(&mut self, rel: usize, tuple: &[Value]) {
+        ReservoirJoin::process(self, rel, tuple);
+    }
+
+    fn samples(&self) -> Vec<Vec<Value>> {
+        ReservoirJoin::samples(self).to_vec()
+    }
+
+    fn k(&self) -> usize {
+        ReservoirJoin::k(self)
+    }
+
+    fn stats(&self) -> SamplerStats {
+        SamplerStats {
+            tuples_processed: Some(self.tuples_processed()),
+            reservoir_stops: Some(self.reservoir_stops()),
+            heap_bytes: Some(self.heap_size()),
+            exact_results: None,
+        }
+    }
+}
+
+impl JoinSampler for FkReservoirJoin {
+    fn name(&self) -> &'static str {
+        "RSJoin_opt"
+    }
+
+    fn output_query(&self) -> &Query {
+        self.rewritten_query()
+    }
+
+    fn process(&mut self, rel: usize, tuple: &[Value]) {
+        FkReservoirJoin::process(self, rel, tuple);
+    }
+
+    fn samples(&self) -> Vec<Vec<Value>> {
+        FkReservoirJoin::samples(self).to_vec()
+    }
+
+    fn k(&self) -> usize {
+        self.inner().k()
+    }
+
+    fn stats(&self) -> SamplerStats {
+        SamplerStats {
+            tuples_processed: Some(self.inner().tuples_processed()),
+            reservoir_stops: Some(self.inner().reservoir_stops()),
+            heap_bytes: Some(self.heap_size()),
+            exact_results: None,
+        }
+    }
+}
+
+impl JoinSampler for CyclicReservoirJoin {
+    fn name(&self) -> &'static str {
+        "RSJoin_cyclic"
+    }
+
+    fn output_query(&self) -> &Query {
+        self.inner().index().query()
+    }
+
+    fn process(&mut self, rel: usize, tuple: &[Value]) {
+        CyclicReservoirJoin::process(self, rel, tuple);
+    }
+
+    fn samples(&self) -> Vec<Vec<Value>> {
+        CyclicReservoirJoin::samples(self).to_vec()
+    }
+
+    fn k(&self) -> usize {
+        self.inner().k()
+    }
+
+    fn stats(&self) -> SamplerStats {
+        SamplerStats {
+            // The GHD driver only counts the simulated bag-level stream
+            // (`O(N^w)` deltas, via [`CyclicReservoirJoin::bag_tuples`]),
+            // not distinct accepted input tuples, so the field stays
+            // honest-`None` here.
+            tuples_processed: None,
+            reservoir_stops: Some(self.inner().reservoir_stops()),
+            heap_bytes: Some(self.heap_size()),
+            exact_results: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_query::QueryBuilder;
+
+    fn two_table() -> Query {
+        let mut qb = QueryBuilder::new();
+        qb.relation("R", &["X", "Y"]);
+        qb.relation("S", &["Y", "Z"]);
+        qb.build().unwrap()
+    }
+
+    #[test]
+    fn trait_object_drives_rsjoin() {
+        let mut s: Box<dyn JoinSampler> = Box::new(ReservoirJoin::new(two_table(), 10, 1).unwrap());
+        let mut stream = TupleStream::new();
+        stream.push(0, vec![1, 2]);
+        stream.push(1, vec![2, 3]);
+        s.process_stream(&stream);
+        assert_eq!(s.samples(), vec![vec![1, 2, 3]]);
+        assert_eq!(s.k(), 10);
+        assert_eq!(s.name(), "RSJoin");
+        assert_eq!(s.stats().tuples_processed, Some(2));
+    }
+
+    #[test]
+    fn samples_named_is_order_independent() {
+        let mut rj = ReservoirJoin::new(two_table(), 10, 1).unwrap();
+        JoinSampler::process(&mut rj, 0, &[1, 2]);
+        JoinSampler::process(&mut rj, 1, &[2, 3]);
+        let named = rj.samples_named();
+        assert_eq!(named.len(), 1);
+        assert_eq!(
+            named[0],
+            vec![
+                ("X".to_string(), 1),
+                ("Y".to_string(), 2),
+                ("Z".to_string(), 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn cyclic_engine_through_trait() {
+        let mut qb = QueryBuilder::new();
+        qb.relation("R1", &["X", "Y"]);
+        qb.relation("R2", &["Y", "Z"]);
+        qb.relation("R3", &["Z", "X"]);
+        let q = qb.build().unwrap();
+        let mut s: Box<dyn JoinSampler> = Box::new(CyclicReservoirJoin::new(q, 10, 1).unwrap());
+        s.process(0, &[1, 2]);
+        s.process(1, &[2, 3]);
+        s.process(2, &[3, 1]);
+        assert_eq!(s.samples_named().len(), 1);
+    }
+}

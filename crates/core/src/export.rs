@@ -2,7 +2,8 @@
 //!
 //! Downstream consumers of a join sample (model trainers, approximate
 //! aggregators) usually live in another process; this module gives the
-//! reservoir a compact, self-describing wire format built on [`bytes`]:
+//! reservoir a compact, self-describing wire format over plain byte
+//! vectors:
 //!
 //! ```text
 //! magic "RSJ1" | u32 arity | u64 count | count × arity × u64 values (LE)
@@ -11,7 +12,6 @@
 //! All samples in one set share the query's arity, so the layout is a
 //! dense matrix — `16 + 8·k·arity` bytes for `k` samples.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rsj_common::Value;
 
 const MAGIC: &[u8; 4] = b"RSJ1";
@@ -42,45 +42,47 @@ impl std::error::Error for DecodeError {}
 /// Encodes a sample set (all tuples of equal arity) into a buffer.
 ///
 /// # Panics
-/// Panics if samples have inconsistent arities or `arity == 0` with a
-/// non-empty set.
-pub fn encode_samples(samples: &[Vec<Value>], arity: usize) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + samples.len() * arity * 8);
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(arity as u32);
-    buf.put_u64_le(samples.len() as u64);
+/// Panics if samples have inconsistent arities.
+pub fn encode_samples(samples: &[Vec<Value>], arity: usize) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + samples.len() * arity * 8);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(arity as u32).to_le_bytes());
+    buf.extend_from_slice(&(samples.len() as u64).to_le_bytes());
     for s in samples {
         assert_eq!(s.len(), arity, "inconsistent sample arity");
         for &v in s {
-            buf.put_u64_le(v);
+            buf.extend_from_slice(&v.to_le_bytes());
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes a buffer produced by [`encode_samples`].
-pub fn decode_samples(mut buf: Bytes) -> Result<Vec<Vec<Value>>, DecodeError> {
-    if buf.remaining() < 16 {
+pub fn decode_samples(buf: &[u8]) -> Result<Vec<Vec<Value>>, DecodeError> {
+    if buf.len() < 16 {
         return Err(DecodeError::Truncated);
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    if &buf[..4] != MAGIC {
         return Err(DecodeError::BadMagic);
     }
-    let arity = buf.get_u32_le() as usize;
-    let count = buf.get_u64_le() as usize;
+    let arity = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")) as usize;
+    let count = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")) as usize;
     if count > 0 && arity == 0 {
         return Err(DecodeError::ZeroArity);
     }
-    if buf.remaining() < count.saturating_mul(arity).saturating_mul(8) {
+    let body = &buf[16..];
+    if body.len() < count.saturating_mul(arity).saturating_mul(8) {
         return Err(DecodeError::Truncated);
     }
     let mut out = Vec::with_capacity(count);
+    let mut off = 0;
     for _ in 0..count {
         let mut s = Vec::with_capacity(arity);
         for _ in 0..arity {
-            s.push(buf.get_u64_le());
+            s.push(u64::from_le_bytes(
+                body[off..off + 8].try_into().expect("8 bytes"),
+            ));
+            off += 8;
         }
         out.push(s);
     }
@@ -96,31 +98,31 @@ mod tests {
         let samples = vec![vec![1, 2, 3], vec![4, 5, 6], vec![u64::MAX, 0, 7]];
         let buf = encode_samples(&samples, 3);
         assert_eq!(buf.len(), 16 + 3 * 3 * 8);
-        assert_eq!(decode_samples(buf).unwrap(), samples);
+        assert_eq!(decode_samples(&buf).unwrap(), samples);
     }
 
     #[test]
     fn empty_set() {
         let buf = encode_samples(&[], 5);
-        assert_eq!(decode_samples(buf).unwrap(), Vec::<Vec<u64>>::new());
+        assert_eq!(decode_samples(&buf).unwrap(), Vec::<Vec<u64>>::new());
     }
 
     #[test]
     fn bad_magic_rejected() {
-        let mut raw = encode_samples(&[vec![1]], 1).to_vec();
+        let mut raw = encode_samples(&[vec![1]], 1);
         raw[0] = b'X';
-        assert_eq!(
-            decode_samples(Bytes::from(raw)),
-            Err(DecodeError::BadMagic)
-        );
+        assert_eq!(decode_samples(&raw), Err(DecodeError::BadMagic));
     }
 
     #[test]
     fn truncation_rejected() {
         let raw = encode_samples(&[vec![1, 2]], 2);
         for cut in [0, 8, 15, raw.len() - 1] {
-            let short = raw.slice(0..cut);
-            assert_eq!(decode_samples(short), Err(DecodeError::Truncated), "{cut}");
+            assert_eq!(
+                decode_samples(&raw[..cut]),
+                Err(DecodeError::Truncated),
+                "{cut}"
+            );
         }
     }
 
@@ -143,6 +145,6 @@ mod tests {
         rj.process(1, &[2, 3]);
         rj.process(1, &[2, 4]);
         let buf = encode_samples(rj.samples(), arity);
-        assert_eq!(decode_samples(buf).unwrap(), rj.samples());
+        assert_eq!(decode_samples(&buf).unwrap(), rj.samples());
     }
 }

@@ -94,7 +94,12 @@ impl FkCombiner {
     }
 
     /// A dimension tuple arrived: register it and release waiters.
-    fn on_dim(&mut self, combined: usize, step: usize, tuple: &[Value]) -> Vec<(usize, Vec<Value>)> {
+    fn on_dim(
+        &mut self,
+        combined: usize,
+        step: usize,
+        tuple: &[Value],
+    ) -> Vec<(usize, Vec<Value>)> {
         let d = &self.plan.combined[combined].dims[step];
         let pk = Key::project(tuple, &d.pk_positions_in_dim);
         let append: Vec<usize> = d.append_positions.clone();
@@ -129,15 +134,27 @@ pub struct FkReservoirJoin {
 
 impl FkReservoirJoin {
     /// Builds the optimized driver from the original query, its FK schema,
-    /// and reservoir parameters.
+    /// and reservoir parameters, with the default index options.
     pub fn new(
         query: &Query,
         fks: &rsj_query::FkSchema,
         k: usize,
         seed: u64,
     ) -> Result<FkReservoirJoin, rsj_index::dynamic::IndexError> {
+        Self::with_options(query, fks, k, seed, rsj_index::IndexOptions::default())
+    }
+
+    /// Builds the optimized driver with explicit index options for the
+    /// inner acyclic driver.
+    pub fn with_options(
+        query: &Query,
+        fks: &rsj_query::FkSchema,
+        k: usize,
+        seed: u64,
+        options: rsj_index::IndexOptions,
+    ) -> Result<FkReservoirJoin, rsj_index::dynamic::IndexError> {
         let plan = CombinePlan::build(query, fks);
-        let inner = super::ReservoirJoin::new(plan.rewritten.clone(), k, seed)?;
+        let inner = super::ReservoirJoin::with_options(plan.rewritten.clone(), k, seed, options)?;
         Ok(FkReservoirJoin {
             combiner: FkCombiner::new(plan),
             inner,
@@ -270,8 +287,7 @@ mod tests {
     fn chain_resolves_in_any_arrival_order() {
         // All 6 arrival orders of {fact, d1, d2} must emit the same single
         // combined tuple.
-        let events: [(usize, Vec<u64>); 3] =
-            [(0, vec![7, 1]), (1, vec![7, 3]), (2, vec![3, 9])];
+        let events: [(usize, Vec<u64>); 3] = [(0, vec![7, 1]), (1, vec![7, 3]), (2, vec![3, 9])];
         let orders: Vec<Vec<usize>> = vec![
             vec![0, 1, 2],
             vec![0, 2, 1],
@@ -287,11 +303,7 @@ mod tests {
                 let (rel, t) = &events[i];
                 emitted.extend(c.process(*rel, t));
             }
-            assert_eq!(
-                emitted,
-                vec![(0, vec![7, 1, 3, 9])],
-                "order {order:?}"
-            );
+            assert_eq!(emitted, vec![(0, vec![7, 1, 3, 9])], "order {order:?}");
         }
     }
 

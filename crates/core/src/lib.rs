@@ -22,6 +22,7 @@
 //!   `O(log N)` update and sample).
 
 pub mod cyclic;
+pub mod exec;
 pub mod export;
 pub mod fk_runtime;
 pub mod reservoir_join;
@@ -29,6 +30,7 @@ pub mod sampler_facade;
 pub mod wcoj;
 
 pub use cyclic::CyclicReservoirJoin;
+pub use exec::{JoinSampler, SamplerStats};
 pub use fk_runtime::{FkCombiner, FkReservoirJoin};
 pub use reservoir_join::ReservoirJoin;
 pub use sampler_facade::DynamicSampleIndex;

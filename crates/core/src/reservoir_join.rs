@@ -39,7 +39,11 @@ pub struct ReservoirJoin {
 
 impl ReservoirJoin {
     /// Creates a driver with the default index options (grouping on).
-    pub fn new(query: Query, k: usize, seed: u64) -> Result<ReservoirJoin, rsj_index::dynamic::IndexError> {
+    pub fn new(
+        query: Query,
+        k: usize,
+        seed: u64,
+    ) -> Result<ReservoirJoin, rsj_index::dynamic::IndexError> {
         Self::with_options(query, k, seed, IndexOptions::default())
     }
 
@@ -303,13 +307,8 @@ mod tests {
             stream.push((rng.index(3), [rng.below_u64(5), rng.below_u64(5)]));
         }
         let run = |grouping: bool| {
-            let mut rj = ReservoirJoin::with_options(
-                line3(),
-                10_000,
-                9,
-                IndexOptions { grouping },
-            )
-            .unwrap();
+            let mut rj =
+                ReservoirJoin::with_options(line3(), 10_000, 9, IndexOptions { grouping }).unwrap();
             for (rel, t) in &stream {
                 rj.process(*rel, t);
             }

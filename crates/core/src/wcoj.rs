@@ -217,8 +217,7 @@ impl BagJoin {
             .iter()
             .min_by_key(|&&ri| self.rels[ri].trie.fanout(cursors[ri]))
             .expect("nonempty holders");
-        let candidates: Vec<(Value, u32)> =
-            self.rels[lead].trie.children(cursors[lead]).collect();
+        let candidates: Vec<(Value, u32)> = self.rels[lead].trie.children(cursors[lead]).collect();
         'candidates: for (v, lead_child) in candidates {
             let mut saved = Vec::with_capacity(holders.len());
             for &ri in holders {
@@ -345,10 +344,7 @@ mod tests {
         bj.insert_and_delta(0, &[2, 5]);
         let d = bj.insert_and_delta(1, &[5, 9]);
         let set: FxHashSet<Vec<u64>> = d.into_iter().collect();
-        assert_eq!(
-            set,
-            [vec![1, 5, 9], vec![2, 5, 9]].into_iter().collect()
-        );
+        assert_eq!(set, [vec![1, 5, 9], vec![2, 5, 9]].into_iter().collect());
     }
 
     #[test]

@@ -175,10 +175,7 @@ mod tests {
         };
         let d_u = max_out_degree(&uniform.generate());
         let d_s = max_out_degree(&skewed.generate());
-        assert!(
-            d_s > 3 * d_u,
-            "skewed max degree {d_s} not ≫ uniform {d_u}"
-        );
+        assert!(d_s > 3 * d_u, "skewed max degree {d_s} not ≫ uniform {d_u}");
     }
 
     #[test]
@@ -213,8 +210,7 @@ mod tests {
         }
         assert_eq!(per_rel, [100, 100, 100]);
         // Interleaving: the first 150 arrivals must not all be relation 0.
-        let first_rels: FxHashSet<usize> =
-            s.iter().take(150).map(|t| t.relation).collect();
+        let first_rels: FxHashSet<usize> = s.iter().take(150).map(|t| t.relation).collect();
         assert_eq!(first_rels.len(), 3);
     }
 }

@@ -151,8 +151,7 @@ mod tests {
     #[test]
     fn knows_edges_distinct_no_loops() {
         let d = LdbcLite::generate(1, 9);
-        let set: FxHashSet<(Value, Value)> =
-            d.knows.iter().map(|k| (k[0], k[1])).collect();
+        let set: FxHashSet<(Value, Value)> = d.knows.iter().map(|k| (k[0], k[1])).collect();
         assert_eq!(set.len(), d.knows.len());
         assert!(d.knows.iter().all(|k| k[0] != k[1]));
     }

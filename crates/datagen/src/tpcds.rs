@@ -127,8 +127,7 @@ mod tests {
         let items: FxHashSet<Value> = d.item.iter().map(|r| r[0]).collect();
         let custs: FxHashSet<Value> = d.customer.iter().map(|r| r[0]).collect();
         let dates: FxHashSet<Value> = d.date_dim.iter().map(|r| r[0]).collect();
-        let hds: FxHashSet<Value> =
-            d.household_demographics.iter().map(|r| r[0]).collect();
+        let hds: FxHashSet<Value> = d.household_demographics.iter().map(|r| r[0]).collect();
         for s in &d.store_sales {
             assert!(items.contains(&s[0]));
             assert!(custs.contains(&s[2]));
@@ -147,11 +146,7 @@ mod tests {
     fn returns_reference_sales() {
         let d = TpcdsLite::generate(1, 9);
         assert!(!d.store_returns.is_empty());
-        let sales: FxHashSet<(Value, Value)> = d
-            .store_sales
-            .iter()
-            .map(|s| (s[0], s[1]))
-            .collect();
+        let sales: FxHashSet<(Value, Value)> = d.store_sales.iter().map(|s| (s[0], s[1])).collect();
         for r in &d.store_returns {
             assert!(sales.contains(&(r[0], r[1])));
         }
@@ -165,8 +160,7 @@ mod tests {
         let d = TpcdsLite::generate(1, 11);
         let tickets: FxHashSet<Value> = d.store_sales.iter().map(|s| s[1]).collect();
         assert_eq!(tickets.len(), d.store_sales.len());
-        let hd: FxHashSet<Value> =
-            d.household_demographics.iter().map(|r| r[0]).collect();
+        let hd: FxHashSet<Value> = d.household_demographics.iter().map(|r| r[0]).collect();
         assert_eq!(hd.len(), d.household_demographics.len());
     }
 

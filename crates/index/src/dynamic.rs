@@ -97,8 +97,7 @@ impl DynamicIndex {
                     .map(|rel| {
                         let info = tree.node(rel);
                         let grouped = options.grouping && info.groupable;
-                        if grouped && info.ebar_positions.len() > rsj_common::value::MAX_KEY_ARITY
-                        {
+                        if grouped && info.ebar_positions.len() > rsj_common::value::MAX_KEY_ARITY {
                             // Fall back to ungrouped rather than failing:
                             // grouping is an optimization.
                             return NodeState::new(info.children.len(), false);
@@ -329,7 +328,9 @@ fn propagate(
     let Some(parent) = ts.tree.node(child_rel).parent else {
         return; // root: full-query count updated, nothing above
     };
-    let ci = ts.tree.node(parent)
+    let ci = ts
+        .tree
+        .node(parent)
         .children
         .iter()
         .position(|&c| c == child_rel)
@@ -597,8 +598,7 @@ mod tests {
         qb.relation("G1", &["A", "B1"]);
         qb.relation("G2", &["A", "B2"]);
         qb.relation("G3", &["A", "B3"]);
-        let mut idx =
-            DynamicIndex::new(qb.build().unwrap(), IndexOptions::default()).unwrap();
+        let mut idx = DynamicIndex::new(qb.build().unwrap(), IndexOptions::default()).unwrap();
         // Hub 5: 3 G2 tuples (cnt~ 4), 2 G3 tuples (cnt~ 2), 1 G1 tuple.
         for b in 0..3u64 {
             idx.insert(1, &[5, b]);
@@ -614,7 +614,9 @@ mod tests {
         // is a product of rounded counts along the tree — at least the true
         // join size 6, at most 8*2 = 16 for any shape.
         let ts = &idx.trees[0];
-        let cnt = ts.nodes[0].group(ts.nodes[0].group_id(&Key::EMPTY).unwrap()).cnt;
+        let cnt = ts.nodes[0]
+            .group(ts.nodes[0].group_id(&Key::EMPTY).unwrap())
+            .cnt;
         assert!((6..=16).contains(&cnt), "cnt={cnt}");
     }
 }

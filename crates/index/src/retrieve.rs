@@ -47,11 +47,7 @@ impl DynamicIndex {
 }
 
 /// Materializes a join result against a query and database.
-pub fn materialize(
-    query: &rsj_query::Query,
-    db: &Database,
-    result: &JoinResult,
-) -> Vec<Value> {
+pub fn materialize(query: &rsj_query::Query, db: &Database, result: &JoinResult) -> Vec<Value> {
     let mut out = vec![0; query.num_attrs()];
     for &(rel, tid) in result {
         let tuple = db.relation(rel).tuple(tid);
@@ -474,9 +470,7 @@ mod tests {
                     // Complete the partial result with the probe values
                     // for comparison: materialize partners then overlay t.
                     let mut m = idx.materialize(&r);
-                    for (pos, &attr) in
-                        idx.query().relation(rel).attrs.iter().enumerate()
-                    {
+                    for (pos, &attr) in idx.query().relation(rel).attrs.iter().enumerate() {
                         m[attr] = t[pos];
                     }
                     r.clear();

@@ -40,8 +40,7 @@ impl FullSampler {
     pub fn implicit_size(&self, idx: &DynamicIndex) -> u128 {
         let ts = &idx.trees[self.root];
         let ns = &ts.nodes[self.root];
-        ns.group_id(&Key::EMPTY)
-            .map_or(0, |g| ns.group(g).cnt)
+        ns.group_id(&Key::EMPTY).map_or(0, |g| ns.group(g).cnt)
     }
 
     /// One sampling trial: uniform position, `None` if it hit a dummy (or
@@ -80,12 +79,7 @@ impl FullSampler {
     /// `≈ sqrt((1-φ)/(φ·trials))` for real fraction `φ >= (1/2)^{2|T|-1}`.
     /// This is the classic "size estimation via join sampling" application
     /// the paper's related work ([14, 21]) targets.
-    pub fn estimate_result_size(
-        &self,
-        idx: &DynamicIndex,
-        rng: &mut RsjRng,
-        trials: usize,
-    ) -> f64 {
+    pub fn estimate_result_size(&self, idx: &DynamicIndex, rng: &mut RsjRng, trials: usize) -> f64 {
         let size = self.implicit_size(idx);
         if size == 0 || trials == 0 {
             return 0.0;
@@ -201,9 +195,7 @@ mod tests {
         let ts = &idx.trees[0];
         let mut reals = 0u128;
         for z in 0..size {
-            if crate::retrieve::retrieve_group(ts, idx.database(), 0, &Key::EMPTY, z)
-                .is_some()
-            {
+            if crate::retrieve::retrieve_group(ts, idx.database(), 0, &Key::EMPTY, z).is_some() {
                 reals += 1;
             }
         }
@@ -228,9 +220,7 @@ mod tests {
         let mut exact = 0u128;
         let ts = &idx.trees[0];
         for z in 0..size {
-            if crate::retrieve::retrieve_group(ts, idx.database(), 0, &Key::EMPTY, z)
-                .is_some()
-            {
+            if crate::retrieve::retrieve_group(ts, idx.database(), 0, &Key::EMPTY, z).is_some() {
                 exact += 1;
             }
         }

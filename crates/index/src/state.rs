@@ -300,9 +300,7 @@ impl HeapSize for NodeState {
             + self
                 .child_indexes
                 .iter()
-                .map(|m| {
-                    m.heap_size() + m.values().map(HeapSize::heap_size).sum::<usize>()
-                })
+                .map(|m| m.heap_size() + m.values().map(HeapSize::heap_size).sum::<usize>())
                 .sum::<usize>()
             + self.grouped_data.heap_size()
     }
@@ -395,11 +393,7 @@ mod tests {
             let found = match p.level {
                 None => grp.zero[p.pos as usize],
                 Some(l) => {
-                    let b = grp
-                        .buckets
-                        .iter()
-                        .find(|b| b.level == l)
-                        .expect("bucket");
+                    let b = grp.buckets.iter().find(|b| b.level == l).expect("bucket");
                     b.items[p.pos as usize]
                 }
             };

@@ -10,7 +10,10 @@ use rsj_query::{Query, QueryBuilder};
 fn line_query(k: usize) -> Query {
     let mut qb = QueryBuilder::new();
     for i in 0..k {
-        qb.relation(&format!("G{i}"), &[&format!("A{i}"), &format!("A{}", i + 1)]);
+        qb.relation(
+            &format!("G{i}"),
+            &[&format!("A{i}"), &format!("A{}", i + 1)],
+        );
     }
     qb.build().unwrap()
 }
@@ -126,10 +129,7 @@ fn doubling_cascade_stays_consistent() {
     let mut tuples = Vec::new();
     // Chain skeleton: G1(x,0) G2(0,0) G3(0,0) G4(0,y).
     for i in 0..64u64 {
-        for (rel, t) in [
-            (0, [i, 0]),
-            (3, [0, i]),
-        ] {
+        for (rel, t) in [(0, [i, 0]), (3, [0, i])] {
             if idx.insert(rel, &t).is_some() {
                 tuples.push((rel, t));
             }

@@ -69,18 +69,17 @@ mod tests {
             assert!(rsj_query::JoinTree::build(&w.query).is_some(), "star-{k}");
         }
         let d = dumbbell(&edges, 1);
-        assert!(rsj_query::JoinTree::build(&d.query).is_none(), "dumbbell cyclic");
+        assert!(
+            rsj_query::JoinTree::build(&d.query).is_none(),
+            "dumbbell cyclic"
+        );
         assert_eq!(d.stream.len(), edges.len() * 7);
     }
 
     #[test]
     fn relational_workloads_build() {
         let t = TpcdsLite::generate(1, 2);
-        for (w, expected_rewritten) in [
-            (qx(&t, 3), 2),
-            (qy(&t, 3), 2),
-            (qz(&t, 3), 3),
-        ] {
+        for (w, expected_rewritten) in [(qx(&t, 3), 2), (qy(&t, 3), 2), (qz(&t, 3), 3)] {
             assert!(
                 rsj_query::JoinTree::build(&w.query).is_some(),
                 "{} must be acyclic",
@@ -98,7 +97,10 @@ mod tests {
         }
         let l = LdbcLite::generate(1, 2);
         let w = q10(&l, 3);
-        assert!(rsj_query::JoinTree::build(&w.query).is_some(), "Q10 acyclic");
+        assert!(
+            rsj_query::JoinTree::build(&w.query).is_some(),
+            "Q10 acyclic"
+        );
         let plan = rsj_query::CombinePlan::build(&w.query, &w.fks);
         assert!(
             plan.rewritten.num_relations() <= 4,

@@ -192,7 +192,12 @@ impl CombinePlan {
 
         // Assemble routing and the rewritten query (alive relations only).
         let alive_ids: Vec<usize> = (0..n).filter(|&i| alive[i]).collect();
-        let mut routing = vec![Routing::Fact { combined: usize::MAX }; n];
+        let mut routing = vec![
+            Routing::Fact {
+                combined: usize::MAX
+            };
+            n
+        ];
         let mut out_combined = Vec::with_capacity(alive_ids.len());
         let mut qb = QueryBuilder::new();
         for (out_idx, &i) in alive_ids.iter().enumerate() {
@@ -337,11 +342,7 @@ mod tests {
             .with_pk(5, vec![6]); // R6 PK C
         let plan = CombinePlan::build(&q, &fks);
         assert_eq!(plan.rewritten.num_relations(), 3);
-        let sizes: Vec<usize> = plan
-            .combined
-            .iter()
-            .map(|c| c.dims.len())
-            .collect();
+        let sizes: Vec<usize> = plan.combined.iter().map(|c| c.dims.len()).collect();
         // R1 alone, R2 absorbs R3+R4, R5 absorbs R6.
         assert_eq!(sizes, vec![0, 2, 1]);
     }

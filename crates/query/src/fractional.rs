@@ -86,10 +86,7 @@ pub fn rho_star_induced(q: &Query, lambda: &[AttrId]) -> f64 {
     if lambda.is_empty() {
         return 0.0;
     }
-    let rows: Vec<Vec<usize>> = lambda
-        .iter()
-        .map(|&a| q.relations_with_attr(a))
-        .collect();
+    let rows: Vec<Vec<usize>> = lambda.iter().map(|&a| q.relations_with_attr(a)).collect();
     min_fractional_cover(q.num_relations(), &rows).0
 }
 
@@ -106,9 +103,8 @@ fn is_feasible(w: &[f64], rows: &[Vec<usize>]) -> bool {
 fn solve_linear(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
     let n = b.len();
     for col in 0..n {
-        let pivot = (col..n).max_by(|&i, &j| {
-            a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap()
-        })?;
+        let pivot =
+            (col..n).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
         if a[pivot][col].abs() < 1e-12 {
             return None;
         }

@@ -279,11 +279,7 @@ mod tests {
     #[test]
     fn manual_matches_search_on_dumbbell() {
         let q = dumbbell();
-        let ghd = Ghd::manual(
-            &q,
-            &[vec![0, 1, 2], vec![6], vec![3, 4, 5]],
-        )
-        .unwrap();
+        let ghd = Ghd::manual(&q, &[vec![0, 1, 2], vec![6], vec![3, 4, 5]]).unwrap();
         assert!((ghd.width() - 1.5).abs() < 1e-9);
         assert_eq!(ghd.bag_of(0), 0);
         assert_eq!(ghd.bag_of(6), 1);

@@ -242,10 +242,7 @@ mod tests {
     fn duplicate_attr_rejected() {
         let mut qb = QueryBuilder::new();
         qb.relation("R", &["X", "X"]);
-        assert!(matches!(
-            qb.build(),
-            Err(QueryError::DuplicateAttr { .. })
-        ));
+        assert!(matches!(qb.build(), Err(QueryError::DuplicateAttr { .. })));
     }
 
     #[test]

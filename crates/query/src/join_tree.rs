@@ -39,9 +39,7 @@ impl JoinTree {
             // Step 1: clear attributes now occurring in at most one living
             // relation.
             for a in 0..q.num_attrs() {
-                let holders: Vec<usize> = (0..n)
-                    .filter(|&i| alive[i] && attrs[i][a])
-                    .collect();
+                let holders: Vec<usize> = (0..n).filter(|&i| alive[i] && attrs[i][a]).collect();
                 if holders.len() == 1 {
                     attrs[holders[0]][a] = false;
                 }
@@ -57,8 +55,7 @@ impl JoinTree {
                     if i == j || !alive[j] {
                         continue;
                     }
-                    let contained =
-                        (0..q.num_attrs()).all(|a| !attrs[i][a] || attrs[j][a]);
+                    let contained = (0..q.num_attrs()).all(|a| !attrs[i][a] || attrs[j][a]);
                     if contained {
                         alive[i] = false;
                         remaining -= 1;

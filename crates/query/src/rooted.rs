@@ -171,8 +171,7 @@ impl RootedTree {
             ebar.sort_unstable();
             ebar.dedup();
             let is_internal_nonroot = parent[i].is_some() && !children[i].is_empty();
-            let groupable =
-                is_internal_nonroot && ebar.len() < q.relation(i).attrs.len();
+            let groupable = is_internal_nonroot && ebar.len() < q.relation(i).attrs.len();
             let pos_in_ebar = |attrs: &[AttrId]| -> Vec<usize> {
                 attrs
                     .iter()
@@ -185,18 +184,12 @@ impl RootedTree {
                 children: children[i].clone(),
                 key_attrs: key_attrs[i].clone(),
                 key_positions: positions(i, &key_attrs[i]),
-                child_key_positions: child_keys
-                    .iter()
-                    .map(|ck| positions(i, ck))
-                    .collect(),
+                child_key_positions: child_keys.iter().map(|ck| positions(i, ck)).collect(),
                 subtree_size: subtree[i],
                 ebar_positions: positions(i, &ebar),
                 groupable,
                 key_positions_in_ebar: pos_in_ebar(&key_attrs[i]),
-                child_key_positions_in_ebar: child_keys
-                    .iter()
-                    .map(|ck| pos_in_ebar(ck))
-                    .collect(),
+                child_key_positions_in_ebar: child_keys.iter().map(|ck| pos_in_ebar(ck)).collect(),
             });
         }
         Ok(RootedTree { root, nodes, order })
@@ -366,8 +359,8 @@ mod tests {
         let rt = RootedTree::build(&q, &t, 1).unwrap();
         // key(R) = {A, B}, sorted by attr id. Builder interned B=0, A=1.
         assert_eq!(rt.node(0).key_attrs, vec![0, 1]); // B then A
-        // In R's schema (B, A, X): positions 0, 1. In S's schema (A, B, Y):
-        // child_key_positions from S's perspective: B at 1, A at 0.
+                                                      // In R's schema (B, A, X): positions 0, 1. In S's schema (A, B, Y):
+                                                      // child_key_positions from S's perspective: B at 1, A at 0.
         assert_eq!(rt.node(0).key_positions, vec![0, 1]);
         assert_eq!(rt.node(1).child_key_positions, vec![vec![1, 0]]);
     }

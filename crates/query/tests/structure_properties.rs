@@ -117,7 +117,11 @@ fn ghd_width_never_exceeds_rho_star() {
     for (name, specs) in [
         (
             "triangle",
-            vec![("R1", vec!["X", "Y"]), ("R2", vec!["Y", "Z"]), ("R3", vec!["Z", "X"])],
+            vec![
+                ("R1", vec!["X", "Y"]),
+                ("R2", vec!["Y", "Z"]),
+                ("R3", vec!["Z", "X"]),
+            ],
         ),
         (
             "cycle4",

@@ -104,9 +104,7 @@ mod tests {
 
     #[test]
     fn shuffle_is_a_permutation() {
-        let mut s: TupleStream = (0..100u64)
-            .map(|v| InputTuple::new(0, vec![v]))
-            .collect();
+        let mut s: TupleStream = (0..100u64).map(|v| InputTuple::new(0, vec![v])).collect();
         let mut rng = RsjRng::seed_from_u64(5);
         s.shuffle(&mut rng);
         let mut vals: Vec<Value> = s.iter().map(|t| t.values[0]).collect();

@@ -109,11 +109,7 @@ impl HeapSize for Relation {
     fn heap_size(&self) -> usize {
         self.data.heap_size()
             + self.dedup.heap_size()
-            + self
-                .dedup
-                .values()
-                .map(|v| v.heap_size())
-                .sum::<usize>()
+            + self.dedup.values().map(|v| v.heap_size()).sum::<usize>()
             + self.name.heap_size()
     }
 }
@@ -169,7 +165,10 @@ impl Database {
 
 impl HeapSize for Database {
     fn heap_size(&self) -> usize {
-        self.relations.iter().map(HeapSize::heap_size).sum::<usize>()
+        self.relations
+            .iter()
+            .map(HeapSize::heap_size)
+            .sum::<usize>()
             + self.relations.capacity() * std::mem::size_of::<Relation>()
     }
 }

@@ -115,11 +115,7 @@ mod tests {
         // BatchGenerate Case 3.
         for cnt in 1usize..200 {
             let padded = pad(&vec![true; cnt], cnt.next_power_of_two() - cnt);
-            assert!(
-                density(&padded) >= 0.5,
-                "cnt={cnt} d={}",
-                density(&padded)
-            );
+            assert!(density(&padded) >= 0.5, "cnt={cnt} d={}", density(&padded));
         }
     }
 }

@@ -328,10 +328,7 @@ mod tests {
         let mut b = SliceBatch::new(&items);
         r.process_batch(&mut b, Some);
         let stops = r.stops();
-        assert!(
-            (300..4000).contains(&stops),
-            "stops={stops}, expected ~790"
-        );
+        assert!((300..4000).contains(&stops), "stops={stops}, expected ~790");
     }
 
     #[test]

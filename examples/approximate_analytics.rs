@@ -63,16 +63,20 @@ fn main() {
     // (1) COUNT(*).
     let est_count = ix.estimate_result_size(50_000);
     let true_count = exact.index().total_results() as f64;
-    println!("COUNT(*):   estimate {est_count:.0}   exact {true_count:.0}   err {:.2}%",
-        100.0 * (est_count - true_count).abs() / true_count);
+    println!(
+        "COUNT(*):   estimate {est_count:.0}   exact {true_count:.0}   err {:.2}%",
+        100.0 * (est_count - true_count).abs() / true_count
+    );
 
     // (2) AVG(amount) — attribute order: order, cust, amount, region.
     let avg_est: f64 =
         rj.samples().iter().map(|s| s[2] as f64).sum::<f64>() / rj.samples().len() as f64;
-    let avg_true: f64 = exact.samples().iter().map(|s| s[2] as f64).sum::<f64>()
-        / exact.samples().len() as f64;
-    println!("AVG(amount): estimate {avg_est:.2}   exact {avg_true:.2}   err {:.2}%",
-        100.0 * (avg_est - avg_true).abs() / avg_true);
+    let avg_true: f64 =
+        exact.samples().iter().map(|s| s[2] as f64).sum::<f64>() / exact.samples().len() as f64;
+    println!(
+        "AVG(amount): estimate {avg_est:.2}   exact {avg_true:.2}   err {:.2}%",
+        100.0 * (avg_est - avg_true).abs() / avg_true
+    );
 
     // (3) GROUP BY region shares.
     let share = |samples: &[Vec<u64>], region: u64| -> f64 {

@@ -10,10 +10,9 @@
 //! get snapshots through a lock that is held only long enough to clone
 //! `k` sample tuples.
 
-use crossbeam::channel;
-use parking_lot::RwLock;
 use rsjoin::prelude::*;
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, RwLock};
 use std::thread;
 use std::time::Duration;
 
@@ -23,7 +22,7 @@ fn main() {
     qb.relation("purchases", &["user", "item"]);
     let query = qb.build().unwrap();
 
-    let (tx, rx) = channel::bounded::<InputTuple>(1024);
+    let (tx, rx) = mpsc::sync_channel::<InputTuple>(1024);
     let snapshots: Arc<RwLock<Vec<Vec<Value>>>> = Arc::new(RwLock::new(Vec::new()));
 
     // Producer: a click/purchase stream with skewed users.
@@ -52,11 +51,11 @@ fn main() {
                 rj.process(t.relation, &t.values);
                 since_publish += 1;
                 if since_publish == 10_000 {
-                    *snapshots.write() = rj.samples().to_vec();
+                    *snapshots.write().unwrap() = rj.samples().to_vec();
                     since_publish = 0;
                 }
             }
-            *snapshots.write() = rj.samples().to_vec();
+            *snapshots.write().unwrap() = rj.samples().to_vec();
             (rj.tuples_processed(), rj.reservoir_stops())
         })
     };
@@ -64,7 +63,7 @@ fn main() {
     // Reader: polls snapshots while ingestion is running.
     for tick in 1..=5 {
         thread::sleep(Duration::from_millis(150));
-        let snap = snapshots.read().clone();
+        let snap = snapshots.read().unwrap().clone();
         println!(
             "tick {tick}: snapshot holds {} samples of clicks ⋈ purchases",
             snap.len()
@@ -73,7 +72,7 @@ fn main() {
 
     producer.join().unwrap();
     let (n, stops) = consumer.join().unwrap();
-    let final_snap = snapshots.read().clone();
+    let final_snap = snapshots.read().unwrap().clone();
     println!(
         "\ningested N = {n} tuples; reservoir stopped {stops} times; \
          final snapshot = {} samples",

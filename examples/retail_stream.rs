@@ -6,14 +6,27 @@
 //! QY-style scenario: sales facts stream in and join customers →
 //! demographics → *income band* → demographics → customers, pairing every
 //! sale with the customers in the same income band — a join that explodes
-//! quadratically. We maintain uniform samples with both the plain driver
-//! (`RSJoin`) and the foreign-key-combined one (`RSJoin_opt`) and compare
-//! their work.
+//! quadratically. We maintain uniform samples with both the plain engine
+//! (`RSJoin`) and the foreign-key-combined one (`RSJoin_opt`), built by
+//! the [`Engine`] factory and driven through one `dyn JoinSampler` loop.
 
 use rsjoin::datagen::TpcdsLite;
 use rsjoin::prelude::*;
 use rsjoin::queries::qy;
 use std::time::Instant;
+
+/// Runs the workload through the facade's uniform driver, reporting wall
+/// time — the same loop both engines share.
+fn run(
+    engine: Engine,
+    w: &rsjoin::queries::Workload,
+    k: usize,
+    seed: u64,
+) -> (std::time::Duration, Box<dyn JoinSampler>) {
+    let t0 = Instant::now();
+    let s = rsjoin::engine::run_workload(w, engine, k, seed).expect("acyclic");
+    (t0.elapsed(), s)
+}
 
 fn main() {
     let data = TpcdsLite::generate(/*sf*/ 2, /*seed*/ 11);
@@ -24,55 +37,37 @@ fn main() {
         w.stream.len()
     );
 
-    // Plain RSJoin over the 5-relation query.
-    let t0 = Instant::now();
-    let mut plain = ReservoirJoin::new(w.query.clone(), 1_000, 1).unwrap();
-    for t in &w.preload {
-        plain.process(t.relation, &t.values);
-    }
-    plain.process_stream(&w.stream);
-    let plain_time = t0.elapsed();
-
+    let (plain_time, plain) = run(Engine::Reservoir, &w, 1_000, 1);
     // RSJoin_opt: the rewrite collapses the FK spine to a 2-relation join
     // on the income band.
-    let t0 = Instant::now();
-    let mut opt = FkReservoirJoin::new(&w.query, &w.fks, 1_000, 2).unwrap();
-    for t in &w.preload {
-        opt.process(t.relation, &t.values);
-    }
-    for t in w.stream.iter() {
-        opt.process(t.relation, &t.values);
-    }
-    let opt_time = t0.elapsed();
+    let (opt_time, opt) = run(Engine::FkReservoir, &w, 1_000, 2);
 
     println!(
         "\nrewritten query: {} relations -> {} relations ({})",
         w.query.num_relations(),
-        opt.rewritten_query().num_relations(),
-        opt.rewritten_query()
+        opt.output_query().num_relations(),
+        opt.output_query()
             .relations()
             .iter()
             .map(|r| r.name.as_str())
             .collect::<Vec<_>>()
             .join(", ")
     );
-    println!(
-        "join size bound ≈ {}",
-        FullSampler::default().implicit_size(plain.index())
-    );
-    println!(
-        "RSJoin:     {:>8.1?}  (propagation loops {:>9})",
-        plain_time,
-        plain.index_stats().propagation_loops
-    );
-    println!(
-        "RSJoin_opt: {:>8.1?}  (propagation loops {:>9})",
-        opt_time,
-        opt.inner().index_stats().propagation_loops
-    );
+    let report = |s: &dyn JoinSampler, time: std::time::Duration| {
+        let st = s.stats();
+        println!(
+            "{:<11} {:>8.1?}  (reservoir stops {:>7}, heap ≈ {} KiB)",
+            format!("{}:", s.name()),
+            time,
+            st.reservoir_stops.unwrap_or(0),
+            st.heap_bytes.unwrap_or(0) / 1024
+        );
+    };
+    report(plain.as_ref(), plain_time);
+    report(opt.as_ref(), opt_time);
 
     // Show a few samples with attribute names resolved.
-    let q = opt.rewritten_query();
+    let q = opt.output_query();
     println!("\n3 uniform samples of the QY join (rewritten schema):");
     for s in opt.samples().iter().take(3) {
         let kv: Vec<String> = q

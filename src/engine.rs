@@ -1,0 +1,305 @@
+//! The engine registry: every join-sampling engine in the workspace,
+//! constructible behind one factory.
+//!
+//! [`Engine`] names the seven engines the paper's evaluation compares
+//! (§6.1) and [`Engine::build`] constructs any of them as a
+//! `Box<dyn JoinSampler>`, so multi-engine tests, benches and examples are
+//! written once against the trait instead of once per engine:
+//!
+//! ```
+//! use rsjoin::engine::{Engine, EngineOpts};
+//! use rsjoin::prelude::*;
+//!
+//! let mut qb = QueryBuilder::new();
+//! qb.relation("R", &["X", "Y"]);
+//! qb.relation("S", &["Y", "Z"]);
+//! let query = qb.build().unwrap();
+//!
+//! let mut stream = TupleStream::new();
+//! stream.push(0, vec![1, 2]);
+//! stream.push(1, vec![2, 3]);
+//!
+//! for engine in Engine::ALL {
+//!     if !engine.supports(&query) {
+//!         continue;
+//!     }
+//!     let mut s = engine.build(&query, 10, 7, &EngineOpts::default()).unwrap();
+//!     s.process_stream(&stream);
+//!     assert_eq!(s.samples_named().len(), 1, "{engine}");
+//! }
+//! ```
+
+use rsj_baselines::{NaiveRebuild, SJoin, SJoinOpt, SymmetricSampler};
+use rsj_core::{CyclicReservoirJoin, FkReservoirJoin, JoinSampler, ReservoirJoin};
+use rsj_index::IndexOptions;
+use rsj_queries::Workload;
+use rsj_query::{FkSchema, JoinTree, Query};
+
+/// Per-build options shared by all engines.
+///
+/// `k` and `seed` are positional in [`Engine::build`] because every engine
+/// needs them; everything here is engine-specific and optional.
+#[derive(Clone, Debug, Default)]
+pub struct EngineOpts {
+    /// Primary-key metadata for the `_opt` engines' foreign-key
+    /// combination rewrite. `None` means no keys are declared, making the
+    /// rewrite the identity — `RSJoin_opt` and `SJoin_opt` then behave
+    /// like their plain counterparts.
+    pub fks: Option<FkSchema>,
+    /// Dynamic-index tuning for the `RSJoin` family (grouping on/off).
+    pub index: IndexOptions,
+}
+
+/// Why an engine could not be constructed for a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The engine does not support this query shape (e.g. `SJoin` on a
+    /// cyclic query, `SymmetricHashJoin` on more than two relations).
+    Unsupported(String),
+    /// Construction failed for an engine-specific reason.
+    Build(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Unsupported(m) => write!(f, "unsupported query shape: {m}"),
+            EngineError::Build(m) => write!(f, "engine construction failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The seven join-sampling engines of the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// `RSJoin` (Algorithm 6): the paper's near-linear engine for acyclic
+    /// joins — dynamic index with power-of-two-rounded counts feeding a
+    /// skip-based predicate reservoir.
+    Reservoir,
+    /// `RSJoin_opt` (§4.4): `RSJoin` over the foreign-key combination
+    /// rewrite; dimension joins resolve in the streaming combiner.
+    FkReservoir,
+    /// The GHD driver of §5: bag sub-joins materialized by worst-case
+    /// optimal delta enumeration feed an acyclic `RSJoin` over the
+    /// bag-level query. Handles cyclic (and any) queries.
+    Cyclic,
+    /// Rebuild-and-redraw strawman (§1): recompute the full join and
+    /// redraw after every insert. Ground truth for tests.
+    Naive,
+    /// `SJoin` (Zhao et al., SIGMOD'20): exact-count index, `O(N)` worst
+    /// case per update — the state of the art the paper beats.
+    SJoin,
+    /// `SJoin_opt`: `SJoin` behind the foreign-key combination rewrite.
+    SJoinOpt,
+    /// Symmetric hash join + classic reservoir: the streaming two-table
+    /// baseline.
+    Symmetric,
+}
+
+impl Engine {
+    /// Every engine, in the order the paper's tables list them.
+    pub const ALL: [Engine; 7] = [
+        Engine::Reservoir,
+        Engine::FkReservoir,
+        Engine::Cyclic,
+        Engine::Naive,
+        Engine::SJoin,
+        Engine::SJoinOpt,
+        Engine::Symmetric,
+    ];
+
+    /// The engine's display name, matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Reservoir => "RSJoin",
+            Engine::FkReservoir => "RSJoin_opt",
+            Engine::Cyclic => "RSJoin_cyclic",
+            Engine::Naive => "NaiveRebuild",
+            Engine::SJoin => "SJoin",
+            Engine::SJoinOpt => "SJoin_opt",
+            Engine::Symmetric => "SymmetricHashJoin",
+        }
+    }
+
+    /// Whether this engine can run the query at all: the `RSJoin`/`SJoin`
+    /// families need an acyclic query, the symmetric hash join needs
+    /// exactly two relations, and `Cyclic`/`Naive` take anything.
+    pub fn supports(self, query: &Query) -> bool {
+        match self {
+            Engine::Cyclic | Engine::Naive => true,
+            Engine::Symmetric => query.num_relations() == 2,
+            Engine::Reservoir | Engine::FkReservoir | Engine::SJoin | Engine::SJoinOpt => {
+                JoinTree::build(query).is_some()
+            }
+        }
+    }
+
+    /// Constructs the engine for `query`, maintaining `k` uniform samples,
+    /// seeded with `seed`.
+    pub fn build(
+        self,
+        query: &Query,
+        k: usize,
+        seed: u64,
+        opts: &EngineOpts,
+    ) -> Result<Box<dyn JoinSampler>, EngineError> {
+        if !self.supports(query) {
+            return Err(EngineError::Unsupported(format!(
+                "{} cannot run {}-relation {} query",
+                self.name(),
+                query.num_relations(),
+                if JoinTree::build(query).is_some() {
+                    "acyclic"
+                } else {
+                    "cyclic"
+                }
+            )));
+        }
+        let fks = || {
+            opts.fks
+                .clone()
+                .unwrap_or_else(|| FkSchema::none(query.num_relations()))
+        };
+        match self {
+            Engine::Reservoir => ReservoirJoin::with_options(query.clone(), k, seed, opts.index)
+                .map(|e| Box::new(e) as Box<dyn JoinSampler>)
+                .map_err(|e| EngineError::Build(e.to_string())),
+            Engine::FkReservoir => {
+                FkReservoirJoin::with_options(query, &fks(), k, seed, opts.index)
+                    .map(|e| Box::new(e) as Box<dyn JoinSampler>)
+                    .map_err(|e| EngineError::Build(e.to_string()))
+            }
+            Engine::Cyclic => CyclicReservoirJoin::with_options(query.clone(), k, seed, opts.index)
+                .map(|e| Box::new(e) as Box<dyn JoinSampler>)
+                .map_err(|e| EngineError::Build(e.to_string())),
+            Engine::Naive => Ok(Box::new(NaiveRebuild::new(query.clone(), k, seed))),
+            Engine::SJoin => SJoin::new(query.clone(), k, seed)
+                .map(|e| Box::new(e) as Box<dyn JoinSampler>)
+                .map_err(EngineError::Build),
+            Engine::SJoinOpt => SJoinOpt::new(query, &fks(), k, seed)
+                .map(|e| Box::new(e) as Box<dyn JoinSampler>)
+                .map_err(EngineError::Build),
+            Engine::Symmetric => SymmetricSampler::new(query.clone(), k, seed)
+                .map(|e| Box::new(e) as Box<dyn JoinSampler>)
+                .map_err(EngineError::Build),
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The per-workload engine options: the workload's FK metadata with
+/// default index tuning.
+pub fn workload_opts(w: &Workload) -> EngineOpts {
+    EngineOpts {
+        fks: Some(w.fks.clone()),
+        ..EngineOpts::default()
+    }
+}
+
+/// Builds `engine` for a packaged [`Workload`] and streams its preload
+/// then its input stream through the trait — the one driver loop tests
+/// and examples share (`rsj-bench` layers its timing cap on top of the
+/// same primitives).
+pub fn run_workload(
+    w: &Workload,
+    engine: Engine,
+    k: usize,
+    seed: u64,
+) -> Result<Box<dyn JoinSampler>, EngineError> {
+    let mut s = engine.build(&w.query, k, seed, &workload_opts(w))?;
+    for t in &w.preload {
+        s.process(t.relation, &t.values);
+    }
+    s.process_stream(&w.stream);
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_storage::TupleStream;
+
+    fn two_table() -> Query {
+        let mut qb = rsj_query::QueryBuilder::new();
+        qb.relation("R", &["X", "Y"]);
+        qb.relation("S", &["Y", "Z"]);
+        qb.build().unwrap()
+    }
+
+    fn triangle() -> Query {
+        let mut qb = rsj_query::QueryBuilder::new();
+        qb.relation("R1", &["X", "Y"]);
+        qb.relation("R2", &["Y", "Z"]);
+        qb.relation("R3", &["Z", "X"]);
+        qb.build().unwrap()
+    }
+
+    #[test]
+    fn all_engines_build_on_two_table() {
+        for engine in Engine::ALL {
+            let s = engine
+                .build(&two_table(), 10, 1, &EngineOpts::default())
+                .unwrap_or_else(|e| panic!("{engine}: {e}"));
+            assert_eq!(s.k(), 10, "{engine}");
+        }
+    }
+
+    #[test]
+    fn cyclic_queries_reject_acyclic_only_engines() {
+        let q = triangle();
+        for engine in [Engine::Reservoir, Engine::FkReservoir, Engine::SJoin] {
+            assert!(!engine.supports(&q));
+            assert!(matches!(
+                engine.build(&q, 10, 1, &EngineOpts::default()),
+                Err(EngineError::Unsupported(_))
+            ));
+        }
+        assert!(Engine::Cyclic.supports(&q));
+        assert!(Engine::Naive.supports(&q));
+        assert!(!Engine::Symmetric.supports(&q), "3 relations");
+    }
+
+    #[test]
+    fn engine_names_are_distinct() {
+        let names: std::collections::BTreeSet<&str> =
+            Engine::ALL.iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), Engine::ALL.len());
+    }
+
+    #[test]
+    fn index_options_reach_every_rsjoin_family_engine() {
+        // Regression: the factory must route `opts.index` into the inner
+        // acyclic driver of *all* RSJoin-family engines, not just the
+        // plain one. Grouping on/off never changes results, so with
+        // k >= |Q(R)| both configurations collect the identical set.
+        let q = two_table();
+        let mut stream = TupleStream::new();
+        let mut rng = rsj_common::rng::RsjRng::seed_from_u64(5);
+        for _ in 0..120 {
+            stream.push(rng.index(2), vec![rng.below_u64(4), rng.below_u64(4)]);
+        }
+        for engine in [Engine::Reservoir, Engine::FkReservoir, Engine::Cyclic] {
+            let run = |grouping: bool| {
+                let opts = EngineOpts {
+                    index: IndexOptions { grouping },
+                    ..EngineOpts::default()
+                };
+                let mut s = engine.build(&q, 1 << 20, 1, &opts).unwrap();
+                s.process_stream(&stream);
+                s.samples_named()
+                    .into_iter()
+                    .collect::<std::collections::BTreeSet<_>>()
+            };
+            let with = run(true);
+            assert!(!with.is_empty(), "{engine}");
+            assert_eq!(with, run(false), "{engine}");
+        }
+    }
+}

@@ -34,6 +34,7 @@
 //! | `ReservoirJoin` driver | [`core`] | §3.4 (Alg. 6) |
 //! | Cyclic joins via GHDs + generic join | [`core`], [`query`] | §5 |
 //! | SJoin / symmetric / naive baselines | [`baselines`] | §6 |
+//! | `JoinSampler` executor trait + [`engine::Engine`] factory | [`core`], [`engine`] | §6.1 (the engines compared) |
 //! | Workload generators & benchmark queries | [`datagen`], [`queries`] | §6.1, §6.3 |
 //!
 //! Every figure and table of the paper's evaluation has a regenerating
@@ -49,12 +50,18 @@ pub use rsj_query as query;
 pub use rsj_storage as storage;
 pub use rsj_stream as stream;
 
+pub mod engine;
+
 /// The most common imports in one place.
 pub mod prelude {
-    pub use rsj_baselines::{NaiveRebuild, SJoin, SJoinOpt, SymmetricHashJoin};
+    pub use crate::engine::{Engine, EngineError, EngineOpts};
+    pub use rsj_baselines::{NaiveRebuild, SJoin, SJoinOpt, SymmetricHashJoin, SymmetricSampler};
     pub use rsj_common::rng::RsjRng;
     pub use rsj_common::{Key, TupleId, Value};
-    pub use rsj_core::{CyclicReservoirJoin, DynamicSampleIndex, FkReservoirJoin, ReservoirJoin};
+    pub use rsj_core::{
+        CyclicReservoirJoin, DynamicSampleIndex, FkReservoirJoin, JoinSampler, ReservoirJoin,
+        SamplerStats,
+    };
     pub use rsj_index::{DynamicIndex, FullSampler, IndexOptions};
     pub use rsj_query::{FkSchema, Ghd, Query, QueryBuilder};
     pub use rsj_storage::{Database, InputTuple, TupleStream};

@@ -17,13 +17,7 @@ fn power_of_two_boundary_degrees() {
     for j in [1u64, 2, 4, 8, 16, 32, 64] {
         // Grow S⋉{Y=0} to exactly j tuples, then add one R probe.
         let start = rj.samples().len();
-        while rj
-            .index()
-            .database()
-            .relation(1)
-            .len()
-            < j as usize
-        {
+        while rj.index().database().relation(1).len() < j as usize {
             let z = rj.index().database().relation(1).len() as u64;
             rj.process(1, &[0, z]);
         }
@@ -37,10 +31,24 @@ fn power_of_two_boundary_degrees() {
     qb.relation("R", &["X", "Y"]);
     qb.relation("S", &["Y", "Z"]);
     let mut sj = SJoin::new(qb.build().unwrap(), 1 << 20, 1).unwrap();
-    for t in rj.index().database().relation(1).iter().map(|(_, t)| t.to_vec()).collect::<Vec<_>>() {
+    for t in rj
+        .index()
+        .database()
+        .relation(1)
+        .iter()
+        .map(|(_, t)| t.to_vec())
+        .collect::<Vec<_>>()
+    {
         sj.process(1, &t);
     }
-    for t in rj.index().database().relation(0).iter().map(|(_, t)| t.to_vec()).collect::<Vec<_>>() {
+    for t in rj
+        .index()
+        .database()
+        .relation(0)
+        .iter()
+        .map(|(_, t)| t.to_vec())
+        .collect::<Vec<_>>()
+    {
         sj.process(0, &t);
     }
     assert_eq!(rj.samples().len() as u128, sj.index().total_results());
@@ -70,20 +78,28 @@ fn six_relation_chain() {
     // propagation through 5 levels and 6 rooted trees.
     let mut qb = QueryBuilder::new();
     for i in 0..6 {
-        qb.relation(&format!("G{i}"), &[&format!("A{i}"), &format!("A{}", i + 1)]);
+        qb.relation(
+            &format!("G{i}"),
+            &[&format!("A{i}"), &format!("A{}", i + 1)],
+        );
     }
     let q = qb.build().unwrap();
-    let mut rj = ReservoirJoin::new(q.clone(), 1 << 20, 1).unwrap();
-    let mut sj = SJoin::new(q, 1 << 20, 2).unwrap();
     let mut rng = RsjRng::seed_from_u64(3);
+    let mut stream = TupleStream::new();
     for _ in 0..400 {
-        let rel = rng.index(6);
-        let t = [rng.below_u64(3), rng.below_u64(3)];
-        rj.process(rel, &t);
-        sj.process(rel, &t);
+        stream.push(rng.index(6), vec![rng.below_u64(3), rng.below_u64(3)]);
     }
-    let a: std::collections::BTreeSet<Vec<u64>> = rj.samples().iter().cloned().collect();
-    let b: std::collections::BTreeSet<Vec<u64>> = sj.samples().iter().cloned().collect();
+    let run = |engine: Engine, seed: u64| {
+        let mut s = engine
+            .build(&q, 1 << 20, seed, &EngineOpts::default())
+            .unwrap();
+        s.process_stream(&stream);
+        s.samples_named()
+            .into_iter()
+            .collect::<std::collections::BTreeSet<_>>()
+    };
+    let a = run(Engine::Reservoir, 1);
+    let b = run(Engine::SJoin, 2);
     assert!(!a.is_empty());
     assert_eq!(a, b);
 }
@@ -122,25 +138,26 @@ fn skew_flip_flop() {
     qb.relation("G2", &["B", "C"]);
     qb.relation("G3", &["C", "D"]);
     let q = qb.build().unwrap();
-    let mut rj = ReservoirJoin::new(q.clone(), 1 << 22, 1).unwrap();
-    let mut sj = SJoin::new(q, 1 << 22, 2).unwrap();
+    let mut stream = TupleStream::new();
     for round in 0..6u64 {
         let hot = round % 2;
         for i in 0..50u64 {
-            let t1 = [round * 100 + i, hot];
-            let t2 = [hot, hot];
-            let t3 = [hot, round * 100 + i];
-            rj.process(0, &t1);
-            sj.process(0, &t1);
-            rj.process(1, &t2);
-            sj.process(1, &t2);
-            rj.process(2, &t3);
-            sj.process(2, &t3);
+            stream.push(0, vec![round * 100 + i, hot]);
+            stream.push(1, vec![hot, hot]);
+            stream.push(2, vec![hot, round * 100 + i]);
         }
     }
-    let a: std::collections::BTreeSet<Vec<u64>> = rj.samples().iter().cloned().collect();
-    let b: std::collections::BTreeSet<Vec<u64>> = sj.samples().iter().cloned().collect();
-    assert_eq!(a.len() as u128, sj.index().total_results());
+    let run = |engine: Engine, seed: u64| {
+        let mut s = engine
+            .build(&q, 1 << 22, seed, &EngineOpts::default())
+            .unwrap();
+        s.process_stream(&stream);
+        let set: std::collections::BTreeSet<_> = s.samples_named().into_iter().collect();
+        (set, s.stats().exact_results)
+    };
+    let (a, _) = run(Engine::Reservoir, 1);
+    let (b, exact) = run(Engine::SJoin, 2);
+    assert_eq!(a.len() as u128, exact.expect("SJoin counts"));
     assert_eq!(a, b);
 }
 

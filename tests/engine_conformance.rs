@@ -1,0 +1,175 @@
+//! Cross-engine conformance: one workload streamed through every
+//! [`Engine`] variant via `dyn JoinSampler`, asserting exact agreement of
+//! the collected result sets (and therefore join counts) against the
+//! `NaiveRebuild` ground truth.
+//!
+//! This is the executor layer's contract test: every engine, however it
+//! rewrites or decomposes the query internally, must expose the same
+//! name→value result set through the uniform interface. No per-engine
+//! driver code appears anywhere in this file — engines are built by the
+//! factory and driven exclusively through the trait.
+
+use rsjoin::prelude::*;
+
+type ResultSet = std::collections::BTreeSet<Vec<(String, u64)>>;
+
+/// `k` large enough that the reservoir collects every result.
+const K_ALL: usize = 1 << 22;
+
+/// Builds `engine`, streams `stream` through the trait, returns the
+/// normalized result set.
+fn collect(engine: Engine, query: &Query, opts: &EngineOpts, stream: &TupleStream) -> ResultSet {
+    let mut sampler = engine
+        .build(query, K_ALL, 7, opts)
+        .unwrap_or_else(|e| panic!("{engine}: {e}"));
+    sampler.process_stream(stream);
+    sampler.samples_named().into_iter().collect()
+}
+
+/// Streams through every supporting engine and asserts agreement with
+/// `NaiveRebuild`. Returns the (common) result count.
+fn conform(query: &Query, opts: &EngineOpts, stream: &TupleStream, label: &str) -> usize {
+    let truth = collect(Engine::Naive, query, opts, stream);
+    for engine in Engine::ALL {
+        if engine == Engine::Naive || !engine.supports(query) {
+            continue;
+        }
+        let got = collect(engine, query, opts, stream);
+        assert_eq!(
+            got.len(),
+            truth.len(),
+            "{label}: {engine} count {} != naive count {}",
+            got.len(),
+            truth.len()
+        );
+        assert_eq!(got, truth, "{label}: {engine} disagrees with NaiveRebuild");
+    }
+    truth.len()
+}
+
+fn random_stream(rels: usize, n: usize, dom: u64, seed: u64) -> TupleStream {
+    let mut rng = RsjRng::seed_from_u64(seed);
+    let mut s = TupleStream::new();
+    for _ in 0..n {
+        s.push(
+            rng.index(rels),
+            vec![rng.below_u64(dom), rng.below_u64(dom)],
+        );
+    }
+    s
+}
+
+#[test]
+fn all_seven_engines_agree_on_two_table_join() {
+    // The only query shape every engine (including SymmetricHashJoin)
+    // supports: R(X,Y) ⋈ S(Y,Z).
+    let mut qb = QueryBuilder::new();
+    qb.relation("R", &["X", "Y"]);
+    qb.relation("S", &["Y", "Z"]);
+    let q = qb.build().unwrap();
+    let opts = EngineOpts::default();
+    for seed in 0..3 {
+        let stream = random_stream(2, 150, 6, 40 + seed);
+        let n = conform(&q, &opts, &stream, "two-table");
+        assert!(n > 0, "degenerate instance at seed {seed}");
+    }
+}
+
+#[test]
+fn acyclic_engines_agree_on_line3() {
+    let mut qb = QueryBuilder::new();
+    qb.relation("G1", &["A", "B"]);
+    qb.relation("G2", &["B", "C"]);
+    qb.relation("G3", &["C", "D"]);
+    let q = qb.build().unwrap();
+    let opts = EngineOpts::default();
+    for seed in 0..3 {
+        let stream = random_stream(3, 150, 5, 60 + seed);
+        let n = conform(&q, &opts, &stream, "line-3");
+        assert!(n > 0, "degenerate instance at seed {seed}");
+    }
+}
+
+#[test]
+fn fk_engines_agree_under_declared_keys() {
+    // fact(K,M) ⋈ c(K,HD) ⋈ d(HD,IB) with PKs on c and d: the `_opt`
+    // engines take the combination rewrite, the others run the original
+    // query; results must match regardless.
+    let mut qb = QueryBuilder::new();
+    qb.relation("fact", &["K", "M"]);
+    qb.relation("c", &["K", "HD"]);
+    qb.relation("d", &["HD", "IB"]);
+    let q = qb.build().unwrap();
+    let opts = EngineOpts {
+        fks: Some(FkSchema::none(3).with_pk(1, vec![0]).with_pk(2, vec![2])),
+        ..EngineOpts::default()
+    };
+    let mut stream = TupleStream::new();
+    for k in 0..12u64 {
+        stream.push(1, vec![k, k % 5]);
+    }
+    for hd in 0..5u64 {
+        stream.push(2, vec![hd, hd % 2]);
+    }
+    let mut rng = RsjRng::seed_from_u64(9);
+    for _ in 0..60 {
+        stream.push(0, vec![rng.below_u64(12), rng.below_u64(30)]);
+    }
+    // Dimensions must arrive in any order relative to facts.
+    stream.shuffle(&mut RsjRng::seed_from_u64(3));
+    let n = conform(&q, &opts, &stream, "fk-chain");
+    assert!(n > 0);
+}
+
+#[test]
+fn cyclic_engines_agree_on_triangle() {
+    let mut qb = QueryBuilder::new();
+    qb.relation("R1", &["X", "Y"]);
+    qb.relation("R2", &["Y", "Z"]);
+    qb.relation("R3", &["Z", "X"]);
+    let q = qb.build().unwrap();
+    let opts = EngineOpts::default();
+    for seed in 0..2 {
+        let stream = random_stream(3, 120, 6, 80 + seed);
+        conform(&q, &opts, &stream, "triangle");
+    }
+}
+
+#[test]
+fn engines_report_their_identity_and_capacity() {
+    let mut qb = QueryBuilder::new();
+    qb.relation("R", &["X", "Y"]);
+    qb.relation("S", &["Y", "Z"]);
+    let q = qb.build().unwrap();
+    for engine in Engine::ALL {
+        let s = engine.build(&q, 17, 1, &EngineOpts::default()).unwrap();
+        assert_eq!(s.name(), engine.name());
+        assert_eq!(s.k(), 17);
+        assert!(s.samples().is_empty());
+    }
+}
+
+#[test]
+fn stats_flow_through_the_trait() {
+    let mut qb = QueryBuilder::new();
+    qb.relation("R", &["X", "Y"]);
+    qb.relation("S", &["Y", "Z"]);
+    let q = qb.build().unwrap();
+    let stream = random_stream(2, 100, 5, 1);
+    for engine in [Engine::Reservoir, Engine::SJoin, Engine::Symmetric] {
+        let mut s = engine.build(&q, 10, 1, &EngineOpts::default()).unwrap();
+        s.process_stream(&stream);
+        let st = s.stats();
+        assert!(
+            st.tuples_processed.unwrap() > 0,
+            "{engine} tracks accepted tuples"
+        );
+    }
+    // SJoin and the symmetric join maintain exact counts; they must agree.
+    let run = |engine: Engine| {
+        let mut s = engine.build(&q, 10, 1, &EngineOpts::default()).unwrap();
+        s.process_stream(&stream);
+        s.stats().exact_results.unwrap()
+    };
+    assert_eq!(run(Engine::SJoin), run(Engine::Symmetric));
+}

@@ -1,28 +1,24 @@
 //! Cross-algorithm equivalence: with `k` larger than the join, every
 //! algorithm must hold *exactly* the full result set, for every query
-//! shape, under randomized streams. This pins RSJoin, RSJoin_opt, SJoin,
-//! SJoin_opt, the cyclic driver and the naive baseline to one another.
+//! shape, under randomized streams. All engines are built by the
+//! [`Engine`] factory and driven through `dyn JoinSampler` — no
+//! per-engine loops.
 
 use rsjoin::prelude::*;
 
 type ResultSet = std::collections::BTreeSet<Vec<(String, u64)>>;
 
-/// Normalizes samples to sorted (attr-name, value) sets so drivers with
-/// different attribute orders compare equal.
-fn normalize(samples: &[Vec<u64>], q: &Query) -> ResultSet {
-    samples
-        .iter()
-        .map(|s| {
-            let mut kv: Vec<(String, u64)> = q
-                .attr_names()
-                .iter()
-                .cloned()
-                .zip(s.iter().copied())
-                .collect();
-            kv.sort();
-            kv
-        })
-        .collect()
+const K_ALL: usize = 1_000_000;
+
+/// Streams `stream` through `engine` and returns the normalized
+/// (attr-name, value) result set, comparable across engines with
+/// different internal attribute orders.
+fn collect(engine: Engine, q: &Query, opts: &EngineOpts, stream: &TupleStream) -> ResultSet {
+    let mut s = engine
+        .build(q, K_ALL, 7, opts)
+        .unwrap_or_else(|e| panic!("{engine}: {e}"));
+    s.process_stream(stream);
+    s.samples_named().into_iter().collect()
 }
 
 fn line4_query() -> Query {
@@ -42,32 +38,27 @@ fn star3_query() -> Query {
     qb.build().unwrap()
 }
 
-fn random_binary_stream(rels: usize, n: usize, dom: u64, seed: u64) -> Vec<(usize, Vec<u64>)> {
+fn random_binary_stream(rels: usize, n: usize, dom: u64, seed: u64) -> TupleStream {
     let mut rng = RsjRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| {
-            (
-                rng.index(rels),
-                vec![rng.below_u64(dom), rng.below_u64(dom)],
-            )
-        })
-        .collect()
+    let mut s = TupleStream::new();
+    for _ in 0..n {
+        s.push(
+            rng.index(rels),
+            vec![rng.below_u64(dom), rng.below_u64(dom)],
+        );
+    }
+    s
 }
 
 #[test]
 fn rsjoin_equals_naive_on_line4() {
+    let opts = EngineOpts::default();
     for seed in 0..3 {
         let stream = random_binary_stream(4, 120, 4, 100 + seed);
         let q = line4_query();
-        let mut rj = ReservoirJoin::new(q.clone(), 1_000_000, seed).unwrap();
-        let mut naive = NaiveRebuild::new(q.clone(), usize::MAX >> 1, seed);
-        for (rel, t) in &stream {
-            rj.process(*rel, t);
-            naive.process(*rel, t);
-        }
         assert_eq!(
-            normalize(rj.samples(), &q),
-            normalize(naive.samples(), &q),
+            collect(Engine::Reservoir, &q, &opts, &stream),
+            collect(Engine::Naive, &q, &opts, &stream),
             "seed {seed}"
         );
     }
@@ -75,36 +66,26 @@ fn rsjoin_equals_naive_on_line4() {
 
 #[test]
 fn rsjoin_equals_sjoin_on_star3() {
+    let opts = EngineOpts::default();
     for seed in 0..3 {
         let stream = random_binary_stream(3, 150, 5, 200 + seed);
         let q = star3_query();
-        let mut rj = ReservoirJoin::new(q.clone(), 1_000_000, seed).unwrap();
-        let mut sj = SJoin::new(q.clone(), 1_000_000, seed + 77).unwrap();
-        for (rel, t) in &stream {
-            rj.process(*rel, t);
-            sj.process(*rel, t);
-        }
-        assert!(!rj.samples().is_empty(), "degenerate instance");
-        assert_eq!(
-            normalize(rj.samples(), &q),
-            normalize(sj.samples(), &q),
-            "seed {seed}"
-        );
+        let a = collect(Engine::Reservoir, &q, &opts, &stream);
+        assert!(!a.is_empty(), "degenerate instance");
+        assert_eq!(a, collect(Engine::SJoin, &q, &opts, &stream), "seed {seed}");
     }
 }
 
 #[test]
 fn grouping_never_changes_results() {
     // A 3-relation query with a wide (groupable) middle node.
-    let build = || {
-        let mut qb = QueryBuilder::new();
-        qb.relation("Ra", &["X", "Y"]);
-        qb.relation("Rb", &["Y", "Z", "W"]);
-        qb.relation("Rc", &["W", "U"]);
-        qb.build().unwrap()
-    };
+    let mut qb = QueryBuilder::new();
+    qb.relation("Ra", &["X", "Y"]);
+    qb.relation("Rb", &["Y", "Z", "W"]);
+    qb.relation("Rc", &["W", "U"]);
+    let q = qb.build().unwrap();
     let mut rng = RsjRng::seed_from_u64(5);
-    let mut stream: Vec<(usize, Vec<u64>)> = Vec::new();
+    let mut stream = TupleStream::new();
     for _ in 0..200 {
         let rel = rng.index(3);
         let t = if rel == 1 {
@@ -112,21 +93,14 @@ fn grouping_never_changes_results() {
         } else {
             vec![rng.below_u64(4), rng.below_u64(4)]
         };
-        stream.push((rel, t));
+        stream.push(rel, t);
     }
     let run = |grouping: bool| {
-        let q = build();
-        let mut rj = rsjoin::core::ReservoirJoin::with_options(
-            q.clone(),
-            1_000_000,
-            3,
-            IndexOptions { grouping },
-        )
-        .unwrap();
-        for (rel, t) in &stream {
-            rj.process(*rel, t);
-        }
-        normalize(rj.samples(), &q)
+        let opts = EngineOpts {
+            index: IndexOptions { grouping },
+            ..EngineOpts::default()
+        };
+        collect(Engine::Reservoir, &q, &opts, &stream)
     };
     let with = run(true);
     assert!(!with.is_empty());
@@ -140,60 +114,46 @@ fn cyclic_triangle_equals_naive() {
     qb.relation("R2", &["Y", "Z"]);
     qb.relation("R3", &["Z", "X"]);
     let q = qb.build().unwrap();
+    let opts = EngineOpts::default();
     for seed in 0..3 {
         let stream = random_binary_stream(3, 150, 6, 300 + seed);
-        let mut crj = CyclicReservoirJoin::new(q.clone(), 1_000_000, seed).unwrap();
-        let mut naive = NaiveRebuild::new(q.clone(), usize::MAX >> 1, seed);
-        for (rel, t) in &stream {
-            crj.process(*rel, t);
-            naive.process(*rel, t);
-        }
-        // Bag-level query has the same attribute names.
-        let got = normalize(crj.samples(), crj.inner().index().query());
-        let expect = normalize(naive.samples(), &q);
-        assert_eq!(got, expect, "seed {seed}");
+        assert_eq!(
+            collect(Engine::Cyclic, &q, &opts, &stream),
+            collect(Engine::Naive, &q, &opts, &stream),
+            "seed {seed}"
+        );
     }
 }
 
 #[test]
 fn fk_rewrite_preserves_results_under_all_orders() {
     // fact(K,M) ⋈ c(K,HD) ⋈ d(HD,IB) with PKs on c and d; plain vs _opt
-    // drivers on a shuffled stream including late-arriving dimensions.
-    let build = || {
-        let mut qb = QueryBuilder::new();
-        qb.relation("fact", &["K", "M"]);
-        qb.relation("c", &["K", "HD"]);
-        qb.relation("d", &["HD", "IB"]);
-        qb.build().unwrap()
+    // engines on a shuffled stream including late-arriving dimensions.
+    let mut qb = QueryBuilder::new();
+    qb.relation("fact", &["K", "M"]);
+    qb.relation("c", &["K", "HD"]);
+    qb.relation("d", &["HD", "IB"]);
+    let q = qb.build().unwrap();
+    let opts = EngineOpts {
+        fks: Some(FkSchema::none(3).with_pk(1, vec![0]).with_pk(2, vec![2])),
+        ..EngineOpts::default()
     };
-    let q = build();
-    let fks = FkSchema::none(3).with_pk(1, vec![0]).with_pk(2, vec![2]);
     let mut rng = RsjRng::seed_from_u64(9);
-    let mut stream: Vec<(usize, Vec<u64>)> = Vec::new();
+    let mut stream = TupleStream::new();
     for k in 0..12u64 {
-        stream.push((1, vec![k, k % 5]));
+        stream.push(1, vec![k, k % 5]);
     }
     for hd in 0..5u64 {
-        stream.push((2, vec![hd, hd % 2]));
+        stream.push(2, vec![hd, hd % 2]);
     }
     for _ in 0..60 {
-        stream.push((0, vec![rng.below_u64(12), rng.below_u64(30)]));
+        stream.push(0, vec![rng.below_u64(12), rng.below_u64(30)]);
     }
     for perm_seed in 0..4 {
         let mut s = stream.clone();
-        let mut prng = RsjRng::seed_from_u64(perm_seed);
-        for i in (1..s.len()).rev() {
-            let j = prng.index(i + 1);
-            s.swap(i, j);
-        }
-        let mut plain = ReservoirJoin::new(q.clone(), 1_000_000, 1).unwrap();
-        let mut opt = FkReservoirJoin::new(&q, &fks, 1_000_000, 2).unwrap();
-        for (rel, t) in &s {
-            plain.process(*rel, t);
-            opt.process(*rel, t);
-        }
-        let a = normalize(plain.samples(), &q);
-        let b = normalize(opt.samples(), opt.rewritten_query());
+        s.shuffle(&mut RsjRng::seed_from_u64(perm_seed));
+        let a = collect(Engine::Reservoir, &q, &opts, &s);
+        let b = collect(Engine::FkReservoir, &q, &opts, &s);
         assert!(!a.is_empty());
         assert_eq!(a, b, "perm {perm_seed}");
     }
@@ -203,16 +163,29 @@ fn fk_rewrite_preserves_results_under_all_orders() {
 fn dynamic_sampler_and_reservoir_agree_on_support() {
     // Every result the ad-hoc sampler can produce must be in the full
     // result set collected by the reservoir with huge k, and vice versa.
+    // (`DynamicSampleIndex` is the on-demand sampling facade, not one of
+    // the streaming engines, so it keeps its own insert interface.)
     let q = star3_query();
     let stream = random_binary_stream(3, 100, 4, 11);
-    let mut rj = ReservoirJoin::new(q.clone(), 1_000_000, 1).unwrap();
+    let full = collect(Engine::Reservoir, &q, &EngineOpts::default(), &stream);
     let mut ix = DynamicSampleIndex::new(q.clone(), 2).unwrap();
-    for (rel, t) in &stream {
-        rj.process(*rel, t);
-        ix.insert(*rel, t);
+    for t in stream.iter() {
+        ix.insert(t.relation, &t.values);
     }
-    let full = normalize(rj.samples(), &q);
-    let sampled = normalize(&ix.sample_many(3000), &q);
+    let sampled: ResultSet = ix
+        .sample_many(3000)
+        .iter()
+        .map(|s| {
+            let mut kv: Vec<(String, u64)> = q
+                .attr_names()
+                .iter()
+                .cloned()
+                .zip(s.iter().copied())
+                .collect();
+            kv.sort();
+            kv
+        })
+        .collect();
     assert!(!full.is_empty());
     // With 3000 draws over a small result set, support should be covered.
     assert_eq!(sampled, full);

@@ -1,6 +1,7 @@
 //! End-to-end tests of the packaged benchmark workloads (QX, QY, QZ, Q10,
-//! graph queries) at miniature scale: every driver runs the full pipeline
-//! (preload + stream) and the optimized variants agree with the plain ones.
+//! graph queries) at miniature scale: every engine runs the full pipeline
+//! (preload + stream) through the `JoinSampler` executor interface and the
+//! optimized variants agree with the plain ones.
 
 use rsjoin::datagen::{GraphConfig, LdbcLite, TpcdsLite};
 use rsjoin::prelude::*;
@@ -8,50 +9,44 @@ use rsjoin::queries::{dumbbell, line_k, q10, qx, qy, qz, star_k, Workload};
 
 type ResultSet = std::collections::BTreeSet<Vec<(String, u64)>>;
 
-fn normalize(samples: &[Vec<u64>], q: &Query) -> ResultSet {
-    samples
-        .iter()
-        .map(|s| {
-            let mut kv: Vec<(String, u64)> = q
-                .attr_names()
-                .iter()
-                .cloned()
-                .zip(s.iter().copied())
-                .collect();
-            kv.sort();
-            kv
-        })
-        .collect()
+/// Runs the workload through `engine` via the facade's uniform driver.
+fn run_workload(w: &Workload, engine: Engine, k: usize, seed: u64) -> Box<dyn JoinSampler> {
+    rsjoin::engine::run_workload(w, engine, k, seed)
+        .unwrap_or_else(|e| panic!("{}: {engine}: {e}", w.name))
 }
 
 fn run_all_and_compare(w: &Workload) -> usize {
     let k = 1 << 22; // collect everything
-    let mut plain = ReservoirJoin::new(w.query.clone(), k, 1).unwrap();
-    let mut opt = FkReservoirJoin::new(&w.query, &w.fks, k, 2).unwrap();
-    let mut sj = SJoin::new(w.query.clone(), k, 3).unwrap();
-    let mut sjo = SJoinOpt::new(&w.query, &w.fks, k, 4).unwrap();
-    for t in &w.preload {
-        plain.process(t.relation, &t.values);
-        opt.process(t.relation, &t.values);
-        sj.process(t.relation, &t.values);
-        sjo.process(t.relation, &t.values);
+    let mut truth: Option<ResultSet> = None;
+    let mut exact: Option<u128> = None;
+    for (seed, engine) in [
+        Engine::Reservoir,
+        Engine::FkReservoir,
+        Engine::SJoin,
+        Engine::SJoinOpt,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let s = run_workload(w, engine, k, seed as u64 + 1);
+        let got: ResultSet = s.samples_named().into_iter().collect();
+        match &truth {
+            None => truth = Some(got),
+            Some(t) => assert_eq!(t, &got, "{}: RSJoin vs {engine}", w.name),
+        }
+        if let Some(n) = s.stats().exact_results {
+            exact = Some(n);
+        }
     }
-    for t in w.stream.iter() {
-        plain.process(t.relation, &t.values);
-        opt.process(t.relation, &t.values);
-        sj.process(t.relation, &t.values);
-        sjo.process(t.relation, &t.values);
-    }
-    let a = normalize(plain.samples(), &w.query);
-    let b = normalize(opt.samples(), opt.rewritten_query());
-    let c = normalize(sj.samples(), &w.query);
-    let d = normalize(sjo.samples(), sjo.rewritten_query());
-    assert_eq!(a, b, "{}: plain vs fk-opt", w.name);
-    assert_eq!(a, c, "{}: rsjoin vs sjoin", w.name);
-    assert_eq!(a, d, "{}: rsjoin vs sjoin_opt", w.name);
+    let truth = truth.expect("at least one engine ran");
     // Exact count cross-check against SJoin's counter.
-    assert_eq!(a.len() as u128, sj.index().total_results(), "{}", w.name);
-    a.len()
+    assert_eq!(
+        truth.len() as u128,
+        exact.expect("SJoin counts"),
+        "{}",
+        w.name
+    );
+    truth.len()
 }
 
 /// A tiny tpcds-lite instance so full enumeration stays cheap.
@@ -132,21 +127,14 @@ fn graph_queries_rsjoin_vs_sjoin() {
         star_k(4, &edges, 1),
     ] {
         let k = 1 << 22;
-        let mut rj = ReservoirJoin::new(w.query.clone(), k, 1).unwrap();
-        let mut sj = SJoin::new(w.query.clone(), k, 2).unwrap();
-        for t in w.stream.iter() {
-            rj.process(t.relation, &t.values);
-            sj.process(t.relation, &t.values);
-        }
+        let rj = run_workload(&w, Engine::Reservoir, k, 1);
+        let sj = run_workload(&w, Engine::SJoin, k, 2);
+        let a: ResultSet = rj.samples_named().into_iter().collect();
+        let b: ResultSet = sj.samples_named().into_iter().collect();
+        assert_eq!(a, b, "{}", w.name);
         assert_eq!(
-            normalize(rj.samples(), &w.query),
-            normalize(sj.samples(), &w.query),
-            "{}",
-            w.name
-        );
-        assert_eq!(
-            rj.samples().len() as u128,
-            sj.index().total_results(),
+            a.len() as u128,
+            sj.stats().exact_results.expect("SJoin counts"),
             "{}",
             w.name
         );
@@ -163,12 +151,9 @@ fn dumbbell_cyclic_driver_runs_and_validates() {
     }
     .generate();
     let w = dumbbell(&edges, 1);
-    let mut crj = CyclicReservoirJoin::new(w.query.clone(), 1 << 22, 1).unwrap();
-    for t in w.stream.iter() {
-        crj.process(t.relation, &t.values);
-    }
+    let crj = run_workload(&w, Engine::Cyclic, 1 << 22, 1);
     // Validate every sample is a genuine dumbbell: two triangles + bridge.
-    let q = crj.inner().index().query().clone();
+    let q = crj.output_query().clone();
     let pos = |n: &str| q.attr_names().iter().position(|a| a == n).unwrap();
     let (x1, x2, x3, x4, x5, x6) = (
         pos("x1"),

@@ -42,8 +42,7 @@ fn samples_valid_and_complete_at_every_prefix() {
         }
         if step % 25 == 24 {
             let truth = brute(&accepted);
-            let got: std::collections::BTreeSet<Vec<u64>> =
-                rj.samples().iter().cloned().collect();
+            let got: std::collections::BTreeSet<Vec<u64>> = rj.samples().iter().cloned().collect();
             assert_eq!(got, truth, "prefix at step {step}");
         }
     }
@@ -53,12 +52,7 @@ fn samples_valid_and_complete_at_every_prefix() {
 fn arrival_order_does_not_change_final_result_set() {
     let mut rng = RsjRng::seed_from_u64(3);
     let base: Vec<(usize, Vec<u64>)> = (0..150)
-        .map(|_| {
-            (
-                rng.index(3),
-                vec![rng.below_u64(5), rng.below_u64(5)],
-            )
-        })
+        .map(|_| (rng.index(3), vec![rng.below_u64(5), rng.below_u64(5)]))
         .collect();
     let run = |order_seed: u64| {
         let mut s = base.clone();
@@ -84,24 +78,33 @@ fn arrival_order_does_not_change_final_result_set() {
 
 #[test]
 fn heavy_duplicates_are_no_ops_everywhere() {
+    // Every engine must treat re-sent tuples as no-ops (set semantics);
+    // checked through the uniform stats interface.
     let q = line3_query();
-    let mut rj = ReservoirJoin::new(q.clone(), 100, 1).unwrap();
-    let mut sj = SJoin::new(q.clone(), 100, 1).unwrap();
-    let tuples: Vec<(usize, Vec<u64>)> = vec![
+    let mut stream = TupleStream::new();
+    for (rel, t) in [
         (0, vec![1, 2]),
         (1, vec![2, 3]),
         (2, vec![3, 4]),
         (0, vec![5, 2]),
-    ];
-    for round in 0..5 {
-        for (rel, t) in &tuples {
-            rj.process(*rel, t);
-            sj.process(*rel, t);
+    ] {
+        stream.push(rel, t);
+    }
+    for engine in Engine::ALL {
+        if !engine.supports(&q) {
+            continue;
         }
-        assert_eq!(rj.tuples_processed(), 4, "round {round}");
-        assert_eq!(sj.index().stats().inserts, 4);
-        assert_eq!(sj.index().total_results(), 2);
-        assert_eq!(rj.samples().len(), 2);
+        let mut s = engine.build(&q, 100, 1, &EngineOpts::default()).unwrap();
+        for round in 0..5 {
+            s.process_stream(&stream);
+            if let Some(n) = s.stats().tuples_processed {
+                assert_eq!(n, 4, "{engine} round {round}");
+            }
+            if let Some(total) = s.stats().exact_results {
+                assert_eq!(total, 2, "{engine} round {round}");
+            }
+            assert_eq!(s.samples().len(), 2, "{engine} round {round}");
+        }
     }
 }
 

@@ -1,11 +1,50 @@
-//! Statistical uniformity tests: the sample distribution of every driver
+//! Statistical uniformity tests: the sample distribution of every engine
 //! matches the uniform distribution over the true result set, at final and
 //! intermediate timestamps. Fixed seeds; thresholds at alpha = 1e-4 so the
-//! suite never flakes.
+//! suite never flakes. One trait-driven counting harness serves every
+//! engine.
 
 use rsjoin::common::stats::{chi_square_critical, chi_square_uniform};
 use rsjoin::common::FxHashMap;
 use rsjoin::prelude::*;
+
+type NamedSample = Vec<(String, u64)>;
+
+/// Streams `stream` through a fresh `engine` instance per seed and counts
+/// how often each (normalized) result lands in the reservoir.
+fn inclusion_counts(
+    engine: Engine,
+    q: &Query,
+    opts: &EngineOpts,
+    stream: &TupleStream,
+    k: usize,
+    seeds: std::ops::Range<u64>,
+    expect_full: bool,
+) -> FxHashMap<NamedSample, u64> {
+    let mut counts: FxHashMap<NamedSample, u64> = FxHashMap::default();
+    for seed in seeds {
+        let mut s = engine
+            .build(q, k, seed, opts)
+            .unwrap_or_else(|e| panic!("{engine}: {e}"));
+        s.process_stream(stream);
+        let named = s.samples_named();
+        if expect_full {
+            assert_eq!(named.len(), k, "{engine} seed {seed}");
+        }
+        for sample in named {
+            *counts.entry(sample).or_default() += 1;
+        }
+    }
+    counts
+}
+
+fn assert_uniform(counts: &FxHashMap<NamedSample, u64>, expected_support: usize, label: &str) {
+    assert_eq!(counts.len(), expected_support, "{label}: support");
+    let obs: Vec<u64> = counts.values().copied().collect();
+    let (stat, df) = chi_square_uniform(&obs);
+    let crit = chi_square_critical(df, 0.0001);
+    assert!(stat < crit, "{label}: chi2={stat:.1} > crit={crit:.1}");
+}
 
 fn line3_query() -> Query {
     let mut qb = QueryBuilder::new();
@@ -16,97 +55,78 @@ fn line3_query() -> Query {
 }
 
 /// A fixed line-3 instance with 24 results and skewed multiplicities.
-fn skewed_stream() -> Vec<(usize, Vec<u64>)> {
-    let mut s = Vec::new();
+fn skewed_stream() -> TupleStream {
+    let mut s = TupleStream::new();
     for a in 0..4u64 {
-        s.push((0, vec![a, 1]));
+        s.push(0, vec![a, 1]);
     }
-    s.push((1, vec![1, 2]));
-    s.push((1, vec![1, 3]));
+    s.push(1, vec![1, 2]);
+    s.push(1, vec![1, 3]);
     for d in 0..2u64 {
-        s.push((2, vec![2, d]));
+        s.push(2, vec![2, d]);
     }
     for d in 0..4u64 {
-        s.push((2, vec![3, 10 + d]));
+        s.push(2, vec![3, 10 + d]);
     }
     // 4 * (2 + 4) = 24 results.
     s
 }
 
-fn assert_uniform(counts: &FxHashMap<Vec<u64>, u64>, expected_support: usize, label: &str) {
-    assert_eq!(counts.len(), expected_support, "{label}: support");
-    let obs: Vec<u64> = counts.values().copied().collect();
-    let (stat, df) = chi_square_uniform(&obs);
-    let crit = chi_square_critical(df, 0.0001);
-    assert!(stat < crit, "{label}: chi2={stat:.1} > crit={crit:.1}");
-}
-
 #[test]
 fn rsjoin_uniform_with_k3() {
-    let stream = skewed_stream();
-    let q = line3_query();
-    let mut counts: FxHashMap<Vec<u64>, u64> = FxHashMap::default();
-    for seed in 0..6000 {
-        let mut rj = ReservoirJoin::new(q.clone(), 3, seed).unwrap();
-        for (rel, t) in &stream {
-            rj.process(*rel, t);
-        }
-        assert_eq!(rj.samples().len(), 3);
-        for s in rj.samples() {
-            *counts.entry(s.clone()).or_default() += 1;
-        }
-    }
+    let counts = inclusion_counts(
+        Engine::Reservoir,
+        &line3_query(),
+        &EngineOpts::default(),
+        &skewed_stream(),
+        3,
+        0..6000,
+        true,
+    );
     assert_uniform(&counts, 24, "rsjoin k=3");
 }
 
 #[test]
 fn sjoin_uniform_with_k3() {
-    let stream = skewed_stream();
-    let q = line3_query();
-    let mut counts: FxHashMap<Vec<u64>, u64> = FxHashMap::default();
-    for seed in 0..6000 {
-        let mut sj = SJoin::new(q.clone(), 3, seed).unwrap();
-        for (rel, t) in &stream {
-            sj.process(*rel, t);
-        }
-        for s in sj.samples() {
-            *counts.entry(s.clone()).or_default() += 1;
-        }
-    }
+    let counts = inclusion_counts(
+        Engine::SJoin,
+        &line3_query(),
+        &EngineOpts::default(),
+        &skewed_stream(),
+        3,
+        0..6000,
+        false,
+    );
     assert_uniform(&counts, 24, "sjoin k=3");
 }
 
 #[test]
 fn rsjoin_and_sjoin_agree_distributionally() {
-    // Same instance, same k: the two algorithms' inclusion frequencies per
+    // Same instance, same k: the two engines' inclusion frequencies per
     // result must both be k/|Q(R)| within noise.
     let stream = skewed_stream();
     let q = line3_query();
+    let opts = EngineOpts::default();
     let trials = 4000u64;
     let k = 4;
-    let mut rs_counts: FxHashMap<Vec<u64>, f64> = FxHashMap::default();
-    let mut sj_counts: FxHashMap<Vec<u64>, f64> = FxHashMap::default();
-    for seed in 0..trials {
-        let mut rj = ReservoirJoin::new(q.clone(), k, seed).unwrap();
-        let mut sj = SJoin::new(q.clone(), k, seed + 50_000).unwrap();
-        for (rel, t) in &stream {
-            rj.process(*rel, t);
-            sj.process(*rel, t);
-        }
-        for s in rj.samples() {
-            *rs_counts.entry(s.clone()).or_default() += 1.0;
-        }
-        for s in sj.samples() {
-            *sj_counts.entry(s.clone()).or_default() += 1.0;
-        }
-    }
+    let rs_counts = inclusion_counts(Engine::Reservoir, &q, &opts, &stream, k, 0..trials, true);
+    let sj_counts = inclusion_counts(
+        Engine::SJoin,
+        &q,
+        &opts,
+        &stream,
+        k,
+        50_000..50_000 + trials,
+        false,
+    );
     let expect = trials as f64 * k as f64 / 24.0;
     for (r, c) in &rs_counts {
+        let c = *c as f64;
         assert!(
             (c - expect).abs() < expect * 0.25,
             "rsjoin freq off for {r:?}: {c} vs {expect}"
         );
-        let sc = sj_counts.get(r).copied().unwrap_or(0.0);
+        let sc = sj_counts.get(r).copied().unwrap_or(0) as f64;
         assert!(
             (sc - expect).abs() < expect * 0.25,
             "sjoin freq off for {r:?}: {sc} vs {expect}"
@@ -118,22 +138,19 @@ fn rsjoin_and_sjoin_agree_distributionally() {
 fn uniform_at_intermediate_prefix() {
     // After only part of the stream, the reservoir must be uniform over
     // the partial result set.
-    let stream = skewed_stream();
-    let q = line3_query();
+    let full = skewed_stream();
     // Prefix: 4 G1 tuples + both G2 tuples + the two C=2 G3 tuples
     // => 4 * 2 = 8 results.
-    let prefix = 8;
-    let trials = 5000u64;
-    let mut counts: FxHashMap<Vec<u64>, u64> = FxHashMap::default();
-    for seed in 0..trials {
-        let mut rj = ReservoirJoin::new(q.clone(), 2, 90_000 + seed).unwrap();
-        for (rel, t) in &stream[..prefix] {
-            rj.process(*rel, t);
-        }
-        for s in rj.samples() {
-            *counts.entry(s.clone()).or_default() += 1;
-        }
-    }
+    let prefix: TupleStream = full.iter().take(8).cloned().collect();
+    let counts = inclusion_counts(
+        Engine::Reservoir,
+        &line3_query(),
+        &EngineOpts::default(),
+        &prefix,
+        2,
+        90_000..95_000,
+        false,
+    );
     assert_uniform(&counts, 8, "prefix");
 }
 
@@ -144,8 +161,12 @@ fn fk_driver_uniform() {
     qb.relation("fact", &["K", "M"]);
     qb.relation("dim", &["K", "D"]);
     let q = qb.build().unwrap();
-    let fks = FkSchema::none(2).with_pk(1, vec![0]);
-    let stream: Vec<(usize, Vec<u64>)> = vec![
+    let opts = EngineOpts {
+        fks: Some(FkSchema::none(2).with_pk(1, vec![0])),
+        ..EngineOpts::default()
+    };
+    let mut stream = TupleStream::new();
+    for (rel, t) in [
         (0, vec![1, 100]),
         (0, vec![1, 101]),
         (1, vec![1, 7]),
@@ -154,17 +175,10 @@ fn fk_driver_uniform() {
         (1, vec![2, 8]),
         (0, vec![2, 104]),
         (0, vec![2, 105]),
-    ];
-    let trials = 6000u64;
-    let mut counts: FxHashMap<Vec<u64>, u64> = FxHashMap::default();
-    for seed in 0..trials {
-        let mut rj = FkReservoirJoin::new(&q, &fks, 1, seed).unwrap();
-        for (rel, t) in &stream {
-            rj.process(*rel, t);
-        }
-        assert_eq!(rj.samples().len(), 1);
-        *counts.entry(rj.samples()[0].clone()).or_default() += 1;
+    ] {
+        stream.push(rel, t);
     }
+    let counts = inclusion_counts(Engine::FkReservoir, &q, &opts, &stream, 1, 0..6000, true);
     assert_uniform(&counts, 6, "fk k=1");
 }
 
@@ -176,9 +190,8 @@ fn cyclic_driver_uniform() {
     qb.relation("R2", &["Y", "Z"]);
     qb.relation("R3", &["Z", "X"]);
     let q = qb.build().unwrap();
-    // Hub vertex 0: edges (0,y) for y in 1..3, (y,z) for z in 4..6 matching
-    // (z,0) closures.
-    let stream: Vec<(usize, Vec<u64>)> = vec![
+    let mut stream = TupleStream::new();
+    for (rel, t) in [
         (0, vec![0, 1]),
         (0, vec![0, 2]),
         (1, vec![1, 4]),
@@ -187,17 +200,18 @@ fn cyclic_driver_uniform() {
         (1, vec![2, 5]),
         (2, vec![4, 0]),
         (2, vec![5, 0]),
-    ];
-    // Triangles: (0,1,4), (0,2,4), (0,1,5), (0,2,5).
-    let trials = 6000u64;
-    let mut counts: FxHashMap<Vec<u64>, u64> = FxHashMap::default();
-    for seed in 0..trials {
-        let mut crj = CyclicReservoirJoin::new(q.clone(), 1, seed).unwrap();
-        for (rel, t) in &stream {
-            crj.process(*rel, t);
-        }
-        assert_eq!(crj.samples().len(), 1);
-        *counts.entry(crj.samples()[0].clone()).or_default() += 1;
+    ] {
+        stream.push(rel, t);
     }
+    // Triangles: (0,1,4), (0,2,4), (0,1,5), (0,2,5).
+    let counts = inclusion_counts(
+        Engine::Cyclic,
+        &q,
+        &EngineOpts::default(),
+        &stream,
+        1,
+        0..6000,
+        true,
+    );
     assert_uniform(&counts, 4, "cyclic k=1");
 }
