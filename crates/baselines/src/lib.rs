@@ -2,7 +2,7 @@
 
 //! Baselines the paper compares against (§6.1).
 //!
-//! * [`sjoin::SJoin`] — a re-implementation of Zhao et al. [31]
+//! * [`sjoin::SJoin`] — a re-implementation of Zhao et al. \[31\]
 //!   ("Efficient join synopsis maintenance for data warehouse", SIGMOD'20),
 //!   the state of the art the paper beats. Same framework as `RSJoin`
 //!   (per-tuple delta batches fed to a skip-based reservoir), but the index
@@ -13,7 +13,7 @@
 //! * [`sjoin::SJoinOpt`] — SJoin behind the same foreign-key combination
 //!   rewrite (`SJoin_opt`).
 //! * [`symmetric::SymmetricHashJoin`] — the classical streaming two-table
-//!   join [2] paired with a classic reservoir; dominated by SJoin in [31]
+//!   join \[2\] paired with a classic reservoir; dominated by SJoin in \[31\]
 //!   but kept as the simplest correct comparator.
 //! * [`naive::NaiveRebuild`] — recompute `Q(R_i)` and redraw the sample at
 //!   every step; the `O(N²)`-and-worse strawman of §1, used as ground truth

@@ -1,4 +1,4 @@
-//! `SJoin` — re-implementation of Zhao et al. [31], the state of the art
+//! `SJoin` — re-implementation of Zhao et al. \[31\], the state of the art
 //! the paper compares against.
 //!
 //! Same architecture as `RSJoin` (Figure 1): per-tuple delta batches fed to

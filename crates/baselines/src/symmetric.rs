@@ -1,5 +1,5 @@
 //! Symmetric hash join + classic reservoir: the simplest streaming
-//! two-table baseline (paper §6.1, [2]).
+//! two-table baseline (paper §6.1, \[2\]).
 //!
 //! Both inputs are hashed on the join key as they arrive; each arrival
 //! probes the opposite table and offers every new join result to a classic

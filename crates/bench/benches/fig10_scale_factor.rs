@@ -23,8 +23,8 @@ fn main() {
     for &sf in &sfs {
         let data = TpcdsLite::generate(scaled(sf), 7);
         let w = qz(&data, 2);
-        let (t, _) = run_engine(&w, Engine::Reservoir, k, 1);
-        let (to, _) = run_engine(&w, Engine::FkReservoir, k, 1);
+        let (t, _) = run_engine(&w, &Engine::Reservoir, k, 1);
+        let (to, _) = run_engine(&w, &Engine::FkReservoir, k, 1);
         println!("{:>4} {:>10} {:>12} {:>12}", sf, w.stream.len(), t, to);
         times.push(t.secs());
     }

@@ -39,8 +39,8 @@ fn main() {
     // ones (printed as "=").
     for k in 3..=5 {
         let w = line_k(k, &edges, 1);
-        let (rs, _) = run_engine(&w, Engine::Reservoir, k_graph, 1);
-        let (sj, _) = run_engine(&w, Engine::SJoin, k_graph, 1);
+        let (rs, _) = run_engine(&w, &Engine::Reservoir, k_graph, 1);
+        let (sj, _) = run_engine(&w, &Engine::SJoin, k_graph, 1);
         println!(
             "{:<10} {:>12} {:>12} {:>12} {:>12}",
             w.name, rs, "=", sj, "="
@@ -48,8 +48,8 @@ fn main() {
     }
     for k in 4..=6 {
         let w = star_k(k, &edges, 1);
-        let (rs, _) = run_engine(&w, Engine::Reservoir, k_graph, 1);
-        let (sj, _) = run_engine(&w, Engine::SJoin, k_graph, 1);
+        let (rs, _) = run_engine(&w, &Engine::Reservoir, k_graph, 1);
+        let (sj, _) = run_engine(&w, &Engine::SJoin, k_graph, 1);
         println!(
             "{:<10} {:>12} {:>12} {:>12} {:>12}",
             w.name, rs, "=", sj, "="
@@ -57,7 +57,7 @@ fn main() {
     }
     {
         let w = dumbbell(&edges, 1);
-        let (rs, _) = run_engine(&w, Engine::Cyclic, k_graph, 1);
+        let (rs, _) = run_engine(&w, &Engine::Cyclic, k_graph, 1);
         println!(
             "{:<10} {:>12} {:>12} {:>12} {:>12}",
             w.name, rs, "=", "n/a", "n/a"
@@ -67,10 +67,10 @@ fn main() {
     // Relational queries: all four variants.
     let rel_workloads = vec![qx(&tpcds, 2), qy(&tpcds, 2), qz(&tpcds, 2), q10(&ldbc, 2)];
     for w in rel_workloads {
-        let (rs, _) = run_engine(&w, Engine::Reservoir, k_rel, 1);
-        let (rso, _) = run_engine(&w, Engine::FkReservoir, k_rel, 1);
-        let (sj, _) = run_engine(&w, Engine::SJoin, k_rel, 1);
-        let (sjo, _) = run_engine(&w, Engine::SJoinOpt, k_rel, 1);
+        let (rs, _) = run_engine(&w, &Engine::Reservoir, k_rel, 1);
+        let (rso, _) = run_engine(&w, &Engine::FkReservoir, k_rel, 1);
+        let (sj, _) = run_engine(&w, &Engine::SJoin, k_rel, 1);
+        let (sjo, _) = run_engine(&w, &Engine::SJoinOpt, k_rel, 1);
         println!(
             "{:<10} {:>12} {:>12} {:>12} {:>12}",
             w.name, rs, rso, sj, sjo

@@ -35,8 +35,8 @@ fn main() {
     );
     let mut rs_times = Vec::new();
     for &k in &ks {
-        let (rs, rj) = run_engine(&w, Engine::Reservoir, k, 1);
-        let (sj, _) = run_engine(&w, Engine::SJoin, k, 1);
+        let (rs, rj) = run_engine(&w, &Engine::Reservoir, k, 1);
+        let (sj, _) = run_engine(&w, &Engine::SJoin, k, 1);
         println!(
             "{:>10} {:>12} {:>12} {:>14}",
             k,

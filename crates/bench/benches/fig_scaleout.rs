@@ -1,0 +1,113 @@
+//! Scale-out: sharded RSJoin throughput as the shard count grows
+//! (beyond the paper — the ROADMAP's partition-parallel execution layer).
+//!
+//! Sweeps `Engine::Sharded { inner: RSJoin, shards: S }` over the line-3
+//! workload and reports end-to-end throughput (stream fully processed
+//! *and* merged — the timer stops only after `samples()` forces every
+//! shard to drain). Expected shape on a machine with >= S cores:
+//! near-linear throughput growth while partitioned work dominates,
+//! flattening as the broadcast relation (G3 on line-3 is replicated to
+//! every shard) and the merge start to dominate. On fewer cores the curve
+//! is flat — the sharding overhead itself stays small.
+//!
+//! Knobs: `RSJ_SHARDS` (comma-separated sweep list, default `1,2,4,8`)
+//! plus the usual `RSJ_SCALE`.
+
+use rsj_bench::*;
+use rsj_datagen::GraphConfig;
+use rsj_queries::line_k;
+use rsjoin::engine::Engine;
+use std::time::Instant;
+
+fn shard_counts() -> Vec<usize> {
+    std::env::var("RSJ_SHARDS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|x| x.trim().parse().ok())
+                .filter(|&x| x > 0)
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+fn main() {
+    banner(
+        "Scale-out",
+        "sharded RSJoin throughput, sweeping shard counts (line-3)",
+    );
+    let edges = GraphConfig {
+        nodes: scaled(3000),
+        edges: scaled(15_000),
+        zipf: 1.0,
+        seed: 42,
+    }
+    .generate();
+    let w = line_k(3, &edges, 1);
+    let k = scaled(10_000);
+    let n = w.stream.len();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!("stream: {n} tuples, k = {k}, host cores: {cores}\n");
+    println!(
+        "{:>6} {:>12} {:>16} {:>14}",
+        "shards", "time", "tuples/s", "merged |Q(R)|"
+    );
+
+    // Speedups are normalized to the 1-shard entry when the sweep has one
+    // (the EXPERIMENTS.md acceptance shape is "vs. 1 shard"); otherwise to
+    // the first entry.
+    let counts = shard_counts();
+    let mut results: Vec<(usize, f64)> = Vec::new();
+    for &s in &counts {
+        let engine = Engine::sharded(Engine::Reservoir, s);
+        let mut sampler = engine
+            .build(&w.query, k, 1, &workload_opts(&w))
+            .expect("line-3 is acyclic");
+        let start = Instant::now();
+        for t in w.stream.iter() {
+            sampler.process(t.relation, &t.values);
+        }
+        // Synchronize: samples() flushes every buffer and waits for all
+        // shards, so the elapsed time covers the full parallel run.
+        let merged = sampler.samples().len();
+        let elapsed = start.elapsed();
+        let tput = n as f64 / elapsed.as_secs_f64();
+        results.push((s, tput));
+        println!(
+            "{:>6} {:>12} {:>16.0} {:>14}",
+            s,
+            format!("{elapsed:.2?}"),
+            tput,
+            merged
+        );
+    }
+
+    let base = results
+        .iter()
+        .find(|(s, _)| *s == 1)
+        .or(results.first())
+        .map_or(1.0, |&(_, t)| t);
+    println!("\n{:>6} {:>10}", "shards", "speedup");
+    for &(s, tput) in &results {
+        println!("{:>6} {:>9.2}x", s, tput / base);
+    }
+    let best = results
+        .iter()
+        .map(|&(s, t)| (s, t / base))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap_or((1, 1.0));
+    println!(
+        "\nshape check: throughput should grow near-linearly in the shard \
+         count until the broadcast relation and merge dominate (needs >= S \
+         cores; this host has {cores}). Best observed: {:.2}x at {} shards \
+         (baseline: {} shard(s)).",
+        best.1,
+        best.0,
+        results
+            .iter()
+            .find(|(s, _)| *s == 1)
+            .or(results.first())
+            .map_or(1, |&(s, _)| s)
+    );
+}

@@ -100,10 +100,10 @@ pub fn run_sampler(w: &Workload, sampler: &mut dyn JoinSampler) -> Outcome {
 /// runner per algorithm.
 pub fn run_engine(
     w: &Workload,
-    engine: Engine,
+    engine: &Engine,
     k: usize,
     seed: u64,
-) -> (Outcome, Box<dyn JoinSampler>) {
+) -> (Outcome, Box<dyn JoinSampler + Send>) {
     let mut sampler = engine
         .build(&w.query, k, seed, &workload_opts(w))
         .unwrap_or_else(|e| panic!("{}: {engine}: {e}", w.name));

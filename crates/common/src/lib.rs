@@ -6,9 +6,9 @@
 //! other crate uses:
 //!
 //! * [`value`] — attribute values, tuple identifiers and inline composite
-//!   join [`Key`](value::Key)s;
-//! * [`hash`] — an fx-style fast hasher and the [`FxHashMap`](hash::FxHashMap)
-//!   / [`FxHashSet`](hash::FxHashSet) aliases used on every hot path;
+//!   join [`value::Key`]s;
+//! * [`hash`] — an fx-style fast hasher and the [`hash::FxHashMap`]
+//!   / [`hash::FxHashSet`] aliases used on every hot path;
 //! * [`rng`] — seeded random-number helpers, in particular the geometric
 //!   skip-length draw at the heart of skip-based reservoir sampling;
 //! * [`pow2`] — power-of-two rounding used by the approximate degree counters

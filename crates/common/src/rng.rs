@@ -11,6 +11,37 @@
 //! * [`RsjRng::below_u128`] — unbiased uniform draw from `[0, n)` for
 //!   128-bit batch positions, via rejection sampling.
 
+/// The splitmix64 golden-ratio increment.
+const SPLITMIX_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One splitmix64 step: mixes `x + γ` through two multiply-xorshift rounds.
+///
+/// This is the standard seed-expansion mixer (Steele, Lea, Flood —
+/// OOPSLA'14): consecutive inputs produce decorrelated outputs, and every
+/// output is reachable (the mixer is a bijection). It seeds the xoshiro
+/// state below and derives independent child seeds via [`child_seed`].
+#[inline]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(SPLITMIX_GAMMA);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the `index`-th child seed of `seed`, deterministically.
+///
+/// Used wherever one user-visible seed must fan out into several
+/// independent RNG streams whose identities do not depend on construction
+/// or scheduling order — most importantly the sharded executor, which
+/// seeds shard `i` of `S` with `child_seed(seed, i)` and its merge RNG
+/// with `child_seed(seed, S)`, making sharded runs reproducible regardless
+/// of thread interleaving. Unlike [`RsjRng::split`], deriving child `i`
+/// does not consume randomness from any parent stream.
+#[inline]
+pub fn child_seed(seed: u64, index: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(index).rotate_left(17))
+}
+
 /// xoshiro256++ core — the same generator family `rand`'s `SmallRng` uses
 /// on 64-bit targets, inlined here so the workspace builds offline with no
 /// external dependencies. Seeding expands the `u64` through splitmix64,
@@ -22,16 +53,13 @@ struct Xoshiro256pp {
 
 impl Xoshiro256pp {
     fn seed_from_u64(seed: u64) -> Xoshiro256pp {
-        let mut sm = seed;
-        let mut next = || {
-            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = sm;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^ (z >> 31)
-        };
         Xoshiro256pp {
-            s: [next(), next(), next(), next()],
+            s: [
+                splitmix64(seed),
+                splitmix64(seed.wrapping_add(SPLITMIX_GAMMA)),
+                splitmix64(seed.wrapping_add(SPLITMIX_GAMMA.wrapping_mul(2))),
+                splitmix64(seed.wrapping_add(SPLITMIX_GAMMA.wrapping_mul(3))),
+            ],
         }
     }
 
@@ -231,6 +259,40 @@ mod tests {
             assert!(next < w && next > 0.0);
             w = next;
         }
+    }
+
+    #[test]
+    fn child_seeds_are_deterministic_and_distinct() {
+        let kids: Vec<u64> = (0..64).map(|i| child_seed(42, i)).collect();
+        assert_eq!(kids, (0..64).map(|i| child_seed(42, i)).collect::<Vec<_>>());
+        let set: std::collections::BTreeSet<u64> = kids.iter().copied().collect();
+        assert_eq!(set.len(), 64, "child seed collision");
+        // Different parents give different families.
+        assert_ne!(child_seed(42, 0), child_seed(43, 0));
+        // Children are not the parent.
+        assert!(!kids.contains(&42));
+    }
+
+    #[test]
+    fn child_seed_streams_decorrelate() {
+        // Streams seeded by sibling child seeds must not track each other.
+        let mut a = RsjRng::seed_from_u64(child_seed(7, 0));
+        let mut b = RsjRng::seed_from_u64(child_seed(7, 1));
+        let va: Vec<u64> = (0..16).map(|_| a.below_u64(1 << 60)).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.below_u64(1 << 60)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn seed_expansion_is_stable() {
+        // Pin the seeding path: fixed-seed experiment streams must never
+        // silently change across refactors (the statistical suites rely on
+        // reproducible streams).
+        let mut r = RsjRng::seed_from_u64(0);
+        let first = r.unit();
+        let mut r2 = RsjRng::seed_from_u64(0);
+        assert_eq!(first.to_bits(), r2.unit().to_bits());
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF, "splitmix64 drifted");
     }
 
     #[test]

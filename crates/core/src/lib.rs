@@ -19,7 +19,11 @@
 //!   to an acyclic `ReservoirJoin` over the bag-level query (Theorem 5.4);
 //! * [`sampler_facade::DynamicSampleIndex`] — the "sampling over joins"
 //!   operation (draw a fresh uniform sample of `Q(R)` on demand,
-//!   `O(log N)` update and sample).
+//!   `O(log N)` update and sample);
+//! * [`shard::ShardedSampler`] — the partition-parallel execution layer:
+//!   hash-partition the stream across `S` worker shards, run any
+//!   [`exec::JoinSampler`] per shard on its own thread, merge the
+//!   per-shard reservoirs by weighted reservoir union.
 
 pub mod cyclic;
 pub mod exec;
@@ -27,6 +31,7 @@ pub mod export;
 pub mod fk_runtime;
 pub mod reservoir_join;
 pub mod sampler_facade;
+pub mod shard;
 pub mod wcoj;
 
 pub use cyclic::CyclicReservoirJoin;
@@ -34,3 +39,4 @@ pub use exec::{JoinSampler, SamplerStats};
 pub use fk_runtime::{FkCombiner, FkReservoirJoin};
 pub use reservoir_join::ReservoirJoin;
 pub use sampler_facade::DynamicSampleIndex;
+pub use shard::{ShardPlan, ShardedSampler};

@@ -1,0 +1,827 @@
+//! The sharded parallel execution layer: partition the stream, run one
+//! [`JoinSampler`] per shard on its own thread, merge the per-shard
+//! reservoirs into one statistically correct sample.
+//!
+//! # Dataflow
+//!
+//! ```text
+//!                      ┌──────────────┐  batched mpsc channel
+//!   input tuple ──────▶│  ShardPlan   │───▶ shard 0: JoinSampler + counter
+//!   (rel, values)      │ hash(t[p])%S │───▶ shard 1: JoinSampler + counter
+//!                      │  /broadcast  │───▶   ...
+//!                      └──────────────┘───▶ shard S-1
+//!                                                 │ samples()
+//!                                                 ▼
+//!                           weighted reservoir union (w_i = |Q_i| exact)
+//! ```
+//!
+//! [`ShardPlan`] picks one **partition attribute** `p` — the join attribute
+//! shared by the most relations. Tuples of relations containing `p` are
+//! routed to shard `hash(t[p]) mod S`; tuples of the remaining relations
+//! are broadcast to every shard (fragment-and-replicate). Because a natural
+//! join equates `p` across every relation that contains it, each join
+//! result binds `p` to exactly one value and is therefore assembled by
+//! exactly one shard: the per-shard result sets `Q_0, …, Q_{S-1}` are
+//! disjoint and their union is `Q(R)`.
+//!
+//! # The merge
+//!
+//! Each shard `i` carries its population count `w_i = |Q_i|` (maintained
+//! exactly by a `JoinCounter` sidecar) next to its `min(k, w_i)`-sample.
+//! [`ShardedSampler::samples`] then simulates sequential sampling without
+//! replacement from the union: each output slot picks shard `i` with
+//! probability `w_i' / Σ w'` (where `w_i'` is shard `i`'s *remaining*
+//! population) and takes a uniformly random not-yet-used element of shard
+//! `i`'s reservoir. Slot `j` never needs more than `min(k, w_i)` elements
+//! from shard `i`, so a full per-shard reservoir is always deep enough, and
+//! the draw is exactly a uniform `min(k, |Q(R)|)`-sample without
+//! replacement of `Q(R)` whenever the inner engines' reservoirs are
+//! uniform without replacement (the `RSJoin` family, `NaiveRebuild`,
+//! `SymmetricHashJoin`; `SJoin` samples per-slot with replacement, for
+//! which the merged sample keeps per-slot uniformity instead).
+//!
+//! # Determinism
+//!
+//! Shard `i` is seeded with `child_seed(seed, i)` and consumes its own
+//! partition in arrival order; the merge RNG is seeded from
+//! `child_seed(seed, S)` mixed with the routed-tuple count. No decision
+//! depends on thread scheduling, so a sharded run is reproducible from the
+//! single user seed regardless of interleaving.
+
+use crate::exec::{JoinSampler, SamplerStats};
+use rsj_common::rng::{child_seed, RsjRng};
+use rsj_common::{FxHashMap, FxHashSet, Value};
+use rsj_query::{JoinTree, Query};
+use std::cell::RefCell;
+use std::hash::Hasher;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+/// Tuples buffered per shard before a channel send.
+const BATCH_TUPLES: usize = 1024;
+
+/// The partitioning scheme: which attribute to hash on, and where it sits
+/// in each relation's schema.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    shards: usize,
+    partition_attr: usize,
+    /// Per relation: position of the partition attribute in the schema, or
+    /// `None` for a broadcast relation.
+    positions: Vec<Option<usize>>,
+}
+
+impl ShardPlan {
+    /// Builds the plan for `query` over `shards` workers: the partition
+    /// attribute is the one contained in the most relations (ties resolved
+    /// towards the smallest attribute id), so broadcast traffic is
+    /// minimized.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or the query has no attributes.
+    pub fn new(query: &Query, shards: usize) -> ShardPlan {
+        assert!(shards > 0, "at least one shard");
+        assert!(query.num_attrs() > 0, "query has no attributes");
+        let partition_attr = (0..query.num_attrs())
+            .max_by_key(|&a| (query.relations_with_attr(a).len(), usize::MAX - a))
+            .expect("non-empty attribute set");
+        let positions = (0..query.num_relations())
+            .map(|r| query.relation(r).position_of(partition_attr))
+            .collect();
+        ShardPlan {
+            shards,
+            partition_attr,
+            positions,
+        }
+    }
+
+    /// Number of shards `S`.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The attribute id the stream is hash-partitioned on.
+    pub fn partition_attr(&self) -> usize {
+        self.partition_attr
+    }
+
+    /// True if tuples of relation `rel` go to every shard.
+    pub fn is_broadcast(&self, rel: usize) -> bool {
+        self.positions[rel].is_none()
+    }
+
+    /// The owning shard of `tuple` in relation `rel`, or `None` if the
+    /// relation is broadcast.
+    pub fn route(&self, rel: usize, tuple: &[Value]) -> Option<usize> {
+        self.positions[rel].map(|pos| {
+            let mut h = rsj_common::hash::FxHasher::default();
+            h.write_u64(tuple[pos]);
+            (h.finish() % self.shards as u64) as usize
+        })
+    }
+}
+
+/// Exact per-shard result counting: a `Database`-free sidecar that stores
+/// the shard's accepted tuples (set semantics) and computes `|Q_i|` on
+/// demand.
+///
+/// Acyclic queries count by one bottom-up message pass over the join tree
+/// (`O(N_i)` with hashing); queries without a join tree fall back to
+/// backtracking enumeration (merge-time only — the cyclic engines
+/// themselves never pay this). The count is cached between reads in the
+/// worker loop, so repeated `samples()`/`stats()` calls without new
+/// tuples cost no recount.
+///
+/// The sidecar keeps its own copy of the shard's tuples — roughly
+/// doubling per-shard input storage next to the inner engine's — because
+/// the [`JoinSampler`] interface deliberately exposes no relation access;
+/// the trade is input-linear memory for an exact merge with any engine.
+struct JoinCounter {
+    query: Query,
+    plan: Option<CountPlan>,
+    /// Per relation: the distinct tuples accepted so far.
+    seen: Vec<FxHashSet<Vec<Value>>>,
+}
+
+/// The rooted message-passing schedule for acyclic counting.
+struct CountPlan {
+    /// BFS order from the root (parents before children); counting walks it
+    /// in reverse.
+    order: Vec<usize>,
+    parent: Vec<Option<usize>>,
+    /// Per relation: schema positions projecting onto the attributes shared
+    /// with its parent.
+    up: Vec<Vec<usize>>,
+    /// Per relation: for each child, `(child, schema positions)` projecting
+    /// onto the same shared attributes in the same order as the child's
+    /// `up` projection.
+    down: Vec<Vec<(usize, Vec<usize>)>>,
+}
+
+impl CountPlan {
+    fn new(query: &Query, tree: &JoinTree) -> CountPlan {
+        let n = query.num_relations();
+        let mut parent = vec![None; n];
+        let mut order = vec![0usize];
+        let mut seen = vec![false; n];
+        seen[0] = true;
+        let mut i = 0;
+        while i < order.len() {
+            let r = order[i];
+            i += 1;
+            for &c in tree.neighbors(r) {
+                if !seen[c] {
+                    seen[c] = true;
+                    parent[c] = Some(r);
+                    order.push(c);
+                }
+            }
+        }
+        let mut up = vec![Vec::new(); n];
+        let mut down = vec![Vec::new(); n];
+        for c in 0..n {
+            if let Some(p) = parent[c] {
+                let ids = query.shared_attrs(c, p);
+                up[c] = ids
+                    .iter()
+                    .map(|&a| query.relation(c).position_of(a).expect("shared attr"))
+                    .collect();
+                down[p].push((
+                    c,
+                    ids.iter()
+                        .map(|&a| query.relation(p).position_of(a).expect("shared attr"))
+                        .collect(),
+                ));
+            }
+        }
+        CountPlan {
+            order,
+            parent,
+            up,
+            down,
+        }
+    }
+}
+
+impl JoinCounter {
+    fn new(query: Query) -> JoinCounter {
+        let plan = JoinTree::build(&query).map(|t| CountPlan::new(&query, &t));
+        let seen = vec![FxHashSet::default(); query.num_relations()];
+        JoinCounter { query, plan, seen }
+    }
+
+    /// Accepts one tuple; duplicates are no-ops, mirroring the engines' set
+    /// semantics.
+    fn insert(&mut self, rel: usize, tuple: Vec<Value>) {
+        self.seen[rel].insert(tuple);
+    }
+
+    /// Exact `|Q_i|` over the accepted tuples.
+    fn count(&self) -> u128 {
+        match &self.plan {
+            Some(plan) => self.count_acyclic(plan),
+            None => self.count_backtracking(0, &mut vec![None; self.query.num_attrs()]),
+        }
+    }
+
+    fn count_acyclic(&self, plan: &CountPlan) -> u128 {
+        let n = self.query.num_relations();
+        // msgs[c]: sum of subtree weights of c's tuples, grouped by the
+        // projection onto the attributes shared with c's parent.
+        let mut msgs: Vec<FxHashMap<Vec<Value>, u128>> = vec![FxHashMap::default(); n];
+        let mut total: u128 = 0;
+        for &r in plan.order.iter().rev() {
+            for t in &self.seen[r] {
+                let mut w: u128 = 1;
+                for (c, pos) in &plan.down[r] {
+                    let key: Vec<Value> = pos.iter().map(|&p| t[p]).collect();
+                    match msgs[*c].get(&key) {
+                        Some(&s) => w = w.saturating_mul(s),
+                        None => {
+                            w = 0;
+                            break;
+                        }
+                    }
+                }
+                if w == 0 {
+                    continue;
+                }
+                match plan.parent[r] {
+                    Some(_) => {
+                        let key: Vec<Value> = plan.up[r].iter().map(|&p| t[p]).collect();
+                        let slot = msgs[r].entry(key).or_insert(0);
+                        *slot = slot.saturating_add(w);
+                    }
+                    None => total = total.saturating_add(w),
+                }
+            }
+        }
+        total
+    }
+
+    fn count_backtracking(&self, rel: usize, partial: &mut Vec<Option<Value>>) -> u128 {
+        if rel == self.query.num_relations() {
+            return 1;
+        }
+        let schema = &self.query.relation(rel).attrs;
+        let mut total: u128 = 0;
+        'tuples: for t in &self.seen[rel] {
+            let mut newly_bound = Vec::new();
+            for (pos, &attr) in schema.iter().enumerate() {
+                match partial[attr] {
+                    Some(v) if v != t[pos] => {
+                        for &a in &newly_bound {
+                            partial[a] = None;
+                        }
+                        continue 'tuples;
+                    }
+                    Some(_) => {}
+                    None => {
+                        partial[attr] = Some(t[pos]);
+                        newly_bound.push(attr);
+                    }
+                }
+            }
+            total = total.saturating_add(self.count_backtracking(rel + 1, partial));
+            for &a in &newly_bound {
+                partial[a] = None;
+            }
+        }
+        total
+    }
+}
+
+/// What a worker reports back on a read request.
+struct Snapshot {
+    samples: Vec<Vec<Value>>,
+    population: u128,
+    stats: SamplerStats,
+}
+
+enum Msg {
+    Batch(Vec<(usize, Vec<Value>)>),
+    Read(mpsc::Sender<Snapshot>),
+}
+
+fn worker_loop(
+    mut sampler: Box<dyn JoinSampler + Send>,
+    mut counter: JoinCounter,
+    rx: mpsc::Receiver<Msg>,
+) {
+    // The population count is recomputed lazily: invalidated by ingest,
+    // cached across consecutive reads so `samples()` + `stats()` back to
+    // back pay for one count pass, not two.
+    let mut cached_count: Option<u128> = None;
+    for msg in rx {
+        match msg {
+            Msg::Batch(batch) => {
+                cached_count = None;
+                for (rel, tuple) in batch {
+                    sampler.process(rel, &tuple);
+                    counter.insert(rel, tuple);
+                }
+            }
+            Msg::Read(reply) => {
+                let population = *cached_count.get_or_insert_with(|| counter.count());
+                // The requester may already have hung up (drop mid-read);
+                // that is not the worker's problem.
+                let _ = reply.send(Snapshot {
+                    samples: sampler.samples(),
+                    population,
+                    stats: sampler.stats(),
+                });
+            }
+        }
+    }
+}
+
+/// Mutable innards behind a `RefCell` so that the read-only trait surface
+/// (`samples(&self)`, `stats(&self)`) can flush buffers and synchronize
+/// with the workers.
+struct State {
+    txs: Vec<mpsc::Sender<Msg>>,
+    handles: Vec<JoinHandle<()>>,
+    bufs: Vec<Vec<(usize, Vec<Value>)>>,
+    tuples_routed: u64,
+}
+
+impl State {
+    fn push(&mut self, shard: usize, rel: usize, tuple: &[Value]) {
+        self.bufs[shard].push((rel, tuple.to_vec()));
+        if self.bufs[shard].len() >= BATCH_TUPLES {
+            self.flush(shard);
+        }
+    }
+
+    fn flush(&mut self, shard: usize) {
+        if self.bufs[shard].is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.bufs[shard]);
+        self.txs[shard]
+            .send(Msg::Batch(batch))
+            .expect("shard worker thread died");
+    }
+}
+
+/// A partition-parallel [`JoinSampler`]: `S` independent inner engines on
+/// their own threads, one hash partition of the stream each, merged into a
+/// single uniform reservoir on read (see the [module docs](self) for the
+/// partitioning and merge arguments).
+///
+/// Constructed directly from any engine builder, or through the factory as
+/// `Engine::Sharded { inner, shards }` in the `rsjoin` facade.
+pub struct ShardedSampler {
+    output_query: Query,
+    k: usize,
+    merge_seed: u64,
+    plan: ShardPlan,
+    state: RefCell<State>,
+}
+
+impl ShardedSampler {
+    /// Spawns `shards` workers, each owning one inner sampler built by
+    /// `build(child_seed(seed, shard))`.
+    ///
+    /// All inner samplers must be instances of the same engine (the merged
+    /// sample is materialized in the first one's
+    /// [`output_query`](JoinSampler::output_query) attribute order).
+    pub fn new<F>(
+        query: &Query,
+        k: usize,
+        seed: u64,
+        shards: usize,
+        build: F,
+    ) -> Result<ShardedSampler, String>
+    where
+        F: Fn(u64) -> Result<Box<dyn JoinSampler + Send>, String>,
+    {
+        if shards == 0 {
+            return Err("sharded execution needs at least one shard".to_string());
+        }
+        let plan = ShardPlan::new(query, shards);
+        let mut txs = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        let mut output_query = None;
+        for s in 0..shards {
+            let sampler = build(child_seed(seed, s as u64))?;
+            if output_query.is_none() {
+                output_query = Some(sampler.output_query().clone());
+            }
+            let counter = JoinCounter::new(query.clone());
+            let (tx, rx) = mpsc::channel();
+            let handle = std::thread::Builder::new()
+                .name(format!("rsj-shard-{s}"))
+                .spawn(move || worker_loop(sampler, counter, rx))
+                .map_err(|e| format!("failed to spawn shard worker: {e}"))?;
+            txs.push(tx);
+            handles.push(handle);
+        }
+        Ok(ShardedSampler {
+            output_query: output_query.expect("shards >= 1"),
+            k,
+            merge_seed: child_seed(seed, shards as u64),
+            plan: plan.clone(),
+            state: RefCell::new(State {
+                txs,
+                handles,
+                bufs: vec![Vec::new(); shards],
+                tuples_routed: 0,
+            }),
+        })
+    }
+
+    /// The partitioning scheme in use.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Flushes every buffer and snapshots every shard (samples, exact
+    /// population, stats) — the only synchronization point with the
+    /// workers.
+    fn snapshots(&self) -> (Vec<Snapshot>, u64) {
+        let mut st = self.state.borrow_mut();
+        for s in 0..self.plan.shards() {
+            st.flush(s);
+        }
+        let replies: Vec<mpsc::Receiver<Snapshot>> = st
+            .txs
+            .iter()
+            .map(|tx| {
+                let (rtx, rrx) = mpsc::channel();
+                tx.send(Msg::Read(rtx)).expect("shard worker thread died");
+                rrx
+            })
+            .collect();
+        let snaps = replies
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard worker thread died"))
+            .collect();
+        (snaps, st.tuples_routed)
+    }
+}
+
+impl Drop for ShardedSampler {
+    fn drop(&mut self) {
+        let st = self.state.get_mut();
+        // Closing the channels ends the worker loops; join to avoid leaking
+        // threads past the sampler's lifetime. A worker that already
+        // panicked is reported on the send path, not here (double panic).
+        st.txs.clear();
+        for h in st.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl JoinSampler for ShardedSampler {
+    fn name(&self) -> &'static str {
+        "Sharded"
+    }
+
+    fn output_query(&self) -> &Query {
+        &self.output_query
+    }
+
+    fn process(&mut self, rel: usize, tuple: &[Value]) {
+        let st = self.state.get_mut();
+        st.tuples_routed += 1;
+        match self.plan.route(rel, tuple) {
+            Some(shard) => st.push(shard, rel, tuple),
+            None => {
+                for shard in 0..self.plan.shards() {
+                    st.push(shard, rel, tuple);
+                }
+            }
+        }
+    }
+
+    /// The merged sample: a weighted reservoir union of the per-shard
+    /// reservoirs (each slot drawn from shard `i` with probability
+    /// proportional to its remaining population — see the
+    /// [module docs](self)).
+    fn samples(&self) -> Vec<Vec<Value>> {
+        let (snaps, routed) = self.snapshots();
+        let total: u128 = snaps
+            .iter()
+            .fold(0u128, |acc, s| acc.saturating_add(s.population));
+        let target = (self.k as u128).min(total) as usize;
+        // Deterministic per (seed, stream position); stable across repeated
+        // reads at the same position.
+        let mut rng = RsjRng::seed_from_u64(child_seed(self.merge_seed, routed));
+        let mut remaining: Vec<u128> = snaps.iter().map(|s| s.population).collect();
+        let mut avail: Vec<Vec<Vec<Value>>> = snaps.into_iter().map(|s| s.samples).collect();
+        let mut out = Vec::with_capacity(target);
+        while out.len() < target {
+            let live: u128 = remaining.iter().sum();
+            if live == 0 {
+                break;
+            }
+            let mut x = rng.below_u128(live);
+            let mut i = 0;
+            while x >= remaining[i] {
+                x -= remaining[i];
+                i += 1;
+            }
+            if avail[i].is_empty() {
+                // Only reachable when an inner engine under-fills its
+                // reservoir (with-replacement samplers): stop drawing from
+                // this shard rather than hand out duplicates.
+                remaining[i] = 0;
+                continue;
+            }
+            let j = rng.index(avail[i].len());
+            out.push(avail[i].swap_remove(j));
+            remaining[i] -= 1;
+        }
+        out
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Aggregated instrumentation: sums across shards (broadcast tuples are
+    /// counted once per shard that processed them), plus the exact result
+    /// count `Σ |Q_i| = |Q(R)|` the merge maintains anyway.
+    fn stats(&self) -> SamplerStats {
+        let (snaps, _) = self.snapshots();
+        let sum_opt = |f: &dyn Fn(&SamplerStats) -> Option<u64>| {
+            snaps
+                .iter()
+                .filter_map(|s| f(&s.stats))
+                .fold(None, |acc: Option<u64>, v| {
+                    Some(acc.unwrap_or(0).saturating_add(v))
+                })
+        };
+        SamplerStats {
+            tuples_processed: sum_opt(&|s| s.tuples_processed),
+            reservoir_stops: sum_opt(&|s| s.reservoir_stops),
+            heap_bytes: snaps
+                .iter()
+                .filter_map(|s| s.stats.heap_bytes)
+                .fold(None, |acc: Option<usize>, v| {
+                    Some(acc.unwrap_or(0).saturating_add(v))
+                }),
+            exact_results: Some(
+                snaps
+                    .iter()
+                    .fold(0u128, |acc, s| acc.saturating_add(s.population)),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reservoir_join::ReservoirJoin;
+    use rsj_query::QueryBuilder;
+    use rsj_storage::TupleStream;
+
+    fn two_table() -> Query {
+        let mut qb = QueryBuilder::new();
+        qb.relation("R", &["X", "Y"]);
+        qb.relation("S", &["Y", "Z"]);
+        qb.build().unwrap()
+    }
+
+    fn line3() -> Query {
+        let mut qb = QueryBuilder::new();
+        qb.relation("G1", &["A", "B"]);
+        qb.relation("G2", &["B", "C"]);
+        qb.relation("G3", &["C", "D"]);
+        qb.build().unwrap()
+    }
+
+    fn triangle() -> Query {
+        let mut qb = QueryBuilder::new();
+        qb.relation("R1", &["X", "Y"]);
+        qb.relation("R2", &["Y", "Z"]);
+        qb.relation("R3", &["Z", "X"]);
+        qb.build().unwrap()
+    }
+
+    fn sharded_rsjoin(query: &Query, k: usize, seed: u64, shards: usize) -> ShardedSampler {
+        let q = query.clone();
+        ShardedSampler::new(query, k, seed, shards, move |s| {
+            ReservoirJoin::new(q.clone(), k, s)
+                .map(|e| Box::new(e) as Box<dyn JoinSampler + Send>)
+                .map_err(|e| e.to_string())
+        })
+        .unwrap()
+    }
+
+    fn random_stream(rels: usize, n: usize, dom: u64, seed: u64) -> TupleStream {
+        let mut rng = RsjRng::seed_from_u64(seed);
+        let mut s = TupleStream::new();
+        for _ in 0..n {
+            s.push(
+                rng.index(rels),
+                vec![rng.below_u64(dom), rng.below_u64(dom)],
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn plan_prefers_the_most_shared_attribute() {
+        // Two-table: Y is in both relations; nothing is broadcast.
+        let plan = ShardPlan::new(&two_table(), 4);
+        assert!(!plan.is_broadcast(0));
+        assert!(!plan.is_broadcast(1));
+        // Line-3: B and C tie at two relations each; the smaller attr id
+        // (B) wins, G3 is broadcast.
+        let plan = ShardPlan::new(&line3(), 4);
+        assert_eq!(plan.partition_attr(), 1, "B");
+        assert!(!plan.is_broadcast(0));
+        assert!(!plan.is_broadcast(1));
+        assert!(plan.is_broadcast(2));
+    }
+
+    #[test]
+    fn routing_is_consistent_on_the_partition_attribute() {
+        let plan = ShardPlan::new(&two_table(), 7);
+        for y in 0..50u64 {
+            // R(X,Y) routes on position 1, S(Y,Z) on position 0: same Y
+            // must land on the same shard.
+            let a = plan.route(0, &[123, y]).unwrap();
+            let b = plan.route(1, &[y, 456]).unwrap();
+            assert_eq!(a, b, "y={y}");
+            assert!(a < 7);
+        }
+    }
+
+    #[test]
+    fn counter_matches_brute_force_on_line3() {
+        let mut counter = JoinCounter::new(line3());
+        let mut rng = RsjRng::seed_from_u64(3);
+        let mut naive = NaiveCount::new(line3());
+        for _ in 0..200 {
+            let rel = rng.index(3);
+            let t = vec![rng.below_u64(5), rng.below_u64(5)];
+            counter.insert(rel, t.clone());
+            naive.insert(rel, t);
+        }
+        assert_eq!(counter.count(), naive.count());
+        assert!(counter.count() > 0, "degenerate instance");
+    }
+
+    #[test]
+    fn counter_matches_brute_force_on_triangle() {
+        let mut counter = JoinCounter::new(triangle());
+        let mut rng = RsjRng::seed_from_u64(5);
+        let mut naive = NaiveCount::new(triangle());
+        for _ in 0..150 {
+            let rel = rng.index(3);
+            let t = vec![rng.below_u64(6), rng.below_u64(6)];
+            counter.insert(rel, t.clone());
+            naive.insert(rel, t);
+        }
+        assert_eq!(counter.count(), naive.count());
+        assert!(counter.count() > 0, "degenerate instance");
+    }
+
+    #[test]
+    fn counter_deduplicates() {
+        let mut counter = JoinCounter::new(two_table());
+        counter.insert(0, vec![1, 2]);
+        counter.insert(0, vec![1, 2]);
+        counter.insert(1, vec![2, 3]);
+        assert_eq!(counter.count(), 1);
+    }
+
+    #[test]
+    fn counter_handles_single_relation_queries() {
+        // Degenerate join tree with no edges: the count is the relation's
+        // cardinality.
+        let mut qb = QueryBuilder::new();
+        qb.relation("R", &["A", "B"]);
+        let mut counter = JoinCounter::new(qb.build().unwrap());
+        for v in 0..7u64 {
+            counter.insert(0, vec![v, v + 100]);
+        }
+        assert_eq!(counter.count(), 7);
+    }
+
+    #[test]
+    fn sharded_collects_the_full_result_set_when_k_is_large() {
+        for shards in [1, 2, 3, 5] {
+            let stream = random_stream(2, 200, 8, 11);
+            let mut sharded = sharded_rsjoin(&two_table(), 1 << 20, 4, shards);
+            let mut reference = ReservoirJoin::new(two_table(), 1 << 20, 4).unwrap();
+            for t in stream.iter() {
+                JoinSampler::process(&mut sharded, t.relation, &t.values);
+                reference.process(t.relation, &t.values);
+            }
+            let mut got = JoinSampler::samples(&sharded);
+            let mut expect = reference.samples().to_vec();
+            got.sort();
+            expect.sort();
+            assert_eq!(got, expect, "shards={shards}");
+            assert_eq!(
+                sharded.stats().exact_results,
+                Some(expect.len() as u128),
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_runs_are_seed_deterministic() {
+        let stream = random_stream(2, 300, 6, 21);
+        let run = |seed: u64| {
+            let mut s = sharded_rsjoin(&two_table(), 5, seed, 4);
+            for t in stream.iter() {
+                JoinSampler::process(&mut s, t.relation, &t.values);
+            }
+            // Two reads at the same position must agree with each other.
+            let first = JoinSampler::samples(&s);
+            assert_eq!(first, JoinSampler::samples(&s));
+            first
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10), "different seeds should differ");
+    }
+
+    #[test]
+    fn sharded_sample_size_tracks_population() {
+        let mut s = sharded_rsjoin(&two_table(), 4, 1, 3);
+        assert!(JoinSampler::samples(&s).is_empty());
+        JoinSampler::process(&mut s, 0, &[1, 2]);
+        JoinSampler::process(&mut s, 1, &[2, 3]);
+        assert_eq!(JoinSampler::samples(&s).len(), 1, "|Q|=1 < k");
+        for z in 10..20u64 {
+            JoinSampler::process(&mut s, 1, &[2, z]);
+        }
+        assert_eq!(JoinSampler::samples(&s).len(), 4, "|Q|=11 >= k");
+    }
+
+    #[test]
+    fn broadcast_relations_reach_every_shard() {
+        // Line-3 with all data on one B value but many C values: G3 is
+        // broadcast, so every shard must see its tuples and the single
+        // owning shard must assemble every result.
+        let mut s = sharded_rsjoin(&line3(), 1 << 16, 2, 4);
+        JoinSampler::process(&mut s, 0, &[7, 1]);
+        for c in 0..10u64 {
+            JoinSampler::process(&mut s, 1, &[1, c]);
+            JoinSampler::process(&mut s, 2, &[c, 100 + c]);
+        }
+        assert_eq!(JoinSampler::samples(&s).len(), 10);
+    }
+
+    /// Brute-force recount used to pin `JoinCounter`.
+    struct NaiveCount {
+        query: Query,
+        seen: Vec<FxHashSet<Vec<Value>>>,
+    }
+
+    impl NaiveCount {
+        fn new(query: Query) -> NaiveCount {
+            let seen = vec![FxHashSet::default(); query.num_relations()];
+            NaiveCount { query, seen }
+        }
+
+        fn insert(&mut self, rel: usize, t: Vec<Value>) {
+            self.seen[rel].insert(t);
+        }
+
+        fn count(&self) -> u128 {
+            let mut total = 0u128;
+            let mut partial = vec![None; self.query.num_attrs()];
+            self.recurse(0, &mut partial, &mut total);
+            total
+        }
+
+        fn recurse(&self, rel: usize, partial: &mut Vec<Option<Value>>, total: &mut u128) {
+            if rel == self.query.num_relations() {
+                *total += 1;
+                return;
+            }
+            let schema = &self.query.relation(rel).attrs;
+            'tuples: for t in &self.seen[rel] {
+                let mut bound = Vec::new();
+                for (pos, &attr) in schema.iter().enumerate() {
+                    match partial[attr] {
+                        Some(v) if v != t[pos] => {
+                            for &a in &bound {
+                                partial[a] = None;
+                            }
+                            continue 'tuples;
+                        }
+                        Some(_) => {}
+                        None => {
+                            partial[attr] = Some(t[pos]);
+                            bound.push(attr);
+                        }
+                    }
+                }
+                self.recurse(rel + 1, partial, total);
+                for &a in &bound {
+                    partial[a] = None;
+                }
+            }
+        }
+    }
+}

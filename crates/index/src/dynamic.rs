@@ -1,6 +1,6 @@
 //! The dynamic index: insertion and upward propagation (Algorithms 7, 10).
 //!
-//! One [`TreeState`] per rooted view of the join tree (the paper maintains
+//! One `TreeState` per rooted view of the join tree (the paper maintains
 //! "all the rooted trees where r ranges over all nodes"; the tree rooted at
 //! `r` serves the delta batches of tuples inserted into `R_r`). A tuple
 //! insert touches every tree: it registers the tuple (or its `ē` group

@@ -6,7 +6,7 @@
 //! attributes, `E` the relation schemas. This crate provides everything the
 //! index and drivers need to *reason about* a query before any tuple flows:
 //!
-//! * [`hypergraph`] — the [`Query`](hypergraph::Query) type and its builder;
+//! * [`hypergraph`] — the [`hypergraph::Query`] type and its builder;
 //! * [`join_tree`] — GYO reduction: α-acyclicity testing and join-tree
 //!   construction (Definition 4.1);
 //! * [`rooted`] — the rooted views of a join tree, one per relation, with

@@ -24,7 +24,7 @@ fn run(
     seed: u64,
 ) -> (std::time::Duration, Box<dyn JoinSampler>) {
     let t0 = Instant::now();
-    let s = rsjoin::engine::run_workload(w, engine, k, seed).expect("acyclic");
+    let s = rsjoin::engine::run_workload(w, &engine, k, seed).expect("acyclic");
     (t0.elapsed(), s)
 }
 

@@ -2,9 +2,11 @@
 //! constructible behind one factory.
 //!
 //! [`Engine`] names the seven engines the paper's evaluation compares
-//! (§6.1) and [`Engine::build`] constructs any of them as a
-//! `Box<dyn JoinSampler>`, so multi-engine tests, benches and examples are
-//! written once against the trait instead of once per engine:
+//! (§6.1) — plus the [`Engine::Sharded`] partition-parallel wrapper that
+//! scales any of them across worker threads — and [`Engine::build`]
+//! constructs any of them as a `Box<dyn JoinSampler + Send>`, so
+//! multi-engine tests, benches and examples are written once against the
+//! trait instead of once per engine:
 //!
 //! ```
 //! use rsjoin::engine::{Engine, EngineOpts};
@@ -30,7 +32,7 @@
 //! ```
 
 use rsj_baselines::{NaiveRebuild, SJoin, SJoinOpt, SymmetricSampler};
-use rsj_core::{CyclicReservoirJoin, FkReservoirJoin, JoinSampler, ReservoirJoin};
+use rsj_core::{CyclicReservoirJoin, FkReservoirJoin, JoinSampler, ReservoirJoin, ShardedSampler};
 use rsj_index::IndexOptions;
 use rsj_queries::Workload;
 use rsj_query::{FkSchema, JoinTree, Query};
@@ -71,8 +73,9 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
-/// The seven join-sampling engines of the paper's evaluation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+/// The seven join-sampling engines of the paper's evaluation, plus the
+/// sharded partition-parallel wrapper around any of them.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Engine {
     /// `RSJoin` (Algorithm 6): the paper's near-linear engine for acyclic
     /// joins — dynamic index with power-of-two-rounded counts feeding a
@@ -96,10 +99,23 @@ pub enum Engine {
     /// Symmetric hash join + classic reservoir: the streaming two-table
     /// baseline.
     Symmetric,
+    /// The partition-parallel execution layer (`rsj-core::shard`): the
+    /// stream is hash-partitioned on the most-shared join attribute across
+    /// `shards` worker threads, each running an independent `inner` engine;
+    /// the per-shard reservoirs merge into one uniform sample by weighted
+    /// reservoir union. Supports whatever `inner` supports.
+    Sharded {
+        /// The engine to run inside every shard (any of the seven).
+        inner: Box<Engine>,
+        /// Number of worker shards `S >= 1`.
+        shards: usize,
+    },
 }
 
 impl Engine {
-    /// Every engine, in the order the paper's tables list them.
+    /// Every *base* engine, in the order the paper's tables list them
+    /// (the sharded wrapper is parameterized, so it is not enumerable
+    /// here — wrap any entry via [`Engine::sharded`]).
     pub const ALL: [Engine; 7] = [
         Engine::Reservoir,
         Engine::FkReservoir,
@@ -110,8 +126,18 @@ impl Engine {
         Engine::Symmetric,
     ];
 
-    /// The engine's display name, matching the paper's figures.
-    pub fn name(self) -> &'static str {
+    /// Wraps `inner` in the partition-parallel sharded executor.
+    pub fn sharded(inner: Engine, shards: usize) -> Engine {
+        Engine::Sharded {
+            inner: Box::new(inner),
+            shards,
+        }
+    }
+
+    /// The engine's display name, matching the paper's figures. The
+    /// sharded wrapper reports `"Sharded"` regardless of its inner engine;
+    /// the [`Display`](std::fmt::Display) form spells out both.
+    pub fn name(&self) -> &'static str {
         match self {
             Engine::Reservoir => "RSJoin",
             Engine::FkReservoir => "RSJoin_opt",
@@ -120,31 +146,34 @@ impl Engine {
             Engine::SJoin => "SJoin",
             Engine::SJoinOpt => "SJoin_opt",
             Engine::Symmetric => "SymmetricHashJoin",
+            Engine::Sharded { .. } => "Sharded",
         }
     }
 
     /// Whether this engine can run the query at all: the `RSJoin`/`SJoin`
     /// families need an acyclic query, the symmetric hash join needs
-    /// exactly two relations, and `Cyclic`/`Naive` take anything.
-    pub fn supports(self, query: &Query) -> bool {
+    /// exactly two relations, `Cyclic`/`Naive` take anything, and the
+    /// sharded wrapper takes whatever its inner engine takes.
+    pub fn supports(&self, query: &Query) -> bool {
         match self {
             Engine::Cyclic | Engine::Naive => true,
             Engine::Symmetric => query.num_relations() == 2,
             Engine::Reservoir | Engine::FkReservoir | Engine::SJoin | Engine::SJoinOpt => {
                 JoinTree::build(query).is_some()
             }
+            Engine::Sharded { inner, .. } => inner.supports(query),
         }
     }
 
     /// Constructs the engine for `query`, maintaining `k` uniform samples,
     /// seeded with `seed`.
     pub fn build(
-        self,
+        &self,
         query: &Query,
         k: usize,
         seed: u64,
         opts: &EngineOpts,
-    ) -> Result<Box<dyn JoinSampler>, EngineError> {
+    ) -> Result<Box<dyn JoinSampler + Send>, EngineError> {
         if !self.supports(query) {
             return Err(EngineError::Unsupported(format!(
                 "{} cannot run {}-relation {} query",
@@ -164,33 +193,53 @@ impl Engine {
         };
         match self {
             Engine::Reservoir => ReservoirJoin::with_options(query.clone(), k, seed, opts.index)
-                .map(|e| Box::new(e) as Box<dyn JoinSampler>)
+                .map(|e| Box::new(e) as Box<dyn JoinSampler + Send>)
                 .map_err(|e| EngineError::Build(e.to_string())),
             Engine::FkReservoir => {
                 FkReservoirJoin::with_options(query, &fks(), k, seed, opts.index)
-                    .map(|e| Box::new(e) as Box<dyn JoinSampler>)
+                    .map(|e| Box::new(e) as Box<dyn JoinSampler + Send>)
                     .map_err(|e| EngineError::Build(e.to_string()))
             }
             Engine::Cyclic => CyclicReservoirJoin::with_options(query.clone(), k, seed, opts.index)
-                .map(|e| Box::new(e) as Box<dyn JoinSampler>)
+                .map(|e| Box::new(e) as Box<dyn JoinSampler + Send>)
                 .map_err(|e| EngineError::Build(e.to_string())),
             Engine::Naive => Ok(Box::new(NaiveRebuild::new(query.clone(), k, seed))),
             Engine::SJoin => SJoin::new(query.clone(), k, seed)
-                .map(|e| Box::new(e) as Box<dyn JoinSampler>)
+                .map(|e| Box::new(e) as Box<dyn JoinSampler + Send>)
                 .map_err(EngineError::Build),
             Engine::SJoinOpt => SJoinOpt::new(query, &fks(), k, seed)
-                .map(|e| Box::new(e) as Box<dyn JoinSampler>)
+                .map(|e| Box::new(e) as Box<dyn JoinSampler + Send>)
                 .map_err(EngineError::Build),
             Engine::Symmetric => SymmetricSampler::new(query.clone(), k, seed)
-                .map(|e| Box::new(e) as Box<dyn JoinSampler>)
+                .map(|e| Box::new(e) as Box<dyn JoinSampler + Send>)
                 .map_err(EngineError::Build),
+            Engine::Sharded { inner, shards } => {
+                if matches!(**inner, Engine::Sharded { .. }) {
+                    return Err(EngineError::Unsupported(
+                        "nested sharding is not supported".to_string(),
+                    ));
+                }
+                let inner_engine = (**inner).clone();
+                let build_query = query.clone();
+                let build_opts = opts.clone();
+                ShardedSampler::new(query, k, seed, *shards, move |shard_seed| {
+                    inner_engine
+                        .build(&build_query, k, shard_seed, &build_opts)
+                        .map_err(|e| e.to_string())
+                })
+                .map(|e| Box::new(e) as Box<dyn JoinSampler + Send>)
+                .map_err(EngineError::Build)
+            }
         }
     }
 }
 
 impl std::fmt::Display for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
+        match self {
+            Engine::Sharded { inner, shards } => write!(f, "Sharded<{inner}x{shards}>"),
+            _ => f.write_str(self.name()),
+        }
     }
 }
 
@@ -209,10 +258,10 @@ pub fn workload_opts(w: &Workload) -> EngineOpts {
 /// same primitives).
 pub fn run_workload(
     w: &Workload,
-    engine: Engine,
+    engine: &Engine,
     k: usize,
     seed: u64,
-) -> Result<Box<dyn JoinSampler>, EngineError> {
+) -> Result<Box<dyn JoinSampler + Send>, EngineError> {
     let mut s = engine.build(&w.query, k, seed, &workload_opts(w))?;
     for t in &w.preload {
         s.process(t.relation, &t.values);
@@ -264,6 +313,56 @@ mod tests {
         assert!(Engine::Cyclic.supports(&q));
         assert!(Engine::Naive.supports(&q));
         assert!(!Engine::Symmetric.supports(&q), "3 relations");
+    }
+
+    #[test]
+    fn sharded_engine_builds_and_matches_unsharded_results() {
+        let q = two_table();
+        let mut stream = TupleStream::new();
+        let mut rng = rsj_common::rng::RsjRng::seed_from_u64(77);
+        for _ in 0..200 {
+            stream.push(rng.index(2), vec![rng.below_u64(6), rng.below_u64(6)]);
+        }
+        let collect = |engine: &Engine| {
+            let mut s = engine
+                .build(&q, 1 << 20, 3, &EngineOpts::default())
+                .unwrap();
+            s.process_stream(&stream);
+            s.samples_named()
+                .into_iter()
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        let truth = collect(&Engine::Reservoir);
+        assert!(!truth.is_empty());
+        for shards in [1, 4] {
+            let sharded = Engine::sharded(Engine::Reservoir, shards);
+            assert_eq!(sharded.name(), "Sharded");
+            assert_eq!(format!("{sharded}"), format!("Sharded<RSJoinx{shards}>"));
+            assert_eq!(collect(&sharded), truth, "{sharded}");
+        }
+    }
+
+    #[test]
+    fn sharded_supports_mirrors_inner() {
+        let tri = triangle();
+        assert!(!Engine::sharded(Engine::Reservoir, 2).supports(&tri));
+        assert!(Engine::sharded(Engine::Cyclic, 2).supports(&tri));
+        assert!(!Engine::sharded(Engine::Symmetric, 2).supports(&tri));
+        assert!(Engine::sharded(Engine::Symmetric, 2).supports(&two_table()));
+    }
+
+    #[test]
+    fn sharded_rejects_degenerate_configurations() {
+        let q = two_table();
+        assert!(matches!(
+            Engine::sharded(Engine::Reservoir, 0).build(&q, 10, 1, &EngineOpts::default()),
+            Err(EngineError::Build(_))
+        ));
+        let nested = Engine::sharded(Engine::sharded(Engine::Reservoir, 2), 2);
+        assert!(matches!(
+            nested.build(&q, 10, 1, &EngineOpts::default()),
+            Err(EngineError::Unsupported(_))
+        ));
     }
 
     #[test]

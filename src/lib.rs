@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # rsjoin — Reservoir Sampling over Joins
 //!
 //! A Rust implementation of *"Reservoir Sampling over Joins"* (Dai, Hu, Yi
@@ -35,10 +37,12 @@
 //! | Cyclic joins via GHDs + generic join | [`core`], [`query`] | §5 |
 //! | SJoin / symmetric / naive baselines | [`baselines`] | §6 |
 //! | `JoinSampler` executor trait + [`engine::Engine`] factory | [`core`], [`engine`] | §6.1 (the engines compared) |
+//! | Sharded parallel executor (`Engine::Sharded`) | [`core`], [`engine`] | beyond the paper |
 //! | Workload generators & benchmark queries | [`datagen`], [`queries`] | §6.1, §6.3 |
 //!
 //! Every figure and table of the paper's evaluation has a regenerating
-//! harness in `crates/bench` (see EXPERIMENTS.md).
+//! harness in `crates/bench` (see EXPERIMENTS.md); ARCHITECTURE.md maps
+//! the crates and the executor/shard layers.
 
 pub use rsj_baselines as baselines;
 pub use rsj_common as common;
@@ -52,6 +56,12 @@ pub use rsj_stream as stream;
 
 pub mod engine;
 
+/// Compiles every `rust` code block in the README as a doctest, so the
+/// quickstart can never drift from the actual API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
+
 /// The most common imports in one place.
 pub mod prelude {
     pub use crate::engine::{Engine, EngineError, EngineOpts};
@@ -60,7 +70,7 @@ pub mod prelude {
     pub use rsj_common::{Key, TupleId, Value};
     pub use rsj_core::{
         CyclicReservoirJoin, DynamicSampleIndex, FkReservoirJoin, JoinSampler, ReservoirJoin,
-        SamplerStats,
+        SamplerStats, ShardPlan, ShardedSampler,
     };
     pub use rsj_index::{DynamicIndex, FullSampler, IndexOptions};
     pub use rsj_query::{FkSchema, Ghd, Query, QueryBuilder};

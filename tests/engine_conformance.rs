@@ -18,7 +18,7 @@ const K_ALL: usize = 1 << 22;
 
 /// Builds `engine`, streams `stream` through the trait, returns the
 /// normalized result set.
-fn collect(engine: Engine, query: &Query, opts: &EngineOpts, stream: &TupleStream) -> ResultSet {
+fn collect(engine: &Engine, query: &Query, opts: &EngineOpts, stream: &TupleStream) -> ResultSet {
     let mut sampler = engine
         .build(query, K_ALL, 7, opts)
         .unwrap_or_else(|e| panic!("{engine}: {e}"));
@@ -29,12 +29,12 @@ fn collect(engine: Engine, query: &Query, opts: &EngineOpts, stream: &TupleStrea
 /// Streams through every supporting engine and asserts agreement with
 /// `NaiveRebuild`. Returns the (common) result count.
 fn conform(query: &Query, opts: &EngineOpts, stream: &TupleStream, label: &str) -> usize {
-    let truth = collect(Engine::Naive, query, opts, stream);
+    let truth = collect(&Engine::Naive, query, opts, stream);
     for engine in Engine::ALL {
         if engine == Engine::Naive || !engine.supports(query) {
             continue;
         }
-        let got = collect(engine, query, opts, stream);
+        let got = collect(&engine, query, opts, stream);
         assert_eq!(
             got.len(),
             truth.len(),
@@ -133,6 +133,79 @@ fn cyclic_engines_agree_on_triangle() {
         let stream = random_stream(3, 120, 6, 80 + seed);
         conform(&q, &opts, &stream, "triangle");
     }
+}
+
+#[test]
+fn sharded_wrapper_conforms_for_every_inner_engine() {
+    // Sharded<inner> must collect exactly the same result set as its inner
+    // engine (and therefore as NaiveRebuild): partitioning shuffles work
+    // across threads, never results.
+    let mut qb = QueryBuilder::new();
+    qb.relation("R", &["X", "Y"]);
+    qb.relation("S", &["Y", "Z"]);
+    let q = qb.build().unwrap();
+    let opts = EngineOpts::default();
+    let stream = random_stream(2, 150, 6, 90);
+    let truth = collect(&Engine::Naive, &q, &opts, &stream);
+    assert!(!truth.is_empty(), "degenerate instance");
+    for inner in Engine::ALL {
+        for shards in [1, 3] {
+            let sharded = Engine::sharded(inner.clone(), shards);
+            assert_eq!(
+                collect(&sharded, &q, &opts, &stream),
+                truth,
+                "{sharded} disagrees with NaiveRebuild"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_wrapper_conforms_on_multiway_and_cyclic_queries() {
+    // Line-3 exercises the broadcast path (G3 has no partition attribute);
+    // the triangle exercises the cyclic merge path.
+    let mut qb = QueryBuilder::new();
+    qb.relation("G1", &["A", "B"]);
+    qb.relation("G2", &["B", "C"]);
+    qb.relation("G3", &["C", "D"]);
+    let line3 = qb.build().unwrap();
+    let mut qb = QueryBuilder::new();
+    qb.relation("R1", &["X", "Y"]);
+    qb.relation("R2", &["Y", "Z"]);
+    qb.relation("R3", &["Z", "X"]);
+    let triangle = qb.build().unwrap();
+    let opts = EngineOpts::default();
+    for (q, inner, label) in [
+        (&line3, Engine::Reservoir, "line-3"),
+        (&triangle, Engine::Cyclic, "triangle"),
+    ] {
+        let stream = random_stream(3, 150, 5, 95);
+        let truth = collect(&Engine::Naive, q, &opts, &stream);
+        assert!(!truth.is_empty(), "{label}: degenerate instance");
+        let sharded = Engine::sharded(inner, 4);
+        assert_eq!(
+            collect(&sharded, q, &opts, &stream),
+            truth,
+            "{label}: {sharded}"
+        );
+    }
+}
+
+#[test]
+fn sharded_stats_report_exact_results() {
+    // The merge maintains exact per-shard populations, so Sharded reports
+    // exact |Q(R)| through the uniform stats hook — for any inner engine.
+    let mut qb = QueryBuilder::new();
+    qb.relation("R", &["X", "Y"]);
+    qb.relation("S", &["Y", "Z"]);
+    let q = qb.build().unwrap();
+    let stream = random_stream(2, 100, 5, 1);
+    let truth = collect(&Engine::Naive, &q, &EngineOpts::default(), &stream);
+    let mut s = Engine::sharded(Engine::Reservoir, 3)
+        .build(&q, 10, 1, &EngineOpts::default())
+        .unwrap();
+    s.process_stream(&stream);
+    assert_eq!(s.stats().exact_results, Some(truth.len() as u128));
 }
 
 #[test]

@@ -10,7 +10,7 @@ use rsjoin::queries::{dumbbell, line_k, q10, qx, qy, qz, star_k, Workload};
 type ResultSet = std::collections::BTreeSet<Vec<(String, u64)>>;
 
 /// Runs the workload through `engine` via the facade's uniform driver.
-fn run_workload(w: &Workload, engine: Engine, k: usize, seed: u64) -> Box<dyn JoinSampler> {
+fn run_workload(w: &Workload, engine: &Engine, k: usize, seed: u64) -> Box<dyn JoinSampler + Send> {
     rsjoin::engine::run_workload(w, engine, k, seed)
         .unwrap_or_else(|e| panic!("{}: {engine}: {e}", w.name))
 }
@@ -28,7 +28,7 @@ fn run_all_and_compare(w: &Workload) -> usize {
     .into_iter()
     .enumerate()
     {
-        let s = run_workload(w, engine, k, seed as u64 + 1);
+        let s = run_workload(w, &engine, k, seed as u64 + 1);
         let got: ResultSet = s.samples_named().into_iter().collect();
         match &truth {
             None => truth = Some(got),
@@ -127,8 +127,8 @@ fn graph_queries_rsjoin_vs_sjoin() {
         star_k(4, &edges, 1),
     ] {
         let k = 1 << 22;
-        let rj = run_workload(&w, Engine::Reservoir, k, 1);
-        let sj = run_workload(&w, Engine::SJoin, k, 2);
+        let rj = run_workload(&w, &Engine::Reservoir, k, 1);
+        let sj = run_workload(&w, &Engine::SJoin, k, 2);
         let a: ResultSet = rj.samples_named().into_iter().collect();
         let b: ResultSet = sj.samples_named().into_iter().collect();
         assert_eq!(a, b, "{}", w.name);
@@ -151,7 +151,7 @@ fn dumbbell_cyclic_driver_runs_and_validates() {
     }
     .generate();
     let w = dumbbell(&edges, 1);
-    let crj = run_workload(&w, Engine::Cyclic, 1 << 22, 1);
+    let crj = run_workload(&w, &Engine::Cyclic, 1 << 22, 1);
     // Validate every sample is a genuine dumbbell: two triangles + bridge.
     let q = crj.output_query().clone();
     let pos = |n: &str| q.attr_names().iter().position(|a| a == n).unwrap();
