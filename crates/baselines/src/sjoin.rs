@@ -192,14 +192,22 @@ impl SJoinIndex {
 
     /// Materializes a result into a full-width value tuple.
     pub fn materialize(&self, result: &[(usize, TupleId)]) -> Vec<Value> {
-        let mut out = vec![0; self.query.num_attrs()];
+        let mut out = Vec::new();
+        self.materialize_into(result, &mut out);
+        out
+    }
+
+    /// Materializes a result into a caller-provided buffer (cleared and
+    /// refilled), avoiding a fresh allocation per retrieved sample.
+    pub fn materialize_into(&self, result: &[(usize, TupleId)], out: &mut Vec<Value>) {
+        out.clear();
+        out.resize(self.query.num_attrs(), 0);
         for &(rel, tid) in result {
             let tuple = self.db.tuple(rel, tid);
             for (pos, &attr) in self.query.relation(rel).attrs.iter().enumerate() {
                 out[attr] = tuple[pos];
             }
         }
-        out
     }
 
     /// Estimated heap bytes.
@@ -364,6 +372,8 @@ fn exact_retrieve_group(
 pub struct SJoin {
     index: SJoinIndex,
     reservoir: Reservoir<Vec<Value>>,
+    /// Reusable materialization buffer (see the in-place reservoir path).
+    scratch: Vec<Value>,
 }
 
 impl SJoin {
@@ -372,6 +382,7 @@ impl SJoin {
         Ok(SJoin {
             index: SJoinIndex::new(query)?,
             reservoir: Reservoir::new(k, seed),
+            scratch: Vec::new(),
         })
     }
 
@@ -382,8 +393,14 @@ impl SJoin {
         if size > 0 {
             let index = &self.index;
             let mut fb = FnBatch::new(size, |z| index.delta_retrieve(rel, tid, z));
-            self.reservoir
-                .process_batch(&mut fb, |r| Some(index.materialize(&r)));
+            self.reservoir.process_batch_in_place(
+                &mut fb,
+                |r, buf| {
+                    index.materialize_into(&r, buf);
+                    true
+                },
+                &mut self.scratch,
+            );
         }
         Some(tid)
     }

@@ -29,19 +29,32 @@ fn main() {
 
     let mut rs_summary = Summary::new();
     let mut rs_hist = LogHistogram::new();
+    let mut rs_total_ns = 0u128;
     {
         let mut idx = DynamicIndex::new(w.query.clone(), IndexOptions::default()).unwrap();
         for t in w.stream.iter() {
             let t0 = Instant::now();
             idx.insert(t.relation, &t.values);
             let ns = t0.elapsed().as_nanos() as u64;
+            rs_total_ns += ns as u128;
             rs_summary.record(ns as f64);
             rs_hist.record(ns);
         }
     }
+    record_json(
+        &fig_name(),
+        &w.name,
+        "RSJoin",
+        rs_summary.len(),
+        rs_total_ns,
+        Some(rs_summary.len() as f64 * 1e9 / rs_total_ns.max(1) as f64),
+        false,
+    );
 
     let mut sj_summary = Summary::new();
     let mut sj_hist = LogHistogram::new();
+    let mut sj_total_ns = 0u128;
+    let mut sj_capped = false;
     let cap = run_cap();
     let start = Instant::now();
     {
@@ -50,14 +63,25 @@ fn main() {
             let t0 = Instant::now();
             idx.insert(t.relation, &t.values);
             let ns = t0.elapsed().as_nanos() as u64;
+            sj_total_ns += ns as u128;
             sj_summary.record(ns as f64);
             sj_hist.record(ns);
             if i % 1024 == 0 && start.elapsed() > cap {
                 println!("(SJoin capped after {i} tuples)");
+                sj_capped = true;
                 break;
             }
         }
     }
+    record_json(
+        &fig_name(),
+        &w.name,
+        "SJoin",
+        sj_summary.len(),
+        sj_total_ns,
+        Some(sj_summary.len() as f64 * 1e9 / sj_total_ns.max(1) as f64),
+        sj_capped,
+    );
 
     let row = |name: &str, s: &Summary| {
         println!(

@@ -7,6 +7,7 @@
 //! timed loop after a warmup pass and reports mean wall time per
 //! iteration.
 
+use rsj_bench::{fig_name, record_json};
 use rsj_common::rng::RsjRng;
 use rsj_datagen::GraphConfig;
 use rsj_index::{DynamicIndex, FullSampler, IndexOptions};
@@ -22,8 +23,18 @@ fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
     for _ in 0..iters {
         f();
     }
-    let per_iter = start.elapsed() / iters;
+    let total = start.elapsed();
+    let per_iter = total / iters;
     println!("{name:<36} {per_iter:>12.2?}/iter  ({iters} iters)");
+    record_json(
+        &fig_name(),
+        name,
+        "-",
+        iters as usize,
+        total.as_nanos(),
+        Some(iters as f64 / total.as_secs_f64().max(f64::MIN_POSITIVE)),
+        false,
+    );
 }
 
 fn loaded_index() -> DynamicIndex {

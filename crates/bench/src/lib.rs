@@ -8,11 +8,21 @@
 //! All harnesses honour the `RSJ_SCALE` environment variable (default `1`,
 //! laptop-scale). `RSJ_SCALE=4` quadruples input sizes; per-run soft
 //! timeouts stand in for the paper's 12-hour cap.
+//!
+//! # Machine-readable output
+//!
+//! When `RSJ_BENCH_JSON=<path>` is set, every figure run appends one JSON
+//! line to `<path>` — `{"fig", "query", "engine", "n", "wall_ns",
+//! "samples_per_s", "timed_out"?}` — so perf trajectories can be tracked
+//! across commits (`BENCH_insert.json` at the repo root holds the insert
+//! baselines). Runs driven through [`run_engine`] record automatically;
+//! custom harnesses call [`record_json`] themselves.
 
 use rsj_core::JoinSampler;
 use rsj_queries::Workload;
 pub use rsjoin::engine::workload_opts;
 use rsjoin::engine::Engine;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Global size multiplier from `RSJ_SCALE`.
@@ -97,7 +107,8 @@ pub fn run_sampler(w: &Workload, sampler: &mut dyn JoinSampler) -> Outcome {
 
 /// Builds `engine` for the workload and runs preload + timed stream.
 /// Engine-agnostic: figures sweep `Engine` values instead of calling one
-/// runner per algorithm.
+/// runner per algorithm. Appends a JSON record when `RSJ_BENCH_JSON` is
+/// set.
 pub fn run_engine(
     w: &Workload,
     engine: &Engine,
@@ -108,7 +119,90 @@ pub fn run_engine(
         .build(&w.query, k, seed, &workload_opts(w))
         .unwrap_or_else(|e| panic!("{}: {engine}: {e}", w.name));
     let out = run_sampler(w, sampler.as_mut());
+    let n = w.stream.len();
+    match out {
+        Outcome::Finished(d) => {
+            let per_s = n as f64 / d.as_secs_f64().max(f64::MIN_POSITIVE);
+            record_json(
+                &fig_name(),
+                &w.name,
+                engine.name(),
+                n,
+                d.as_nanos(),
+                Some(per_s),
+                false,
+            );
+        }
+        Outcome::TimedOut { frac } => {
+            let cap = run_cap();
+            let per_s = (n as f64 * frac) / cap.as_secs_f64().max(f64::MIN_POSITIVE);
+            record_json(
+                &fig_name(),
+                &w.name,
+                engine.name(),
+                (n as f64 * frac) as usize,
+                cap.as_nanos(),
+                Some(per_s),
+                true,
+            );
+        }
+    }
     (out, sampler)
+}
+
+/// The running figure's name: the bench binary's file stem.
+pub fn fig_name() -> String {
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        // cargo bench appends a `-<hash>` suffix to the binary name.
+        .map(|s| match s.rfind('-') {
+            Some(i) if s[i + 1..].chars().all(|c| c.is_ascii_hexdigit()) => s[..i].to_string(),
+            _ => s,
+        })
+        .unwrap_or_else(|| "bench".to_string())
+}
+
+/// Appends one JSON line describing a figure run to the file named by
+/// `RSJ_BENCH_JSON` (no-op when the variable is unset). `samples_per_s`
+/// is throughput in the figure's unit of work — tuples for stream runs,
+/// inserts for `fig6_update_time`, iterations for `micro`.
+pub fn record_json(
+    fig: &str,
+    query: &str,
+    engine: &str,
+    n: usize,
+    wall_ns: u128,
+    samples_per_s: Option<f64>,
+    timed_out: bool,
+) {
+    let Some(path) = std::env::var_os("RSJ_BENCH_JSON") else {
+        return;
+    };
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut line = format!(
+        "{{\"fig\":\"{}\",\"query\":\"{}\",\"engine\":\"{}\",\"n\":{n},\"wall_ns\":{wall_ns}",
+        esc(fig),
+        esc(query),
+        esc(engine),
+    );
+    if let Some(p) = samples_per_s {
+        line.push_str(&format!(",\"samples_per_s\":{p:.1}"));
+    }
+    if timed_out {
+        line.push_str(",\"timed_out\":true");
+    }
+    line.push_str("}\n");
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        Ok(mut f) => {
+            let _ = f.write_all(line.as_bytes());
+        }
+        Err(e) => eprintln!("RSJ_BENCH_JSON: cannot append to {path:?}: {e}"),
+    }
 }
 
 /// Prints a figure banner.

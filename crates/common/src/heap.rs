@@ -20,18 +20,42 @@ impl<T: Copy> HeapSize for Vec<T> {
     }
 }
 
+/// Bucket count of a hashbrown table reporting `capacity` usable slots:
+/// a power of two sized so that capacity ≈ 7/8 of it (tiny tables use 4
+/// or 8 buckets directly).
+fn hashbrown_buckets(capacity: usize) -> usize {
+    match capacity {
+        0 => 0,
+        1..=3 => 4,
+        4..=7 => 8,
+        c => (c * 8 / 7).next_power_of_two(),
+    }
+}
+
 impl<K, V, S> HeapSize for std::collections::HashMap<K, V, S> {
     fn heap_size(&self) -> usize {
-        // hashbrown stores (K, V) pairs plus one control byte per slot, with
-        // capacity ~8/7 of len at the default load factor. Capacity-based
-        // accounting mirrors Vec's.
-        self.capacity() * (std::mem::size_of::<(K, V)>() + 1)
+        // hashbrown allocates one (K, V) slot plus one control byte per
+        // *bucket* (not per usable capacity slot), plus a 16-byte control
+        // group tail. Mirroring that keeps capacity-based accounting
+        // within a few percent of the allocator's view, which the
+        // heap-tracking test in rsj-index pins.
+        let buckets = hashbrown_buckets(self.capacity());
+        if buckets == 0 {
+            0
+        } else {
+            buckets * (std::mem::size_of::<(K, V)>() + 1) + 16
+        }
     }
 }
 
 impl<K, S> HeapSize for std::collections::HashSet<K, S> {
     fn heap_size(&self) -> usize {
-        self.capacity() * (std::mem::size_of::<K>() + 1)
+        let buckets = hashbrown_buckets(self.capacity());
+        if buckets == 0 {
+            0
+        } else {
+            buckets * (std::mem::size_of::<K>() + 1) + 16
+        }
     }
 }
 

@@ -1,0 +1,253 @@
+//! An open-addressing hash table keyed by [`Key`] that takes *precomputed*
+//! hashes.
+//!
+//! The dynamic index looks the same projected key up in several tables per
+//! insert — the child index of the parent node, the group table of the
+//! child node, sometimes a grouping intern table — and `std::HashMap`
+//! re-hashes the 40-byte key on every one of those probes. [`KeyMap`]
+//! splits hashing from probing: the caller hashes a key once (with
+//! [`fx_hash_one`](crate::hash::fx_hash_one), per insert, per distinct
+//! projection) and hands the digest to every table touched afterwards.
+//!
+//! Layout: one flat power-of-two slot array holding `(tag, key, value)`
+//! inline, linear probing — a probe is a single indexed load with no
+//! entries-array indirection. The tag is the key's hash with the top bit
+//! forced on (`0` marks an empty slot), so a lookup compares one word
+//! before touching the key. The index never deletes keys, so there are no
+//! tombstones, and growth re-seats slots from stored tags without ever
+//! re-hashing a key.
+//!
+//! Iteration order is slot order: deterministic for a fixed insertion
+//! sequence, but *not* insertion order — nothing sample-relevant iterates
+//! these maps (posting lists, which do carry order, live in
+//! [`PostingArena`](crate::postings::PostingArena)).
+
+use crate::heap::HeapSize;
+use crate::value::Key;
+
+/// Occupied-slot marker: tags are `hash | TAG_BIT`, empty slots are `0`.
+const TAG_BIT: u64 = 1 << 63;
+
+#[derive(Clone, Debug)]
+struct Slot<V> {
+    tag: u64,
+    key: Key,
+    val: V,
+}
+
+/// Flat open-addressing map from [`Key`] to `V`, addressed by
+/// caller-supplied fx hashes.
+#[derive(Clone, Debug)]
+pub struct KeyMap<V> {
+    /// Power-of-two slot array (empty until the first insert).
+    slots: Vec<Slot<V>>,
+    len: usize,
+}
+
+impl<V> Default for KeyMap<V> {
+    fn default() -> Self {
+        KeyMap {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<V: Copy + Default> KeyMap<V> {
+    /// Number of keys.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no keys are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up `key` under its precomputed `hash`.
+    #[inline]
+    pub fn get(&self, hash: u64, key: &Key) -> Option<&V> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let tag = hash | TAG_BIT;
+        let mask = self.slots.len() - 1;
+        let mut pos = (hash as usize) & mask;
+        loop {
+            let s = &self.slots[pos];
+            if s.tag == 0 {
+                return None;
+            }
+            if s.tag == tag && s.key == *key {
+                return Some(&s.val);
+            }
+            pos = (pos + 1) & mask;
+        }
+    }
+
+    /// Returns the value for `key`, inserting `default()` first when the
+    /// key is absent. The `bool` is `true` when the entry was created.
+    pub fn get_or_insert_with(
+        &mut self,
+        hash: u64,
+        key: Key,
+        default: impl FnOnce() -> V,
+    ) -> (&mut V, bool) {
+        if (self.len + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let tag = hash | TAG_BIT;
+        let mask = self.slots.len() - 1;
+        let mut pos = (hash as usize) & mask;
+        loop {
+            let s = &self.slots[pos];
+            if s.tag == 0 {
+                self.slots[pos] = Slot {
+                    tag,
+                    key,
+                    val: default(),
+                };
+                self.len += 1;
+                return (&mut self.slots[pos].val, true);
+            }
+            if s.tag == tag && s.key == key {
+                return (&mut self.slots[pos].val, false);
+            }
+            pos = (pos + 1) & mask;
+        }
+    }
+
+    /// Doubles the slot array and re-seats every entry from its stored tag
+    /// (keys are never re-hashed).
+    #[cold]
+    fn grow(&mut self) {
+        let new_len = (self.slots.len() * 2).max(8);
+        let old = std::mem::replace(
+            &mut self.slots,
+            (0..new_len)
+                .map(|_| Slot {
+                    tag: 0,
+                    key: Key::EMPTY,
+                    val: V::default(),
+                })
+                .collect(),
+        );
+        let mask = new_len - 1;
+        for s in old {
+            if s.tag == 0 {
+                continue;
+            }
+            let mut pos = (s.tag as usize) & mask;
+            while self.slots[pos].tag != 0 {
+                pos = (pos + 1) & mask;
+            }
+            self.slots[pos] = s;
+        }
+    }
+
+    /// Iterates `(key, value)` pairs in slot order (deterministic for a
+    /// fixed insertion sequence; not insertion order).
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &V)> {
+        self.slots
+            .iter()
+            .filter(|s| s.tag != 0)
+            .map(|s| (&s.key, &s.val))
+    }
+}
+
+impl<V> HeapSize for KeyMap<V> {
+    fn heap_size(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Slot<V>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::fx_hash_one;
+
+    fn k(vals: &[u64]) -> (Key, u64) {
+        let key = Key::from_slice(vals);
+        (key, fx_hash_one(&key))
+    }
+
+    #[test]
+    fn insert_then_get() {
+        let mut m: KeyMap<u32> = KeyMap::default();
+        let (key, h) = k(&[1, 2]);
+        assert!(m.get(h, &key).is_none());
+        let (v, created) = m.get_or_insert_with(h, key, || 7);
+        assert!(created);
+        assert_eq!(*v, 7);
+        let (v, created) = m.get_or_insert_with(h, key, || 9);
+        assert!(!created);
+        assert_eq!(*v, 7);
+        assert_eq!(m.get(h, &key), Some(&7));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn survives_growth_and_collisions() {
+        let mut m: KeyMap<u64> = KeyMap::default();
+        for i in 0..10_000u64 {
+            let (key, h) = k(&[i, i * 3]);
+            let (_, created) = m.get_or_insert_with(h, key, || i);
+            assert!(created, "{i}");
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in 0..10_000u64 {
+            let (key, h) = k(&[i, i * 3]);
+            assert_eq!(m.get(h, &key), Some(&i), "{i}");
+        }
+        let (missing, hm) = k(&[10_001, 0]);
+        assert!(m.get(hm, &missing).is_none());
+    }
+
+    #[test]
+    fn iteration_yields_every_entry_exactly_once() {
+        let mut m: KeyMap<u64> = KeyMap::default();
+        let keys: Vec<u64> = vec![9, 2, 77, 0, 5];
+        for &x in &keys {
+            let (key, h) = k(&[x]);
+            m.get_or_insert_with(h, key, || x);
+        }
+        let mut seen: Vec<u64> = m.iter().map(|(_, &v)| v).collect();
+        seen.sort_unstable();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn empty_key_is_a_valid_key() {
+        let mut m: KeyMap<u32> = KeyMap::default();
+        let h = fx_hash_one(&Key::EMPTY);
+        m.get_or_insert_with(h, Key::EMPTY, || 42);
+        assert_eq!(m.get(h, &Key::EMPTY), Some(&42));
+    }
+
+    #[test]
+    fn zero_hash_is_distinguished_from_empty_slots() {
+        // The tag bit keeps a key whose fx hash is literally 0 findable.
+        let mut m: KeyMap<u32> = KeyMap::default();
+        let key = Key::from_slice(&[123, 456]);
+        m.get_or_insert_with(0, key, || 5);
+        assert_eq!(m.get(0, &key), Some(&5));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn heap_size_tracks_capacity() {
+        let mut m: KeyMap<u32> = KeyMap::default();
+        assert_eq!(m.heap_size(), 0);
+        for i in 0..100u64 {
+            let (key, h) = k(&[i]);
+            m.get_or_insert_with(h, key, || 0);
+        }
+        let expect = m.slots.capacity() * std::mem::size_of::<Slot<u32>>();
+        assert_eq!(m.heap_size(), expect);
+        assert!(m.heap_size() >= 100 * std::mem::size_of::<Slot<u32>>());
+    }
+}

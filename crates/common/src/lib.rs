@@ -11,6 +11,11 @@
 //!   / [`hash::FxHashSet`] aliases used on every hot path;
 //! * [`rng`] — seeded random-number helpers, in particular the geometric
 //!   skip-length draw at the heart of skip-based reservoir sampling;
+//! * [`keymap`] — an open-addressing [`keymap::KeyMap`] over [`value::Key`]s
+//!   that takes precomputed hashes, so one fx digest per projection serves
+//!   every table an insert touches;
+//! * [`postings`] — the segmented [`postings::PostingArena`]: many
+//!   append-mostly `u32` posting lists packed into one flat allocation;
 //! * [`pow2`] — power-of-two rounding used by the approximate degree counters
 //!   (`cnt~` in the paper);
 //! * [`stats`] — chi-square uniformity testing, histograms and percentile
@@ -20,11 +25,15 @@
 
 pub mod hash;
 pub mod heap;
+pub mod keymap;
+pub mod postings;
 pub mod pow2;
 pub mod rng;
 pub mod stats;
 pub mod value;
 
-pub use hash::{FxHashMap, FxHashSet};
+pub use hash::{fx_hash_one, FxHashMap, FxHashSet};
 pub use heap::HeapSize;
+pub use keymap::KeyMap;
+pub use postings::{ListId, PostingArena, NO_LIST};
 pub use value::{Key, TupleId, Value};

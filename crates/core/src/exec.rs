@@ -19,7 +19,7 @@ use crate::fk_runtime::FkReservoirJoin;
 use crate::reservoir_join::ReservoirJoin;
 use rsj_common::Value;
 use rsj_query::Query;
-use rsj_storage::TupleStream;
+use rsj_storage::{InputTuple, TupleStream};
 
 /// Uniform instrumentation snapshot across engines.
 ///
@@ -62,11 +62,23 @@ pub trait JoinSampler {
     /// (set semantics).
     fn process(&mut self, rel: usize, tuple: &[Value]);
 
-    /// Feeds an entire stream in arrival order.
-    fn process_stream(&mut self, stream: &TupleStream) {
-        for t in stream.iter() {
+    /// Feeds a delta batch of original-stream tuples in arrival order.
+    ///
+    /// Semantically identical to calling [`process`](JoinSampler::process)
+    /// per tuple (samples are byte-identical for a fixed seed). The
+    /// sharded executor's workers feed each channel batch to their inner
+    /// engine through this entry point, so the `RSJoin` family keeps its
+    /// projection scratch and materialization buffers hot across the
+    /// whole batch.
+    fn process_batch(&mut self, batch: &[InputTuple]) {
+        for t in batch {
             self.process(t.relation, &t.values);
         }
+    }
+
+    /// Feeds an entire stream in arrival order.
+    fn process_stream(&mut self, stream: &TupleStream) {
+        self.process_batch(stream.tuples());
     }
 
     /// The current samples as materialized full-width value tuples of
@@ -118,6 +130,10 @@ impl JoinSampler for ReservoirJoin {
 
     fn process(&mut self, rel: usize, tuple: &[Value]) {
         ReservoirJoin::process(self, rel, tuple);
+    }
+
+    fn process_batch(&mut self, batch: &[InputTuple]) {
+        ReservoirJoin::process_batch(self, batch);
     }
 
     fn samples(&self) -> Vec<Vec<Value>> {

@@ -10,7 +10,7 @@
 use rsj_common::{TupleId, Value};
 use rsj_index::{DynamicIndex, IndexOptions, IndexStats};
 use rsj_query::Query;
-use rsj_storage::TupleStream;
+use rsj_storage::{InputTuple, TupleStream};
 use rsj_stream::{FnBatch, Reservoir};
 
 /// Maintains `k` uniform samples without replacement of the join results of
@@ -34,6 +34,10 @@ use rsj_stream::{FnBatch, Reservoir};
 pub struct ReservoirJoin {
     index: DynamicIndex,
     reservoir: Reservoir<Vec<Value>>,
+    /// Reusable materialization buffer for the in-place reservoir path:
+    /// an evicted sample's allocation becomes the next retrieve's scratch,
+    /// so steady-state sampling performs no per-sample allocations.
+    scratch: Vec<Value>,
     tuples_processed: u64,
 }
 
@@ -57,6 +61,7 @@ impl ReservoirJoin {
         Ok(ReservoirJoin {
             index: DynamicIndex::new(query, options)?,
             reservoir: Reservoir::new(k, seed),
+            scratch: Vec::new(),
             tuples_processed: 0,
         })
     }
@@ -71,17 +76,34 @@ impl ReservoirJoin {
         let batch = index.delta_batch(rel, tid);
         if batch.size() > 0 {
             let mut fb = FnBatch::new(batch.size(), |z| batch.retrieve(z));
-            self.reservoir
-                .process_batch(&mut fb, |item| item.map(|r| index.materialize(&r)));
+            self.reservoir.process_batch_in_place(
+                &mut fb,
+                |item, buf| match item {
+                    Some(r) => {
+                        index.materialize_into(&r, buf);
+                        true
+                    }
+                    None => false,
+                },
+                &mut self.scratch,
+            );
         }
         Some(tid)
     }
 
-    /// Processes an entire stream in arrival order.
-    pub fn process_stream(&mut self, stream: &TupleStream) {
-        for t in stream.iter() {
+    /// Processes a delta batch of input tuples in arrival order. Same
+    /// samples as per-tuple [`process`](ReservoirJoin::process) calls; the
+    /// index's projection scratch and the reservoir's materialization
+    /// buffer stay hot across the batch.
+    pub fn process_batch(&mut self, batch: &[InputTuple]) {
+        for t in batch {
             self.process(t.relation, &t.values);
         }
+    }
+
+    /// Processes an entire stream in arrival order.
+    pub fn process_stream(&mut self, stream: &TupleStream) {
+        self.process_batch(stream.tuples());
     }
 
     /// The current samples: uniform without replacement over `Q(R)`, fewer

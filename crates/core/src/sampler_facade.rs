@@ -37,11 +37,31 @@ impl DynamicSampleIndex {
         self.index.insert(rel, tuple)
     }
 
+    /// Inserts a delta batch of tuples in arrival order, returning the
+    /// number accepted (duplicates skipped).
+    pub fn insert_batch(&mut self, batch: &[rsj_storage::InputTuple]) -> u64 {
+        self.index.insert_batch(batch)
+    }
+
     /// Draws one uniform sample of `Q(R)`, `None` when the result is empty.
     /// `O(log N)` expected.
     pub fn sample(&mut self) -> Option<Vec<Value>> {
-        let r = self.sampler.sample(&self.index, &mut self.rng)?;
-        Some(self.index.materialize(&r))
+        let mut out = Vec::new();
+        self.sample_into(&mut out).then_some(out)
+    }
+
+    /// Draws one uniform sample into a caller-provided buffer (cleared and
+    /// refilled); returns `false` when the result is empty. Callers that
+    /// sample in a loop can reuse one buffer instead of allocating per
+    /// sample.
+    pub fn sample_into(&mut self, out: &mut Vec<Value>) -> bool {
+        match self.sampler.sample(&self.index, &mut self.rng) {
+            Some(r) => {
+                self.index.materialize_into(&r, out);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Draws `n` independent uniform samples (with replacement).
@@ -115,6 +135,22 @@ mod tests {
         // Exact: each y in 0..4 has 5 R-tuples and 3 S-tuples => 60.
         let est = ix.estimate_result_size(5000);
         assert!((est - 60.0).abs() < 8.0, "est {est}");
+    }
+
+    #[test]
+    fn batch_insert_matches_loop() {
+        let mut qb = QueryBuilder::new();
+        qb.relation("R", &["X", "Y"]);
+        qb.relation("S", &["Y", "Z"]);
+        let q = qb.build().unwrap();
+        let batch: Vec<rsj_storage::InputTuple> = vec![
+            rsj_storage::InputTuple::new(0, vec![1, 2]),
+            rsj_storage::InputTuple::new(1, vec![2, 3]),
+            rsj_storage::InputTuple::new(1, vec![2, 3]), // duplicate
+        ];
+        let mut ix = DynamicSampleIndex::new(q, 5).unwrap();
+        assert_eq!(ix.insert_batch(&batch), 2);
+        assert_eq!(ix.sample(), Some(vec![1, 2, 3]));
     }
 
     #[test]

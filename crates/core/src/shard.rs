@@ -52,6 +52,7 @@ use crate::exec::{JoinSampler, SamplerStats};
 use rsj_common::rng::{child_seed, RsjRng};
 use rsj_common::{FxHashMap, FxHashSet, Value};
 use rsj_query::{JoinTree, Query};
+use rsj_storage::InputTuple;
 use std::cell::RefCell;
 use std::hash::Hasher;
 use std::sync::mpsc;
@@ -299,7 +300,7 @@ struct Snapshot {
 }
 
 enum Msg {
-    Batch(Vec<(usize, Vec<Value>)>),
+    Batch(Vec<InputTuple>),
     Read(mpsc::Sender<Snapshot>),
 }
 
@@ -316,9 +317,12 @@ fn worker_loop(
         match msg {
             Msg::Batch(batch) => {
                 cached_count = None;
-                for (rel, tuple) in batch {
-                    sampler.process(rel, &tuple);
-                    counter.insert(rel, tuple);
+                // One batched call into the engine (the RSJoin family keeps
+                // its scratch hot across the whole delta batch), then the
+                // tuples move into the counter.
+                sampler.process_batch(&batch);
+                for t in batch {
+                    counter.insert(t.relation, t.values);
                 }
             }
             Msg::Read(reply) => {
@@ -341,13 +345,13 @@ fn worker_loop(
 struct State {
     txs: Vec<mpsc::Sender<Msg>>,
     handles: Vec<JoinHandle<()>>,
-    bufs: Vec<Vec<(usize, Vec<Value>)>>,
+    bufs: Vec<Vec<InputTuple>>,
     tuples_routed: u64,
 }
 
 impl State {
     fn push(&mut self, shard: usize, rel: usize, tuple: &[Value]) {
-        self.bufs[shard].push((rel, tuple.to_vec()));
+        self.bufs[shard].push(InputTuple::new(rel, tuple.to_vec()));
         if self.bufs[shard].len() >= BATCH_TUPLES {
             self.flush(shard);
         }

@@ -1,20 +1,50 @@
 //! The dynamic index: insertion and upward propagation (Algorithms 7, 10).
 //!
-//! One `TreeState` per rooted view of the join tree (the paper maintains
-//! "all the rooted trees where r ranges over all nodes"; the tree rooted at
-//! `r` serves the delta batches of tuples inserted into `R_r`). A tuple
-//! insert touches every tree: it registers the tuple (or its `ē` group
-//! tuple) in its node's key group and child indexes, computes its weight
-//! level from the children's rounded counts, and — only when its group's
-//! rounded count `cnt~` doubles — re-levels the matching items of the parent
-//! node, recursing upward. The number of executions of that re-leveling
-//! loop is the quantity reported in the paper's optimization table
-//! (Figure 9); [`IndexStats::propagation_loops`] counts it.
+//! The paper maintains "all the rooted trees where r ranges over all
+//! nodes"; the tree rooted at `r` serves the delta batches of tuples
+//! inserted into `R_r`. The key structural observation this implementation
+//! exploits: a node's per-tree state — its `key(e)` groups, weight
+//! buckets, child indexes — depends only on **which neighbor is its
+//! parent**, not on which relation the tree is rooted at. Two rooted trees
+//! that orient node `e` the same way hold byte-identical copies of `e`'s
+//! state. So instead of `n` trees × `n` nodes, the index keeps one
+//! [`NodeState`] per distinct *(node, parent)* orientation — `deg(e) + 1`
+//! configurations per node, `3n - 2` in total — and each rooted tree is
+//! just a view (`rel → config`) over the shared pool. An insert updates
+//! `deg(rel) + 1` configurations instead of `n` tree copies, and a
+//! propagation cascade runs once instead of once per tree that shares the
+//! orientation.
+//!
+//! A tuple insert registers the tuple (or its `ē` group tuple) in each of
+//! its relation's configurations, computes its weight level from the
+//! children's rounded counts, and — only when its group's rounded count
+//! `cnt~` doubles — re-levels the matching items of every parent
+//! configuration, recursing upward. The number of executions of that
+//! re-leveling loop is the quantity reported in the paper's optimization
+//! table (Figure 9); [`IndexStats::propagation_loops`] counts it (once
+//! per shared configuration, not once per rooted tree).
+//!
+//! # Hash-once inserts
+//!
+//! The same tuple is projected onto only a handful of *distinct*
+//! attribute sets across all configurations (a `key(e)` of one
+//! orientation is a `key(c)` of another; grouped nodes' key/child
+//! projections factor through `ē`). At construction, a projection plan
+//! deduplicates those position sets per relation; per insert, a reusable
+//! scratch computes each distinct projection's [`Key`] and fx hash
+//! exactly once, and every table touched afterwards — child indexes,
+//! group tables, intern tables, `cnt~` lookups — probes a
+//! [`KeyMap`](rsj_common::KeyMap) with the precomputed digest.
+//! Steady-state inserts are also allocation-free: all posting storage
+//! lives in per-configuration
+//! [`PostingArena`](rsj_common::PostingArena)s, and propagation reuses
+//! pooled scratch buffers.
 
 use crate::state::{ItemId, NodeState};
+use rsj_common::fx_hash_one;
 use rsj_common::pow2::level_of;
-use rsj_common::{HeapSize, Key, TupleId, Value};
-use rsj_query::{Query, RootedTree};
+use rsj_common::{FxHashMap, HeapSize, Key, TupleId, Value};
+use rsj_query::{NodeInfo, Query};
 use rsj_storage::Database;
 
 /// Construction options.
@@ -36,18 +66,104 @@ pub struct IndexStats {
     /// Tuples inserted (accepted; duplicates excluded).
     pub inserts: u64,
     /// Executions of the propagation loop body (Algorithm 7 lines 9–11 /
-    /// Algorithm 10 lines 11–15) — the Figure 9 metric.
+    /// Algorithm 10 lines 11–15) — the Figure 9 metric, counted once per
+    /// shared (node, parent) configuration.
     pub propagation_loops: u64,
     /// Number of `cnt~` doublings observed.
     pub tilde_changes: u64,
 }
 
-/// One rooted tree's worth of index state.
+/// One rooted tree's view over the shared configuration pool.
 #[derive(Clone, Debug)]
-pub(crate) struct TreeState {
-    pub tree: RootedTree,
-    /// Indexed by relation id.
-    pub nodes: Vec<NodeState>,
+pub(crate) struct TreeView {
+    /// Per relation: index of its (relation, parent-in-this-tree)
+    /// configuration in [`DynamicIndex::configs`].
+    pub cfg: Vec<u32>,
+}
+
+/// Slot sentinel for "this configuration is not grouped".
+const NO_SLOT: u32 = u32::MAX;
+
+/// Where one configuration's projections of a relation's tuple live inside
+/// the per-relation scratch (indexes into [`Projections::keys`]).
+#[derive(Clone, Debug)]
+struct CfgSlots {
+    /// `key(e)` projection.
+    key: u32,
+    /// Per child: `key(c)` projection.
+    children: Vec<u32>,
+    /// `ē` projection when this configuration is grouped, else [`NO_SLOT`].
+    ebar: u32,
+}
+
+/// Per-relation deduplicated projection sets plus each configuration's
+/// slot map.
+#[derive(Clone, Debug)]
+struct RelProjections {
+    /// Distinct attribute-position sets this relation is projected onto.
+    sets: Vec<Vec<usize>>,
+    /// Parallel to the relation's configuration list.
+    cfgs: Vec<CfgSlots>,
+}
+
+/// The deduplicated projection schedule of the whole index.
+#[derive(Clone, Debug)]
+struct ProjectionPlan {
+    rels: Vec<RelProjections>,
+}
+
+/// Reusable per-insert scratch: one `(Key, fx hash)` per distinct
+/// projection of the inserted tuple.
+#[derive(Clone, Debug, Default)]
+struct Projections {
+    keys: Vec<(Key, u64)>,
+}
+
+impl Projections {
+    fn fill(&mut self, tuple: &[Value], sets: &[Vec<usize>]) {
+        self.keys.clear();
+        for set in sets {
+            let k = Key::project(tuple, set);
+            self.keys.push((k, fx_hash_one(&k)));
+        }
+    }
+
+    #[inline]
+    fn get(&self, slot: u32) -> (Key, u64) {
+        self.keys[slot as usize]
+    }
+}
+
+/// A touched parent group awaiting its post-batch `cnt~` check:
+/// `(group, group key, cnt~ level before the batch)`.
+type TouchedGroup = (u32, Key, Option<u32>);
+
+/// Recycled scratch buffers for [`propagate`] (one pair per recursion
+/// depth), so re-leveling performs no per-call allocations once warm.
+#[derive(Clone, Debug, Default)]
+struct Pools {
+    items: Vec<Vec<ItemId>>,
+    touched: Vec<Vec<TouchedGroup>>,
+}
+
+impl Pools {
+    fn pop_items(&mut self) -> Vec<ItemId> {
+        self.items.pop().unwrap_or_default()
+    }
+
+    fn push_items(&mut self, mut v: Vec<ItemId>) {
+        v.clear();
+        self.items.push(v);
+    }
+
+    fn pop_touched(&mut self) -> Vec<TouchedGroup> {
+        self.touched.pop().unwrap_or_default()
+    }
+
+    fn push_touched(&mut self, mut v: Vec<TouchedGroup>) {
+        v.clear();
+        self.touched.push(v);
+    }
 }
 
 /// The dynamic sampling index over an acyclic join (Theorem 4.2).
@@ -55,7 +171,25 @@ pub(crate) struct TreeState {
 pub struct DynamicIndex {
     query: Query,
     db: Database,
-    pub(crate) trees: Vec<TreeState>,
+    /// One [`NodeState`] per distinct (relation, parent) orientation.
+    pub(crate) configs: Vec<NodeState>,
+    /// Rooted-tree metadata of each configuration (key/child positions,
+    /// grouping layout), parallel to `configs`.
+    pub(crate) infos: Vec<NodeInfo>,
+    /// Per configuration: the configurations of its children (child `c`
+    /// parented by this relation), parallel to `infos[cfg].children`.
+    child_cfgs: Vec<Vec<u32>>,
+    /// Per configuration `(e, p)`: the parent configurations its `cnt~`
+    /// changes propagate into — every configuration of `p` not parented
+    /// by `e`, with the child index of `e` inside it.
+    prop_targets: Vec<Vec<(u32, u32)>>,
+    /// Per relation: its configurations, in deterministic discovery order.
+    rel_cfgs: Vec<Vec<u32>>,
+    /// Per root relation: the view used for delta batches and sampling.
+    pub(crate) trees: Vec<TreeView>,
+    plan: ProjectionPlan,
+    scratch: Projections,
+    pools: Pools,
     options: IndexOptions,
     stats: IndexStats,
 }
@@ -90,28 +224,117 @@ impl DynamicIndex {
         for r in query.relations() {
             db.add_relation(r.name.clone(), r.attrs.len());
         }
-        let trees = rooted
-            .into_iter()
-            .map(|tree| {
-                let nodes = (0..query.num_relations())
-                    .map(|rel| {
-                        let info = tree.node(rel);
-                        let grouped = options.grouping && info.groupable;
-                        if grouped && info.ebar_positions.len() > rsj_common::value::MAX_KEY_ARITY {
+        let n = query.num_relations();
+
+        // Intern one configuration per distinct (relation, parent)
+        // orientation; trees become views over the pool. Discovery order
+        // (tree 0 first) is deterministic.
+        let mut cfg_of: FxHashMap<(usize, Option<usize>), u32> = FxHashMap::default();
+        let mut configs: Vec<NodeState> = Vec::new();
+        let mut infos: Vec<NodeInfo> = Vec::new();
+        let mut trees = Vec::with_capacity(n);
+        for tree in &rooted {
+            let cfg = (0..n)
+                .map(|rel| {
+                    let info = tree.node(rel);
+                    *cfg_of.entry((rel, info.parent)).or_insert_with(|| {
+                        let grouped = options.grouping
+                            && info.groupable
                             // Fall back to ungrouped rather than failing:
                             // grouping is an optimization.
-                            return NodeState::new(info.children.len(), false);
-                        }
-                        NodeState::new(info.children.len(), grouped)
+                            && info.ebar_positions.len() <= rsj_common::value::MAX_KEY_ARITY;
+                        configs.push(NodeState::new(info.children.len(), grouped));
+                        infos.push(info.clone());
+                        (configs.len() - 1) as u32
                     })
-                    .collect();
-                TreeState { tree, nodes }
+                })
+                .collect();
+            trees.push(TreeView { cfg });
+        }
+        let mut rel_cfgs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (c, info) in infos.iter().enumerate() {
+            rel_cfgs[info.relation].push(c as u32);
+        }
+        let child_cfgs: Vec<Vec<u32>> = infos
+            .iter()
+            .map(|info| {
+                info.children
+                    .iter()
+                    .map(|&c| cfg_of[&(c, Some(info.relation))])
+                    .collect()
             })
             .collect();
+        let prop_targets: Vec<Vec<(u32, u32)>> = infos
+            .iter()
+            .map(|info| match info.parent {
+                None => Vec::new(),
+                Some(p) => rel_cfgs[p]
+                    .iter()
+                    .filter_map(|&y| {
+                        let yi = &infos[y as usize];
+                        if yi.parent == Some(info.relation) {
+                            return None;
+                        }
+                        let ci = yi
+                            .children
+                            .iter()
+                            .position(|&c| c == info.relation)
+                            .expect("child of every other orientation");
+                        Some((y, ci as u32))
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        let plan = ProjectionPlan {
+            rels: (0..n)
+                .map(|rel| {
+                    let mut sets: Vec<Vec<usize>> = Vec::new();
+                    let slot = |positions: &[usize], sets: &mut Vec<Vec<usize>>| -> u32 {
+                        match sets.iter().position(|s| s == positions) {
+                            Some(i) => i as u32,
+                            None => {
+                                sets.push(positions.to_vec());
+                                (sets.len() - 1) as u32
+                            }
+                        }
+                    };
+                    let cfgs = rel_cfgs[rel]
+                        .iter()
+                        .map(|&c| {
+                            let info = &infos[c as usize];
+                            CfgSlots {
+                                key: slot(&info.key_positions, &mut sets),
+                                children: info
+                                    .child_key_positions
+                                    .iter()
+                                    .map(|ps| slot(ps, &mut sets))
+                                    .collect(),
+                                ebar: if configs[c as usize].grouped {
+                                    slot(&info.ebar_positions, &mut sets)
+                                } else {
+                                    NO_SLOT
+                                },
+                            }
+                        })
+                        .collect();
+                    RelProjections { sets, cfgs }
+                })
+                .collect(),
+        };
+
         Ok(DynamicIndex {
             query,
             db,
+            configs,
+            infos,
+            child_cfgs,
+            prop_targets,
+            rel_cfgs,
             trees,
+            plan,
+            scratch: Projections::default(),
+            pools: Pools::default(),
             options,
             stats: IndexStats::default(),
         })
@@ -137,243 +360,444 @@ impl DynamicIndex {
         self.options
     }
 
+    /// State of node `rel` in the tree rooted at `root`.
+    #[inline]
+    pub(crate) fn state_at(&self, root: usize, rel: usize) -> &NodeState {
+        &self.configs[self.trees[root].cfg[rel] as usize]
+    }
+
+    /// Rooted-tree metadata of node `rel` in the tree rooted at `root`.
+    #[inline]
+    pub(crate) fn info_at(&self, root: usize, rel: usize) -> &NodeInfo {
+        &self.infos[self.trees[root].cfg[rel] as usize]
+    }
+
     /// Inserts a tuple into relation `rel`; returns its id, or `None` for a
     /// duplicate (set semantics — no index work happens).
     ///
     /// This is the paper's `IndexUpdate` entry point: `O(log N)` amortized.
+    /// Each distinct projection of the tuple is computed and hashed once,
+    /// then shared across every configuration (see the [module
+    /// docs](self)).
     pub fn insert(&mut self, rel: usize, tuple: &[Value]) -> Option<TupleId> {
         let tid = self.db.relation_mut(rel).insert(tuple)?;
         self.stats.inserts += 1;
-        for ti in 0..self.trees.len() {
-            let (stats_pl, stats_tc) = {
-                let ts = &mut self.trees[ti];
-                let mut pl = 0u64;
-                let mut tc = 0u64;
-                tree_insert(ts, &self.db, rel, tid, &mut pl, &mut tc);
-                (pl, tc)
-            };
-            self.stats.propagation_loops += stats_pl;
-            self.stats.tilde_changes += stats_tc;
+        self.scratch.fill(tuple, &self.plan.rels[rel].sets);
+        let mut pl = 0u64;
+        let mut tc = 0u64;
+        for (i, &cfg) in self.rel_cfgs[rel].iter().enumerate() {
+            cfg_insert(
+                &mut self.configs,
+                &self.infos,
+                &self.child_cfgs,
+                &self.prop_targets,
+                &self.db,
+                &self.scratch,
+                &self.plan.rels[rel].cfgs[i],
+                cfg,
+                tid,
+                &mut pl,
+                &mut tc,
+                &mut self.pools,
+            );
         }
+        self.stats.propagation_loops += pl;
+        self.stats.tilde_changes += tc;
         Some(tid)
     }
 
+    /// Inserts a delta batch of tuples in order, returning the number
+    /// accepted (duplicates are skipped, exactly as [`insert`] would).
+    ///
+    /// Equivalent to calling [`insert`] per tuple — same ids, same index
+    /// state, same propagation — packaged as the batch entry point for
+    /// index-only ingest (sampling-disabled pipelines, the
+    /// `DynamicSampleIndex` facade). Per-tuple work is already amortized
+    /// internally: the projection scratch, propagation pools, and arena
+    /// free lists live in the index and stay warm across calls.
+    ///
+    /// [`insert`]: DynamicIndex::insert
+    pub fn insert_batch(&mut self, batch: &[rsj_storage::InputTuple]) -> u64 {
+        let mut accepted = 0;
+        for t in batch {
+            if self.insert(t.relation, &t.values).is_some() {
+                accepted += 1;
+            }
+        }
+        accepted
+    }
+
     /// Estimated heap bytes of the whole index (structures + storage).
+    ///
+    /// Configurations are shared across rooted trees, so this is the real
+    /// footprint, not `n` trees' worth of copies.
     pub fn heap_size(&self) -> usize {
         self.db.heap_size()
-            + self
-                .trees
-                .iter()
-                .map(|t| {
-                    t.nodes.iter().map(HeapSize::heap_size).sum::<usize>()
-                        + t.nodes.capacity() * std::mem::size_of::<NodeState>()
-                })
-                .sum::<usize>()
+            + self.configs.iter().map(HeapSize::heap_size).sum::<usize>()
+            + self.configs.capacity() * std::mem::size_of::<NodeState>()
     }
 }
 
-/// Inserts tuple `tid` of relation `rel` into one tree's state.
-fn tree_insert(
-    ts: &mut TreeState,
+/// Inserts tuple `tid` into one (relation, parent) configuration.
+#[allow(clippy::too_many_arguments)]
+fn cfg_insert(
+    configs: &mut [NodeState],
+    infos: &[NodeInfo],
+    child_cfgs: &[Vec<u32>],
+    prop_targets: &[Vec<(u32, u32)>],
     db: &Database,
-    rel: usize,
+    proj: &Projections,
+    slots: &CfgSlots,
+    cfg: u32,
     tid: TupleId,
     pl: &mut u64,
     tc: &mut u64,
+    pools: &mut Pools,
 ) {
-    let grouped = ts.nodes[rel].grouped;
-    if grouped {
-        grouped_insert(ts, db, rel, tid, pl, tc);
+    if configs[cfg as usize].grouped {
+        grouped_insert(
+            configs,
+            infos,
+            child_cfgs,
+            prop_targets,
+            db,
+            proj,
+            slots,
+            cfg,
+            tid,
+            pl,
+            tc,
+            pools,
+        );
     } else {
-        plain_insert(ts, db, rel, tid, pl, tc);
+        plain_insert(
+            configs,
+            infos,
+            child_cfgs,
+            prop_targets,
+            db,
+            proj,
+            slots,
+            cfg,
+            tid,
+            pl,
+            tc,
+            pools,
+        );
     }
 }
 
+/// Sum of the children's `cnt~` levels over the scratch's child keys;
+/// `None` when any child group is missing or empty (weight 0).
+fn sum_child_levels_from(
+    configs: &[NodeState],
+    child_cfgs: &[Vec<u32>],
+    cfg: u32,
+    proj: &Projections,
+    slots: &CfgSlots,
+) -> Option<u32> {
+    let mut sum = 0u32;
+    for (ci, &slot) in slots.children.iter().enumerate() {
+        let (k, h) = proj.get(slot);
+        let child_cfg = child_cfgs[cfg as usize][ci];
+        sum += configs[child_cfg as usize].tilde_level_of(h, &k)?;
+    }
+    Some(sum)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn plain_insert(
-    ts: &mut TreeState,
+    configs: &mut [NodeState],
+    infos: &[NodeInfo],
+    child_cfgs: &[Vec<u32>],
+    prop_targets: &[Vec<(u32, u32)>],
     db: &Database,
-    rel: usize,
+    proj: &Projections,
+    slots: &CfgSlots,
+    cfg: u32,
     tid: TupleId,
     pl: &mut u64,
     tc: &mut u64,
+    pools: &mut Pools,
 ) {
-    let tuple = db.relation(rel).tuple(tid);
-    let info = ts.tree.node(rel);
-    let group_key = Key::project(tuple, &info.key_positions);
-    let child_keys: Vec<Key> = info
-        .child_key_positions
-        .iter()
-        .map(|ps| Key::project(tuple, ps))
-        .collect();
     // Weight level = Σ child tilde levels (None if any child group empty).
-    let level = sum_child_levels(ts, rel, &child_keys);
-    let ns = &mut ts.nodes[rel];
-    for (ci, k) in child_keys.iter().enumerate() {
-        ns.child_indexes[ci].entry(*k).or_default().push(tid);
+    let level = sum_child_levels_from(configs, child_cfgs, cfg, proj, slots);
+    let (group_key, gk_hash) = proj.get(slots.key);
+    let ns = &mut configs[cfg as usize];
+    for (ci, &slot) in slots.children.iter().enumerate() {
+        let (k, h) = proj.get(slot);
+        ns.child_index_push(ci, h, k, tid);
     }
-    let g = ns.group_for(group_key);
+    let g = ns.group_for(gk_hash, group_key);
     let old_tilde = ns.group(g).tilde_level();
     ns.place_new_item(tid, g, level);
     let new_tilde = ns.group(g).tilde_level();
     if old_tilde != new_tilde {
         *tc += 1;
-        propagate(ts, db, rel, group_key, pl, tc);
+        propagate(
+            configs,
+            infos,
+            child_cfgs,
+            prop_targets,
+            db,
+            cfg,
+            group_key,
+            gk_hash,
+            old_tilde,
+            new_tilde,
+            pl,
+            tc,
+            pools,
+        );
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn grouped_insert(
-    ts: &mut TreeState,
+    configs: &mut [NodeState],
+    infos: &[NodeInfo],
+    child_cfgs: &[Vec<u32>],
+    prop_targets: &[Vec<(u32, u32)>],
     db: &Database,
-    rel: usize,
+    proj: &Projections,
+    slots: &CfgSlots,
+    cfg: u32,
     tid: TupleId,
     pl: &mut u64,
     tc: &mut u64,
+    pools: &mut Pools,
 ) {
-    let ebar = {
-        let tuple = db.relation(rel).tuple(tid);
-        let info = ts.tree.node(rel);
-        Key::project(tuple, &info.ebar_positions)
+    let (ebar, ebar_hash) = proj.get(slots.ebar);
+    let (gt, created) = {
+        let ns = &mut configs[cfg as usize];
+        let (gt, created) = ns.grouped_data.intern(&mut ns.postings, ebar_hash, ebar);
+        ns.grouped_data.feq[gt as usize] += 1;
+        let base = ns.grouped_data.base[gt as usize];
+        ns.postings.push(base, tid);
+        (gt, created)
     };
-    let (gt, created) = ts.nodes[rel].grouped_data.intern(ebar);
-    ts.nodes[rel].grouped_data.feq[gt as usize] += 1;
-    ts.nodes[rel].grouped_data.base[gt as usize].push(tid);
 
-    let info = ts.tree.node(rel);
-    let group_key = Key::project(ebar.as_slice(), &info.key_positions_in_ebar);
-    let child_keys: Vec<Key> = info
-        .child_key_positions_in_ebar
-        .iter()
-        .map(|ps| Key::project(ebar.as_slice(), ps))
-        .collect();
-    let feq = ts.nodes[rel].grouped_data.feq[gt as usize];
+    // The grouped node's key/child projections factor through `ē`, so the
+    // tuple-level scratch entries are exactly the right keys (and hashes).
+    let (group_key, gk_hash) = proj.get(slots.key);
+    let feq = configs[cfg as usize].grouped_data.feq[gt as usize];
     let feq_level = level_of(feq as u128).expect("feq >= 1");
-    let level = sum_child_levels(ts, rel, &child_keys).map(|cl| cl + feq_level);
+    let level =
+        sum_child_levels_from(configs, child_cfgs, cfg, proj, slots).map(|cl| cl + feq_level);
 
-    let ns = &mut ts.nodes[rel];
+    let ns = &mut configs[cfg as usize];
     if created {
-        for (ci, k) in child_keys.iter().enumerate() {
-            ns.child_indexes[ci].entry(*k).or_default().push(gt);
+        for (ci, &slot) in slots.children.iter().enumerate() {
+            let (k, h) = proj.get(slot);
+            ns.child_index_push(ci, h, k, gt);
         }
-        let g = ns.group_for(group_key);
+        let g = ns.group_for(gk_hash, group_key);
         let old_tilde = ns.group(g).tilde_level();
         ns.place_new_item(gt, g, level);
         let new_tilde = ns.group(g).tilde_level();
         if old_tilde != new_tilde {
             *tc += 1;
-            propagate(ts, db, rel, group_key, pl, tc);
+            propagate(
+                configs,
+                infos,
+                child_cfgs,
+                prop_targets,
+                db,
+                cfg,
+                group_key,
+                gk_hash,
+                old_tilde,
+                new_tilde,
+                pl,
+                tc,
+                pools,
+            );
         }
     } else {
         // feq grew; re-level only if feq~ changed the total.
         let g = ns.item_pos[gt as usize].group;
-        if ns.item_pos[gt as usize].level != level {
+        if ns.item_pos[gt as usize].level() != level {
             let old_tilde = ns.group(g).tilde_level();
             ns.move_item(gt, level);
             let new_tilde = ns.group(g).tilde_level();
             if old_tilde != new_tilde {
                 *tc += 1;
-                propagate(ts, db, rel, group_key, pl, tc);
+                propagate(
+                    configs,
+                    infos,
+                    child_cfgs,
+                    prop_targets,
+                    db,
+                    cfg,
+                    group_key,
+                    gk_hash,
+                    old_tilde,
+                    new_tilde,
+                    pl,
+                    tc,
+                    pools,
+                );
             }
         }
     }
 }
 
-/// Sum of the children's `cnt~` levels for an item's child keys;
-/// `None` when any child group is missing or empty (weight 0).
-fn sum_child_levels(ts: &TreeState, rel: usize, child_keys: &[Key]) -> Option<u32> {
-    let info = ts.tree.node(rel);
-    let mut sum = 0u32;
-    for (ci, k) in child_keys.iter().enumerate() {
-        let child_rel = info.children[ci];
-        sum += ts.nodes[child_rel].tilde_level_of(k)?;
-    }
-    Some(sum)
-}
-
-/// Recomputes the weight level of an existing item of node `rel`.
-fn compute_item_level(ts: &TreeState, db: &Database, rel: usize, item: ItemId) -> Option<u32> {
-    let info = ts.tree.node(rel);
-    let ns = &ts.nodes[rel];
+/// Recomputes the weight level of an existing item of configuration `cfg`,
+/// projecting and hashing the item's own values (the shared scratch only
+/// covers the freshly inserted tuple).
+pub(crate) fn compute_item_level(
+    configs: &[NodeState],
+    infos: &[NodeInfo],
+    child_cfgs: &[Vec<u32>],
+    db: &Database,
+    cfg: u32,
+    item: ItemId,
+) -> Option<u32> {
+    let info = &infos[cfg as usize];
+    let ns = &configs[cfg as usize];
     if ns.grouped {
         let ebar = ns.grouped_data.ebar_vals[item as usize];
-        let child_keys: Vec<Key> = info
-            .child_key_positions_in_ebar
-            .iter()
-            .map(|ps| Key::project(ebar.as_slice(), ps))
-            .collect();
         let feq = ns.grouped_data.feq[item as usize];
         let feq_level = level_of(feq as u128)?;
-        sum_child_levels(ts, rel, &child_keys).map(|cl| cl + feq_level)
+        let mut sum = feq_level;
+        for (ci, positions) in info.child_key_positions_in_ebar.iter().enumerate() {
+            let k = Key::project(ebar.as_slice(), positions);
+            let child_cfg = child_cfgs[cfg as usize][ci];
+            sum += configs[child_cfg as usize].tilde_level_of(fx_hash_one(&k), &k)?;
+        }
+        Some(sum)
     } else {
-        let tuple = db.relation(rel).tuple(item);
-        let child_keys: Vec<Key> = info
-            .child_key_positions
-            .iter()
-            .map(|ps| Key::project(tuple, ps))
-            .collect();
-        sum_child_levels(ts, rel, &child_keys)
+        let tuple = db.relation(info.relation).tuple(item);
+        let mut sum = 0u32;
+        for (ci, positions) in info.child_key_positions.iter().enumerate() {
+            let k = Key::project(tuple, positions);
+            let child_cfg = child_cfgs[cfg as usize][ci];
+            sum += configs[child_cfg as usize].tilde_level_of(fx_hash_one(&k), &k)?;
+        }
+        Some(sum)
     }
 }
 
-/// The group of `(child_rel, key)` changed its `cnt~`: re-level every item
-/// of the parent whose child projection matches, and recurse on parent
-/// groups whose own `cnt~` changed (Algorithm 7 lines 8–11).
+/// The group of configuration `src` at `key` changed its `cnt~` from
+/// `old_ct` to `new_ct`: re-level the matching items of every parent
+/// configuration, and recurse on parent groups whose own `cnt~` changed
+/// (Algorithm 7 lines 8–11). Each shared configuration is updated exactly
+/// once — the per-tree formulation would have repeated the identical walk
+/// for every rooted tree sharing the orientation.
+///
+/// An item's level is the sum of its children's tilde levels (plus `feq~`
+/// when grouped), and only *this* child's tilde changed, so in the common
+/// `Some(o) → Some(n)` case every bucketed item simply shifts by `n - o` —
+/// no re-projection, hashing, or child-map probing per item. Zero-weight
+/// items are blocked by a *different* child (this one was already live)
+/// and stay put. Only the `None → Some` transition (the child group just
+/// came alive) needs the full per-item recompute.
+#[allow(clippy::too_many_arguments)]
 fn propagate(
-    ts: &mut TreeState,
+    configs: &mut [NodeState],
+    infos: &[NodeInfo],
+    child_cfgs: &[Vec<u32>],
+    prop_targets: &[Vec<(u32, u32)>],
     db: &Database,
-    child_rel: usize,
+    src: u32,
     key: Key,
+    key_hash: u64,
+    old_ct: Option<u32>,
+    new_ct: Option<u32>,
     pl: &mut u64,
     tc: &mut u64,
+    pools: &mut Pools,
 ) {
-    let Some(parent) = ts.tree.node(child_rel).parent else {
-        return; // root: full-query count updated, nothing above
+    let shift = match (old_ct, new_ct) {
+        (Some(o), Some(n)) => Some(n - o),
+        _ => None,
     };
-    let ci = ts
-        .tree
-        .node(parent)
-        .children
-        .iter()
-        .position(|&c| c == child_rel)
-        .expect("child registered in parent");
-    // Clone the matching item list: we mutate the parent's buckets while
-    // walking it. Cost is proportional to the work done anyway.
-    let items: Vec<ItemId> = match ts.nodes[parent].child_indexes[ci].get(&key) {
-        Some(v) => v.clone(),
-        None => return,
-    };
-    // Lazily capture each touched group's cnt~ before this batch.
-    let mut touched: Vec<(u32, Key, Option<u32>)> = Vec::new();
-    for item in items {
-        *pl += 1;
-        let new_level = compute_item_level(ts, db, parent, item);
-        let pos = ts.nodes[parent].item_pos[item as usize];
-        if pos.level != new_level {
-            if !touched.iter().any(|(g, _, _)| *g == pos.group) {
-                let old_tilde = ts.nodes[parent].group(pos.group).tilde_level();
-                let gkey = group_key_of(ts, db, parent, item);
-                touched.push((pos.group, gkey, old_tilde));
+    for ti in 0..prop_targets[src as usize].len() {
+        let (y, ci) = prop_targets[src as usize][ti];
+        // Copy the matching item list out of the arena (into a pooled
+        // buffer): we mutate the target's buckets while walking it. Cost
+        // is proportional to the work done anyway.
+        let mut items = pools.pop_items();
+        {
+            let ns = &configs[y as usize];
+            match ns.child_indexes[ci as usize].get(key_hash, &key) {
+                Some(&list) => ns.postings.extend_into(list, &mut items),
+                None => {
+                    pools.push_items(items);
+                    continue;
+                }
             }
-            ts.nodes[parent].move_item(item, new_level);
         }
-    }
-    for (g, gkey, old_tilde) in touched {
-        let new_tilde = ts.nodes[parent].group(g).tilde_level();
-        if new_tilde != old_tilde {
-            *tc += 1;
-            propagate(ts, db, parent, gkey, pl, tc);
+        // Lazily capture each touched group's cnt~ before this batch.
+        let mut touched = pools.pop_touched();
+        for &item in &items {
+            *pl += 1;
+            let pos = configs[y as usize].item_pos[item as usize];
+            let new_level = match (shift, pos.level()) {
+                // Live item, live-to-live child change: pure arithmetic.
+                (Some(d), Some(l)) => Some(l + d),
+                // Zero-weight item but this child was already live:
+                // another child is the blocker, nothing changes.
+                (Some(_), None) => None,
+                // Child group just came alive: recompute from scratch.
+                (None, _) => compute_item_level(configs, infos, child_cfgs, db, y, item),
+            };
+            debug_assert_eq!(
+                new_level,
+                compute_item_level(configs, infos, child_cfgs, db, y, item),
+                "delta-shift disagrees with recomputed level"
+            );
+            if pos.level() != new_level {
+                if !touched.iter().any(|(g, _, _)| *g == pos.group) {
+                    let old_tilde = configs[y as usize].group(pos.group).tilde_level();
+                    let gkey = group_key_of(configs, infos, db, y, item);
+                    touched.push((pos.group, gkey, old_tilde));
+                }
+                configs[y as usize].move_item(item, new_level);
+            }
         }
+        pools.push_items(items);
+        for i in 0..touched.len() {
+            let (g, gkey, old_tilde) = touched[i];
+            let new_tilde = configs[y as usize].group(g).tilde_level();
+            if new_tilde != old_tilde {
+                *tc += 1;
+                propagate(
+                    configs,
+                    infos,
+                    child_cfgs,
+                    prop_targets,
+                    db,
+                    y,
+                    gkey,
+                    fx_hash_one(&gkey),
+                    old_tilde,
+                    new_tilde,
+                    pl,
+                    tc,
+                    pools,
+                );
+            }
+        }
+        pools.push_touched(touched);
     }
 }
 
 /// The `key(e)` value of an item's group.
-fn group_key_of(ts: &TreeState, db: &Database, rel: usize, item: ItemId) -> Key {
-    let info = ts.tree.node(rel);
-    let ns = &ts.nodes[rel];
+fn group_key_of(
+    configs: &[NodeState],
+    infos: &[NodeInfo],
+    db: &Database,
+    cfg: u32,
+    item: ItemId,
+) -> Key {
+    let info = &infos[cfg as usize];
+    let ns = &configs[cfg as usize];
     if ns.grouped {
         let ebar = ns.grouped_data.ebar_vals[item as usize];
         Key::project(ebar.as_slice(), &info.key_positions_in_ebar)
     } else {
-        Key::project(db.relation(rel).tuple(item), &info.key_positions)
+        Key::project(db.relation(info.relation).tuple(item), &info.key_positions)
     }
 }
 
@@ -390,49 +814,46 @@ mod tests {
         DynamicIndex::new(qb.build().unwrap(), IndexOptions { grouping }).unwrap()
     }
 
-    /// Exhaustively verify one tree's counts against brute-force recomputed
-    /// sub-join counts.
+    /// Exhaustively verify one tree view's counts against brute-force
+    /// recomputed sub-join counts.
     fn check_tree_counts(idx: &DynamicIndex, root: usize) {
-        let ts = &idx.trees[root];
         let db = idx.database();
         // For each node and each group key, cnt must equal the sum over
         // items of Π child cnt~ (· feq~ for grouped nodes).
         for rel in 0..idx.query().num_relations() {
-            let ns = &ts.nodes[rel];
+            let cfg = idx.trees[root].cfg[rel];
+            let ns = &idx.configs[cfg as usize];
+            let level_of_item = |item: ItemId| {
+                compute_item_level(&idx.configs, &idx.infos, &idx.child_cfgs, db, cfg, item)
+            };
             for (key, &g) in ns.groups.iter() {
                 let group = ns.group(g);
                 let mut expect = 0u128;
                 let mut count_item = |item: ItemId| {
-                    let lvl = compute_item_level(ts, db, rel, item);
-                    if let Some(l) = lvl {
-                        let w = 1u128 << l;
-                        let fw = if ns.grouped {
-                            // weight must include feq~ — already in level
-                            w
-                        } else {
-                            w
-                        };
-                        expect += fw;
+                    if let Some(l) = level_of_item(item) {
+                        expect += 1u128 << l;
                     }
                 };
                 for b in &group.buckets {
-                    for &it in &b.items {
+                    for it in ns.postings.iter(b.list) {
                         count_item(it);
                         // Stored level must match recomputed level.
                         assert_eq!(
-                            ts.nodes[rel].item_pos[it as usize].level,
-                            compute_item_level(ts, db, rel, it),
+                            ns.item_pos[it as usize].level(),
+                            level_of_item(it),
                             "stale level rel={rel} item={it} key={key}"
                         );
                     }
                 }
-                for &it in &group.zero {
-                    count_item(it);
-                    assert_eq!(
-                        compute_item_level(ts, db, rel, it),
-                        None,
-                        "zero-list item has weight rel={rel} item={it}"
-                    );
+                if group.zero != rsj_common::postings::NO_LIST {
+                    for it in ns.postings.iter(group.zero) {
+                        count_item(it);
+                        assert_eq!(
+                            level_of_item(it),
+                            None,
+                            "zero-list item has weight rel={rel} item={it}"
+                        );
+                    }
                 }
                 assert_eq!(group.cnt, expect, "cnt mismatch rel={rel} key={key}");
             }
@@ -452,8 +873,7 @@ mod tests {
         // G2's group for B=10 has one tuple whose level = cnt~ of G3's C=20
         // group = 1 (level 0). So G1's item level = 0 (weight 1): one join
         // result, no dummies.
-        let ts = &idx.trees[0];
-        let root_group = ts.nodes[0].group(0);
+        let root_group = idx.state_at(0, 0).group(0);
         assert_eq!(root_group.cnt, 1);
     }
 
@@ -463,6 +883,61 @@ mod tests {
         assert!(idx.insert(0, &[1, 2]).is_some());
         assert!(idx.insert(0, &[1, 2]).is_none());
         assert_eq!(idx.stats().inserts, 1);
+    }
+
+    #[test]
+    fn configurations_are_shared_across_trees() {
+        // Line-3 has 3 trees × 3 nodes = 9 node views but only
+        // Σ (deg + 1) = 2 + 3 + 2 = 7 distinct (node, parent) orientations.
+        let idx = line3_index(false);
+        assert_eq!(idx.configs.len(), 7);
+        assert_eq!(idx.trees.len(), 3);
+        // The two trees rooted at G1 and G2 orient G3 the same way
+        // (parent G2), so they must share the exact configuration.
+        assert_eq!(idx.trees[0].cfg[2], idx.trees[1].cfg[2]);
+        // G3's own tree roots it (no parent): a different configuration.
+        assert_ne!(idx.trees[2].cfg[2], idx.trees[0].cfg[2]);
+    }
+
+    #[test]
+    fn insert_batch_matches_single_inserts() {
+        use rsj_common::rng::RsjRng;
+        use rsj_storage::InputTuple;
+        let mut rng = RsjRng::seed_from_u64(31);
+        let mut batch: Vec<InputTuple> = Vec::new();
+        for _ in 0..400 {
+            batch.push(InputTuple::new(
+                rng.index(3),
+                vec![rng.below_u64(9), rng.below_u64(9)],
+            ));
+        }
+        let mut one_by_one = line3_index(true);
+        let mut accepted = 0u64;
+        for t in &batch {
+            if one_by_one.insert(t.relation, &t.values).is_some() {
+                accepted += 1;
+            }
+        }
+        let mut batched = line3_index(true);
+        assert_eq!(batched.insert_batch(&batch), accepted);
+        assert_eq!(batched.stats().inserts, one_by_one.stats().inserts);
+        assert_eq!(
+            batched.stats().propagation_loops,
+            one_by_one.stats().propagation_loops
+        );
+        for root in 0..3 {
+            check_tree_counts(&batched, root);
+        }
+        // Same ids, same counts: the root group counts agree everywhere.
+        for root in 0..3 {
+            let a = batched.state_at(root, root);
+            let b = one_by_one.state_at(root, root);
+            let h = fx_hash_one(&Key::EMPTY);
+            assert_eq!(
+                a.group_id(h, &Key::EMPTY).map(|g| a.group(g).cnt),
+                b.group_id(h, &Key::EMPTY).map(|g| b.group(g).cnt),
+            );
+        }
     }
 
     #[test]
@@ -510,10 +985,10 @@ mod tests {
                 }
             }
         }
+        let empty_hash = fx_hash_one(&Key::EMPTY);
         for root in 0..3 {
-            let ts = &idx.trees[root];
-            let ns = &ts.nodes[root];
-            if let Some(g) = ns.group_id(&Key::EMPTY) {
+            let ns = idx.state_at(root, root);
+            if let Some(g) = ns.group_id(empty_hash, &Key::EMPTY) {
                 let cnt = ns.group(g).cnt;
                 assert!(
                     cnt >= true_size,
@@ -591,6 +1066,33 @@ mod tests {
     }
 
     #[test]
+    fn projection_plan_dedupes_shared_sets() {
+        // In line-3, G2's key(e) in the orientation parented by G3 equals
+        // its child-key projection of G1's orientation (both {B}), so the
+        // plan must hold strictly fewer sets than (roles × configs).
+        let idx = line3_index(false);
+        for rel in 0..3 {
+            let rp = &idx.plan.rels[rel];
+            let roles: usize = rp
+                .cfgs
+                .iter()
+                .map(|t| 1 + t.children.len() + usize::from(t.ebar != NO_SLOT))
+                .sum();
+            assert!(
+                rp.sets.len() < roles,
+                "rel {rel}: {} sets for {roles} roles",
+                rp.sets.len()
+            );
+            // Every set is genuinely distinct.
+            for (i, a) in rp.sets.iter().enumerate() {
+                for b in rp.sets.iter().skip(i + 1) {
+                    assert_ne!(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn star_query_counts() {
         // Star-3: G1(A,B1), G2(A,B2), G3(A,B3); root-group cnt of the tree
         // rooted at G1 must be Π cnt~ per hub value summed over G1 tuples.
@@ -613,9 +1115,9 @@ mod tests {
         // Depending on the join-tree shape GYO picked, the root group count
         // is a product of rounded counts along the tree — at least the true
         // join size 6, at most 8*2 = 16 for any shape.
-        let ts = &idx.trees[0];
-        let cnt = ts.nodes[0]
-            .group(ts.nodes[0].group_id(&Key::EMPTY).unwrap())
+        let ns = idx.state_at(0, 0);
+        let cnt = ns
+            .group(ns.group_id(fx_hash_one(&Key::EMPTY), &Key::EMPTY).unwrap())
             .cnt;
         assert!((6..=16).contains(&cnt), "cnt={cnt}");
     }

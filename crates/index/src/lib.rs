@@ -34,5 +34,5 @@ pub mod sampler;
 pub mod state;
 
 pub use dynamic::{DynamicIndex, IndexOptions, IndexStats};
-pub use retrieve::{DeltaBatch, JoinResult, ProbeBatch};
+pub use retrieve::{materialize, materialize_into, DeltaBatch, JoinResult, ProbeBatch};
 pub use sampler::FullSampler;

@@ -14,8 +14,8 @@
 //!   size `feq~ · Π cnt~`, the high digits select the base tuple (dummy if
 //!   `>= feq`) and the low digits recurse into the children.
 
-use crate::dynamic::{DynamicIndex, TreeState};
-use rsj_common::{Key, TupleId, Value};
+use crate::dynamic::DynamicIndex;
+use rsj_common::{fx_hash_one, Key, TupleId, Value};
 use rsj_storage::Database;
 
 /// A join result: one tuple id per relation, in relation order... more
@@ -26,10 +26,9 @@ impl DynamicIndex {
     /// The delta batch `ΔJ ⊇ ΔQ(R, t)` for tuple `tid` just inserted into
     /// `rel`. Call *after* [`DynamicIndex::insert`] returned this id.
     pub fn delta_batch(&self, rel: usize, tid: TupleId) -> DeltaBatch<'_> {
-        let ts = &self.trees[rel];
         // The item's weight level at the root of its own tree *is* the
         // batch size: Π over root children of cnt~ (Algorithm 8 Case 2).
-        let level = ts.nodes[rel].item_pos[tid as usize].level;
+        let level = self.state_at(rel, rel).item_pos[tid as usize].level();
         let size = level.map_or(0, |l| 1u128 << l);
         DeltaBatch {
             index: self,
@@ -44,18 +43,39 @@ impl DynamicIndex {
     pub fn materialize(&self, result: &JoinResult) -> Vec<Value> {
         materialize(self.query(), self.database(), result)
     }
+
+    /// Materializes a join result into a caller-provided buffer (cleared
+    /// and refilled), avoiding a fresh allocation per retrieved sample.
+    pub fn materialize_into(&self, result: &JoinResult, out: &mut Vec<Value>) {
+        materialize_into(self.query(), self.database(), result, out)
+    }
 }
 
 /// Materializes a join result against a query and database.
 pub fn materialize(query: &rsj_query::Query, db: &Database, result: &JoinResult) -> Vec<Value> {
-    let mut out = vec![0; query.num_attrs()];
+    let mut out = Vec::new();
+    materialize_into(query, db, result, &mut out);
+    out
+}
+
+/// Materializes a join result into `out` (cleared and refilled). The
+/// buffer's capacity is reused, so engines that export one sample at a
+/// time — reservoir replacements, ad-hoc `sample()` calls — can keep a
+/// persistent scratch and stop allocating one `Vec` per retrieved sample.
+pub fn materialize_into(
+    query: &rsj_query::Query,
+    db: &Database,
+    result: &JoinResult,
+    out: &mut Vec<Value>,
+) {
+    out.clear();
+    out.resize(query.num_attrs(), 0);
     for &(rel, tid) in result {
         let tuple = db.relation(rel).tuple(tid);
         for (pos, &attr) in query.relation(rel).attrs.iter().enumerate() {
             out[attr] = tuple[pos];
         }
     }
-    out
 }
 
 /// The implicit delta batch of one inserted tuple.
@@ -88,8 +108,7 @@ impl DeltaBatch<'_> {
     /// `O(log N)` (Theorem 4.2(2), Algorithm 9).
     pub fn retrieve(&self, z: u128) -> Option<JoinResult> {
         debug_assert!(z < self.size, "position out of batch");
-        let ts = &self.index.trees[self.rel];
-        retrieve_tuple(ts, self.index.database(), self.rel, self.tid, z)
+        retrieve_tuple(self.index, self.rel, self.rel, self.tid, z)
     }
 }
 
@@ -122,14 +141,16 @@ impl DynamicIndex {
             self.query().relation(rel).attrs.len(),
             "probe arity mismatch"
         );
-        let ts = &self.trees[rel];
-        let info = ts.tree.node(rel);
+        let info = self.info_at(rel, rel);
         let mut child_levels = Vec::with_capacity(info.children.len());
         let mut size = Some(0u32);
         for (ci, positions) in info.child_key_positions.iter().enumerate() {
             let key = Key::project(tuple, positions);
             let child_rel = info.children[ci];
-            match ts.nodes[child_rel].tilde_level_of(&key) {
+            match self
+                .state_at(rel, child_rel)
+                .tilde_level_of(fx_hash_one(&key), &key)
+            {
                 Some(l) => {
                     child_levels.push(l);
                     size = size.map(|s| s + l);
@@ -162,9 +183,7 @@ impl ProbeBatch<'_> {
     /// or `None` for a dummy position.
     pub fn retrieve(&self, z: u128) -> Option<JoinResult> {
         debug_assert!(z < self.size, "position out of probe batch");
-        let ts = &self.index.trees[self.rel];
-        let db = self.index.database();
-        let info = ts.tree.node(self.rel);
+        let info = self.index.info_at(self.rel, self.rel);
         let mut out: JoinResult = Vec::new();
         let mut rest = z;
         let mut coords = vec![0u128; info.children.len()];
@@ -177,7 +196,7 @@ impl ProbeBatch<'_> {
         for (ci, positions) in info.child_key_positions.iter().enumerate() {
             let key = Key::project(&self.values, positions);
             let child_rel = info.children[ci];
-            let sub = retrieve_group(ts, db, child_rel, &key, coords[ci])?;
+            let sub = retrieve_group(self.index, self.rel, child_rel, &key, coords[ci])?;
             out.extend(sub);
         }
         Some(out)
@@ -193,19 +212,21 @@ impl ProbeBatch<'_> {
 }
 
 /// Algorithm 9, tuple case (`t ∈ R_e`): split `z` into child coordinates and
-/// recurse; prepend `(rel, tid)` itself.
+/// recurse; prepend `(rel, tid)` itself. `root` names the rooted-tree view
+/// resolving each relation to its configuration.
 pub(crate) fn retrieve_tuple(
-    ts: &TreeState,
-    db: &Database,
+    idx: &DynamicIndex,
+    root: usize,
     rel: usize,
     tid: TupleId,
     z: u128,
 ) -> Option<JoinResult> {
-    let info = ts.tree.node(rel);
+    let info = idx.info_at(root, rel);
     if info.children.is_empty() {
         debug_assert_eq!(z, 0, "leaf sub-batch has exactly one slot");
         return Some(vec![(rel, tid)]);
     }
+    let db = idx.database();
     let tuple = db.relation(rel).tuple(tid);
     let mut out: JoinResult = vec![(rel, tid)];
     // Row-major decomposition: later children are the low digits.
@@ -214,8 +235,9 @@ pub(crate) fn retrieve_tuple(
     for (ci, positions) in info.child_key_positions.iter().enumerate().rev() {
         let key = Key::project(tuple, positions);
         let child_rel = info.children[ci];
-        let level = ts.nodes[child_rel]
-            .tilde_level_of(&key)
+        let level = idx
+            .state_at(root, child_rel)
+            .tilde_level_of(fx_hash_one(&key), &key)
             .expect("bucketed tuple has live children");
         coords[ci] = rest & ((1u128 << level) - 1);
         rest >>= level;
@@ -224,7 +246,7 @@ pub(crate) fn retrieve_tuple(
     for (ci, positions) in info.child_key_positions.iter().enumerate() {
         let key = Key::project(tuple, positions);
         let child_rel = info.children[ci];
-        let sub = retrieve_group(ts, db, child_rel, &key, coords[ci])?;
+        let sub = retrieve_group(idx, root, child_rel, &key, coords[ci])?;
         out.extend(sub);
     }
     Some(out)
@@ -233,41 +255,44 @@ pub(crate) fn retrieve_tuple(
 /// Algorithm 9 group case / Algorithm 11 grouped case
 /// (`t ∈ π_key(e) R_e`): find the item owning position `z`, then descend.
 pub(crate) fn retrieve_group(
-    ts: &TreeState,
-    db: &Database,
+    idx: &DynamicIndex,
+    root: usize,
     rel: usize,
     key: &Key,
     z: u128,
 ) -> Option<JoinResult> {
-    let ns = &ts.nodes[rel];
-    let g = ns.group_id(key)?;
+    let ns = idx.state_at(root, rel);
+    let g = ns.group_id(fx_hash_one(key), key)?;
     let group = ns.group(g);
     if z >= group.cnt {
         return None; // padding up to cnt~ — dummy
     }
-    let (item, within) = group.locate(z);
+    let (item, within) = group.locate(&ns.postings, z);
     if !ns.grouped {
-        return retrieve_tuple(ts, db, rel, item as TupleId, within);
+        return retrieve_tuple(idx, root, rel, item as TupleId, within);
     }
     // Grouped node (Algorithm 11 lines 13–23): the item is a group tuple
     // whose sub-batch interleaves feq~ copies of the children product `h`.
-    let info = ts.tree.node(rel);
+    let info = idx.info_at(root, rel);
     let ebar = ns.grouped_data.ebar_vals[item as usize];
     let mut child_sum = 0u32;
     for (ci, positions) in info.child_key_positions_in_ebar.iter().enumerate() {
         let k = Key::project(ebar.as_slice(), positions);
         let child_rel = info.children[ci];
-        child_sum += ts.nodes[child_rel]
-            .tilde_level_of(&k)
+        child_sum += idx
+            .state_at(root, child_rel)
+            .tilde_level_of(fx_hash_one(&k), &k)
             .expect("bucketed group tuple has live children");
     }
-    let idx = (within >> child_sum) as usize;
+    let idx_in_base = (within >> child_sum) as usize;
     let f = within & ((1u128 << child_sum) - 1);
-    if idx >= ns.grouped_data.feq[item as usize] as usize {
+    if idx_in_base >= ns.grouped_data.feq[item as usize] as usize {
         return None; // feq~ rounding slack — dummy
     }
-    let tid = ns.grouped_data.base[item as usize][idx];
-    retrieve_tuple(ts, db, rel, tid, f)
+    let tid = ns
+        .postings
+        .get(ns.grouped_data.base[item as usize], idx_in_base as u32);
+    retrieve_tuple(idx, root, rel, tid, f)
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 use crate::dynamic::DynamicIndex;
 use crate::retrieve::{retrieve_group, JoinResult};
 use rsj_common::rng::RsjRng;
-use rsj_common::Key;
+use rsj_common::{fx_hash_one, Key};
 
 /// A sampler over the full current result `Q(R)`.
 ///
@@ -38,9 +38,9 @@ impl FullSampler {
     /// The size `|J|` of the implicit array (an upper bound on `|Q(R)|`,
     /// within a constant factor of it).
     pub fn implicit_size(&self, idx: &DynamicIndex) -> u128 {
-        let ts = &idx.trees[self.root];
-        let ns = &ts.nodes[self.root];
-        ns.group_id(&Key::EMPTY).map_or(0, |g| ns.group(g).cnt)
+        let ns = idx.state_at(self.root, self.root);
+        ns.group_id(fx_hash_one(&Key::EMPTY), &Key::EMPTY)
+            .map_or(0, |g| ns.group(g).cnt)
     }
 
     /// One sampling trial: uniform position, `None` if it hit a dummy (or
@@ -51,8 +51,7 @@ impl FullSampler {
             return None;
         }
         let z = rng.below_u128(size);
-        let ts = &idx.trees[self.root];
-        retrieve_group(ts, idx.database(), self.root, &Key::EMPTY, z)
+        retrieve_group(idx, self.root, self.root, &Key::EMPTY, z)
     }
 
     /// Samples one uniform join result, retrying dummies up to `max_tries`.
@@ -192,10 +191,9 @@ mod tests {
         // Count true size by exhaustive sampling positions.
         let s = FullSampler::default();
         let size = s.implicit_size(&idx);
-        let ts = &idx.trees[0];
         let mut reals = 0u128;
         for z in 0..size {
-            if crate::retrieve::retrieve_group(ts, idx.database(), 0, &Key::EMPTY, z).is_some() {
+            if crate::retrieve::retrieve_group(&idx, 0, 0, &Key::EMPTY, z).is_some() {
                 reals += 1;
             }
         }
@@ -218,9 +216,8 @@ mod tests {
         let s = FullSampler::default();
         let size = s.implicit_size(&idx);
         let mut exact = 0u128;
-        let ts = &idx.trees[0];
         for z in 0..size {
-            if crate::retrieve::retrieve_group(ts, idx.database(), 0, &Key::EMPTY, z).is_some() {
+            if crate::retrieve::retrieve_group(&idx, 0, 0, &Key::EMPTY, z).is_some() {
                 exact += 1;
             }
         }

@@ -13,45 +13,99 @@
 //! separate zero list: they contribute nothing to `cnt` and are skipped by
 //! retrieval, but must be reachable so a later child insertion can lift
 //! them into a real bucket.
+//!
+//! # Memory layout
+//!
+//! All per-item storage — bucket membership, zero lists, child-index
+//! posting lists, grouped base-tuple lists — lives in one
+//! [`PostingArena`] per node ([`NodeState::postings`]). Maps store only a
+//! `u32` handle; nothing on the insert path allocates a per-key heap
+//! object. The maps themselves are [`KeyMap`]s addressed by precomputed fx
+//! hashes, so the caller hashes each projected key exactly once per
+//! insert. Arena lists iterate in append order and buckets keep
+//! `swap_remove` position semantics, which is why this layout is invisible
+//! to the sampling distribution (see `tests/golden_determinism.rs` at the
+//! workspace root).
 
-use rsj_common::{FxHashMap, HeapSize, Key, TupleId};
+use rsj_common::postings::NO_LIST;
+use rsj_common::{HeapSize, Key, KeyMap, ListId, PostingArena};
 
-/// Index of an item within a node: a base [`TupleId`] for ungrouped nodes,
-/// or a group-tuple id for grouped nodes.
+/// Index of an item within a node: a base [`TupleId`](rsj_common::TupleId)
+/// for ungrouped nodes, or a group-tuple id for grouped nodes.
 pub type ItemId = u32;
 
 /// Identifier of a group within a node.
 pub type GroupId = u32;
 
-/// Where an item currently lives.
+/// Where an item currently lives: 12 bytes, read on every propagation
+/// loop iteration, so the weight level is packed as a code instead of an
+/// 8-byte `Option<u32>`.
 #[derive(Clone, Copy, Debug)]
 pub struct ItemPos {
     /// Owning group.
     pub group: GroupId,
-    /// Weight level: `Some(i)` for bucket `Φ_i`, `None` for the zero list.
-    pub level: Option<u32>,
     /// Position within the bucket / zero list.
     pub pos: u32,
+    /// Packed weight level: `0` for the zero list, else `level + 1`.
+    level_code: u32,
 }
 
-/// One weight bucket `Φ_i`.
-#[derive(Clone, Debug, Default)]
-pub struct Bucket {
+impl ItemPos {
+    /// Builds a position from a level (`Some(i)` = bucket `Φ_i`, `None` =
+    /// zero list).
+    #[inline]
+    pub fn new(group: GroupId, level: Option<u32>, pos: u32) -> ItemPos {
+        ItemPos {
+            group,
+            pos,
+            level_code: level.map_or(0, |l| l + 1),
+        }
+    }
+
+    /// Weight level: `Some(i)` for bucket `Φ_i`, `None` for the zero list.
+    #[inline]
+    pub fn level(&self) -> Option<u32> {
+        match self.level_code {
+            0 => None,
+            c => Some(c - 1),
+        }
+    }
+}
+
+/// One weight bucket `Φ_i`: a level and the arena list holding its items.
+#[derive(Clone, Copy, Debug)]
+pub struct BucketRef {
     /// The level `i`; items here have weight `2^i`.
     pub level: u32,
-    /// Item ids, unordered; removal is swap-remove.
-    pub items: Vec<ItemId>,
+    /// The bucket's item list in the node's [`PostingArena`].
+    pub list: ListId,
 }
 
 /// One key group of a node.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Group {
     /// The paper's `cnt[T, e, t]`: total weight of all bucketed items.
     pub cnt: u128,
+    /// Cached `cnt~` level: `0` for an empty group, else `level + 1`.
+    /// Maintained by [`Group::insert_item`] / [`Group::remove_item`], so
+    /// the many `tilde_level` probes per insert are a field read instead
+    /// of a `u128` bit scan.
+    tilde_code: u8,
     /// Non-empty buckets, sorted ascending by level.
-    pub buckets: Vec<Bucket>,
-    /// Items of weight zero.
-    pub zero: Vec<ItemId>,
+    pub buckets: Vec<BucketRef>,
+    /// Items of weight zero ([`NO_LIST`] until the first zero item).
+    pub zero: ListId,
+}
+
+impl Default for Group {
+    fn default() -> Self {
+        Group {
+            cnt: 0,
+            tilde_code: 0,
+            buckets: Vec::new(),
+            zero: NO_LIST,
+        }
+    }
 }
 
 impl Group {
@@ -64,33 +118,49 @@ impl Group {
     /// Level of `cnt~` (`None` when `cnt == 0`).
     #[inline]
     pub fn tilde_level(&self) -> Option<u32> {
-        rsj_common::pow2::level_of(self.cnt)
+        match self.tilde_code {
+            0 => None,
+            c => Some(c as u32 - 1),
+        }
+    }
+
+    #[inline]
+    fn refresh_tilde(&mut self) {
+        self.tilde_code = match rsj_common::pow2::level_of(self.cnt) {
+            None => 0,
+            Some(l) => l as u8 + 1,
+        };
     }
 
     /// Inserts `item` at `level` (or the zero list), returning its position.
-    pub fn insert_item(&mut self, item: ItemId, level: Option<u32>) -> u32 {
+    pub fn insert_item(
+        &mut self,
+        postings: &mut PostingArena,
+        item: ItemId,
+        level: Option<u32>,
+    ) -> u32 {
         match level {
             None => {
-                self.zero.push(item);
-                (self.zero.len() - 1) as u32
+                if self.zero == NO_LIST {
+                    self.zero = postings.new_list();
+                }
+                postings.push(self.zero, item);
+                (postings.len(self.zero) - 1) as u32
             }
             Some(l) => {
                 self.cnt += 1u128 << l;
+                self.refresh_tilde();
                 let idx = match self.buckets.binary_search_by_key(&l, |b| b.level) {
                     Ok(i) => i,
                     Err(i) => {
-                        self.buckets.insert(
-                            i,
-                            Bucket {
-                                level: l,
-                                items: Vec::new(),
-                            },
-                        );
+                        let list = postings.new_list();
+                        self.buckets.insert(i, BucketRef { level: l, list });
                         i
                     }
                 };
-                self.buckets[idx].items.push(item);
-                (self.buckets[idx].items.len() - 1) as u32
+                let list = self.buckets[idx].list;
+                postings.push(list, item);
+                (postings.len(list) - 1) as u32
             }
         }
     }
@@ -98,21 +168,25 @@ impl Group {
     /// Removes the item at (`level`, `pos`), returning the id of the item
     /// that was moved into `pos` by the swap-remove (if any). The caller
     /// must update that item's stored position.
-    pub fn remove_item(&mut self, level: Option<u32>, pos: u32) -> Option<ItemId> {
+    pub fn remove_item(
+        &mut self,
+        postings: &mut PostingArena,
+        level: Option<u32>,
+        pos: u32,
+    ) -> Option<ItemId> {
         match level {
-            None => {
-                self.zero.swap_remove(pos as usize);
-                self.zero.get(pos as usize).copied()
-            }
+            None => postings.swap_remove(self.zero, pos),
             Some(l) => {
                 self.cnt -= 1u128 << l;
+                self.refresh_tilde();
                 let idx = self
                     .buckets
                     .binary_search_by_key(&l, |b| b.level)
                     .expect("bucket must exist");
-                self.buckets[idx].items.swap_remove(pos as usize);
-                let moved = self.buckets[idx].items.get(pos as usize).copied();
-                if self.buckets[idx].items.is_empty() {
+                let list = self.buckets[idx].list;
+                let moved = postings.swap_remove(list, pos);
+                if postings.is_empty(list) {
+                    postings.free_list(list);
                     self.buckets.remove(idx);
                 }
                 moved
@@ -123,17 +197,18 @@ impl Group {
     /// Locates position `z < cnt` inside the bucketed items: returns
     /// `(item, within)` where `within < 2^level(item)` is the offset inside
     /// that item's conceptual sub-batch. This is the bucket scan of
-    /// Algorithm 9 lines 15–18 (`O(#buckets) = O(log N)` per call).
-    pub fn locate(&self, z: u128) -> (ItemId, u128) {
+    /// Algorithm 9 lines 15–18 (`O(#buckets + log len) = O(log N)` per
+    /// call; the second term is the arena's chunk walk).
+    pub fn locate(&self, postings: &PostingArena, z: u128) -> (ItemId, u128) {
         debug_assert!(z < self.cnt, "locate past cnt");
         let mut acc = 0u128;
         for b in &self.buckets {
-            let width = (b.items.len() as u128) << b.level;
+            let width = (postings.len(b.list) as u128) << b.level;
             if z < acc + width {
                 let off = z - acc;
-                let j = (off >> b.level) as usize;
+                let j = (off >> b.level) as u32;
                 let within = off & ((1u128 << b.level) - 1);
-                return (b.items[j], within);
+                return (postings.get(b.list, j), within);
             }
             acc += width;
         }
@@ -141,20 +216,24 @@ impl Group {
     }
 
     /// Number of bucketed (non-zero-weight) items.
-    pub fn bucketed_len(&self) -> usize {
-        self.buckets.iter().map(|b| b.items.len()).sum()
+    pub fn bucketed_len(&self, postings: &PostingArena) -> usize {
+        self.buckets.iter().map(|b| postings.len(b.list)).sum()
+    }
+
+    /// Number of zero-weight items.
+    pub fn zero_len(&self, postings: &PostingArena) -> usize {
+        if self.zero == NO_LIST {
+            0
+        } else {
+            postings.len(self.zero)
+        }
     }
 }
 
 impl HeapSize for Group {
     fn heap_size(&self) -> usize {
-        self.buckets.capacity() * std::mem::size_of::<Bucket>()
-            + self
-                .buckets
-                .iter()
-                .map(|b| b.items.heap_size())
-                .sum::<usize>()
-            + self.zero.heap_size()
+        // Item storage lives in the node's shared arena, accounted there.
+        self.buckets.capacity() * std::mem::size_of::<BucketRef>()
     }
 }
 
@@ -163,29 +242,28 @@ impl HeapSize for Group {
 #[derive(Clone, Debug, Default)]
 pub struct GroupedData {
     /// `ē`-projection -> group-tuple id.
-    pub map: FxHashMap<Key, ItemId>,
+    pub map: KeyMap<ItemId>,
     /// Group-tuple `ē` values.
     pub ebar_vals: Vec<Key>,
     /// `feq[gt]`: number of base tuples projecting to this group tuple.
     pub feq: Vec<u64>,
     /// Base tuples per group tuple, in arrival order (positional access for
-    /// Algorithm 11 line 22).
-    pub base: Vec<Vec<TupleId>>,
+    /// Algorithm 11 line 22), as lists in the node's arena.
+    pub base: Vec<ListId>,
 }
 
 impl GroupedData {
-    /// Looks up or creates the group tuple for an `ē` projection.
-    /// Returns `(id, created)`.
-    pub fn intern(&mut self, ebar: Key) -> (ItemId, bool) {
-        if let Some(&id) = self.map.get(&ebar) {
-            return (id, false);
+    /// Looks up or creates the group tuple for an `ē` projection (hashed by
+    /// the caller). Returns `(id, created)`.
+    pub fn intern(&mut self, postings: &mut PostingArena, hash: u64, ebar: Key) -> (ItemId, bool) {
+        let next = self.ebar_vals.len() as ItemId;
+        let (&mut id, created) = self.map.get_or_insert_with(hash, ebar, || next);
+        if created {
+            self.ebar_vals.push(ebar);
+            self.feq.push(0);
+            self.base.push(postings.new_list());
         }
-        let id = self.ebar_vals.len() as ItemId;
-        self.map.insert(ebar, id);
-        self.ebar_vals.push(ebar);
-        self.feq.push(0);
-        self.base.push(Vec::new());
-        (id, true)
+        (id, created)
     }
 }
 
@@ -194,8 +272,7 @@ impl HeapSize for GroupedData {
         self.map.heap_size()
             + self.ebar_vals.heap_size()
             + self.feq.heap_size()
-            + self.base.capacity() * std::mem::size_of::<Vec<TupleId>>()
-            + self.base.iter().map(HeapSize::heap_size).sum::<usize>()
+            + self.base.heap_size()
     }
 }
 
@@ -203,15 +280,18 @@ impl HeapSize for GroupedData {
 #[derive(Clone, Debug)]
 pub struct NodeState {
     /// `key(e)` value -> group id.
-    pub groups: FxHashMap<Key, GroupId>,
+    pub groups: KeyMap<GroupId>,
     /// Group arena.
     pub arena: Vec<Group>,
     /// Per-item location, indexed by [`ItemId`].
     pub item_pos: Vec<ItemPos>,
-    /// For each child (by child index): `key(c)` value -> items of this node
-    /// whose projection matches. Drives upward propagation (Algorithm 7
-    /// line 9).
-    pub child_indexes: Vec<FxHashMap<Key, Vec<ItemId>>>,
+    /// For each child (by child index): `key(c)` value -> posting list of
+    /// items of this node whose projection matches. Drives upward
+    /// propagation (Algorithm 7 line 9).
+    pub child_indexes: Vec<KeyMap<ListId>>,
+    /// Backing storage for every item list of this node: buckets, zero
+    /// lists, child-index postings, grouped base lists.
+    pub postings: PostingArena,
     /// Whether this node runs the grouping optimization.
     pub grouped: bool,
     /// Grouping payload when `grouped`.
@@ -222,30 +302,31 @@ impl NodeState {
     /// Creates empty state for a node with `num_children` children.
     pub fn new(num_children: usize, grouped: bool) -> NodeState {
         NodeState {
-            groups: FxHashMap::default(),
+            groups: KeyMap::default(),
             arena: Vec::new(),
             item_pos: Vec::new(),
-            child_indexes: vec![FxHashMap::default(); num_children],
+            child_indexes: (0..num_children).map(|_| KeyMap::default()).collect(),
+            postings: PostingArena::new(),
             grouped,
             grouped_data: GroupedData::default(),
         }
     }
 
-    /// Group id for a key, creating an empty group when absent.
-    pub fn group_for(&mut self, key: Key) -> GroupId {
-        if let Some(&g) = self.groups.get(&key) {
-            return g;
+    /// Group id for a key (hashed by the caller), creating an empty group
+    /// when absent.
+    pub fn group_for(&mut self, hash: u64, key: Key) -> GroupId {
+        let next = self.arena.len() as GroupId;
+        let (&mut g, created) = self.groups.get_or_insert_with(hash, key, || next);
+        if created {
+            self.arena.push(Group::default());
         }
-        let g = self.arena.len() as GroupId;
-        self.groups.insert(key, g);
-        self.arena.push(Group::default());
         g
     }
 
     /// Group id for a key, if present.
     #[inline]
-    pub fn group_id(&self, key: &Key) -> Option<GroupId> {
-        self.groups.get(key).copied()
+    pub fn group_id(&self, hash: u64, key: &Key) -> Option<GroupId> {
+        self.groups.get(hash, key).copied()
     }
 
     /// The group for an existing id.
@@ -256,38 +337,43 @@ impl NodeState {
 
     /// `cnt~` level of the group at `key` (`None` for missing/empty groups).
     #[inline]
-    pub fn tilde_level_of(&self, key: &Key) -> Option<u32> {
-        self.group_id(key)
+    pub fn tilde_level_of(&self, hash: u64, key: &Key) -> Option<u32> {
+        self.group_id(hash, key)
             .and_then(|g| self.arena[g as usize].tilde_level())
+    }
+
+    /// Appends `item` to the posting list of `key` in child index `ci`,
+    /// creating the list on first use.
+    pub fn child_index_push(&mut self, ci: usize, hash: u64, key: Key, item: ItemId) {
+        let postings = &mut self.postings;
+        let (&mut list, _) =
+            self.child_indexes[ci].get_or_insert_with(hash, key, || postings.new_list());
+        postings.push(list, item);
     }
 
     /// Places a brand-new item into its group at `level` and records its
     /// position. `item` must equal `item_pos.len()`.
     pub fn place_new_item(&mut self, item: ItemId, group: GroupId, level: Option<u32>) {
         debug_assert_eq!(item as usize, self.item_pos.len());
-        let pos = self.arena[group as usize].insert_item(item, level);
-        self.item_pos.push(ItemPos { group, level, pos });
+        let pos = self.arena[group as usize].insert_item(&mut self.postings, item, level);
+        self.item_pos.push(ItemPos::new(group, level, pos));
     }
 
     /// Moves an existing item to a new level within its group, fixing the
-    /// displaced item's position. Returns `(old_weight, new_weight)` so the
-    /// caller can adjust derived counts... weights are implied by levels;
-    /// cnt is adjusted internally by insert/remove.
+    /// displaced item's position. `cnt` is adjusted internally by
+    /// insert/remove (weights are implied by levels).
     pub fn move_item(&mut self, item: ItemId, new_level: Option<u32>) {
-        let ItemPos { group, level, pos } = self.item_pos[item as usize];
+        let ip = self.item_pos[item as usize];
+        let (group, level, pos) = (ip.group, ip.level(), ip.pos);
         if level == new_level {
             return;
         }
         let g = &mut self.arena[group as usize];
-        if let Some(moved) = g.remove_item(level, pos) {
+        if let Some(moved) = g.remove_item(&mut self.postings, level, pos) {
             self.item_pos[moved as usize].pos = pos;
         }
-        let new_pos = self.arena[group as usize].insert_item(item, new_level);
-        self.item_pos[item as usize] = ItemPos {
-            group,
-            level: new_level,
-            pos: new_pos,
-        };
+        let new_pos = self.arena[group as usize].insert_item(&mut self.postings, item, new_level);
+        self.item_pos[item as usize] = ItemPos::new(group, new_level, new_pos);
     }
 }
 
@@ -297,11 +383,13 @@ impl HeapSize for NodeState {
             + self.arena.capacity() * std::mem::size_of::<Group>()
             + self.arena.iter().map(HeapSize::heap_size).sum::<usize>()
             + self.item_pos.heap_size()
+            + self.child_indexes.capacity() * std::mem::size_of::<KeyMap<ListId>>()
             + self
                 .child_indexes
                 .iter()
-                .map(|m| m.heap_size() + m.values().map(HeapSize::heap_size).sum::<usize>())
+                .map(HeapSize::heap_size)
                 .sum::<usize>()
+            + self.postings.heap_size()
             + self.grouped_data.heap_size()
     }
 }
@@ -310,24 +398,34 @@ impl HeapSize for NodeState {
 mod tests {
     use super::*;
 
+    fn zero_items(g: &Group, a: &PostingArena) -> Vec<ItemId> {
+        if g.zero == NO_LIST {
+            Vec::new()
+        } else {
+            a.iter(g.zero).collect()
+        }
+    }
+
     #[test]
     fn group_insert_accumulates_cnt() {
+        let mut a = PostingArena::new();
         let mut g = Group::default();
-        g.insert_item(0, Some(0)); // weight 1
-        g.insert_item(1, Some(2)); // weight 4
-        g.insert_item(2, None); // zero
+        g.insert_item(&mut a, 0, Some(0)); // weight 1
+        g.insert_item(&mut a, 1, Some(2)); // weight 4
+        g.insert_item(&mut a, 2, None); // zero
         assert_eq!(g.cnt, 5);
         assert_eq!(g.cnt_tilde(), 8);
         assert_eq!(g.tilde_level(), Some(3));
-        assert_eq!(g.bucketed_len(), 2);
-        assert_eq!(g.zero.len(), 1);
+        assert_eq!(g.bucketed_len(&a), 2);
+        assert_eq!(g.zero_len(&a), 1);
     }
 
     #[test]
     fn buckets_stay_sorted() {
+        let mut a = PostingArena::new();
         let mut g = Group::default();
         for (item, level) in [(0u32, 5u32), (1, 1), (2, 3), (3, 1)] {
-            g.insert_item(item, Some(level));
+            g.insert_item(&mut a, item, Some(level));
         }
         let levels: Vec<u32> = g.buckets.iter().map(|b| b.level).collect();
         assert_eq!(levels, vec![1, 3, 5]);
@@ -336,45 +434,53 @@ mod tests {
 
     #[test]
     fn locate_walks_buckets_in_level_order() {
+        let mut a = PostingArena::new();
         let mut g = Group::default();
-        g.insert_item(10, Some(0)); // 1 slot   [0]
-        g.insert_item(11, Some(0)); // 1 slot   [1]
-        g.insert_item(12, Some(2)); // 4 slots  [2..6)
-        assert_eq!(g.locate(0), (10, 0));
-        assert_eq!(g.locate(1), (11, 0));
-        assert_eq!(g.locate(2), (12, 0));
-        assert_eq!(g.locate(5), (12, 3));
+        g.insert_item(&mut a, 10, Some(0)); // 1 slot   [0]
+        g.insert_item(&mut a, 11, Some(0)); // 1 slot   [1]
+        g.insert_item(&mut a, 12, Some(2)); // 4 slots  [2..6)
+        assert_eq!(g.locate(&a, 0), (10, 0));
+        assert_eq!(g.locate(&a, 1), (11, 0));
+        assert_eq!(g.locate(&a, 2), (12, 0));
+        assert_eq!(g.locate(&a, 5), (12, 3));
     }
 
     #[test]
     fn remove_swaps_and_reports() {
+        let mut a = PostingArena::new();
         let mut g = Group::default();
-        g.insert_item(0, Some(1));
-        g.insert_item(1, Some(1));
-        g.insert_item(2, Some(1));
+        g.insert_item(&mut a, 0, Some(1));
+        g.insert_item(&mut a, 1, Some(1));
+        g.insert_item(&mut a, 2, Some(1));
         // Remove position 0: item 2 swaps into it.
-        let moved = g.remove_item(Some(1), 0);
+        let moved = g.remove_item(&mut a, Some(1), 0);
         assert_eq!(moved, Some(2));
         assert_eq!(g.cnt, 4);
         // Removing the last leaves None.
-        let moved = g.remove_item(Some(1), 1);
+        let moved = g.remove_item(&mut a, Some(1), 1);
         assert_eq!(moved, None);
     }
 
     #[test]
     fn empty_bucket_is_dropped() {
+        let mut a = PostingArena::new();
         let mut g = Group::default();
-        g.insert_item(0, Some(3));
-        g.remove_item(Some(3), 0);
+        g.insert_item(&mut a, 0, Some(3));
+        g.remove_item(&mut a, Some(3), 0);
         assert!(g.buckets.is_empty());
         assert_eq!(g.cnt, 0);
         assert_eq!(g.tilde_level(), None);
     }
 
+    fn hashed(key: Key) -> (u64, Key) {
+        (rsj_common::fx_hash_one(&key), key)
+    }
+
     #[test]
     fn node_state_move_item_updates_positions() {
         let mut ns = NodeState::new(0, false);
-        let g = ns.group_for(Key::single(7));
+        let (h, key) = hashed(Key::single(7));
+        let g = ns.group_for(h, key);
         ns.place_new_item(0, g, Some(0));
         ns.place_new_item(1, g, Some(0));
         ns.place_new_item(2, g, Some(0));
@@ -385,16 +491,16 @@ mod tests {
         let p2 = ns.item_pos[2];
         assert_eq!(p2.pos, 0);
         let p0 = ns.item_pos[0];
-        assert_eq!(p0.level, Some(2));
+        assert_eq!(p0.level(), Some(2));
         // Every item findable through its recorded position.
         for item in 0..3u32 {
             let p = ns.item_pos[item as usize];
             let grp = ns.group(p.group);
-            let found = match p.level {
-                None => grp.zero[p.pos as usize],
+            let found = match p.level() {
+                None => ns.postings.get(grp.zero, p.pos),
                 Some(l) => {
                     let b = grp.buckets.iter().find(|b| b.level == l).expect("bucket");
-                    b.items[p.pos as usize]
+                    ns.postings.get(b.list, p.pos)
                 }
             };
             assert_eq!(found, item);
@@ -404,7 +510,8 @@ mod tests {
     #[test]
     fn move_to_same_level_is_noop() {
         let mut ns = NodeState::new(0, false);
-        let g = ns.group_for(Key::EMPTY);
+        let (h, key) = hashed(Key::EMPTY);
+        let g = ns.group_for(h, key);
         ns.place_new_item(0, g, Some(1));
         ns.move_item(0, Some(1));
         assert_eq!(ns.group(g).cnt, 2);
@@ -414,27 +521,31 @@ mod tests {
     #[test]
     fn zero_list_transitions() {
         let mut ns = NodeState::new(0, false);
-        let g = ns.group_for(Key::EMPTY);
+        let (h, key) = hashed(Key::EMPTY);
+        let g = ns.group_for(h, key);
         ns.place_new_item(0, g, None);
         assert_eq!(ns.group(g).cnt, 0);
         ns.move_item(0, Some(4));
         assert_eq!(ns.group(g).cnt, 16);
-        assert!(ns.group(g).zero.is_empty());
+        assert_eq!(ns.group(g).zero_len(&ns.postings), 0);
         ns.move_item(0, None);
         assert_eq!(ns.group(g).cnt, 0);
-        assert_eq!(ns.group(g).zero, vec![0]);
+        assert_eq!(zero_items(ns.group(g), &ns.postings), vec![0]);
     }
 
     #[test]
     fn grouped_data_interning() {
+        let mut a = PostingArena::new();
         let mut gd = GroupedData::default();
-        let (a, created) = gd.intern(Key::single(1));
+        let (h1, k1) = hashed(Key::single(1));
+        let (a_id, created) = gd.intern(&mut a, h1, k1);
         assert!(created);
-        let (b, created) = gd.intern(Key::single(1));
+        let (b_id, created) = gd.intern(&mut a, h1, k1);
         assert!(!created);
-        assert_eq!(a, b);
-        let (c, _) = gd.intern(Key::single(2));
-        assert_ne!(a, c);
+        assert_eq!(a_id, b_id);
+        let (h2, k2) = hashed(Key::single(2));
+        let (c_id, _) = gd.intern(&mut a, h2, k2);
+        assert_ne!(a_id, c_id);
         assert_eq!(gd.ebar_vals.len(), 2);
     }
 }

@@ -1,0 +1,101 @@
+//! Pins the index's structural heap accounting to the *allocator's* view.
+//!
+//! `fig11_memory` reports `heap_size()` instead of RSS, so the numbers are
+//! only honest if the capacity-based estimates track what the structures
+//! actually allocate. This test swaps in a counting global allocator and
+//! asserts that the growth `heap_size()` reports between two stream
+//! checkpoints matches the net bytes the allocator handed out, within 10%.
+//!
+//! Growth (not absolute size) is compared so one-time construction state —
+//! query metadata, rooted trees, projection plans, test scaffolding — and
+//! small unaccounted scratch (propagation pools) cancel out.
+
+use rsj_index::{DynamicIndex, IndexOptions};
+use rsj_query::QueryBuilder;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicIsize, Ordering};
+
+static NET_BYTES: AtomicIsize = AtomicIsize::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System`, only adding bookkeeping.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        NET_BYTES.fetch_add(layout.size() as isize, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        NET_BYTES.fetch_sub(layout.size() as isize, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        NET_BYTES.fetch_add(
+            new_size as isize - layout.size() as isize,
+            Ordering::Relaxed,
+        );
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Deterministic pseudo-random stream without touching the allocator.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_below(&mut self, n: u64) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) % n
+    }
+}
+
+#[test]
+fn reported_heap_growth_tracks_allocator_within_10_percent() {
+    let mut qb = QueryBuilder::new();
+    qb.relation("Ra", &["X", "Y"]);
+    qb.relation("Rb", &["Y", "Z", "W"]); // groupable middle: grouped arena on the path
+    qb.relation("Rc", &["W", "U"]);
+    let mut idx = DynamicIndex::new(qb.build().unwrap(), IndexOptions::default()).unwrap();
+
+    let mut rng = Lcg(0xFEED_F00D);
+    let feed = |idx: &mut DynamicIndex, n: usize, rng: &mut Lcg| {
+        for _ in 0..n {
+            let rel = rng.next_below(3) as usize;
+            let (a, b, c) = (
+                rng.next_below(5000),
+                rng.next_below(5000),
+                rng.next_below(200),
+            );
+            match rel {
+                1 => idx.insert(1, &[c, a, b % 200]),
+                r => idx.insert(r, &[a, c]),
+            };
+        }
+    };
+
+    // Warm up: let every map/arena/pool get past its tiny-size regime.
+    feed(&mut idx, 20_000, &mut rng);
+
+    let m1 = NET_BYTES.load(Ordering::Relaxed);
+    let h1 = idx.heap_size() as isize;
+    feed(&mut idx, 60_000, &mut rng);
+    let m2 = NET_BYTES.load(Ordering::Relaxed);
+    let h2 = idx.heap_size() as isize;
+
+    let actual = m2 - m1;
+    let reported = h2 - h1;
+    assert!(actual > 0, "stream should grow the heap (actual {actual})");
+    let err = (reported - actual).abs() as f64 / actual as f64;
+    assert!(
+        err <= 0.10,
+        "heap accounting drifted {:.1}% from the allocator: reported growth {reported}, actual {actual}",
+        err * 100.0
+    );
+}

@@ -1,7 +1,7 @@
 //! Flat, arena-backed relations with set-semantics deduplication.
 
 use rsj_common::hash::fx_hash_one;
-use rsj_common::{FxHashMap, HeapSize, TupleId, Value};
+use rsj_common::{FxHashMap, HeapSize, ListId, PostingArena, TupleId, Value};
 
 /// A relation instance: a growing arena of fixed-arity tuples.
 ///
@@ -15,8 +15,11 @@ pub struct Relation {
     name: String,
     arity: usize,
     data: Vec<Value>,
-    /// Content hash -> candidate tuple ids (collisions verified by compare).
-    dedup: FxHashMap<u64, Vec<TupleId>>,
+    /// Content hash -> candidate tuple ids (collisions verified by
+    /// compare). Candidate lists live in `dedup_postings`, so the
+    /// per-tuple insert path performs no posting-list allocations.
+    dedup: FxHashMap<u64, ListId>,
+    dedup_postings: PostingArena,
 }
 
 impl Relation {
@@ -28,6 +31,7 @@ impl Relation {
             arity,
             data: Vec::new(),
             dedup: FxHashMap::default(),
+            dedup_postings: PostingArena::new(),
         }
     }
 
@@ -64,13 +68,19 @@ impl Relation {
             self.name
         );
         let h = fx_hash_one(&tuple);
-        if let Some(candidates) = self.dedup.get(&h) {
-            if candidates.iter().any(|&id| self.tuple_at(id, tuple)) {
+        if let Some(&list) = self.dedup.get(&h) {
+            if self
+                .dedup_postings
+                .iter(list)
+                .any(|id| self.tuple_at(id, tuple))
+            {
                 return None;
             }
         }
         let id = self.len() as TupleId;
-        self.dedup.entry(h).or_default().push(id);
+        let postings = &mut self.dedup_postings;
+        let list = *self.dedup.entry(h).or_insert_with(|| postings.new_list());
+        postings.push(list, id);
         self.data.extend_from_slice(tuple);
         Some(id)
     }
@@ -91,9 +101,11 @@ impl Relation {
     /// True if `tuple` is already stored.
     pub fn contains(&self, tuple: &[Value]) -> bool {
         let h = fx_hash_one(&tuple);
-        self.dedup
-            .get(&h)
-            .is_some_and(|c| c.iter().any(|&id| self.tuple_at(id, tuple)))
+        self.dedup.get(&h).is_some_and(|&list| {
+            self.dedup_postings
+                .iter(list)
+                .any(|id| self.tuple_at(id, tuple))
+        })
     }
 
     /// Iterates over `(id, tuple)` pairs in insertion order.
@@ -109,7 +121,7 @@ impl HeapSize for Relation {
     fn heap_size(&self) -> usize {
         self.data.heap_size()
             + self.dedup.heap_size()
-            + self.dedup.values().map(|v| v.heap_size()).sum::<usize>()
+            + self.dedup_postings.heap_size()
             + self.name.heap_size()
     }
 }

@@ -153,6 +153,50 @@ impl<T> Reservoir<T> {
         self.q -= batch.remain();
     }
 
+    /// Like [`process_batch`](Reservoir::process_batch), but fills sample
+    /// payloads *in place*: at each stop, `fill(item, buf)` writes the
+    /// payload into `buf` (a reusable buffer) and returns whether the item
+    /// was real. A replacement then swaps `buf` with the victim slot, so a
+    /// full steady-state reservoir performs no payload allocations — the
+    /// evicted sample's buffer becomes the next scratch.
+    ///
+    /// Consumes randomness identically to `process_batch`: for a fixed
+    /// seed the two produce byte-identical reservoirs.
+    pub fn process_batch_in_place<B, F>(&mut self, batch: &mut B, mut fill: F, scratch: &mut T)
+    where
+        B: Batch,
+        T: Default,
+        F: FnMut(B::Item, &mut T) -> bool,
+    {
+        while self.samples.len() < self.k {
+            match batch.next() {
+                None => return,
+                Some(x) => {
+                    self.stops += 1;
+                    if fill(x, scratch) {
+                        self.samples.push(std::mem::take(scratch));
+                    }
+                }
+            }
+        }
+        if self.w > 1.0 {
+            self.w = self.rng.unit().powf(1.0 / self.k as f64);
+            self.q = self.rng.geometric(self.w);
+        }
+        while batch.remain() > self.q {
+            let x = batch.skip(self.q).expect("stop within batch");
+            self.stops += 1;
+            if fill(x, scratch) {
+                let victim = self.rng.index(self.k);
+                std::mem::swap(&mut self.samples[victim], scratch);
+                self.replacements += 1;
+                self.w = self.rng.decay_w(self.w, self.k);
+            }
+            self.q = self.rng.geometric(self.w);
+        }
+        self.q -= batch.remain();
+    }
+
     /// The current samples (fewer than `k` until enough real items arrive).
     pub fn samples(&self) -> &[T] {
         &self.samples
@@ -291,6 +335,48 @@ mod tests {
         };
         assert_eq!(run(&[10_000]), run(&[1]));
         assert_eq!(run(&[10_000]), run(&[7, 1, 313, 50]));
+    }
+
+    #[test]
+    fn in_place_path_is_byte_identical() {
+        // process_batch_in_place must consume randomness exactly like
+        // process_batch: same seed => same reservoir bytes, with every
+        // payload written through the reusable scratch buffer.
+        let items: Vec<u64> = (0..50_000).collect();
+        let real = |x: u64| x % 3 != 1;
+        let boxed = |sizes: &[usize], in_place: bool| -> Vec<Vec<u64>> {
+            let mut r: Reservoir<Vec<u64>> = Reservoir::new(16, 4242);
+            let mut scratch = Vec::new();
+            let mut rest: &[u64] = &items;
+            let mut i = 0;
+            while !rest.is_empty() {
+                let take = sizes[i % sizes.len()].min(rest.len());
+                let (chunk, tail) = rest.split_at(take);
+                let mut b = SliceBatch::new(chunk);
+                if in_place {
+                    r.process_batch_in_place(
+                        &mut b,
+                        |x, buf| {
+                            if real(x) {
+                                buf.clear();
+                                buf.push(x);
+                                true
+                            } else {
+                                false
+                            }
+                        },
+                        &mut scratch,
+                    );
+                } else {
+                    r.process_batch(&mut b, |x| real(x).then(|| vec![x]));
+                }
+                rest = tail;
+                i += 1;
+            }
+            r.into_samples()
+        };
+        assert_eq!(boxed(&[997], true), boxed(&[997], false));
+        assert_eq!(boxed(&[1], true), boxed(&[50_000], false));
     }
 
     #[test]

@@ -263,9 +263,7 @@ pub fn run_workload(
     seed: u64,
 ) -> Result<Box<dyn JoinSampler + Send>, EngineError> {
     let mut s = engine.build(&w.query, k, seed, &workload_opts(w))?;
-    for t in &w.preload {
-        s.process(t.relation, &t.values);
-    }
+    s.process_batch(&w.preload);
     s.process_stream(&w.stream);
     Ok(s)
 }

@@ -1,0 +1,94 @@
+//! Golden-determinism guard: fixed seed + fixed stream ⇒ byte-identical
+//! final reservoirs.
+//!
+//! The dynamic index promises that internal layout changes (hash tables,
+//! posting arenas, batching) are invisible to the sampling distribution:
+//! group and item ids are arrival-ordered and retrieval is positional, so
+//! for a fixed seed the reservoir must come out byte-for-byte identical no
+//! matter how the index stores its postings. These digests were recorded
+//! from the pre-arena implementation (tiny per-key `Vec` posting lists,
+//! std `FxHashMap`s, per-tree re-hashing); any future layout change that
+//! shifts them is changing *samples*, not just memory layout, and must be
+//! treated as a correctness bug, not a test update.
+
+use rsjoin::engine::{run_workload, Engine};
+use rsjoin::prelude::*;
+
+/// FNV-1a over the sample matrix, in reservoir order.
+fn digest(samples: &[Vec<Value>]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(samples.len() as u64);
+    for s in samples {
+        eat(s.len() as u64);
+        for &v in s {
+            eat(v);
+        }
+    }
+    h
+}
+
+/// Zipf-skewed graph stream: line-3, heavy hubs, duplicates included.
+fn graph_workload() -> rsj_queries::Workload {
+    let edges = rsj_datagen::GraphConfig {
+        nodes: 300,
+        edges: 2400,
+        zipf: 0.8,
+        seed: 4242,
+    }
+    .generate();
+    rsj_queries::line_k(3, &edges, 7)
+}
+
+/// QY over tpcds-lite: wide tuples (groupable nodes) and a real FK schema,
+/// so the grouped arena and the foreign-key combiner are both on the path.
+fn relational_workload() -> rsj_queries::Workload {
+    let data = rsj_datagen::TpcdsLite::generate(1, 99);
+    rsj_queries::qy(&data, 31)
+}
+
+fn run(w: &rsj_queries::Workload, engine: Engine) -> u64 {
+    let sampler = run_workload(w, &engine, 64, 0xD15EA5E).unwrap();
+    digest(&sampler.samples())
+}
+
+#[test]
+fn rsjoin_reservoir_bytes_are_pinned() {
+    assert_eq!(
+        run(&graph_workload(), Engine::Reservoir),
+        0x42B7_36F8_2FB0_5316,
+        "RSJoin/line3"
+    );
+}
+
+#[test]
+fn sharded_reservoir_bytes_are_pinned() {
+    assert_eq!(
+        run(&graph_workload(), Engine::sharded(Engine::Reservoir, 2)),
+        0xE1E4_CF08_D938_BC0C,
+        "Sharded<RSJoinx2>/line3"
+    );
+}
+
+#[test]
+fn rsjoin_grouped_reservoir_bytes_are_pinned() {
+    assert_eq!(
+        run(&relational_workload(), Engine::Reservoir),
+        0x7B60_24CE_90D1_C2BE,
+        "RSJoin/QY"
+    );
+}
+
+#[test]
+fn rsjoin_opt_reservoir_bytes_are_pinned() {
+    assert_eq!(
+        run(&relational_workload(), Engine::FkReservoir),
+        0xD85D_8DF7_05E9_87FE,
+        "RSJoin_opt/QY"
+    );
+}
