@@ -6,8 +6,9 @@ use crate::naive::NaiveRebuild;
 use crate::sjoin::{SJoin, SJoinOpt};
 use crate::symmetric::SymmetricHashJoin;
 use rsj_common::{FxHashSet, Value};
-use rsj_core::exec::{JoinSampler, SamplerStats};
+use rsj_core::exec::{DeleteUnsupported, JoinSampler, SamplerStats};
 use rsj_query::Query;
+use rsj_storage::StreamOp;
 
 impl JoinSampler for NaiveRebuild {
     fn name(&self) -> &'static str {
@@ -20,6 +21,19 @@ impl JoinSampler for NaiveRebuild {
 
     fn process(&mut self, rel: usize, tuple: &[Value]) {
         NaiveRebuild::process(self, rel, tuple);
+    }
+
+    /// Trivially fully dynamic: every op rebuilds and redraws.
+    fn supports_deletes(&self) -> bool {
+        true
+    }
+
+    fn process_op(&mut self, op: &StreamOp) -> Result<(), DeleteUnsupported> {
+        match op {
+            StreamOp::Insert(t) => NaiveRebuild::process(self, t.relation, &t.values),
+            StreamOp::Delete(t) => NaiveRebuild::delete(self, t.relation, &t.values),
+        }
+        Ok(())
     }
 
     fn samples(&self) -> Vec<Vec<Value>> {
@@ -44,6 +58,24 @@ impl JoinSampler for SJoin {
         SJoin::process(self, rel, tuple);
     }
 
+    /// Fully dynamic with exact per-delete recalibration (the exact index
+    /// maintains `|Q(R)|` in `O(1)`).
+    fn supports_deletes(&self) -> bool {
+        true
+    }
+
+    fn process_op(&mut self, op: &StreamOp) -> Result<(), DeleteUnsupported> {
+        match op {
+            StreamOp::Insert(t) => {
+                SJoin::process(self, t.relation, &t.values);
+            }
+            StreamOp::Delete(t) => {
+                SJoin::delete(self, t.relation, &t.values);
+            }
+        }
+        Ok(())
+    }
+
     fn samples(&self) -> Vec<Vec<Value>> {
         SJoin::samples(self).to_vec()
     }
@@ -54,7 +86,8 @@ impl JoinSampler for SJoin {
 
     fn stats(&self) -> SamplerStats {
         SamplerStats {
-            tuples_processed: Some(self.index().stats().inserts),
+            inserts: Some(self.index().stats().inserts),
+            deletes: Some(self.index().stats().deletes),
             reservoir_stops: Some(self.reservoir_stops()),
             heap_bytes: Some(self.heap_size()),
             exact_results: Some(self.index().total_results()),
@@ -85,7 +118,8 @@ impl JoinSampler for SJoinOpt {
 
     fn stats(&self) -> SamplerStats {
         SamplerStats {
-            tuples_processed: Some(self.inner().index().stats().inserts),
+            inserts: Some(self.inner().index().stats().inserts),
+            deletes: Some(0),
             reservoir_stops: Some(self.inner().reservoir_stops()),
             heap_bytes: Some(self.inner().heap_size()),
             exact_results: Some(self.inner().index().total_results()),
@@ -106,7 +140,8 @@ pub struct SymmetricSampler {
     inner: SymmetricHashJoin,
     k: usize,
     seen: [FxHashSet<Vec<Value>>; 2],
-    tuples_processed: u64,
+    inserts: u64,
+    deletes: u64,
 }
 
 impl SymmetricSampler {
@@ -133,7 +168,8 @@ impl SymmetricSampler {
             query,
             k,
             seen: [FxHashSet::default(), FxHashSet::default()],
-            tuples_processed: 0,
+            inserts: 0,
+            deletes: 0,
         })
     }
 
@@ -160,12 +196,42 @@ impl JoinSampler for SymmetricSampler {
         if !self.seen[rel].insert(tuple.to_vec()) {
             return;
         }
-        self.tuples_processed += 1;
+        self.inserts += 1;
         if rel == 0 {
             self.inner.insert_left(tuple);
         } else {
             self.inner.insert_right(tuple);
         }
+    }
+
+    /// Fully dynamic and exact: the operator maintains the exact live
+    /// result count, so the classic reservoir recalibrates on every
+    /// delete.
+    fn supports_deletes(&self) -> bool {
+        true
+    }
+
+    fn process_op(&mut self, op: &StreamOp) -> Result<(), DeleteUnsupported> {
+        match op {
+            StreamOp::Insert(t) => JoinSampler::process(self, t.relation, &t.values),
+            StreamOp::Delete(t) => {
+                let rel = t.relation;
+                assert!(
+                    rel < 2,
+                    "relation index {rel} out of range for 2-table join"
+                );
+                if !self.seen[rel].remove(&t.values) {
+                    return Ok(());
+                }
+                self.deletes += 1;
+                if rel == 0 {
+                    self.inner.delete_left(&t.values);
+                } else {
+                    self.inner.delete_right(&t.values);
+                }
+            }
+        }
+        Ok(())
     }
 
     fn samples(&self) -> Vec<Vec<Value>> {
@@ -191,10 +257,11 @@ impl JoinSampler for SymmetricSampler {
 
     fn stats(&self) -> SamplerStats {
         SamplerStats {
-            tuples_processed: Some(self.tuples_processed),
+            inserts: Some(self.inserts),
+            deletes: Some(self.deletes),
             reservoir_stops: None,
             heap_bytes: None,
-            exact_results: Some(self.inner.results_seen()),
+            exact_results: Some(self.inner.live_results()),
         }
     }
 }
@@ -226,7 +293,7 @@ mod tests {
         JoinSampler::process(&mut s, 0, &[1, 2]);
         JoinSampler::process(&mut s, 0, &[1, 2]);
         JoinSampler::process(&mut s, 1, &[2, 3]);
-        assert_eq!(s.stats().tuples_processed, Some(2));
+        assert_eq!(s.stats().inserts, Some(2));
         assert_eq!(s.stats().exact_results, Some(1));
     }
 

@@ -1,9 +1,10 @@
 //! A growable Fenwick (binary indexed) tree over `u128` weights.
 //!
-//! SJoin needs positional access into groups whose items carry *exact*,
-//! ever-growing weights: "find the item owning prefix position `z`" and
-//! "increase item `i`'s weight". Both are `O(log n)` here. Weights only
-//! grow (insert-only streams), so no signed deltas are needed.
+//! SJoin needs positional access into groups whose items carry *exact*
+//! weights: "find the item owning prefix position `z`" and "re-weight item
+//! `i`". Both are `O(log n)` here. Weights move in both directions —
+//! insertions grow them, turnstile deletions shrink them (possibly to
+//! zero; zero-weight items are skipped by [`Fenwick::search`]).
 
 /// Growable binary indexed tree with prefix-sum search.
 #[derive(Clone, Debug, Default)]
@@ -68,11 +69,28 @@ impl Fenwick {
         self.weights[idx]
     }
 
-    /// Sets item `idx`'s weight (weights may only grow).
+    /// Decreases item `idx`'s weight by `delta`.
+    ///
+    /// # Panics
+    /// Panics (in debug) if `delta` exceeds the item's current weight.
+    pub fn sub(&mut self, idx: usize, delta: u128) {
+        debug_assert!(delta <= self.weights[idx], "Fenwick weight underflow");
+        self.weights[idx] -= delta;
+        let mut i = idx + 1;
+        while i <= self.tree.len() {
+            self.tree[i - 1] -= delta;
+            i += lowbit(i);
+        }
+    }
+
+    /// Sets item `idx`'s weight (in either direction).
     pub fn set(&mut self, idx: usize, weight: u128) {
         let old = self.weights[idx];
-        assert!(weight >= old, "Fenwick weights may only grow");
-        self.add(idx, weight - old);
+        if weight >= old {
+            self.add(idx, weight - old);
+        } else {
+            self.sub(idx, old - weight);
+        }
     }
 
     /// Total weight.
@@ -167,11 +185,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "only grow")]
-    fn shrinking_panics() {
+    fn shrinking_set_and_sub() {
         let mut f = Fenwick::new();
         f.push(5);
+        f.push(7);
         f.set(0, 3);
+        assert_eq!(f.weight(0), 3);
+        assert_eq!(f.total(), 10);
+        f.sub(1, 7);
+        assert_eq!(f.weight(1), 0);
+        assert_eq!(f.total(), 3);
+        // Zero-weight items are skipped by positional search.
+        f.push(2);
+        assert_eq!(f.search(3), (2, 0));
+        assert_eq!(f.search(0), (0, 0));
     }
 
     #[test]

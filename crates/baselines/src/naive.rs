@@ -1,9 +1,10 @@
 //! The rebuild-and-redraw strawman (paper §1).
 //!
-//! After every insert, recompute the full join from scratch and draw a
-//! fresh uniform sample of size `k` without replacement. Trivially correct
-//! and catastrophically slow (`Ω(N · |Q(R)|)`); it exists as ground truth
-//! for the statistical tests and as the lower anchor in benchmark plots.
+//! After every insert *or delete*, recompute the full join from scratch
+//! and draw a fresh uniform sample of size `k` without replacement.
+//! Trivially correct — and trivially fully dynamic — and catastrophically
+//! slow (`Ω(N · |Q(R)|)`); it exists as ground truth for the statistical
+//! tests and as the lower anchor in benchmark plots.
 
 use rsj_common::rng::RsjRng;
 use rsj_common::Value;
@@ -38,6 +39,16 @@ impl NaiveRebuild {
     /// Inserts a tuple, recomputes the join, redraws the sample.
     pub fn process(&mut self, rel: usize, tuple: &[Value]) {
         if self.db.relation_mut(rel).insert(tuple).is_none() {
+            return;
+        }
+        let results = self.enumerate_join();
+        self.samples = sample_without_replacement(&results, self.k, &mut self.rng);
+    }
+
+    /// Deletes a tuple, recomputes the join, redraws the sample — the
+    /// rebuild strawman is trivially fully dynamic.
+    pub fn delete(&mut self, rel: usize, tuple: &[Value]) {
+        if self.db.relation_mut(rel).remove(tuple).is_none() {
             return;
         }
         let results = self.enumerate_join();

@@ -24,6 +24,8 @@ use rsj_stream::{FnBatch, Reservoir};
 pub struct SJoinStats {
     /// Tuples accepted.
     pub inserts: u64,
+    /// Tuples deleted (present at deletion time).
+    pub deletes: u64,
     /// Ancestor item re-weights performed (the update-cost driver).
     pub item_updates: u64,
 }
@@ -176,6 +178,32 @@ impl SJoinIndex {
         Some(tid)
     }
 
+    /// Deletes a tuple; `None` if absent (set semantics). The exact mirror
+    /// of [`insert`](SJoinIndex::insert): the tuple's weight drops to zero
+    /// in every rooted tree and exact count decreases propagate
+    /// unconditionally — the same `O(N)`-worst-case cost profile as
+    /// insertion. The slot stays in its group as a permanent zero
+    /// (positional search skips zero weights).
+    pub fn delete(&mut self, rel: usize, tuple: &[Value]) -> Option<TupleId> {
+        let tid = self.db.relation_mut(rel).remove(tuple)?;
+        self.stats.deletes += 1;
+        for ti in 0..self.trees.len() {
+            let mut updates = 0u64;
+            exact_delete(&mut self.trees[ti], &self.db, rel, tid, &mut updates);
+            self.stats.item_updates += updates;
+        }
+        Some(tid)
+    }
+
+    /// The join result at position `z < total_results()` of the full
+    /// current result array — exact positional access, no dummies, so one
+    /// uniform draw of `z` is one uniform join result (the turnstile
+    /// repair path).
+    pub fn result_at(&self, z: u128) -> Vec<(usize, TupleId)> {
+        let ts = &self.trees[0];
+        exact_retrieve_group(ts, &self.db, ts.tree.root(), &Key::EMPTY, z)
+    }
+
     /// Exact delta size of the tuple just inserted into `rel`.
     pub fn delta_size(&self, rel: usize, tid: TupleId) -> u128 {
         let ts = &self.trees[rel];
@@ -254,6 +282,38 @@ fn exact_insert(ts: &mut ExactTree, db: &Database, rel: usize, tid: TupleId, upd
     grp.weights.push(weight);
     node.item_loc.push((g, pos));
     if weight > 0 {
+        // Exact counts changed: propagate unconditionally (the SJoin cost).
+        exact_propagate(ts, db, rel, group_key, updates);
+    }
+}
+
+fn exact_delete(ts: &mut ExactTree, db: &Database, rel: usize, tid: TupleId, updates: &mut u64) {
+    // The tombstoned slot keeps its values readable — project them to find
+    // every registration.
+    let tuple = db.relation(rel).tuple(tid);
+    let info = ts.tree.node(rel);
+    let group_key = Key::project(tuple, &info.key_positions);
+    let child_keys: Vec<Key> = info
+        .child_key_positions
+        .iter()
+        .map(|ps| Key::project(tuple, ps))
+        .collect();
+    let node = &mut ts.nodes[rel];
+    for (ci, k) in child_keys.iter().enumerate() {
+        let list = node.child_indexes[ci]
+            .get_mut(k)
+            .expect("deleted tuple's child key must be indexed");
+        let pos = list
+            .iter()
+            .position(|&t| t == tid)
+            .expect("deleted tuple must be listed under its child key");
+        list.swap_remove(pos);
+    }
+    let (g, pos) = node.item_loc[tid as usize];
+    let grp = &mut node.arena[g as usize];
+    let had_weight = grp.weights.weight(pos as usize) > 0;
+    grp.weights.set(pos as usize, 0);
+    if had_weight {
         // Exact counts changed: propagate unconditionally (the SJoin cost).
         exact_propagate(ts, db, rel, group_key, updates);
     }
@@ -369,11 +429,19 @@ fn exact_retrieve_group(
 }
 
 /// The complete SJoin driver: exact index + skip-based reservoir.
+///
+/// Fully dynamic, and — unlike `RSJoin` — *exactly* calibrated on every
+/// delete: the exact index hands over `|Q(R)|` in `O(1)`, so the
+/// reservoir's skip state is re-drawn against the live population at each
+/// deletion (eviction-and-backfill uses exact positional draws, which
+/// never hit a dummy).
 pub struct SJoin {
     index: SJoinIndex,
     reservoir: Reservoir<Vec<Value>>,
     /// Reusable materialization buffer (see the in-place reservoir path).
     scratch: Vec<Value>,
+    /// RNG for turnstile backfill draws (untouched on insert-only runs).
+    repair_rng: rsj_common::rng::RsjRng,
 }
 
 impl SJoin {
@@ -383,6 +451,10 @@ impl SJoin {
             index: SJoinIndex::new(query)?,
             reservoir: Reservoir::new(k, seed),
             scratch: Vec::new(),
+            repair_rng: rsj_common::rng::RsjRng::seed_from_u64(rsj_common::rng::child_seed(
+                seed,
+                u64::from_le_bytes(*b"turnstil"),
+            )),
         })
     }
 
@@ -410,6 +482,31 @@ impl SJoin {
         for t in stream.iter() {
             self.process(t.relation, &t.values);
         }
+    }
+
+    /// Deletes one input tuple; `None` if absent. Exact turnstile repair:
+    /// evict dead samples, backfill with distinct exact positional draws,
+    /// re-draw the skip state against the exact live `|Q(R)|`.
+    pub fn delete(&mut self, rel: usize, tuple: &[Value]) -> Option<TupleId> {
+        let tid = self.index.delete(rel, tuple)?;
+        let attrs = &self.index.query().relation(rel).attrs;
+        self.reservoir
+            .evict_where(|s| attrs.iter().enumerate().all(|(pos, &a)| s[a] == tuple[pos]));
+        let population = self.index.total_results();
+        let target = (self.reservoir.capacity() as u128).min(population) as usize;
+        let index = &self.index;
+        let rng = &mut self.repair_rng;
+        // Positional draws are 1-dense (no dummies); the per-slot budget
+        // only covers distinctness rejection, worst around O(k) when the
+        // population barely exceeds the sample.
+        let per_slot = (4096 + 256 * self.reservoir.capacity()).min(1 << 24);
+        let filled = self.reservoir.backfill_distinct(target, per_slot, || {
+            let z = rng.below_u128(population);
+            Some(index.materialize(&index.result_at(z)))
+        });
+        debug_assert!(filled, "backfill exhausted its rejection cap");
+        self.reservoir.recalibrate(population);
+        Some(tid)
     }
 
     /// Current samples.

@@ -6,7 +6,14 @@
 //! reservoir. Total time is proportional to the number of join results —
 //! fine when the join is small, hopeless when it is polynomially larger
 //! than the input, which is exactly the gap RSJoin closes.
+//!
+//! The operator is naturally symmetric under deletions too: removing a
+//! tuple kills exactly its matches in the opposite table, the live result
+//! count `Σ_key |L_key|·|R_key|` updates in `O(matches)`, and the classic
+//! reservoir repairs exactly — its acceptance probability is driven by an
+//! explicit counter, which simply tracks the live population.
 
+use rsj_common::rng::{child_seed, RsjRng};
 use rsj_common::{FxHashMap, Key, Value};
 use rsj_stream::ClassicReservoir;
 
@@ -18,7 +25,10 @@ pub struct SymmetricHashJoin {
     left: FxHashMap<Key, Vec<Vec<Value>>>,
     right: FxHashMap<Key, Vec<Vec<Value>>>,
     reservoir: ClassicReservoir<(Vec<Value>, Vec<Value>)>,
-    results_seen: u128,
+    /// Exact current `|Q(R)| = Σ_key |L_key|·|R_key|`.
+    results_live: u128,
+    /// RNG for turnstile backfill draws (untouched on insert-only runs).
+    repair_rng: RsjRng,
 }
 
 impl SymmetricHashJoin {
@@ -36,7 +46,8 @@ impl SymmetricHashJoin {
             left: FxHashMap::default(),
             right: FxHashMap::default(),
             reservoir: ClassicReservoir::new(k, seed),
-            results_seen: 0,
+            results_live: 0,
+            repair_rng: RsjRng::seed_from_u64(child_seed(seed, u64::from_le_bytes(*b"turnstil"))),
         }
     }
 
@@ -44,7 +55,7 @@ impl SymmetricHashJoin {
     pub fn insert_left(&mut self, tuple: &[Value]) {
         let key = Key::project(tuple, &self.left_key);
         for r in self.right.get(&key).into_iter().flatten() {
-            self.results_seen += 1;
+            self.results_live += 1;
             self.reservoir.offer((tuple.to_vec(), r.clone()));
         }
         self.left.entry(key).or_default().push(tuple.to_vec());
@@ -54,10 +65,56 @@ impl SymmetricHashJoin {
     pub fn insert_right(&mut self, tuple: &[Value]) {
         let key = Key::project(tuple, &self.right_key);
         for l in self.left.get(&key).into_iter().flatten() {
-            self.results_seen += 1;
+            self.results_live += 1;
             self.reservoir.offer((l.clone(), tuple.to_vec()));
         }
         self.right.entry(key).or_default().push(tuple.to_vec());
+    }
+
+    /// Deletes one occurrence of a left tuple; returns whether it was
+    /// present. Kills its matches, repairs the reservoir, and re-points
+    /// the classic acceptance counter at the live population — all exact.
+    pub fn delete_left(&mut self, tuple: &[Value]) -> bool {
+        let key = Key::project(tuple, &self.left_key);
+        if !remove_one(&mut self.left, &key, tuple) {
+            return false;
+        }
+        let dead = self.right.get(&key).map_or(0, |v| v.len()) as u128;
+        self.results_live -= dead;
+        self.reservoir.evict_where(|(l, _)| l == tuple);
+        self.repair();
+        true
+    }
+
+    /// Deletes one occurrence of a right tuple; returns whether it was
+    /// present. Mirror of [`delete_left`](SymmetricHashJoin::delete_left).
+    pub fn delete_right(&mut self, tuple: &[Value]) -> bool {
+        let key = Key::project(tuple, &self.right_key);
+        if !remove_one(&mut self.right, &key, tuple) {
+            return false;
+        }
+        let dead = self.left.get(&key).map_or(0, |v| v.len()) as u128;
+        self.results_live -= dead;
+        self.reservoir.evict_where(|(_, r)| r == tuple);
+        self.repair();
+        true
+    }
+
+    /// Backfills vacated reservoir slots with uniform distinct draws from
+    /// the live result set and recalibrates the acceptance counter.
+    fn repair(&mut self) {
+        let target = (self.reservoir.capacity() as u128).min(self.results_live) as usize;
+        // Draws are 1-dense; the per-slot budget only covers distinctness
+        // rejection, worst around O(k) when the population barely exceeds
+        // the sample.
+        let per_slot = (4096 + 256 * self.reservoir.capacity()).min(1 << 24);
+        let (left, right, live) = (&self.left, &self.right, self.results_live);
+        let rng = &mut self.repair_rng;
+        let filled = self
+            .reservoir
+            .backfill_distinct(target, per_slot, || draw_uniform(left, right, live, rng));
+        debug_assert!(filled, "backfill exhausted its rejection cap");
+        self.reservoir.set_population(self.results_live);
     }
 
     /// Samples: `(left_tuple, right_tuple)` pairs.
@@ -65,10 +122,55 @@ impl SymmetricHashJoin {
         self.reservoir.samples()
     }
 
-    /// Exact number of join results produced so far.
-    pub fn results_seen(&self) -> u128 {
-        self.results_seen
+    /// Exact number of currently-live join results (equals the cumulative
+    /// count on insert-only streams).
+    pub fn live_results(&self) -> u128 {
+        self.results_live
     }
+}
+
+/// One uniform draw over the live results: pick a global position in
+/// `Σ_key |L_key|·|R_key|` and decode it. `O(#distinct keys)`.
+fn draw_uniform(
+    left: &FxHashMap<Key, Vec<Vec<Value>>>,
+    right: &FxHashMap<Key, Vec<Vec<Value>>>,
+    live: u128,
+    rng: &mut RsjRng,
+) -> Option<(Vec<Value>, Vec<Value>)> {
+    if live == 0 {
+        return None;
+    }
+    let mut z = rng.below_u128(live);
+    for (key, ls) in left {
+        let rs = match right.get(key) {
+            Some(rs) if !ls.is_empty() => rs,
+            _ => continue,
+        };
+        let block = (ls.len() as u128) * (rs.len() as u128);
+        if z < block {
+            let i = (z / rs.len() as u128) as usize;
+            let j = (z % rs.len() as u128) as usize;
+            return Some((ls[i].clone(), rs[j].clone()));
+        }
+        z -= block;
+    }
+    unreachable!("z < results_live must land in a key block");
+}
+
+/// Removes one occurrence of `tuple` from the bucket at `key`, dropping
+/// emptied buckets. Returns whether anything was removed.
+fn remove_one(side: &mut FxHashMap<Key, Vec<Vec<Value>>>, key: &Key, tuple: &[Value]) -> bool {
+    let Some(bucket) = side.get_mut(key) else {
+        return false;
+    };
+    let Some(pos) = bucket.iter().position(|t| t == tuple) else {
+        return false;
+    };
+    bucket.swap_remove(pos);
+    if bucket.is_empty() {
+        side.remove(key);
+    }
+    true
 }
 
 #[cfg(test)]
@@ -84,7 +186,7 @@ mod tests {
         shj.insert_right(&[10, 6]);
         shj.insert_left(&[2, 10]); // matches both rights
         shj.insert_left(&[3, 99]); // no match
-        assert_eq!(shj.results_seen(), 4);
+        assert_eq!(shj.live_results(), 4);
         let got: FxHashSet<(Vec<u64>, Vec<u64>)> = shj.samples().iter().cloned().collect();
         let expect: FxHashSet<(Vec<u64>, Vec<u64>)> = [
             (vec![1, 10], vec![10, 5]),
@@ -108,7 +210,7 @@ mod tests {
                     shj.insert_right(&t);
                 }
             }
-            shj.results_seen()
+            shj.live_results()
         };
         let a = run(&[(true, [1, 7]), (false, [7, 2]), (true, [3, 7])]);
         let b = run(&[(false, [7, 2]), (true, [3, 7]), (true, [1, 7])]);
@@ -122,6 +224,6 @@ mod tests {
         shj.insert_left(&[1, 2, 77]);
         shj.insert_right(&[88, 1, 2]);
         shj.insert_right(&[88, 1, 3]); // second key differs
-        assert_eq!(shj.results_seen(), 1);
+        assert_eq!(shj.live_results(), 1);
     }
 }

@@ -48,6 +48,7 @@ fn main() {
         rs_summary.len(),
         rs_total_ns,
         Some(rs_summary.len() as f64 * 1e9 / rs_total_ns.max(1) as f64),
+        None,
         false,
     );
 
@@ -80,6 +81,7 @@ fn main() {
         sj_summary.len(),
         sj_total_ns,
         Some(sj_summary.len() as f64 * 1e9 / sj_total_ns.max(1) as f64),
+        None,
         sj_capped,
     );
 

@@ -33,6 +33,7 @@ fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
         iters as usize,
         total.as_nanos(),
         Some(iters as f64 / total.as_secs_f64().max(f64::MIN_POSITIVE)),
+        None,
         false,
     );
 }
@@ -84,7 +85,7 @@ fn bench_delta_retrieve() {
     let idx = loaded_index();
     // Pick a tuple of relation 0 with a non-empty batch.
     let mut target = None;
-    for tid in 0..idx.database().relation(0).len() as u32 {
+    for tid in 0..idx.database().relation(0).num_slots() as u32 {
         let b = idx.delta_batch(0, tid);
         if b.size() > 4 {
             target = Some((tid, b.size()));

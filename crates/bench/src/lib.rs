@@ -120,6 +120,8 @@ pub fn run_engine(
         .unwrap_or_else(|e| panic!("{}: {engine}: {e}", w.name));
     let out = run_sampler(w, sampler.as_mut());
     let n = w.stream.len();
+    let st = sampler.stats();
+    let ops = st.inserts.map(|i| (i, st.deletes.unwrap_or(0)));
     match out {
         Outcome::Finished(d) => {
             let per_s = n as f64 / d.as_secs_f64().max(f64::MIN_POSITIVE);
@@ -130,6 +132,7 @@ pub fn run_engine(
                 n,
                 d.as_nanos(),
                 Some(per_s),
+                ops,
                 false,
             );
         }
@@ -143,11 +146,41 @@ pub fn run_engine(
                 (n as f64 * frac) as usize,
                 cap.as_nanos(),
                 Some(per_s),
+                ops,
                 true,
             );
         }
     }
     (out, sampler)
+}
+
+/// Drives a turnstile op stream through the executor trait with the soft
+/// cap — the fully-dynamic counterpart of [`run_sampler`]. The engine must
+/// support deletes (checked up front via the capability probe).
+pub fn run_sampler_ops(ops: &rsj_storage::OpStream, sampler: &mut dyn JoinSampler) -> Outcome {
+    assert!(
+        ops.num_deletes() == 0 || sampler.supports_deletes(),
+        "{} is insert-only but the op stream carries deletes",
+        sampler.name()
+    );
+    let start = Instant::now();
+    let cap = run_cap();
+    let n = ops.len();
+    for (i, op) in ops.iter().enumerate() {
+        sampler
+            .process_op(op)
+            .expect("capability probe passed but the engine rejected a delete");
+        if i % 4096 == 0 && start.elapsed() > cap {
+            return Outcome::TimedOut {
+                frac: i as f64 / n as f64,
+            };
+        }
+    }
+    // Synchronization point: asynchronous engines (the sharded executor)
+    // only guarantee the ops are applied once a read drains the workers —
+    // include that in the timed region so throughput is comparable.
+    let _ = sampler.samples();
+    Outcome::Finished(start.elapsed())
 }
 
 /// The running figure's name: the bench binary's file stem.
@@ -166,7 +199,11 @@ pub fn fig_name() -> String {
 /// Appends one JSON line describing a figure run to the file named by
 /// `RSJ_BENCH_JSON` (no-op when the variable is unset). `samples_per_s`
 /// is throughput in the figure's unit of work — tuples for stream runs,
-/// inserts for `fig6_update_time`, iterations for `micro`.
+/// inserts for `fig6_update_time`, iterations for `micro`. `ops` carries
+/// the engine's accepted `(inserts, deletes)` counters when the engine
+/// tracks them — `n` alone conflates stream length with accepted tuples
+/// on turnstile streams, so the two are recorded separately.
+#[allow(clippy::too_many_arguments)]
 pub fn record_json(
     fig: &str,
     query: &str,
@@ -174,6 +211,7 @@ pub fn record_json(
     n: usize,
     wall_ns: u128,
     samples_per_s: Option<f64>,
+    ops: Option<(u64, u64)>,
     timed_out: bool,
 ) {
     let Some(path) = std::env::var_os("RSJ_BENCH_JSON") else {
@@ -188,6 +226,9 @@ pub fn record_json(
     );
     if let Some(p) = samples_per_s {
         line.push_str(&format!(",\"samples_per_s\":{p:.1}"));
+    }
+    if let Some((ins, del)) = ops {
+        line.push_str(&format!(",\"inserts\":{ins},\"deletes\":{del}"));
     }
     if timed_out {
         line.push_str(",\"timed_out\":true");

@@ -1,0 +1,296 @@
+//! Exact `|Q(R)|` counting — the shared sidecar behind the sharded merge
+//! and the turnstile reservoir repair.
+//!
+//! Acyclic queries count by one bottom-up message pass over the join tree
+//! (`O(N)` with hashing); queries without a join tree fall back to
+//! backtracking enumeration. Two frontends share the walk:
+//!
+//! * [`exact_result_count`] counts directly over a [`Database`] (live
+//!   tuples only — tombstones are skipped), used by `ReservoirJoin`'s
+//!   deletion repair to recalibrate the reservoir against the exact live
+//!   population;
+//! * `JoinCounter` (crate-internal, used by the sharded workers) owns its
+//!   tuple sets — the workers have no relation access through the
+//!   `JoinSampler` interface — and counts on demand, with deletions
+//!   removing from the sets.
+
+use rsj_common::{FxHashMap, FxHashSet, Value};
+use rsj_query::{JoinTree, Query};
+use rsj_storage::Database;
+
+/// The rooted message-passing schedule for acyclic counting.
+pub(crate) struct CountPlan {
+    /// BFS order from the root (parents before children); counting walks it
+    /// in reverse.
+    order: Vec<usize>,
+    parent: Vec<Option<usize>>,
+    /// Per relation: schema positions projecting onto the attributes shared
+    /// with its parent.
+    up: Vec<Vec<usize>>,
+    /// Per relation: for each child, `(child, schema positions)` projecting
+    /// onto the same shared attributes in the same order as the child's
+    /// `up` projection.
+    down: Vec<Vec<(usize, Vec<usize>)>>,
+}
+
+impl CountPlan {
+    pub(crate) fn new(query: &Query, tree: &JoinTree) -> CountPlan {
+        let n = query.num_relations();
+        let mut parent = vec![None; n];
+        let mut order = vec![0usize];
+        let mut seen = vec![false; n];
+        seen[0] = true;
+        let mut i = 0;
+        while i < order.len() {
+            let r = order[i];
+            i += 1;
+            for &c in tree.neighbors(r) {
+                if !seen[c] {
+                    seen[c] = true;
+                    parent[c] = Some(r);
+                    order.push(c);
+                }
+            }
+        }
+        let mut up = vec![Vec::new(); n];
+        let mut down = vec![Vec::new(); n];
+        for c in 0..n {
+            if let Some(p) = parent[c] {
+                let ids = query.shared_attrs(c, p);
+                up[c] = ids
+                    .iter()
+                    .map(|&a| query.relation(c).position_of(a).expect("shared attr"))
+                    .collect();
+                down[p].push((
+                    c,
+                    ids.iter()
+                        .map(|&a| query.relation(p).position_of(a).expect("shared attr"))
+                        .collect(),
+                ));
+            }
+        }
+        CountPlan {
+            order,
+            parent,
+            up,
+            down,
+        }
+    }
+
+    /// One bottom-up message pass; `tuples_of(rel)` yields the live tuples
+    /// of each relation.
+    fn count<'a>(
+        &self,
+        n: usize,
+        tuples_of: impl Fn(usize) -> Box<dyn Iterator<Item = &'a [Value]> + 'a>,
+    ) -> u128 {
+        // msgs[c]: sum of subtree weights of c's tuples, grouped by the
+        // projection onto the attributes shared with c's parent.
+        let mut msgs: Vec<FxHashMap<Vec<Value>, u128>> = vec![FxHashMap::default(); n];
+        let mut total: u128 = 0;
+        for &r in self.order.iter().rev() {
+            for t in tuples_of(r) {
+                let mut w: u128 = 1;
+                for (c, pos) in &self.down[r] {
+                    let key: Vec<Value> = pos.iter().map(|&p| t[p]).collect();
+                    match msgs[*c].get(&key) {
+                        Some(&s) => w = w.saturating_mul(s),
+                        None => {
+                            w = 0;
+                            break;
+                        }
+                    }
+                }
+                if w == 0 {
+                    continue;
+                }
+                match self.parent[r] {
+                    Some(_) => {
+                        let key: Vec<Value> = self.up[r].iter().map(|&p| t[p]).collect();
+                        let slot = msgs[r].entry(key).or_insert(0);
+                        *slot = slot.saturating_add(w);
+                    }
+                    None => total = total.saturating_add(w),
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Exact `|Q(R)|` over the live tuples of `db`.
+///
+/// One `O(N)` join-tree message pass for acyclic queries, backtracking
+/// enumeration otherwise. Tombstoned (deleted) tuples are skipped — this is
+/// the exact post-delete population the turnstile reservoir repair
+/// recalibrates against.
+pub fn exact_result_count(query: &Query, db: &Database) -> u128 {
+    match JoinTree::build(query) {
+        Some(tree) => CountPlan::new(query, &tree).count(query.num_relations(), |r| {
+            Box::new(db.relation(r).iter().map(|(_, t)| t))
+        }),
+        None => {
+            let seen: Vec<Vec<Vec<Value>>> = (0..query.num_relations())
+                .map(|r| db.relation(r).iter().map(|(_, t)| t.to_vec()).collect())
+                .collect();
+            count_backtracking(query, &seen, 0, &mut vec![None; query.num_attrs()])
+        }
+    }
+}
+
+/// Exact per-shard result counting: a `Database`-free sidecar that stores
+/// the shard's accepted tuples (set semantics) and computes `|Q_i|` on
+/// demand.
+///
+/// The sidecar keeps its own copy of the shard's tuples — roughly
+/// doubling per-shard input storage next to the inner engine's — because
+/// the `JoinSampler` interface deliberately exposes no relation access;
+/// the trade is input-linear memory for an exact merge with any engine.
+/// Deletions remove from the sets, so the count stays exact under
+/// turnstile streams.
+pub(crate) struct JoinCounter {
+    query: Query,
+    plan: Option<CountPlan>,
+    /// Per relation: the distinct tuples currently live.
+    seen: Vec<FxHashSet<Vec<Value>>>,
+}
+
+impl JoinCounter {
+    pub(crate) fn new(query: Query) -> JoinCounter {
+        let plan = JoinTree::build(&query).map(|t| CountPlan::new(&query, &t));
+        let seen = vec![FxHashSet::default(); query.num_relations()];
+        JoinCounter { query, plan, seen }
+    }
+
+    /// Accepts one tuple; duplicates are no-ops, mirroring the engines' set
+    /// semantics.
+    pub(crate) fn insert(&mut self, rel: usize, tuple: Vec<Value>) {
+        self.seen[rel].insert(tuple);
+    }
+
+    /// Removes one tuple; absent tuples are no-ops (set semantics).
+    pub(crate) fn remove(&mut self, rel: usize, tuple: &[Value]) {
+        self.seen[rel].remove(tuple);
+    }
+
+    /// Exact `|Q_i|` over the live accepted tuples.
+    pub(crate) fn count(&self) -> u128 {
+        match &self.plan {
+            Some(plan) => plan.count(self.query.num_relations(), |r| {
+                Box::new(self.seen[r].iter().map(|t| t.as_slice()))
+            }),
+            None => {
+                let seen: Vec<Vec<Vec<Value>>> = self
+                    .seen
+                    .iter()
+                    .map(|s| s.iter().cloned().collect())
+                    .collect();
+                count_backtracking(
+                    &self.query,
+                    &seen,
+                    0,
+                    &mut vec![None; self.query.num_attrs()],
+                )
+            }
+        }
+    }
+}
+
+fn count_backtracking(
+    query: &Query,
+    seen: &[Vec<Vec<Value>>],
+    rel: usize,
+    partial: &mut Vec<Option<Value>>,
+) -> u128 {
+    if rel == query.num_relations() {
+        return 1;
+    }
+    let schema = &query.relation(rel).attrs;
+    let mut total: u128 = 0;
+    'tuples: for t in &seen[rel] {
+        let mut newly_bound = Vec::new();
+        for (pos, &attr) in schema.iter().enumerate() {
+            match partial[attr] {
+                Some(v) if v != t[pos] => {
+                    for &a in &newly_bound {
+                        partial[a] = None;
+                    }
+                    continue 'tuples;
+                }
+                Some(_) => {}
+                None => {
+                    partial[attr] = Some(t[pos]);
+                    newly_bound.push(attr);
+                }
+            }
+        }
+        total = total.saturating_add(count_backtracking(query, seen, rel + 1, partial));
+        for &a in &newly_bound {
+            partial[a] = None;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_common::rng::RsjRng;
+    use rsj_query::QueryBuilder;
+
+    fn line3() -> Query {
+        let mut qb = QueryBuilder::new();
+        qb.relation("G1", &["A", "B"]);
+        qb.relation("G2", &["B", "C"]);
+        qb.relation("G3", &["C", "D"]);
+        qb.build().unwrap()
+    }
+
+    #[test]
+    fn db_count_matches_counter_and_tracks_deletes() {
+        let q = line3();
+        let mut db = Database::new();
+        for r in q.relations() {
+            db.add_relation(r.name.clone(), r.attrs.len());
+        }
+        let mut counter = JoinCounter::new(q.clone());
+        let mut rng = RsjRng::seed_from_u64(9);
+        let mut live: Vec<(usize, Vec<Value>)> = Vec::new();
+        for _ in 0..250 {
+            let rel = rng.index(3);
+            let t = vec![rng.below_u64(5), rng.below_u64(5)];
+            if db.relation_mut(rel).insert(&t).is_some() {
+                live.push((rel, t.clone()));
+            }
+            counter.insert(rel, t);
+        }
+        assert_eq!(exact_result_count(&q, &db), counter.count());
+        assert!(counter.count() > 0, "degenerate instance");
+        // Delete a third of the live tuples from both sides.
+        for (rel, t) in live.iter().step_by(3) {
+            db.relation_mut(*rel).remove(t).unwrap();
+            counter.remove(*rel, t);
+        }
+        assert_eq!(exact_result_count(&q, &db), counter.count());
+    }
+
+    #[test]
+    fn cyclic_count_over_database() {
+        let mut qb = QueryBuilder::new();
+        qb.relation("R1", &["X", "Y"]);
+        qb.relation("R2", &["Y", "Z"]);
+        qb.relation("R3", &["Z", "X"]);
+        let q = qb.build().unwrap();
+        let mut db = Database::new();
+        for r in q.relations() {
+            db.add_relation(r.name.clone(), r.attrs.len());
+        }
+        db.relation_mut(0).insert(&[1, 2]);
+        db.relation_mut(1).insert(&[2, 3]);
+        db.relation_mut(2).insert(&[3, 1]);
+        db.relation_mut(2).insert(&[3, 9]);
+        assert_eq!(exact_result_count(&q, &db), 1);
+        db.relation_mut(2).remove(&[3, 1]).unwrap();
+        assert_eq!(exact_result_count(&q, &db), 0);
+    }
+}

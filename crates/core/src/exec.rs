@@ -19,7 +19,7 @@ use crate::fk_runtime::FkReservoirJoin;
 use crate::reservoir_join::ReservoirJoin;
 use rsj_common::Value;
 use rsj_query::Query;
-use rsj_storage::{InputTuple, TupleStream};
+use rsj_storage::{InputTuple, OpStream, StreamOp, TupleStream};
 
 /// Uniform instrumentation snapshot across engines.
 ///
@@ -27,8 +27,13 @@ use rsj_storage::{InputTuple, TupleStream};
 /// (`None` never means zero, it means "not tracked by this engine").
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SamplerStats {
-    /// Distinct tuples accepted (set semantics) — the paper's `N`.
-    pub tuples_processed: Option<u64>,
+    /// Distinct tuples accepted (set semantics). On an insert-only stream
+    /// this is the paper's `N`; under turnstile streams subtract
+    /// [`deletes`](SamplerStats::deletes) for the live count.
+    pub inserts: Option<u64>,
+    /// Tuples deleted (present at deletion time; absent-tuple deletes are
+    /// no-ops and not counted). Always zero for insert-only engines.
+    pub deletes: Option<u64>,
     /// Predicate-evaluating reservoir stops, each costing one retrieve.
     pub reservoir_stops: Option<u64>,
     /// Estimated heap footprint in bytes (index + reservoir).
@@ -37,6 +42,26 @@ pub struct SamplerStats {
     /// symmetric hash join).
     pub exact_results: Option<u128>,
 }
+
+/// A [`StreamOp::Delete`] was fed to an engine that only supports
+/// insert-only streams (see [`JoinSampler::supports_deletes`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeleteUnsupported {
+    /// [`JoinSampler::name`] of the rejecting engine.
+    pub engine: &'static str,
+}
+
+impl std::fmt::Display for DeleteUnsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} is insert-only: it cannot process StreamOp::Delete",
+            self.engine
+        )
+    }
+}
+
+impl std::error::Error for DeleteUnsupported {}
 
 /// A streaming join-sampling engine: maintains `k` uniform samples without
 /// replacement of `Q(R)` while tuples of `R` stream in.
@@ -79,6 +104,48 @@ pub trait JoinSampler {
     /// Feeds an entire stream in arrival order.
     fn process_stream(&mut self, stream: &TupleStream) {
         self.process_batch(stream.tuples());
+    }
+
+    /// Whether this engine accepts [`StreamOp::Delete`] — the capability
+    /// probe of the update-model contract (see ARCHITECTURE.md, "Update
+    /// model"). Insert-only engines keep the default `false` and
+    /// [`process_op`](JoinSampler::process_op) rejects deletes for them.
+    fn supports_deletes(&self) -> bool {
+        false
+    }
+
+    /// Feeds one turnstile stream op. Inserts behave exactly like
+    /// [`process`](JoinSampler::process); deletes remove the tuple (set
+    /// semantics — deleting an absent tuple is a no-op) and repair the
+    /// maintained sample so it stays uniform over the post-delete `Q(R)`.
+    ///
+    /// The default implementation handles inserts and errors on deletes;
+    /// fully-dynamic engines override it together with
+    /// [`supports_deletes`](JoinSampler::supports_deletes).
+    fn process_op(&mut self, op: &StreamOp) -> Result<(), DeleteUnsupported> {
+        match op {
+            StreamOp::Insert(t) => {
+                self.process(t.relation, &t.values);
+                Ok(())
+            }
+            StreamOp::Delete(_) => Err(DeleteUnsupported {
+                engine: self.name(),
+            }),
+        }
+    }
+
+    /// Feeds a batch of turnstile ops in arrival order, stopping at the
+    /// first unsupported delete.
+    fn process_op_batch(&mut self, ops: &[StreamOp]) -> Result<(), DeleteUnsupported> {
+        for op in ops {
+            self.process_op(op)?;
+        }
+        Ok(())
+    }
+
+    /// Feeds an entire turnstile stream in arrival order.
+    fn process_op_stream(&mut self, stream: &OpStream) -> Result<(), DeleteUnsupported> {
+        self.process_op_batch(stream.ops())
     }
 
     /// The current samples as materialized full-width value tuples of
@@ -144,9 +211,29 @@ impl JoinSampler for ReservoirJoin {
         ReservoirJoin::k(self)
     }
 
+    /// Fully dynamic: deletions mirror insertions in the index and repair
+    /// the reservoir by eviction-and-backfill (see
+    /// `rsj_core::reservoir_join`).
+    fn supports_deletes(&self) -> bool {
+        true
+    }
+
+    fn process_op(&mut self, op: &StreamOp) -> Result<(), DeleteUnsupported> {
+        match op {
+            StreamOp::Insert(t) => {
+                ReservoirJoin::process(self, t.relation, &t.values);
+            }
+            StreamOp::Delete(t) => {
+                ReservoirJoin::delete(self, t.relation, &t.values);
+            }
+        }
+        Ok(())
+    }
+
     fn stats(&self) -> SamplerStats {
         SamplerStats {
-            tuples_processed: Some(self.tuples_processed()),
+            inserts: Some(self.inserts()),
+            deletes: Some(self.deletes()),
             reservoir_stops: Some(self.reservoir_stops()),
             heap_bytes: Some(self.heap_size()),
             exact_results: None,
@@ -177,7 +264,8 @@ impl JoinSampler for FkReservoirJoin {
 
     fn stats(&self) -> SamplerStats {
         SamplerStats {
-            tuples_processed: Some(self.inner().tuples_processed()),
+            inserts: Some(self.inner().inserts()),
+            deletes: Some(0),
             reservoir_stops: Some(self.inner().reservoir_stops()),
             heap_bytes: Some(self.heap_size()),
             exact_results: None,
@@ -212,7 +300,8 @@ impl JoinSampler for CyclicReservoirJoin {
             // (`O(N^w)` deltas, via [`CyclicReservoirJoin::bag_tuples`]),
             // not distinct accepted input tuples, so the field stays
             // honest-`None` here.
-            tuples_processed: None,
+            inserts: None,
+            deletes: None,
             reservoir_stops: Some(self.inner().reservoir_stops()),
             heap_bytes: Some(self.heap_size()),
             exact_results: None,
@@ -242,7 +331,34 @@ mod tests {
         assert_eq!(s.samples(), vec![vec![1, 2, 3]]);
         assert_eq!(s.k(), 10);
         assert_eq!(s.name(), "RSJoin");
-        assert_eq!(s.stats().tuples_processed, Some(2));
+        assert_eq!(s.stats().inserts, Some(2));
+        assert_eq!(s.stats().deletes, Some(0));
+    }
+
+    #[test]
+    fn op_stream_round_trip_through_trait() {
+        let mut s: Box<dyn JoinSampler> = Box::new(ReservoirJoin::new(two_table(), 10, 1).unwrap());
+        assert!(s.supports_deletes());
+        let mut ops = OpStream::new();
+        ops.push_insert(0, vec![1, 2]);
+        ops.push_insert(1, vec![2, 3]);
+        ops.push_delete(0, vec![1, 2]);
+        s.process_op_stream(&ops).unwrap();
+        assert!(s.samples().is_empty());
+        assert_eq!(s.stats().inserts, Some(2));
+        assert_eq!(s.stats().deletes, Some(1));
+    }
+
+    #[test]
+    fn insert_only_engines_reject_deletes() {
+        let q = two_table();
+        let fks = rsj_query::FkSchema::none(2);
+        let mut s: Box<dyn JoinSampler> = Box::new(FkReservoirJoin::new(&q, &fks, 10, 1).unwrap());
+        assert!(!s.supports_deletes());
+        assert!(s.process_op(&StreamOp::insert(0, vec![1, 2])).is_ok());
+        let err = s.process_op(&StreamOp::delete(0, vec![1, 2])).unwrap_err();
+        assert_eq!(err.engine, "RSJoin_opt");
+        assert!(err.to_string().contains("insert-only"));
     }
 
     #[test]

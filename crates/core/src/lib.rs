@@ -25,6 +25,7 @@
 //!   [`exec::JoinSampler`] per shard on its own thread, merge the
 //!   per-shard reservoirs by weighted reservoir union.
 
+pub mod count;
 pub mod cyclic;
 pub mod exec;
 pub mod export;
@@ -34,8 +35,9 @@ pub mod sampler_facade;
 pub mod shard;
 pub mod wcoj;
 
+pub use count::exact_result_count;
 pub use cyclic::CyclicReservoirJoin;
-pub use exec::{JoinSampler, SamplerStats};
+pub use exec::{DeleteUnsupported, JoinSampler, SamplerStats};
 pub use fk_runtime::{FkCombiner, FkReservoirJoin};
 pub use reservoir_join::ReservoirJoin;
 pub use sampler_facade::DynamicSampleIndex;

@@ -6,15 +6,44 @@
 //! positions without touching them; only its `O(Σ min(1, k/(r+1)))` stops
 //! perform an `O(log N)` positional retrieve, and a retrieve that lands on
 //! rounding slack is exactly a falsified predicate.
+//!
+//! # Turnstile streams
+//!
+//! [`ReservoirJoin::delete`] opens the stream to deletions. The index side
+//! is the exact mirror of insertion (cascading count decrements). The
+//! reservoir side follows the eviction-and-backfill protocol:
+//!
+//! 1. **Evict** every sample that used the deleted tuple (set semantics
+//!    make the test a projection comparison).
+//! 2. **Backfill** the vacated slots with fresh uniform draws from the
+//!    index's full-query sampler, rejected to distinctness — sequential
+//!    simple random sampling, so the sample set is exactly uniform without
+//!    replacement over the post-delete `Q(R)`.
+//! 3. **Recalibrate** the skip state `(w, q)` against the *exact* live
+//!    `|Q(R)|` (one `O(N)` message-passing count), so subsequent inserts
+//!    are weighted as if the reservoir had run over the live population
+//!    from the start.
+//!
+//! Step 3 is the expensive one and runs only at *repair points*: deletes
+//! that evicted a sample, plus a forced refresh every `~|Q(R)|/4k`
+//! deletes (every delete while `|Q(R)| <= 4k`). Between repair points the
+//! sample stays a uniform subset of the live results; only the inclusion
+//! probability of results inserted since the last repair drifts (bounded
+//! by the fraction deleted since then, `< 1/4k`), until the next repair
+//! resets it exactly. Engines with `O(1)` exact counts (`SJoin`,
+//! `SymmetricHashJoin`) afford recalibration on *every* delete and carry
+//! no such drift; see ARCHITECTURE.md, "Update model".
 
+use crate::count::exact_result_count;
+use rsj_common::rng::{child_seed, RsjRng};
 use rsj_common::{TupleId, Value};
-use rsj_index::{DynamicIndex, IndexOptions, IndexStats};
+use rsj_index::{DynamicIndex, FullSampler, IndexOptions, IndexStats};
 use rsj_query::Query;
 use rsj_storage::{InputTuple, TupleStream};
 use rsj_stream::{FnBatch, Reservoir};
 
 /// Maintains `k` uniform samples without replacement of the join results of
-/// an acyclic query over an insert-only tuple stream.
+/// an acyclic query over a fully-dynamic (insert + delete) tuple stream.
 ///
 /// Samples are materialized full-width value tuples (indexed by the query's
 /// attribute ids), so they stay valid as the stream continues.
@@ -30,6 +59,8 @@ use rsj_stream::{FnBatch, Reservoir};
 /// rj.process(0, &[1, 2]);
 /// rj.process(1, &[2, 3]);
 /// assert_eq!(rj.samples(), &[vec![1, 2, 3]]);
+/// rj.delete(1, &[2, 3]);
+/// assert!(rj.samples().is_empty());
 /// ```
 pub struct ReservoirJoin {
     index: DynamicIndex,
@@ -38,7 +69,17 @@ pub struct ReservoirJoin {
     /// an evicted sample's allocation becomes the next retrieve's scratch,
     /// so steady-state sampling performs no per-sample allocations.
     scratch: Vec<Value>,
-    tuples_processed: u64,
+    /// RNG for repair backfill draws, independent of the reservoir's skip
+    /// stream (insert-only runs never touch it, keeping their reservoirs
+    /// byte-identical across this feature).
+    repair_rng: RsjRng,
+    inserts: u64,
+    deletes: u64,
+    /// Exact `|Q(R)|` measured at the last repair point (0 before any).
+    last_population: u128,
+    /// Deletes since the last repair point; forces a refresh when it
+    /// reaches [`repair_period`](ReservoirJoin::repair_period).
+    deletes_since_repair: u64,
 }
 
 impl ReservoirJoin {
@@ -62,7 +103,11 @@ impl ReservoirJoin {
             index: DynamicIndex::new(query, options)?,
             reservoir: Reservoir::new(k, seed),
             scratch: Vec::new(),
-            tuples_processed: 0,
+            repair_rng: RsjRng::seed_from_u64(child_seed(seed, u64::from_le_bytes(*b"turnstil"))),
+            inserts: 0,
+            deletes: 0,
+            last_population: 0,
+            deletes_since_repair: 0,
         })
     }
 
@@ -71,7 +116,7 @@ impl ReservoirJoin {
     /// Returns the tuple's id, or `None` if it was a duplicate (no effect).
     pub fn process(&mut self, rel: usize, tuple: &[Value]) -> Option<TupleId> {
         let tid = self.index.insert(rel, tuple)?;
-        self.tuples_processed += 1;
+        self.inserts += 1;
         let index = &self.index;
         let batch = index.delta_batch(rel, tid);
         if batch.size() > 0 {
@@ -106,6 +151,76 @@ impl ReservoirJoin {
         self.process_batch(stream.tuples());
     }
 
+    /// Deletes one input tuple (turnstile streams — see the [module
+    /// docs](self) for the repair protocol).
+    ///
+    /// Returns the id the tuple occupied, or `None` if it was not present
+    /// (set semantics — no effect).
+    pub fn delete(&mut self, rel: usize, tuple: &[Value]) -> Option<TupleId> {
+        let tid = self.index.delete(rel, tuple)?;
+        self.deletes += 1;
+        self.deletes_since_repair += 1;
+        // A materialized sample used the deleted tuple iff its projection
+        // onto the relation's schema equals the deleted values (set
+        // semantics: values identify the tuple).
+        let attrs = &self.index.query().relation(rel).attrs;
+        let evicted = self
+            .reservoir
+            .evict_where(|s| attrs.iter().enumerate().all(|(pos, &a)| s[a] == tuple[pos]));
+        if evicted > 0 || self.deletes_since_repair >= self.repair_period() {
+            self.repair();
+        }
+        Some(tid)
+    }
+
+    /// Deletes between forced repairs: `|Q(R)| / 4k` (last measured), so
+    /// the deleted-since-repair fraction — which bounds the calibration
+    /// drift on results inserted between repair points — stays below
+    /// `~1/4k`. When the population is small (`<= 4k`) the period is 1 and
+    /// every delete is a repair point, making the sample exactly uniform
+    /// in precisely the regime where a single delete matters; for large
+    /// populations the `O(N)` count amortizes to `O(k)` per delete.
+    fn repair_period(&self) -> u64 {
+        1u64.max(
+            (self.last_population / (4 * self.reservoir.capacity().max(1) as u128))
+                .min(u64::MAX as u128) as u64,
+        )
+    }
+
+    /// Forces a repair point now: exact live count, sample backfill to
+    /// `min(k, |Q(R)|)` distinct uniform results, skip-state
+    /// recalibration. Called automatically on damaging deletes and every
+    /// repair-period deletes (see the [module docs](self)); exposed so
+    /// turnstile pipelines can buy back exactness before a read.
+    pub fn refresh(&mut self) {
+        self.repair();
+    }
+
+    fn repair(&mut self) {
+        let population = exact_result_count(self.index.query(), self.index.database());
+        self.last_population = population;
+        self.deletes_since_repair = 0;
+        let target = (self.reservoir.capacity() as u128).min(population) as usize;
+        let full = FullSampler::default();
+        let index = &self.index;
+        let rng = &mut self.repair_rng;
+        // Rejection sampling to distinctness: each accepted draw is
+        // uniform over the live results not yet in the sample, which is
+        // exactly sequential SRS. The per-slot budget covers the two
+        // rejection sources — dummy positions, bounded by the density
+        // invariant at (1/2)^(2|T|-2), and duplicate hits, worst around
+        // O(k) when the population barely exceeds the sample.
+        let nrels = index.query().num_relations();
+        let per_slot = (4096 + 256 * self.reservoir.capacity())
+            .saturating_mul(1usize << (2 * (nrels.max(1) - 1)).min(16))
+            .min(1 << 24);
+        let filled = self.reservoir.backfill_distinct(target, per_slot, || {
+            full.try_sample(index, rng).map(|r| index.materialize(&r))
+        });
+        debug_assert!(filled, "backfill exhausted its rejection cap");
+        self.reservoir.recalibrate(population);
+    }
+
     /// The current samples: uniform without replacement over `Q(R)`, fewer
     /// than `k` while `|Q(R)| < k`.
     pub fn samples(&self) -> &[Vec<Value>] {
@@ -133,9 +248,14 @@ impl ReservoirJoin {
         self.reservoir.stops()
     }
 
-    /// Tuples accepted so far (the paper's `N`).
-    pub fn tuples_processed(&self) -> u64 {
-        self.tuples_processed
+    /// Tuples accepted so far (on insert-only streams, the paper's `N`).
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Tuples deleted so far (present at deletion time).
+    pub fn deletes(&self) -> u64 {
+        self.deletes
     }
 
     /// Estimated heap bytes of index + reservoir.
@@ -299,7 +419,7 @@ mod tests {
             assert!(rj.process(0, &[1, 10]).is_none());
         }
         assert_eq!(rj.samples().len(), 1);
-        assert_eq!(rj.tuples_processed(), 3);
+        assert_eq!(rj.inserts(), 3);
     }
 
     #[test]

@@ -48,11 +48,12 @@
 //! depends on thread scheduling, so a sharded run is reproducible from the
 //! single user seed regardless of interleaving.
 
-use crate::exec::{JoinSampler, SamplerStats};
+use crate::count::JoinCounter;
+use crate::exec::{DeleteUnsupported, JoinSampler, SamplerStats};
 use rsj_common::rng::{child_seed, RsjRng};
-use rsj_common::{FxHashMap, FxHashSet, Value};
-use rsj_query::{JoinTree, Query};
-use rsj_storage::InputTuple;
+use rsj_common::Value;
+use rsj_query::Query;
+use rsj_storage::StreamOp;
 use std::cell::RefCell;
 use std::hash::Hasher;
 use std::sync::mpsc;
@@ -122,176 +123,6 @@ impl ShardPlan {
     }
 }
 
-/// Exact per-shard result counting: a `Database`-free sidecar that stores
-/// the shard's accepted tuples (set semantics) and computes `|Q_i|` on
-/// demand.
-///
-/// Acyclic queries count by one bottom-up message pass over the join tree
-/// (`O(N_i)` with hashing); queries without a join tree fall back to
-/// backtracking enumeration (merge-time only — the cyclic engines
-/// themselves never pay this). The count is cached between reads in the
-/// worker loop, so repeated `samples()`/`stats()` calls without new
-/// tuples cost no recount.
-///
-/// The sidecar keeps its own copy of the shard's tuples — roughly
-/// doubling per-shard input storage next to the inner engine's — because
-/// the [`JoinSampler`] interface deliberately exposes no relation access;
-/// the trade is input-linear memory for an exact merge with any engine.
-struct JoinCounter {
-    query: Query,
-    plan: Option<CountPlan>,
-    /// Per relation: the distinct tuples accepted so far.
-    seen: Vec<FxHashSet<Vec<Value>>>,
-}
-
-/// The rooted message-passing schedule for acyclic counting.
-struct CountPlan {
-    /// BFS order from the root (parents before children); counting walks it
-    /// in reverse.
-    order: Vec<usize>,
-    parent: Vec<Option<usize>>,
-    /// Per relation: schema positions projecting onto the attributes shared
-    /// with its parent.
-    up: Vec<Vec<usize>>,
-    /// Per relation: for each child, `(child, schema positions)` projecting
-    /// onto the same shared attributes in the same order as the child's
-    /// `up` projection.
-    down: Vec<Vec<(usize, Vec<usize>)>>,
-}
-
-impl CountPlan {
-    fn new(query: &Query, tree: &JoinTree) -> CountPlan {
-        let n = query.num_relations();
-        let mut parent = vec![None; n];
-        let mut order = vec![0usize];
-        let mut seen = vec![false; n];
-        seen[0] = true;
-        let mut i = 0;
-        while i < order.len() {
-            let r = order[i];
-            i += 1;
-            for &c in tree.neighbors(r) {
-                if !seen[c] {
-                    seen[c] = true;
-                    parent[c] = Some(r);
-                    order.push(c);
-                }
-            }
-        }
-        let mut up = vec![Vec::new(); n];
-        let mut down = vec![Vec::new(); n];
-        for c in 0..n {
-            if let Some(p) = parent[c] {
-                let ids = query.shared_attrs(c, p);
-                up[c] = ids
-                    .iter()
-                    .map(|&a| query.relation(c).position_of(a).expect("shared attr"))
-                    .collect();
-                down[p].push((
-                    c,
-                    ids.iter()
-                        .map(|&a| query.relation(p).position_of(a).expect("shared attr"))
-                        .collect(),
-                ));
-            }
-        }
-        CountPlan {
-            order,
-            parent,
-            up,
-            down,
-        }
-    }
-}
-
-impl JoinCounter {
-    fn new(query: Query) -> JoinCounter {
-        let plan = JoinTree::build(&query).map(|t| CountPlan::new(&query, &t));
-        let seen = vec![FxHashSet::default(); query.num_relations()];
-        JoinCounter { query, plan, seen }
-    }
-
-    /// Accepts one tuple; duplicates are no-ops, mirroring the engines' set
-    /// semantics.
-    fn insert(&mut self, rel: usize, tuple: Vec<Value>) {
-        self.seen[rel].insert(tuple);
-    }
-
-    /// Exact `|Q_i|` over the accepted tuples.
-    fn count(&self) -> u128 {
-        match &self.plan {
-            Some(plan) => self.count_acyclic(plan),
-            None => self.count_backtracking(0, &mut vec![None; self.query.num_attrs()]),
-        }
-    }
-
-    fn count_acyclic(&self, plan: &CountPlan) -> u128 {
-        let n = self.query.num_relations();
-        // msgs[c]: sum of subtree weights of c's tuples, grouped by the
-        // projection onto the attributes shared with c's parent.
-        let mut msgs: Vec<FxHashMap<Vec<Value>, u128>> = vec![FxHashMap::default(); n];
-        let mut total: u128 = 0;
-        for &r in plan.order.iter().rev() {
-            for t in &self.seen[r] {
-                let mut w: u128 = 1;
-                for (c, pos) in &plan.down[r] {
-                    let key: Vec<Value> = pos.iter().map(|&p| t[p]).collect();
-                    match msgs[*c].get(&key) {
-                        Some(&s) => w = w.saturating_mul(s),
-                        None => {
-                            w = 0;
-                            break;
-                        }
-                    }
-                }
-                if w == 0 {
-                    continue;
-                }
-                match plan.parent[r] {
-                    Some(_) => {
-                        let key: Vec<Value> = plan.up[r].iter().map(|&p| t[p]).collect();
-                        let slot = msgs[r].entry(key).or_insert(0);
-                        *slot = slot.saturating_add(w);
-                    }
-                    None => total = total.saturating_add(w),
-                }
-            }
-        }
-        total
-    }
-
-    fn count_backtracking(&self, rel: usize, partial: &mut Vec<Option<Value>>) -> u128 {
-        if rel == self.query.num_relations() {
-            return 1;
-        }
-        let schema = &self.query.relation(rel).attrs;
-        let mut total: u128 = 0;
-        'tuples: for t in &self.seen[rel] {
-            let mut newly_bound = Vec::new();
-            for (pos, &attr) in schema.iter().enumerate() {
-                match partial[attr] {
-                    Some(v) if v != t[pos] => {
-                        for &a in &newly_bound {
-                            partial[a] = None;
-                        }
-                        continue 'tuples;
-                    }
-                    Some(_) => {}
-                    None => {
-                        partial[attr] = Some(t[pos]);
-                        newly_bound.push(attr);
-                    }
-                }
-            }
-            total = total.saturating_add(self.count_backtracking(rel + 1, partial));
-            for &a in &newly_bound {
-                partial[a] = None;
-            }
-        }
-        total
-    }
-}
-
 /// What a worker reports back on a read request.
 struct Snapshot {
     samples: Vec<Vec<Value>>,
@@ -300,7 +131,7 @@ struct Snapshot {
 }
 
 enum Msg {
-    Batch(Vec<InputTuple>),
+    Batch(Vec<StreamOp>),
     Read(mpsc::Sender<Snapshot>),
 }
 
@@ -319,10 +150,17 @@ fn worker_loop(
                 cached_count = None;
                 // One batched call into the engine (the RSJoin family keeps
                 // its scratch hot across the whole delta batch), then the
-                // tuples move into the counter.
-                sampler.process_batch(&batch);
-                for t in batch {
-                    counter.insert(t.relation, t.values);
+                // tuples move into the counter. Deletes were
+                // capability-checked on the routing side, so a rejection
+                // here is a bug, not a user error.
+                sampler
+                    .process_op_batch(&batch)
+                    .expect("inner engine rejected a delete past the capability check");
+                for op in batch {
+                    match op {
+                        StreamOp::Insert(t) => counter.insert(t.relation, t.values),
+                        StreamOp::Delete(t) => counter.remove(t.relation, &t.values),
+                    }
                 }
             }
             Msg::Read(reply) => {
@@ -345,13 +183,13 @@ fn worker_loop(
 struct State {
     txs: Vec<mpsc::Sender<Msg>>,
     handles: Vec<JoinHandle<()>>,
-    bufs: Vec<Vec<InputTuple>>,
+    bufs: Vec<Vec<StreamOp>>,
     tuples_routed: u64,
 }
 
 impl State {
-    fn push(&mut self, shard: usize, rel: usize, tuple: &[Value]) {
-        self.bufs[shard].push(InputTuple::new(rel, tuple.to_vec()));
+    fn push(&mut self, shard: usize, op: StreamOp) {
+        self.bufs[shard].push(op);
         if self.bufs[shard].len() >= BATCH_TUPLES {
             self.flush(shard);
         }
@@ -380,6 +218,10 @@ pub struct ShardedSampler {
     k: usize,
     merge_seed: u64,
     plan: ShardPlan,
+    /// Whether the inner engine accepts deletes, captured at construction
+    /// so the routing side can reject turnstile ops *before* they cross a
+    /// channel (workers have no error path back to the caller).
+    inner_supports_deletes: bool,
     state: RefCell<State>,
 }
 
@@ -407,10 +249,12 @@ impl ShardedSampler {
         let mut txs = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         let mut output_query = None;
+        let mut inner_supports_deletes = false;
         for s in 0..shards {
             let sampler = build(child_seed(seed, s as u64))?;
             if output_query.is_none() {
                 output_query = Some(sampler.output_query().clone());
+                inner_supports_deletes = sampler.supports_deletes();
             }
             let counter = JoinCounter::new(query.clone());
             let (tx, rx) = mpsc::channel();
@@ -425,6 +269,7 @@ impl ShardedSampler {
             output_query: output_query.expect("shards >= 1"),
             k,
             merge_seed: child_seed(seed, shards as u64),
+            inner_supports_deletes,
             plan: plan.clone(),
             state: RefCell::new(State {
                 txs,
@@ -438,6 +283,26 @@ impl ShardedSampler {
     /// The partitioning scheme in use.
     pub fn plan(&self) -> &ShardPlan {
         &self.plan
+    }
+
+    /// Routes one op to its owning shard (or every shard for broadcast
+    /// relations).
+    fn route_op(&mut self, op: StreamOp) {
+        let shards = self.plan.shards();
+        let route = {
+            let t = op.tuple();
+            self.plan.route(t.relation, &t.values)
+        };
+        let st = self.state.get_mut();
+        st.tuples_routed += 1;
+        match route {
+            Some(shard) => st.push(shard, op),
+            None => {
+                for shard in 0..shards {
+                    st.push(shard, op.clone());
+                }
+            }
+        }
     }
 
     /// Flushes every buffer and snapshots every shard (samples, exact
@@ -488,16 +353,25 @@ impl JoinSampler for ShardedSampler {
     }
 
     fn process(&mut self, rel: usize, tuple: &[Value]) {
-        let st = self.state.get_mut();
-        st.tuples_routed += 1;
-        match self.plan.route(rel, tuple) {
-            Some(shard) => st.push(shard, rel, tuple),
-            None => {
-                for shard in 0..self.plan.shards() {
-                    st.push(shard, rel, tuple);
-                }
-            }
+        self.route_op(StreamOp::insert(rel, tuple.to_vec()));
+    }
+
+    /// The sharded executor is fully dynamic exactly when its inner engine
+    /// is: a delete routes like the matching insert (same partition
+    /// attribute, same broadcast set), so it reaches precisely the shards
+    /// holding the tuple.
+    fn supports_deletes(&self) -> bool {
+        self.inner_supports_deletes
+    }
+
+    fn process_op(&mut self, op: &StreamOp) -> Result<(), DeleteUnsupported> {
+        if op.is_delete() && !self.inner_supports_deletes {
+            return Err(DeleteUnsupported {
+                engine: self.name(),
+            });
         }
+        self.route_op(op.clone());
+        Ok(())
     }
 
     /// The merged sample: a weighted reservoir union of the per-shard
@@ -559,7 +433,8 @@ impl JoinSampler for ShardedSampler {
                 })
         };
         SamplerStats {
-            tuples_processed: sum_opt(&|s| s.tuples_processed),
+            inserts: sum_opt(&|s| s.inserts),
+            deletes: sum_opt(&|s| s.deletes),
             reservoir_stops: sum_opt(&|s| s.reservoir_stops),
             heap_bytes: snaps
                 .iter()
@@ -580,6 +455,7 @@ impl JoinSampler for ShardedSampler {
 mod tests {
     use super::*;
     use crate::reservoir_join::ReservoirJoin;
+    use rsj_common::FxHashSet;
     use rsj_query::QueryBuilder;
     use rsj_storage::TupleStream;
 

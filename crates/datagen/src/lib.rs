@@ -15,14 +15,18 @@
 //!   real PK/FK structure and a scale-factor knob;
 //! * [`ldbc`] — `ldbc-lite`: the LDBC-SNB BI-Q10 tables;
 //! * [`strings`] — edit-distance string streams for the §6.3 predicate
-//!   experiments, with banded Levenshtein distance.
+//!   experiments, with banded Levenshtein distance;
+//! * [`turnstile`] — fully-dynamic workloads: weave deletions (configurable
+//!   ratio and victim policy) into any insert stream.
 
 pub mod graph;
 pub mod ldbc;
 pub mod strings;
 pub mod tpcds;
+pub mod turnstile;
 
 pub use graph::GraphConfig;
 pub use ldbc::LdbcLite;
 pub use strings::{levenshtein_within, StringStream, StringStreamConfig};
 pub use tpcds::TpcdsLite;
+pub use turnstile::{TurnstileConfig, VictimPolicy};

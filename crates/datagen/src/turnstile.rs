@@ -1,0 +1,243 @@
+//! Turnstile workload generation: weave deletions into an insert stream.
+//!
+//! The paper's maintained-sample guarantee is stated *under updates*; this
+//! module opens that workload. [`TurnstileConfig::weave`] takes an
+//! insert-only [`TupleStream`] (any existing workload's stream) and
+//! interleaves deletions of currently-live tuples at a configurable rate,
+//! producing an [`OpStream`] every fully-dynamic engine can replay. Two
+//! victim policies cover the interesting regimes:
+//!
+//! * [`VictimPolicy::Uniform`] — delete a uniformly random live tuple:
+//!   steady churn across the whole database, the classic turnstile model;
+//! * [`VictimPolicy::Recent`] — delete the most recently inserted live
+//!   tuple: sliding-window-like churn that concentrates deletions on hot
+//!   keys (freshly inserted hubs still sit in large posting lists, making
+//!   this the adversarial case for deletion unlink scans).
+//!
+//! The weave respects set semantics: duplicate inserts do not enter the
+//! live multiset (they are no-ops for every engine), so every emitted
+//! delete targets a tuple that is live at that point of the stream.
+
+use rsj_common::hash::FxHashMap;
+use rsj_common::rng::RsjRng;
+use rsj_storage::{InputTuple, OpStream, TupleStream};
+
+/// Which live tuple a woven deletion targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VictimPolicy {
+    /// A uniformly random live tuple.
+    Uniform,
+    /// The most recently inserted live tuple.
+    Recent,
+}
+
+/// Configuration for weaving deletions into an insert stream.
+#[derive(Clone, Copy, Debug)]
+pub struct TurnstileConfig {
+    /// Fraction of emitted ops that are deletions (0.0 = insert-only,
+    /// 0.2 = the EXPERIMENTS.md default). Deletions are only emitted while
+    /// live tuples exist, so very high ratios self-throttle.
+    pub delete_ratio: f64,
+    /// Victim selection policy.
+    pub policy: VictimPolicy,
+    /// RNG seed for the interleaving and victim draws.
+    pub seed: u64,
+}
+
+impl Default for TurnstileConfig {
+    fn default() -> Self {
+        TurnstileConfig {
+            delete_ratio: 0.2,
+            policy: VictimPolicy::Uniform,
+            seed: 1,
+        }
+    }
+}
+
+impl TurnstileConfig {
+    /// Weaves deletions into `stream`, consuming its inserts in order.
+    ///
+    /// At each step, with probability `delete_ratio` (and a non-empty live
+    /// set) a deletion of a victim is emitted; otherwise the next insert.
+    /// Once the inserts run out, remaining steps keep deleting until the
+    /// target ratio is met or the live set drains. Deterministic in
+    /// `(stream, config)`.
+    pub fn weave(&self, stream: &TupleStream) -> OpStream {
+        assert!(
+            (0.0..1.0).contains(&self.delete_ratio),
+            "delete_ratio must be in [0, 1)"
+        );
+        let mut rng = RsjRng::seed_from_u64(self.seed);
+        let mut ops = OpStream::new();
+        // Live tuples in insertion order; the map enforces set semantics
+        // and gives O(1) membership (value -> index in `live`).
+        let mut live: Vec<InputTuple> = Vec::new();
+        let mut index: FxHashMap<(usize, Vec<u64>), usize> = FxHashMap::default();
+        let mut pending = stream.iter();
+        let mut deletes_emitted = 0usize;
+        let mut next = pending.next();
+        loop {
+            let want_delete = !live.is_empty()
+                && (next.is_none() || rng.unit() < self.delete_ratio)
+                && (next.is_some()
+                    || (deletes_emitted as f64) < self.delete_ratio * (ops.len() as f64 + 1.0));
+            if want_delete {
+                let v = match self.policy {
+                    VictimPolicy::Uniform => rng.index(live.len()),
+                    VictimPolicy::Recent => live.len() - 1,
+                };
+                let victim = live.swap_remove(v);
+                index.remove(&(victim.relation, victim.values.clone()));
+                if let Some(moved) = live.get(v) {
+                    index.insert((moved.relation, moved.values.clone()), v);
+                }
+                ops.push_delete(victim.relation, victim.values.clone());
+                deletes_emitted += 1;
+            } else {
+                let Some(t) = next else {
+                    break;
+                };
+                next = pending.next();
+                let key = (t.relation, t.values.clone());
+                if let std::collections::hash_map::Entry::Vacant(e) = index.entry(key) {
+                    e.insert(live.len());
+                    live.push(t.clone());
+                }
+                ops.push_insert(t.relation, t.values.clone());
+            }
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_common::hash::FxHashSet;
+    use rsj_storage::StreamOp;
+
+    fn base_stream(n: u64) -> TupleStream {
+        let mut s = TupleStream::new();
+        let mut rng = RsjRng::seed_from_u64(3);
+        for _ in 0..n {
+            s.push(rng.index(3), vec![rng.below_u64(20), rng.below_u64(20)]);
+        }
+        s
+    }
+
+    /// Replay the ops against a reference live set, asserting every delete
+    /// hits a live tuple.
+    fn replay(ops: &OpStream) -> FxHashSet<(usize, Vec<u64>)> {
+        let mut live = FxHashSet::default();
+        for op in ops.iter() {
+            let t = op.tuple();
+            let key = (t.relation, t.values.clone());
+            match op {
+                StreamOp::Insert(_) => {
+                    live.insert(key);
+                }
+                StreamOp::Delete(_) => {
+                    assert!(live.remove(&key), "delete of non-live tuple {key:?}");
+                }
+            }
+        }
+        live
+    }
+
+    #[test]
+    fn weave_preserves_inserts_and_targets_live_tuples() {
+        let stream = base_stream(500);
+        for policy in [VictimPolicy::Uniform, VictimPolicy::Recent] {
+            let ops = TurnstileConfig {
+                delete_ratio: 0.25,
+                policy,
+                seed: 7,
+            }
+            .weave(&stream);
+            // Every original insert is present, in order.
+            let inserts: Vec<&InputTuple> = ops
+                .iter()
+                .filter_map(|op| match op {
+                    StreamOp::Insert(t) => Some(t),
+                    StreamOp::Delete(_) => None,
+                })
+                .collect();
+            assert_eq!(inserts.len(), stream.len());
+            for (a, b) in inserts.iter().zip(stream.iter()) {
+                assert_eq!(**a, *b);
+            }
+            let ratio = ops.num_deletes() as f64 / ops.len() as f64;
+            assert!((ratio - 0.25).abs() < 0.05, "{policy:?}: ratio {ratio}");
+            replay(&ops);
+        }
+    }
+
+    #[test]
+    fn recent_policy_deletes_newest_live() {
+        let mut s = TupleStream::new();
+        for v in 0..50u64 {
+            s.push(0, vec![v]);
+        }
+        let ops = TurnstileConfig {
+            delete_ratio: 0.3,
+            policy: VictimPolicy::Recent,
+            seed: 5,
+        }
+        .weave(&s);
+        // Each delete must target the largest not-yet-deleted value among
+        // those inserted so far (values are inserted in increasing order).
+        let mut live: Vec<u64> = Vec::new();
+        for op in ops.iter() {
+            match op {
+                StreamOp::Insert(t) => live.push(t.values[0]),
+                StreamOp::Delete(t) => {
+                    let newest = live.pop().unwrap();
+                    assert_eq!(t.values[0], newest, "recent policy must pop newest");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_ratio_is_insert_only() {
+        let stream = base_stream(100);
+        let ops = TurnstileConfig {
+            delete_ratio: 0.0,
+            policy: VictimPolicy::Uniform,
+            seed: 1,
+        }
+        .weave(&stream);
+        assert_eq!(ops.num_deletes(), 0);
+        assert_eq!(ops.len(), stream.len());
+    }
+
+    #[test]
+    fn weave_is_seed_deterministic() {
+        let stream = base_stream(300);
+        let cfg = TurnstileConfig {
+            delete_ratio: 0.2,
+            policy: VictimPolicy::Uniform,
+            seed: 42,
+        };
+        assert_eq!(cfg.weave(&stream).ops(), cfg.weave(&stream).ops());
+    }
+
+    #[test]
+    fn duplicate_inserts_never_double_delete() {
+        // A stream full of duplicates: the live multiset must track set
+        // semantics, so replay() never sees a dead delete.
+        let mut s = TupleStream::new();
+        let mut rng = RsjRng::seed_from_u64(8);
+        for _ in 0..400 {
+            s.push(0, vec![rng.below_u64(5)]);
+        }
+        let ops = TurnstileConfig {
+            delete_ratio: 0.3,
+            policy: VictimPolicy::Uniform,
+            seed: 9,
+        }
+        .weave(&s);
+        replay(&ops);
+        assert!(ops.num_deletes() > 0);
+    }
+}

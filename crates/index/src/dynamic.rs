@@ -65,11 +65,15 @@ impl Default for IndexOptions {
 pub struct IndexStats {
     /// Tuples inserted (accepted; duplicates excluded).
     pub inserts: u64,
+    /// Tuples deleted (present; absent-tuple deletes excluded).
+    pub deletes: u64,
     /// Executions of the propagation loop body (Algorithm 7 lines 9–11 /
     /// Algorithm 10 lines 11–15) — the Figure 9 metric, counted once per
-    /// shared (node, parent) configuration.
+    /// shared (node, parent) configuration. Deletion cascades count here
+    /// too.
     pub propagation_loops: u64,
-    /// Number of `cnt~` doublings observed.
+    /// Number of `cnt~` level changes observed (doublings on insert,
+    /// halvings on delete).
     pub tilde_changes: u64,
 }
 
@@ -427,6 +431,49 @@ impl DynamicIndex {
         accepted
     }
 
+    /// Deletes a tuple from relation `rel`; returns the id it occupied, or
+    /// `None` if it was not present (set semantics — no index work
+    /// happens).
+    ///
+    /// The exact mirror of [`insert`](DynamicIndex::insert): the tuple is
+    /// unlinked from every configuration's child indexes and weight
+    /// buckets, and `cnt~` *decreases* cascade upward through the same
+    /// shared-configuration propagation (delta shifts run with a negative
+    /// shift). Grouped configurations decrement `feq`; a group tuple whose
+    /// `feq` reaches zero parks in the zero list with weight 0 — still
+    /// interned, so a later re-insert of the same `ē` projection revives
+    /// it in place.
+    ///
+    /// Cost: `O(log N)` amortized for the cascade, plus the child-index
+    /// unlink scans (`O(matching-list length)` — the term insert-only
+    /// streams never pay).
+    pub fn delete(&mut self, rel: usize, tuple: &[Value]) -> Option<TupleId> {
+        let tid = self.db.relation_mut(rel).remove(tuple)?;
+        self.stats.deletes += 1;
+        self.scratch.fill(tuple, &self.plan.rels[rel].sets);
+        let mut pl = 0u64;
+        let mut tc = 0u64;
+        for (i, &cfg) in self.rel_cfgs[rel].iter().enumerate() {
+            cfg_delete(
+                &mut self.configs,
+                &self.infos,
+                &self.child_cfgs,
+                &self.prop_targets,
+                &self.db,
+                &self.scratch,
+                &self.plan.rels[rel].cfgs[i],
+                cfg,
+                tid,
+                &mut pl,
+                &mut tc,
+                &mut self.pools,
+            );
+        }
+        self.stats.propagation_loops += pl;
+        self.stats.tilde_changes += tc;
+        Some(tid)
+    }
+
     /// Estimated heap bytes of the whole index (structures + storage).
     ///
     /// Configurations are shared across rooted trees, so this is the real
@@ -484,6 +531,168 @@ fn cfg_insert(
             tc,
             pools,
         );
+    }
+}
+
+/// Deletes tuple `tid` from one (relation, parent) configuration.
+#[allow(clippy::too_many_arguments)]
+fn cfg_delete(
+    configs: &mut [NodeState],
+    infos: &[NodeInfo],
+    child_cfgs: &[Vec<u32>],
+    prop_targets: &[Vec<(u32, u32)>],
+    db: &Database,
+    proj: &Projections,
+    slots: &CfgSlots,
+    cfg: u32,
+    tid: TupleId,
+    pl: &mut u64,
+    tc: &mut u64,
+    pools: &mut Pools,
+) {
+    if configs[cfg as usize].grouped {
+        grouped_delete(
+            configs,
+            infos,
+            child_cfgs,
+            prop_targets,
+            db,
+            proj,
+            slots,
+            cfg,
+            tid,
+            pl,
+            tc,
+            pools,
+        );
+    } else {
+        plain_delete(
+            configs,
+            infos,
+            child_cfgs,
+            prop_targets,
+            db,
+            proj,
+            slots,
+            cfg,
+            tid,
+            pl,
+            tc,
+            pools,
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn plain_delete(
+    configs: &mut [NodeState],
+    infos: &[NodeInfo],
+    child_cfgs: &[Vec<u32>],
+    prop_targets: &[Vec<(u32, u32)>],
+    db: &Database,
+    proj: &Projections,
+    slots: &CfgSlots,
+    cfg: u32,
+    tid: TupleId,
+    pl: &mut u64,
+    tc: &mut u64,
+    pools: &mut Pools,
+) {
+    let (group_key, gk_hash) = proj.get(slots.key);
+    let ns = &mut configs[cfg as usize];
+    for (ci, &slot) in slots.children.iter().enumerate() {
+        let (k, h) = proj.get(slot);
+        ns.child_index_remove(ci, h, &k, tid);
+    }
+    let g = ns.item_pos[tid as usize].group;
+    let old_tilde = ns.group(g).tilde_level();
+    ns.remove_existing_item(tid);
+    let new_tilde = ns.group(g).tilde_level();
+    if old_tilde != new_tilde {
+        *tc += 1;
+        propagate(
+            configs,
+            infos,
+            child_cfgs,
+            prop_targets,
+            db,
+            cfg,
+            group_key,
+            gk_hash,
+            old_tilde,
+            new_tilde,
+            pl,
+            tc,
+            pools,
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grouped_delete(
+    configs: &mut [NodeState],
+    infos: &[NodeInfo],
+    child_cfgs: &[Vec<u32>],
+    prop_targets: &[Vec<(u32, u32)>],
+    db: &Database,
+    proj: &Projections,
+    slots: &CfgSlots,
+    cfg: u32,
+    tid: TupleId,
+    pl: &mut u64,
+    tc: &mut u64,
+    pools: &mut Pools,
+) {
+    let (ebar, ebar_hash) = proj.get(slots.ebar);
+    let (gt, feq) = {
+        let ns = &mut configs[cfg as usize];
+        let gt = *ns
+            .grouped_data
+            .map
+            .get(ebar_hash, &ebar)
+            .expect("deleted tuple's group tuple must be interned");
+        let base = ns.grouped_data.base[gt as usize];
+        let pos = (0..ns.postings.len(base) as u32)
+            .find(|&i| ns.postings.get(base, i) == tid)
+            .expect("deleted tuple must appear in its group's base list");
+        ns.postings.swap_remove(base, pos);
+        ns.grouped_data.feq[gt as usize] -= 1;
+        (gt, ns.grouped_data.feq[gt as usize])
+    };
+
+    // New level: feq~ shrank (possibly to zero — the group tuple then
+    // parks in the zero list but stays interned for revival).
+    let (group_key, gk_hash) = proj.get(slots.key);
+    let level = match level_of(feq as u128) {
+        None => None,
+        Some(feq_level) => {
+            sum_child_levels_from(configs, child_cfgs, cfg, proj, slots).map(|cl| cl + feq_level)
+        }
+    };
+    let ns = &mut configs[cfg as usize];
+    if ns.item_pos[gt as usize].level() != level {
+        let g = ns.item_pos[gt as usize].group;
+        let old_tilde = ns.group(g).tilde_level();
+        ns.move_item(gt, level);
+        let new_tilde = ns.group(g).tilde_level();
+        if old_tilde != new_tilde {
+            *tc += 1;
+            propagate(
+                configs,
+                infos,
+                child_cfgs,
+                prop_targets,
+                db,
+                cfg,
+                group_key,
+                gk_hash,
+                old_tilde,
+                new_tilde,
+                pl,
+                tc,
+                pools,
+            );
+        }
     }
 }
 
@@ -708,8 +917,10 @@ fn propagate(
     tc: &mut u64,
     pools: &mut Pools,
 ) {
+    // Signed: insertion cascades shift levels up (`n > o`), deletion
+    // cascades shift them down (`n < o`).
     let shift = match (old_ct, new_ct) {
-        (Some(o), Some(n)) => Some(n - o),
+        (Some(o), Some(n)) => Some(n as i64 - o as i64),
         _ => None,
     };
     for ti in 0..prop_targets[src as usize].len() {
@@ -735,11 +946,14 @@ fn propagate(
             let pos = configs[y as usize].item_pos[item as usize];
             let new_level = match (shift, pos.level()) {
                 // Live item, live-to-live child change: pure arithmetic.
-                (Some(d), Some(l)) => Some(l + d),
+                // The item's level sums this child's old tilde, so it can
+                // never drop below zero on a downward shift.
+                (Some(d), Some(l)) => Some((l as i64 + d) as u32),
                 // Zero-weight item but this child was already live:
                 // another child is the blocker, nothing changes.
                 (Some(_), None) => None,
-                // Child group just came alive: recompute from scratch.
+                // Child group came alive (insert) or died (delete):
+                // recompute from scratch.
                 (None, _) => compute_item_level(configs, infos, child_cfgs, db, y, item),
             };
             debug_assert_eq!(
@@ -1039,6 +1253,133 @@ mod tests {
             loops_grouped < loops_plain,
             "grouped {loops_grouped} !< plain {loops_plain}"
         );
+    }
+
+    #[test]
+    fn delete_reverses_insert_counts() {
+        let mut idx = line3_index(false);
+        idx.insert(0, &[1, 10]);
+        idx.insert(1, &[10, 20]);
+        idx.insert(2, &[20, 30]);
+        assert_eq!(idx.state_at(0, 0).group(0).cnt, 1);
+        // Deleting the leaf empties the root count again.
+        assert!(idx.delete(2, &[20, 30]).is_some());
+        assert_eq!(idx.state_at(0, 0).group(0).cnt, 0);
+        assert_eq!(idx.stats().deletes, 1);
+        for root in 0..3 {
+            check_tree_counts(&idx, root);
+        }
+        // Deleting an absent tuple is a no-op.
+        assert!(idx.delete(2, &[20, 30]).is_none());
+        assert_eq!(idx.stats().deletes, 1);
+    }
+
+    #[test]
+    fn random_interleaved_deletes_keep_invariants() {
+        use rsj_common::rng::RsjRng;
+        for grouping in [false, true] {
+            let mut rng = RsjRng::seed_from_u64(321);
+            let mut idx = line3_index(grouping);
+            let mut live: Vec<(usize, Vec<Value>)> = Vec::new();
+            for step in 0..800 {
+                if !live.is_empty() && rng.unit() < 0.35 {
+                    let v = rng.index(live.len());
+                    let (rel, t) = live.swap_remove(v);
+                    assert!(idx.delete(rel, &t).is_some(), "live tuple must delete");
+                } else {
+                    let rel = rng.index(3);
+                    let t = vec![rng.below_u64(9), rng.below_u64(9)];
+                    if idx.insert(rel, &t).is_some() {
+                        live.push((rel, t));
+                    }
+                }
+                if step % 100 == 99 {
+                    for root in 0..3 {
+                        check_tree_counts(&idx, root);
+                    }
+                }
+            }
+            for root in 0..3 {
+                check_tree_counts(&idx, root);
+            }
+        }
+    }
+
+    #[test]
+    fn delete_then_reinsert_matches_fresh_build() {
+        // Round-trip: insert a set, delete half, re-insert it. Counts (the
+        // sampling-relevant state) must match an index built fresh from the
+        // final live set — ids differ, weights must not.
+        use rsj_common::rng::RsjRng;
+        for grouping in [false, true] {
+            let mut rng = RsjRng::seed_from_u64(77);
+            let mut tuples: Vec<(usize, Vec<Value>)> = Vec::new();
+            for _ in 0..200 {
+                tuples.push((rng.index(3), vec![rng.below_u64(6), rng.below_u64(6)]));
+            }
+            let mut idx = line3_index(grouping);
+            for (rel, t) in &tuples {
+                idx.insert(*rel, t);
+            }
+            for (rel, t) in tuples.iter().step_by(2) {
+                idx.delete(*rel, t);
+            }
+            for (rel, t) in tuples.iter().step_by(2) {
+                idx.insert(*rel, t);
+            }
+            let mut fresh = line3_index(grouping);
+            for (rel, t) in &tuples {
+                fresh.insert(*rel, t);
+            }
+            for root in 0..3 {
+                check_tree_counts(&idx, root);
+                // Per-group counts agree between round-tripped and fresh.
+                for rel in 0..3 {
+                    let a = idx.state_at(root, rel);
+                    let b = fresh.state_at(root, rel);
+                    assert_eq!(a.groups.len(), b.groups.len());
+                    for (key, &g) in a.groups.iter() {
+                        let h = fx_hash_one(key);
+                        let bg = b.group_id(h, key).expect("group in fresh index");
+                        assert_eq!(
+                            a.group(g).cnt,
+                            b.group(bg).cnt,
+                            "cnt mismatch root={root} rel={rel} key={key}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delete_everything_returns_to_empty_counts() {
+        use rsj_common::rng::RsjRng;
+        for grouping in [false, true] {
+            let mut rng = RsjRng::seed_from_u64(13);
+            let mut idx = line3_index(grouping);
+            let mut live = Vec::new();
+            for _ in 0..300 {
+                let rel = rng.index(3);
+                let t = vec![rng.below_u64(5), rng.below_u64(5)];
+                if idx.insert(rel, &t).is_some() {
+                    live.push((rel, t));
+                }
+            }
+            for (rel, t) in &live {
+                assert!(idx.delete(*rel, t).is_some());
+            }
+            assert_eq!(idx.database().total_tuples(), 0);
+            for root in 0..3 {
+                check_tree_counts(&idx, root);
+                for rel in 0..3 {
+                    let ns = idx.state_at(root, rel);
+                    for (_, &g) in ns.groups.iter() {
+                        assert_eq!(ns.group(g).cnt, 0);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

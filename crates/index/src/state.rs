@@ -351,6 +351,39 @@ impl NodeState {
         postings.push(list, item);
     }
 
+    /// Unlinks `item` from the posting list of `key` in child index `ci`
+    /// (the removal mirror of [`child_index_push`]). `O(list length)` — the
+    /// position is found by scan, which is the deletion path's cost driver.
+    /// Emptied lists stay mapped so a re-insert of the key reuses them.
+    ///
+    /// # Panics
+    /// Panics if the item is not listed under the key (an index invariant
+    /// violation).
+    ///
+    /// [`child_index_push`]: NodeState::child_index_push
+    pub fn child_index_remove(&mut self, ci: usize, hash: u64, key: &Key, item: ItemId) {
+        let &list = self.child_indexes[ci]
+            .get(hash, key)
+            .expect("deleted item's child key must be indexed");
+        let pos = (0..self.postings.len(list) as u32)
+            .find(|&i| self.postings.get(list, i) == item)
+            .expect("deleted item must appear in its child posting list");
+        self.postings.swap_remove(list, pos);
+    }
+
+    /// Removes an existing item from its group, fixing the displaced
+    /// item's recorded position (the removal mirror of
+    /// [`place_new_item`](NodeState::place_new_item)). The item's own
+    /// `item_pos` slot goes stale — ids are never reused, so no reader can
+    /// reach it afterwards.
+    pub fn remove_existing_item(&mut self, item: ItemId) {
+        let ip = self.item_pos[item as usize];
+        let g = &mut self.arena[ip.group as usize];
+        if let Some(moved) = g.remove_item(&mut self.postings, ip.level(), ip.pos) {
+            self.item_pos[moved as usize].pos = ip.pos;
+        }
+    }
+
     /// Places a brand-new item into its group at `level` and records its
     /// position. `item` must equal `item_pos.len()`.
     pub fn place_new_item(&mut self, item: ItemId, group: GroupId, level: Option<u32>) {
@@ -531,6 +564,32 @@ mod tests {
         ns.move_item(0, None);
         assert_eq!(ns.group(g).cnt, 0);
         assert_eq!(zero_items(ns.group(g), &ns.postings), vec![0]);
+    }
+
+    #[test]
+    fn remove_existing_item_fixes_displaced_position() {
+        let mut ns = NodeState::new(1, false);
+        let (h, key) = hashed(Key::single(7));
+        let g = ns.group_for(h, key);
+        for item in 0..3u32 {
+            ns.place_new_item(item, g, Some(1));
+            ns.child_index_push(0, h, key, item);
+        }
+        // Remove the middle item: item 2 swaps into its bucket slot.
+        ns.remove_existing_item(1);
+        assert_eq!(ns.group(g).cnt, 4);
+        assert_eq!(ns.item_pos[2].pos, 1);
+        ns.child_index_remove(0, h, &key, 1);
+        let left: Vec<ItemId> = ns
+            .postings
+            .iter(*ns.child_indexes[0].get(h, &key).unwrap())
+            .collect();
+        assert_eq!(left, vec![0, 2]);
+        // Emptied group is reusable: removing the rest leaves cnt 0.
+        ns.remove_existing_item(0);
+        ns.remove_existing_item(2);
+        assert_eq!(ns.group(g).cnt, 0);
+        assert_eq!(ns.group(g).tilde_level(), None);
     }
 
     #[test]

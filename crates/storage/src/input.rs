@@ -2,7 +2,9 @@
 //!
 //! The paper models each stream element as a triple `(t, i, R_e)`: tuple `t`
 //! inserted into relation `R_e` at time `i`. Timestamps are implicit in
-//! stream order here.
+//! stream order here. Insert-only workloads use [`TupleStream`];
+//! fully-dynamic (turnstile) workloads interleave insertions and deletions
+//! as a [`StreamOp`] sequence in an [`OpStream`].
 
 use rsj_common::Value;
 
@@ -87,6 +89,122 @@ impl FromIterator<InputTuple> for TupleStream {
     }
 }
 
+/// One element of a fully-dynamic (turnstile) stream: insert or delete a
+/// tuple of one relation.
+///
+/// Deletions follow the same set semantics as insertions: deleting a tuple
+/// that is not currently present is a no-op, and a deleted tuple may be
+/// re-inserted later (it re-enters as a fresh arrival).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamOp {
+    /// Insert the tuple into its relation.
+    Insert(InputTuple),
+    /// Delete the tuple from its relation.
+    Delete(InputTuple),
+}
+
+impl StreamOp {
+    /// Builds an insert op.
+    pub fn insert(relation: usize, values: Vec<Value>) -> StreamOp {
+        StreamOp::Insert(InputTuple::new(relation, values))
+    }
+
+    /// Builds a delete op.
+    pub fn delete(relation: usize, values: Vec<Value>) -> StreamOp {
+        StreamOp::Delete(InputTuple::new(relation, values))
+    }
+
+    /// The tuple the op applies to, regardless of direction.
+    pub fn tuple(&self) -> &InputTuple {
+        match self {
+            StreamOp::Insert(t) | StreamOp::Delete(t) => t,
+        }
+    }
+
+    /// True for [`StreamOp::Delete`].
+    pub fn is_delete(&self) -> bool {
+        matches!(self, StreamOp::Delete(_))
+    }
+}
+
+/// A finite fully-dynamic stream: [`StreamOp`]s in arrival order.
+///
+/// The turnstile counterpart of [`TupleStream`], kept materialized for the
+/// same reason (experiments replay one stream across engines).
+#[derive(Clone, Debug, Default)]
+pub struct OpStream {
+    ops: Vec<StreamOp>,
+}
+
+impl OpStream {
+    /// Creates an empty op stream.
+    pub fn new() -> OpStream {
+        OpStream::default()
+    }
+
+    /// Builds a stream from a vector of ops.
+    pub fn from_vec(ops: Vec<StreamOp>) -> OpStream {
+        OpStream { ops }
+    }
+
+    /// Appends an insert at the end of the stream.
+    pub fn push_insert(&mut self, relation: usize, values: Vec<Value>) {
+        self.ops.push(StreamOp::insert(relation, values));
+    }
+
+    /// Appends a delete at the end of the stream.
+    pub fn push_delete(&mut self, relation: usize, values: Vec<Value>) {
+        self.ops.push(StreamOp::delete(relation, values));
+    }
+
+    /// Appends an op at the end of the stream.
+    pub fn push(&mut self, op: StreamOp) {
+        self.ops.push(op);
+    }
+
+    /// Stream length (inserts + deletes).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True for an empty stream.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of delete ops.
+    pub fn num_deletes(&self) -> usize {
+        self.ops.iter().filter(|op| op.is_delete()).count()
+    }
+
+    /// The ops in arrival order.
+    pub fn ops(&self) -> &[StreamOp] {
+        &self.ops
+    }
+
+    /// Iterates in arrival order.
+    pub fn iter(&self) -> std::slice::Iter<'_, StreamOp> {
+        self.ops.iter()
+    }
+}
+
+impl From<&TupleStream> for OpStream {
+    /// Lifts an insert-only stream into the op representation.
+    fn from(stream: &TupleStream) -> OpStream {
+        OpStream {
+            ops: stream.iter().map(|t| StreamOp::Insert(t.clone())).collect(),
+        }
+    }
+}
+
+impl FromIterator<StreamOp> for OpStream {
+    fn from_iter<I: IntoIterator<Item = StreamOp>>(iter: I) -> OpStream {
+        OpStream {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +239,29 @@ mod tests {
         a.shuffle(&mut RsjRng::seed_from_u64(9));
         b.shuffle(&mut RsjRng::seed_from_u64(9));
         assert_eq!(a.tuples(), b.tuples());
+    }
+
+    #[test]
+    fn op_stream_basics() {
+        let mut ops = OpStream::new();
+        ops.push_insert(0, vec![1, 2]);
+        ops.push_delete(0, vec![1, 2]);
+        ops.push(StreamOp::insert(1, vec![3]));
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops.num_deletes(), 1);
+        assert!(ops.ops()[1].is_delete());
+        assert!(!ops.ops()[0].is_delete());
+        assert_eq!(ops.ops()[1].tuple(), &InputTuple::new(0, vec![1, 2]));
+    }
+
+    #[test]
+    fn op_stream_lifts_tuple_stream() {
+        let mut s = TupleStream::new();
+        s.push(0, vec![1]);
+        s.push(1, vec![2]);
+        let ops = OpStream::from(&s);
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops.num_deletes(), 0);
+        assert_eq!(ops.ops()[0], StreamOp::insert(0, vec![1]));
     }
 }

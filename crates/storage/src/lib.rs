@@ -3,25 +3,26 @@
 //! Relation storage for streaming joins.
 //!
 //! The paper's streaming model (§2.1) inserts tuples one at a time into the
-//! relations of a database instance, under set semantics, and all indexes
-//! are built over *insert-only* data. That buys a big simplification which
-//! this crate exploits throughout: tuple arenas and semi-join lists only
-//! ever grow, so a `TupleId` is a stable address and positional access into
-//! any list is a plain vector index.
+//! relations of a database instance, under set semantics. Tuple arenas only
+//! ever grow — deletion tombstones a slot instead of compacting — so a
+//! `TupleId` is a stable address and positional access into any list is a
+//! plain vector index, for insert-only and turnstile streams alike.
 //!
 //! * [`relation::Relation`] — a flat, arena-backed tuple store with
-//!   set-semantics deduplication;
+//!   set-semantics deduplication and tombstone-based removal;
 //! * [`relation::Database`] — the collection of relations a query runs over;
 //! * [`semijoin::SemijoinIndex`] — hash index from a composite key to the
 //!   positional list of matching tuples (`R_e ⋉ t` in the paper), the
 //!   building block of both the dynamic index and the baselines;
-//! * [`input::InputTuple`] / [`input::TupleStream`] — the typed input stream
-//!   fed to the drivers.
+//! * [`input::InputTuple`] / [`input::TupleStream`] — the insert-only input
+//!   stream fed to the drivers;
+//! * [`input::StreamOp`] / [`input::OpStream`] — the fully-dynamic
+//!   (turnstile) stream of interleaved inserts and deletes.
 
 pub mod input;
 pub mod relation;
 pub mod semijoin;
 
-pub use input::{InputTuple, TupleStream};
+pub use input::{InputTuple, OpStream, StreamOp, TupleStream};
 pub use relation::{Database, Relation};
 pub use semijoin::SemijoinIndex;

@@ -1,4 +1,5 @@
-//! Flat, arena-backed relations with set-semantics deduplication.
+//! Flat, arena-backed relations with set-semantics deduplication and
+//! tombstone-based removal.
 
 use rsj_common::hash::fx_hash_one;
 use rsj_common::{FxHashMap, HeapSize, ListId, PostingArena, TupleId, Value};
@@ -10,6 +11,12 @@ use rsj_common::{FxHashMap, HeapSize, ListId, PostingArena, TupleId, Value};
 /// enforced at insertion: re-inserting an existing tuple is a no-op, exactly
 /// as the paper assumes ("we follow the set semantics, so inserting a tuple
 /// into a relation that already has it has no effect").
+///
+/// Removal ([`Relation::remove`]) tombstones the slot instead of compacting:
+/// ids stay stable and monotone, [`Relation::tuple`] keeps returning the
+/// dead tuple's values (indexes unwind against them), and a later re-insert
+/// of the same values gets a *fresh* id. [`Relation::len`] counts live
+/// tuples only; [`Relation::num_slots`] counts all slots ever allocated.
 #[derive(Clone, Debug)]
 pub struct Relation {
     name: String,
@@ -17,9 +24,15 @@ pub struct Relation {
     data: Vec<Value>,
     /// Content hash -> candidate tuple ids (collisions verified by
     /// compare). Candidate lists live in `dedup_postings`, so the
-    /// per-tuple insert path performs no posting-list allocations.
+    /// per-tuple insert path performs no posting-list allocations. Only
+    /// live ids are listed: removal unlinks the id, so `contains`,
+    /// duplicate detection and re-insertion all see the live set.
     dedup: FxHashMap<u64, ListId>,
     dedup_postings: PostingArena,
+    /// Tombstone flags, one per slot (`true` = deleted).
+    dead: Vec<bool>,
+    /// Number of live tuples (`num_slots - #tombstones`).
+    live: usize,
 }
 
 impl Relation {
@@ -32,6 +45,8 @@ impl Relation {
             data: Vec::new(),
             dedup: FxHashMap::default(),
             dedup_postings: PostingArena::new(),
+            dead: Vec::new(),
+            live: 0,
         }
     }
 
@@ -45,14 +60,26 @@ impl Relation {
         self.arity
     }
 
-    /// Number of stored tuples.
+    /// Number of live (not deleted) tuples.
     pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Number of slots ever allocated, including tombstones. The next
+    /// inserted tuple gets id `num_slots()`.
+    pub fn num_slots(&self) -> usize {
         self.data.len() / self.arity
     }
 
-    /// True when no tuple has been inserted.
+    /// True when no live tuple is stored.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.live == 0
+    }
+
+    /// True when the slot `id` holds a live tuple.
+    #[inline]
+    pub fn is_live(&self, id: TupleId) -> bool {
+        !self.dead[id as usize]
     }
 
     /// Inserts a tuple, returning its id, or `None` if it was already
@@ -77,11 +104,41 @@ impl Relation {
                 return None;
             }
         }
-        let id = self.len() as TupleId;
+        let id = self.num_slots() as TupleId;
         let postings = &mut self.dedup_postings;
         let list = *self.dedup.entry(h).or_insert_with(|| postings.new_list());
         postings.push(list, id);
         self.data.extend_from_slice(tuple);
+        self.dead.push(false);
+        self.live += 1;
+        Some(id)
+    }
+
+    /// Removes a tuple, returning the id it occupied, or `None` if it was
+    /// not present (set semantics: deleting an absent tuple is a no-op).
+    ///
+    /// The slot is tombstoned, not reclaimed: the values remain readable
+    /// through [`Relation::tuple`] so index unwinding can project them, and
+    /// ids never get reused. Re-inserting the same values later allocates a
+    /// fresh slot.
+    ///
+    /// # Panics
+    /// Panics if `tuple.len() != arity`.
+    pub fn remove(&mut self, tuple: &[Value]) -> Option<TupleId> {
+        assert_eq!(
+            tuple.len(),
+            self.arity,
+            "arity mismatch removing from {}",
+            self.name
+        );
+        let h = fx_hash_one(&tuple);
+        let &list = self.dedup.get(&h)?;
+        let pos = (0..self.dedup_postings.len(list) as u32)
+            .find(|&i| self.tuple_at(self.dedup_postings.get(list, i), tuple))?;
+        let id = self.dedup_postings.get(list, pos);
+        self.dedup_postings.swap_remove(list, pos);
+        self.dead[id as usize] = true;
+        self.live -= 1;
         Some(id)
     }
 
@@ -91,14 +148,15 @@ impl Relation {
         &self.data[start..start + self.arity] == tuple
     }
 
-    /// The tuple with the given id.
+    /// The tuple with the given id. Tombstoned slots keep their values
+    /// readable (index unwinding projects them after removal).
     #[inline]
     pub fn tuple(&self, id: TupleId) -> &[Value] {
         let start = id as usize * self.arity;
         &self.data[start..start + self.arity]
     }
 
-    /// True if `tuple` is already stored.
+    /// True if `tuple` is currently stored (live).
     pub fn contains(&self, tuple: &[Value]) -> bool {
         let h = fx_hash_one(&tuple);
         self.dedup.get(&h).is_some_and(|&list| {
@@ -108,11 +166,12 @@ impl Relation {
         })
     }
 
-    /// Iterates over `(id, tuple)` pairs in insertion order.
+    /// Iterates over live `(id, tuple)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (TupleId, &[Value])> {
         self.data
             .chunks_exact(self.arity)
             .enumerate()
+            .filter(|&(i, _)| !self.dead[i])
             .map(|(i, t)| (i as TupleId, t))
     }
 }
@@ -122,6 +181,7 @@ impl HeapSize for Relation {
         self.data.heap_size()
             + self.dedup.heap_size()
             + self.dedup_postings.heap_size()
+            + self.dead.heap_size()
             + self.name.heap_size()
     }
 }
@@ -249,6 +309,54 @@ mod tests {
         assert_eq!(db.len(), 2);
         assert_eq!(db.total_tuples(), 3);
         assert_eq!(db.relation(r2).name(), "R2");
+    }
+
+    #[test]
+    fn remove_tombstones_and_allows_reinsert() {
+        let mut r = Relation::new("R", 2);
+        let a = r.insert(&[1, 2]).unwrap();
+        let b = r.insert(&[3, 4]).unwrap();
+        assert_eq!(r.remove(&[1, 2]), Some(a));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.num_slots(), 2);
+        assert!(!r.is_live(a));
+        assert!(r.is_live(b));
+        assert!(!r.contains(&[1, 2]));
+        // Values stay readable through the tombstone.
+        assert_eq!(r.tuple(a), &[1, 2]);
+        // Iteration skips the dead slot.
+        let seen: Vec<TupleId> = r.iter().map(|(id, _)| id).collect();
+        assert_eq!(seen, vec![b]);
+        // Re-insert gets a fresh id past every old slot.
+        let c = r.insert(&[1, 2]).unwrap();
+        assert_eq!(c, 2);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[1, 2]));
+    }
+
+    #[test]
+    fn remove_absent_is_noop() {
+        let mut r = Relation::new("R", 1);
+        assert_eq!(r.remove(&[7]), None);
+        r.insert(&[7]).unwrap();
+        assert!(r.remove(&[7]).is_some());
+        assert_eq!(r.remove(&[7]), None, "double delete");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn remove_survives_dedup_collisions() {
+        let mut r = Relation::new("R", 1);
+        for v in 0..1000u64 {
+            r.insert(&[v]);
+        }
+        for v in (0..1000u64).step_by(2) {
+            assert!(r.remove(&[v]).is_some(), "v={v}");
+        }
+        assert_eq!(r.len(), 500);
+        for v in 0..1000u64 {
+            assert_eq!(r.contains(&[v]), v % 2 == 1, "v={v}");
+        }
     }
 
     #[test]

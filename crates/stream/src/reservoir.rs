@@ -17,6 +17,35 @@
 use crate::batch::Batch;
 use rsj_common::rng::RsjRng;
 
+/// Shared turnstile-backfill loop: draw candidates until `samples` holds
+/// `target` distinct entries, spending at most `per_slot_tries` draws per
+/// vacated slot (`draw` returns `None` for a failed trial — a dummy
+/// position). Returns whether the target was reached — `false` means the
+/// defensive cap was exhausted, which callers treat as an invariant
+/// violation (the cap is sized from the engine's draw density).
+fn backfill_distinct<T: PartialEq>(
+    samples: &mut Vec<T>,
+    target: usize,
+    per_slot_tries: usize,
+    mut draw: impl FnMut() -> Option<T>,
+) -> bool {
+    while samples.len() < target {
+        let mut tries = per_slot_tries;
+        loop {
+            if tries == 0 {
+                return false;
+            }
+            tries -= 1;
+            let Some(t) = draw() else { continue };
+            if !samples.contains(&t) {
+                samples.push(t);
+                break;
+            }
+        }
+    }
+    true
+}
+
 /// Waterman's classic `O(N)` reservoir (paper §3.1, the `RS` baseline).
 ///
 /// Maintains `k` uniform samples without replacement of all items offered so
@@ -59,6 +88,11 @@ impl<T> ClassicReservoir<T> {
         &self.samples
     }
 
+    /// Reservoir capacity `k`.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
     /// Number of items offered so far.
     pub fn seen(&self) -> u128 {
         self.seen
@@ -67,6 +101,48 @@ impl<T> ClassicReservoir<T> {
     /// Consumes the reservoir, returning the samples.
     pub fn into_samples(self) -> Vec<T> {
         self.samples
+    }
+
+    /// Removes every sample matching `dead`, returning how many were
+    /// evicted. Part of the turnstile repair protocol (see
+    /// [`set_population`](ClassicReservoir::set_population)).
+    pub fn evict_where(&mut self, mut dead: impl FnMut(&T) -> bool) -> usize {
+        let before = self.samples.len();
+        self.samples.retain(|s| !dead(s));
+        before - self.samples.len()
+    }
+
+    /// Pushes a replacement sample into a vacated slot (turnstile repair).
+    ///
+    /// # Panics
+    /// Panics if the reservoir is already at capacity.
+    pub fn refill(&mut self, item: T) {
+        assert!(self.samples.len() < self.k, "refill past capacity");
+        self.samples.push(item);
+    }
+
+    /// Backfills vacated slots to `min(target, k)` distinct samples using
+    /// `draw` (turnstile repair; `None` = failed trial). Returns whether
+    /// the target was reached within `per_slot_tries` draws per slot.
+    pub fn backfill_distinct(
+        &mut self,
+        target: usize,
+        per_slot_tries: usize,
+        draw: impl FnMut() -> Option<T>,
+    ) -> bool
+    where
+        T: PartialEq,
+    {
+        let target = target.min(self.k);
+        backfill_distinct(&mut self.samples, target, per_slot_tries, draw)
+    }
+
+    /// Recalibrates the item counter to an externally maintained live
+    /// population (turnstile deletions shrink the population; the classic
+    /// acceptance probability `k/(seen+1)` must track the *live* count for
+    /// the sample to stay uniform).
+    pub fn set_population(&mut self, population: u128) {
+        self.seen = population;
     }
 }
 
@@ -222,6 +298,85 @@ impl<T> Reservoir<T> {
     /// Consumes the reservoir, returning the samples.
     pub fn into_samples(self) -> Vec<T> {
         self.samples
+    }
+
+    /// Removes every sample matching `dead`, returning how many were
+    /// evicted. First step of the turnstile repair protocol (see
+    /// [`recalibrate`](Reservoir::recalibrate)).
+    pub fn evict_where(&mut self, mut dead: impl FnMut(&T) -> bool) -> usize {
+        let before = self.samples.len();
+        self.samples.retain(|s| !dead(s));
+        before - self.samples.len()
+    }
+
+    /// Pushes a replacement sample into a vacated slot (turnstile repair).
+    ///
+    /// # Panics
+    /// Panics if the reservoir is already at capacity.
+    pub fn refill(&mut self, item: T) {
+        assert!(self.samples.len() < self.k, "refill past capacity");
+        self.samples.push(item);
+    }
+
+    /// Backfills vacated slots to `min(target, k)` distinct samples using
+    /// `draw` (turnstile repair; `None` = failed trial — a dummy
+    /// position). Returns whether the target was reached within
+    /// `per_slot_tries` draws per slot; size the budget from the draw's
+    /// real-position density.
+    pub fn backfill_distinct(
+        &mut self,
+        target: usize,
+        per_slot_tries: usize,
+        draw: impl FnMut() -> Option<T>,
+    ) -> bool
+    where
+        T: PartialEq,
+    {
+        let target = target.min(self.k);
+        backfill_distinct(&mut self.samples, target, per_slot_tries, draw)
+    }
+
+    /// Re-draws the skip state `(w, q)` against an exact live population of
+    /// `population` real items — the turnstile repair step that keeps
+    /// *future* inserts correctly weighted after deletions.
+    ///
+    /// Algorithm L's `w` is distributed as the `k`-th smallest of `r` iid
+    /// uniform keys when `r` reals have been processed (after the fill it
+    /// is `U^(1/k)`, the max of `k` uniforms = `k`-th smallest of `k`; each
+    /// replacement multiplies by `U^(1/k)`, maintaining the law). A
+    /// deletion shrinks the population, so the stored `w` corresponds to a
+    /// stale, larger `r` and under-accepts subsequent arrivals. Because
+    /// `(samples, w)` are independent in the algorithm's state law (the
+    /// sample is a uniform `k`-subset by exchangeability, whatever the key
+    /// *values*), drawing a fresh `w` from the exact `k`-th-smallest-of-`r`
+    /// law — an `O(k)` ascending order-statistics chain — restores the
+    /// exact joint state of a fresh run over the live population. The
+    /// pending skip `q` is re-drawn too (geometric in `w`).
+    ///
+    /// With `population <= samples.len()` the reservoir holds the whole
+    /// result set and `(w, q)` reverts to the unfilled state.
+    ///
+    /// Call after [`evict_where`](Reservoir::evict_where) /
+    /// [`refill`](Reservoir::refill) have restored the sample itself;
+    /// insert-only runs never call this, so their random streams are
+    /// untouched.
+    pub fn recalibrate(&mut self, population: u128) {
+        if population <= self.samples.len() as u128 {
+            self.w = f64::INFINITY;
+            self.q = 0;
+            return;
+        }
+        debug_assert_eq!(self.samples.len(), self.k, "full before population");
+        // Ascending order-statistics chain: U_(1) = 1 - V^(1/r), then each
+        // next order statistic rescales into the remaining interval.
+        let mut w = 0.0f64;
+        let mut rem = population as f64;
+        for _ in 0..self.k {
+            w += (1.0 - w) * (1.0 - self.rng.unit().powf(1.0 / rem));
+            rem -= 1.0;
+        }
+        self.w = w;
+        self.q = self.rng.geometric(self.w);
     }
 }
 

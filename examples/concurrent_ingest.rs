@@ -56,7 +56,7 @@ fn main() {
                 }
             }
             *snapshots.write().unwrap() = rj.samples().to_vec();
-            (rj.tuples_processed(), rj.reservoir_stops())
+            (rj.inserts(), rj.reservoir_stops())
         })
     };
 

@@ -46,7 +46,7 @@ fn main() {
     }
     println!(
         "\nstream length N = {}, reservoir stops = {} (≪ join size)",
-        rj.tuples_processed(),
+        rj.inserts(),
         rj.reservoir_stops()
     );
 }

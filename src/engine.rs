@@ -150,6 +150,26 @@ impl Engine {
         }
     }
 
+    /// Whether the engine this descriptor builds accepts
+    /// `StreamOp::Delete` — the static side of the update-model contract
+    /// (ARCHITECTURE.md, "Update model"). Matches
+    /// `JoinSampler::supports_deletes` on the built sampler:
+    ///
+    /// * fully dynamic — `RSJoin` (eviction-and-backfill repair),
+    ///   `SJoin` and `SymmetricHashJoin` (exact per-delete
+    ///   recalibration), `NaiveRebuild` (rebuild-on-delete);
+    /// * insert-only — the `_opt` rewrites (the streaming foreign-key
+    ///   combiner holds merged state that cannot be unwound) and the
+    ///   cyclic GHD driver (bag materialization is append-only);
+    /// * `Sharded` — whatever its inner engine supports.
+    pub fn supports_deletes(&self) -> bool {
+        match self {
+            Engine::Reservoir | Engine::Naive | Engine::SJoin | Engine::Symmetric => true,
+            Engine::FkReservoir | Engine::Cyclic | Engine::SJoinOpt => false,
+            Engine::Sharded { inner, .. } => inner.supports_deletes(),
+        }
+    }
+
     /// Whether this engine can run the query at all: the `RSJoin`/`SJoin`
     /// families need an acyclic query, the symmetric hash join needs
     /// exactly two relations, `Cyclic`/`Naive` take anything, and the

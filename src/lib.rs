@@ -69,11 +69,11 @@ pub mod prelude {
     pub use rsj_common::rng::RsjRng;
     pub use rsj_common::{Key, TupleId, Value};
     pub use rsj_core::{
-        CyclicReservoirJoin, DynamicSampleIndex, FkReservoirJoin, JoinSampler, ReservoirJoin,
-        SamplerStats, ShardPlan, ShardedSampler,
+        CyclicReservoirJoin, DeleteUnsupported, DynamicSampleIndex, FkReservoirJoin, JoinSampler,
+        ReservoirJoin, SamplerStats, ShardPlan, ShardedSampler,
     };
     pub use rsj_index::{DynamicIndex, FullSampler, IndexOptions};
     pub use rsj_query::{FkSchema, Ghd, Query, QueryBuilder};
-    pub use rsj_storage::{Database, InputTuple, TupleStream};
+    pub use rsj_storage::{Database, InputTuple, OpStream, StreamOp, TupleStream};
     pub use rsj_stream::{Batch, ClassicReservoir, FnBatch, Reservoir, SliceBatch};
 }

@@ -1,0 +1,349 @@
+//! Turnstile correctness across the engine matrix.
+//!
+//! The update-model contract (ARCHITECTURE.md, "Update model") promises
+//! that every fully-dynamic engine keeps its maintained sample uniform
+//! over the *post-delete* `Q(R)`. These tests drive interleaved
+//! insert/delete streams end-to-end through the executor trait and check:
+//! validity (every sample is a live join result), cardinality
+//! (`min(k, |Q(R)|)` samples), statistical uniformity at a 20% delete
+//! ratio, delete-then-reinsert round trips, and the capability probe.
+
+use rsj_common::rng::RsjRng;
+use rsj_common::stats::{chi_square_critical, chi_square_uniform};
+use rsj_common::{FxHashMap, FxHashSet, Value};
+use rsj_datagen::{TurnstileConfig, VictimPolicy};
+use rsj_storage::{OpStream, StreamOp, TupleStream};
+use rsjoin::engine::{Engine, EngineOpts};
+use rsjoin::prelude::*;
+
+fn line3() -> Query {
+    let mut qb = QueryBuilder::new();
+    qb.relation("G1", &["A", "B"]);
+    qb.relation("G2", &["B", "C"]);
+    qb.relation("G3", &["C", "D"]);
+    qb.build().unwrap()
+}
+
+fn two_table() -> Query {
+    let mut qb = QueryBuilder::new();
+    qb.relation("R", &["X", "Y"]);
+    qb.relation("S", &["Y", "Z"]);
+    qb.build().unwrap()
+}
+
+/// The engines the turnstile contract declares fully dynamic, per query
+/// shape (SymmetricHashJoin only runs two-table joins).
+fn dynamic_engines(query: &Query) -> Vec<Engine> {
+    let mut engines = vec![
+        Engine::Reservoir,
+        Engine::SJoin,
+        Engine::Naive,
+        Engine::sharded(Engine::Reservoir, 2),
+    ];
+    if query.num_relations() == 2 {
+        engines.push(Engine::Symmetric);
+    }
+    engines
+}
+
+/// Replays an op stream into per-relation live tuple sets.
+fn live_sets(query: &Query, ops: &OpStream) -> Vec<FxHashSet<Vec<Value>>> {
+    let mut live = vec![FxHashSet::default(); query.num_relations()];
+    for op in ops.iter() {
+        let t = op.tuple();
+        match op {
+            StreamOp::Insert(_) => {
+                live[t.relation].insert(t.values.clone());
+            }
+            StreamOp::Delete(_) => {
+                live[t.relation].remove(&t.values);
+            }
+        }
+    }
+    live
+}
+
+/// Brute-force join over live tuple sets, as engine-independent
+/// `samples_named` rows.
+fn brute_join_named(
+    query: &Query,
+    live: &[FxHashSet<Vec<Value>>],
+) -> FxHashSet<Vec<(String, Value)>> {
+    let mut out = FxHashSet::default();
+    let mut partial: Vec<Option<Value>> = vec![None; query.num_attrs()];
+    fn recurse(
+        query: &Query,
+        live: &[FxHashSet<Vec<Value>>],
+        rel: usize,
+        partial: &mut Vec<Option<Value>>,
+        out: &mut FxHashSet<Vec<(String, Value)>>,
+    ) {
+        if rel == query.num_relations() {
+            let mut kv: Vec<(String, Value)> = query
+                .attr_names()
+                .iter()
+                .cloned()
+                .zip(partial.iter().map(|v| v.expect("bound")))
+                .collect();
+            kv.sort();
+            out.insert(kv);
+            return;
+        }
+        let schema = &query.relation(rel).attrs;
+        'tuples: for t in &live[rel] {
+            let mut bound = Vec::new();
+            for (pos, &attr) in schema.iter().enumerate() {
+                match partial[attr] {
+                    Some(v) if v != t[pos] => {
+                        for &a in &bound {
+                            partial[a] = None;
+                        }
+                        continue 'tuples;
+                    }
+                    Some(_) => {}
+                    None => {
+                        partial[attr] = Some(t[pos]);
+                        bound.push(attr);
+                    }
+                }
+            }
+            recurse(query, live, rel + 1, partial, out);
+            for &a in &bound {
+                partial[a] = None;
+            }
+        }
+    }
+    recurse(query, live, 0, &mut partial, &mut out);
+    out
+}
+
+fn random_stream(query: &Query, n: usize, dom: u64, seed: u64) -> TupleStream {
+    let mut rng = RsjRng::seed_from_u64(seed);
+    let mut s = TupleStream::new();
+    let rels = query.num_relations();
+    for _ in 0..n {
+        s.push(
+            rng.index(rels),
+            vec![rng.below_u64(dom), rng.below_u64(dom)],
+        );
+    }
+    s
+}
+
+#[test]
+fn turnstile_end_to_end_across_the_engine_matrix() {
+    for (query, dom) in [(line3(), 6), (two_table(), 8)] {
+        let stream = random_stream(&query, 300, dom, 11);
+        for policy in [VictimPolicy::Uniform, VictimPolicy::Recent] {
+            let ops = TurnstileConfig {
+                delete_ratio: 0.25,
+                policy,
+                seed: 5,
+            }
+            .weave(&stream);
+            assert!(ops.num_deletes() > 0);
+            let expect = brute_join_named(&query, &live_sets(&query, &ops));
+            for engine in dynamic_engines(&query) {
+                let mut s = engine
+                    .build(&query, 1 << 16, 9, &EngineOpts::default())
+                    .unwrap_or_else(|e| panic!("{engine}: {e}"));
+                assert!(s.supports_deletes(), "{engine}");
+                s.process_op_stream(&ops).unwrap();
+                let got: FxHashSet<Vec<(String, Value)>> = s.samples_named().into_iter().collect();
+                // k >= |Q(R)|: the maintained sample must be exactly the
+                // live result set — insertions collected, deletions'
+                // casualties evicted, backfill complete.
+                assert_eq!(got, expect, "{engine}/{policy:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sample_cardinality_tracks_live_population() {
+    // Small k: |samples| must equal min(k, |Q(R)|) at several read points.
+    let query = line3();
+    let k = 4;
+    let mut ops = OpStream::new();
+    for a in 0..3u64 {
+        ops.push_insert(0, vec![a, 1]);
+    }
+    ops.push_insert(1, vec![1, 2]);
+    for d in 0..4u64 {
+        ops.push_insert(2, vec![2, d]);
+    }
+    // 12 results now; delete the middle tuple -> 0; re-add -> 12.
+    for engine in dynamic_engines(&query) {
+        let mut s = engine.build(&query, k, 2, &EngineOpts::default()).unwrap();
+        s.process_op_stream(&ops).unwrap();
+        assert_eq!(s.samples().len(), k, "{engine} full");
+        s.process_op(&StreamOp::delete(1, vec![1, 2])).unwrap();
+        assert_eq!(s.samples().len(), 0, "{engine} emptied");
+        s.process_op(&StreamOp::insert(1, vec![1, 2])).unwrap();
+        assert_eq!(s.samples().len(), k, "{engine} refilled");
+        // Shrink below k: delete G1 tuples until only one chain remains.
+        s.process_op(&StreamOp::delete(0, vec![1, 1])).unwrap();
+        s.process_op(&StreamOp::delete(0, vec![2, 1])).unwrap();
+        s.process_op(&StreamOp::delete(2, vec![2, 0])).unwrap();
+        // Live: 1 G1 tuple x 1 G2 x 3 G3 = 3 < k.
+        assert_eq!(s.samples().len(), 3, "{engine} below k");
+    }
+}
+
+/// The maintained sample must stay uniform over the post-delete `Q(R)` —
+/// the acceptance-criteria chi-square at a 20% delete ratio, with deletes
+/// interleaved mid-stream (not just at the end) so repair points and
+/// subsequent insertions both land in the measured distribution.
+#[test]
+fn uniform_under_twenty_percent_deletes() {
+    let query = line3();
+    let ops: OpStream = {
+        let mut o = OpStream::new();
+        o.push_insert(0, vec![1, 10]);
+        o.push_insert(1, vec![10, 20]);
+        o.push_insert(2, vec![20, 5]);
+        o.push_insert(2, vec![20, 6]);
+        o.push_insert(0, vec![2, 10]);
+        o.push_delete(2, vec![20, 5]); // kills 2 results
+        o.push_insert(2, vec![20, 7]);
+        o.push_insert(0, vec![3, 10]);
+        o.push_insert(1, vec![10, 21]);
+        o.push_insert(2, vec![21, 8]);
+        o.push_delete(0, vec![2, 10]); // kills the A=2 chains
+        o.push_insert(2, vec![21, 9]);
+        o.push_delete(2, vec![21, 8]); // kills 2 results again
+        o.push_insert(2, vec![21, 8]); // ... and re-inserts them
+        o.push_insert(0, vec![4, 10]);
+        o
+    };
+    assert_eq!(ops.num_deletes() * 5, ops.len(), "20% delete ratio");
+    let expect = brute_join_named(&query, &live_sets(&query, &ops));
+    // G1 {1,3,4} x (20->{6,7} + 21->{8,9}) = 3 * 4 = 12 live results.
+    assert_eq!(expect.len(), 12);
+    let k = 3;
+    let trials = 4000u64;
+    for engine in dynamic_engines(&query) {
+        let mut counts: FxHashMap<Vec<(String, Value)>, u64> = FxHashMap::default();
+        for seed in 0..trials {
+            let mut s = engine
+                .build(&query, k, seed, &EngineOpts::default())
+                .unwrap();
+            s.process_op_stream(&ops).unwrap();
+            let named = s.samples_named();
+            assert_eq!(named.len(), k, "{engine} seed {seed}");
+            for sample in named {
+                assert!(expect.contains(&sample), "{engine}: dead sample {sample:?}");
+                *counts.entry(sample).or_default() += 1;
+            }
+        }
+        assert_eq!(counts.len(), 12, "{engine} reached every live result");
+        let observed: Vec<u64> = counts.values().copied().collect();
+        let (stat, df) = chi_square_uniform(&observed);
+        assert!(
+            stat < chi_square_critical(df, 0.0001),
+            "{engine}: chi2={stat} df={df}"
+        );
+    }
+}
+
+#[test]
+fn delete_then_reinsert_matches_fresh_insert_only_run() {
+    // Round-tripping half the stream through delete+reinsert must land on
+    // the same final sample *set* as a fresh insert-only run (k >= |Q|).
+    let query = line3();
+    let stream = random_stream(&query, 200, 5, 21);
+    let round_trip: OpStream = {
+        let mut o = OpStream::from(&stream);
+        for t in stream.iter().step_by(2) {
+            o.push(StreamOp::Delete(t.clone()));
+        }
+        for t in stream.iter().step_by(2) {
+            o.push(StreamOp::Insert(t.clone()));
+        }
+        o
+    };
+    let expect = brute_join_named(&query, &live_sets(&query, &round_trip));
+    assert!(!expect.is_empty(), "degenerate instance");
+    for engine in dynamic_engines(&query) {
+        let mut fresh = engine
+            .build(&query, 1 << 16, 3, &EngineOpts::default())
+            .unwrap();
+        fresh.process_stream(&stream);
+        let fresh_set: FxHashSet<Vec<(String, Value)>> =
+            fresh.samples_named().into_iter().collect();
+        assert_eq!(fresh_set, expect, "{engine} fresh");
+        let mut rt = engine
+            .build(&query, 1 << 16, 3, &EngineOpts::default())
+            .unwrap();
+        rt.process_op_stream(&round_trip).unwrap();
+        let rt_set: FxHashSet<Vec<(String, Value)>> = rt.samples_named().into_iter().collect();
+        assert_eq!(rt_set, expect, "{engine} round-trip");
+    }
+}
+
+#[test]
+fn capability_matrix_is_consistent() {
+    let q = two_table();
+    for engine in Engine::ALL {
+        let built = engine.build(&q, 8, 1, &EngineOpts::default()).unwrap();
+        assert_eq!(
+            built.supports_deletes(),
+            engine.supports_deletes(),
+            "{engine}: static matrix disagrees with the built sampler"
+        );
+    }
+    // The sharded wrapper mirrors its inner engine.
+    for (inner, expect) in [(Engine::Reservoir, true), (Engine::SJoinOpt, false)] {
+        let sharded = Engine::sharded(inner, 2);
+        assert_eq!(sharded.supports_deletes(), expect);
+        let built = sharded.build(&q, 8, 1, &EngineOpts::default()).unwrap();
+        assert_eq!(built.supports_deletes(), expect, "{sharded}");
+    }
+}
+
+#[test]
+fn insert_only_engines_reject_turnstile_streams() {
+    let q = two_table();
+    let mut ops = OpStream::new();
+    ops.push_insert(0, vec![1, 2]);
+    ops.push_delete(0, vec![1, 2]);
+    for engine in Engine::ALL {
+        if engine.supports_deletes() || !engine.supports(&q) {
+            continue;
+        }
+        let mut s = engine.build(&q, 8, 1, &EngineOpts::default()).unwrap();
+        let err = s.process_op_stream(&ops).unwrap_err();
+        assert_eq!(err.engine, s.name(), "{engine}");
+        // The insert before the delete was applied; the delete was not.
+        assert_eq!(s.samples().len(), 0, "{engine}");
+    }
+    // A sharded wrapper around an insert-only engine rejects on the
+    // routing side, before anything crosses a worker channel.
+    let mut s = Engine::sharded(Engine::SJoinOpt, 2)
+        .build(&q, 8, 1, &EngineOpts::default())
+        .unwrap();
+    assert!(s.process_op_stream(&ops).is_err());
+}
+
+#[test]
+fn deletes_interleave_with_sharded_batching() {
+    // Force multiple channel batches with interleaved deletes and verify
+    // the sharded engine tracks the live population exactly.
+    let query = two_table();
+    let stream = random_stream(&query, 2000, 12, 31);
+    let ops = TurnstileConfig {
+        delete_ratio: 0.3,
+        policy: VictimPolicy::Uniform,
+        seed: 13,
+    }
+    .weave(&stream);
+    let expect = brute_join_named(&query, &live_sets(&query, &ops));
+    let mut s = Engine::sharded(Engine::Reservoir, 3)
+        .build(&query, 1 << 16, 7, &EngineOpts::default())
+        .unwrap();
+    s.process_op_stream(&ops).unwrap();
+    let got: FxHashSet<Vec<(String, Value)>> = s.samples_named().into_iter().collect();
+    assert_eq!(got, expect);
+    assert_eq!(s.stats().exact_results, Some(expect.len() as u128));
+    assert!(s.stats().deletes.unwrap() > 0);
+}

@@ -92,3 +92,31 @@ fn rsjoin_opt_reservoir_bytes_are_pinned() {
         "RSJoin_opt/QY"
     );
 }
+
+/// The turnstile machinery must be invisible to insert-only runs: driving
+/// the identical insert-only stream through the `StreamOp` path
+/// (`process_op_stream`) consumes the same randomness and must reproduce
+/// the exact pinned digest — repair RNGs exist but are never touched.
+#[test]
+fn op_stream_path_reproduces_insert_only_digests() {
+    let w = graph_workload();
+    let engine = Engine::Reservoir;
+    let sampler = {
+        let mut s = engine
+            .build(&w.query, 64, 0xD15EA5E, &rsjoin::engine::workload_opts(&w))
+            .unwrap();
+        let ops: rsj_storage::OpStream = w
+            .preload
+            .iter()
+            .chain(w.stream.iter())
+            .map(|t| rsj_storage::StreamOp::Insert(t.clone()))
+            .collect();
+        s.process_op_stream(&ops).unwrap();
+        s
+    };
+    assert_eq!(
+        digest(&sampler.samples()),
+        0x42B7_36F8_2FB0_5316,
+        "RSJoin/line3 via StreamOp"
+    );
+}
