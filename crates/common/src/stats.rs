@@ -26,20 +26,32 @@ pub fn chi_square_uniform(observed: &[u64]) -> (f64, usize) {
 }
 
 /// Approximate upper critical value of the chi-square distribution with `df`
-/// degrees of freedom at significance `alpha` (one of 0.01, 0.001, 0.0001).
+/// degrees of freedom at significance `alpha`.
 ///
 /// Uses the Wilson–Hilferty cube approximation, accurate to a few percent
 /// for `df >= 3` — plenty for loose statistical smoke tests that must never
-/// flake under a fixed seed.
+/// flake under a fixed seed. The normal quantile is tabulated at the
+/// decades `1e-2 … 1e-7`; a requested `alpha` between decades rounds
+/// *down* to the next tabulated decade (a larger critical value), so
+/// Bonferroni-corrected levels like `1e-4 / 6` test conservatively — the
+/// family-wise false-alarm rate is bounded by the requested level.
 pub fn chi_square_critical(df: usize, alpha: f64) -> f64 {
-    // Standard normal upper quantiles for the supported alphas.
-    let z = if alpha <= 0.0001 {
-        3.719
-    } else if alpha <= 0.001 {
-        3.090
-    } else {
-        2.326
-    };
+    // Standard normal upper quantiles z with P(Z > z) = decade alpha.
+    const QUANTILES: [(f64, f64); 6] = [
+        (1e-2, 2.326),
+        (1e-3, 3.090),
+        (1e-4, 3.719),
+        (1e-5, 4.265),
+        (1e-6, 4.753),
+        (1e-7, 5.199),
+    ];
+    // The largest tabulated decade not exceeding the requested alpha; an
+    // alpha below every decade uses the finest quantile.
+    let z = QUANTILES
+        .iter()
+        .find(|&&(a, _)| a <= alpha)
+        .map(|&(_, q)| q)
+        .unwrap_or(QUANTILES[QUANTILES.len() - 1].1);
     let d = df as f64;
     let t = 1.0 - 2.0 / (9.0 * d) + z * (2.0 / (9.0 * d)).sqrt();
     d * t * t * t
@@ -178,6 +190,20 @@ mod tests {
         assert!((c10 - 23.2).abs() < 1.0, "c10={c10}");
         let c100 = chi_square_critical(100, 0.01);
         assert!((c100 - 135.8).abs() < 3.0, "c100={c100}");
+    }
+
+    #[test]
+    fn critical_values_tighten_with_alpha() {
+        // Finer alphas (Bonferroni-corrected levels) give strictly larger
+        // critical values; off-decade alphas round conservatively down.
+        let mut last = 0.0;
+        for alpha in [1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7] {
+            let c = chi_square_critical(20, alpha);
+            assert!(c > last, "alpha={alpha}: {c} <= {last}");
+            last = c;
+        }
+        // 2e-5 sits between 1e-4 and 1e-5 and must use the 1e-5 quantile.
+        assert_eq!(chi_square_critical(20, 2e-5), chi_square_critical(20, 1e-5));
     }
 
     #[test]

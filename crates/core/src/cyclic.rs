@@ -167,6 +167,12 @@ impl CyclicReservoirJoin {
         &self.inner
     }
 
+    /// Mutable access to the inner acyclic driver (re-planning the
+    /// bag-level orientation).
+    pub fn inner_mut(&mut self) -> &mut ReservoirJoin {
+        &mut self.inner
+    }
+
     /// Bag-delta tuples produced so far (`O(N^w)`).
     pub fn bag_tuples(&self) -> u64 {
         self.bag_tuples

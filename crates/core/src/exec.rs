@@ -148,6 +148,20 @@ pub trait JoinSampler {
         self.process_op_batch(stream.ops())
     }
 
+    /// Re-evaluates the engine's execution plan against statistics
+    /// observed so far and adapts it — for the `RSJoin` family, the
+    /// adaptive re-rooting hook (see `rsj_core::reservoir_join`): a
+    /// cost-model pass over the live stored relations that may switch the
+    /// sampling root in place or rebuild the dynamic index into a better
+    /// join-tree orientation, repopulating the reservoir exactly.
+    ///
+    /// Returns `true` when anything about the plan changed. The default is
+    /// a no-op for engines without plan choice (the exact-count baselines,
+    /// the two-table symmetric join).
+    fn replan(&mut self) -> bool {
+        false
+    }
+
     /// The current samples as materialized full-width value tuples of
     /// [`output_query`](JoinSampler::output_query): uniform without
     /// replacement over `Q(R)`, fewer than `k` while `|Q(R)| < k`.
@@ -203,6 +217,10 @@ impl JoinSampler for ReservoirJoin {
         ReservoirJoin::process_batch(self, batch);
     }
 
+    fn replan(&mut self) -> bool {
+        ReservoirJoin::replan(self)
+    }
+
     fn samples(&self) -> Vec<Vec<Value>> {
         ReservoirJoin::samples(self).to_vec()
     }
@@ -254,6 +272,12 @@ impl JoinSampler for FkReservoirJoin {
         FkReservoirJoin::process(self, rel, tuple);
     }
 
+    /// Re-plans the *rewritten* query's orientation (the foreign-key
+    /// combiner in front is plan-independent).
+    fn replan(&mut self) -> bool {
+        self.inner_mut().replan()
+    }
+
     fn samples(&self) -> Vec<Vec<Value>> {
         FkReservoirJoin::samples(self).to_vec()
     }
@@ -284,6 +308,12 @@ impl JoinSampler for CyclicReservoirJoin {
 
     fn process(&mut self, rel: usize, tuple: &[Value]) {
         CyclicReservoirJoin::process(self, rel, tuple);
+    }
+
+    /// Re-plans the inner acyclic driver over the *bag-level* query (the
+    /// GHD itself stays fixed).
+    fn replan(&mut self) -> bool {
+        self.inner_mut().replan()
     }
 
     fn samples(&self) -> Vec<Vec<Value>> {

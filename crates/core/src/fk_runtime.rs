@@ -184,6 +184,12 @@ impl FkReservoirJoin {
         &self.inner
     }
 
+    /// Mutable access to the inner acyclic driver (re-planning the
+    /// rewritten-query orientation).
+    pub fn inner_mut(&mut self) -> &mut super::ReservoirJoin {
+        &mut self.inner
+    }
+
     /// Estimated heap bytes (combiner state + inner driver).
     pub fn heap_size(&self) -> usize {
         // Dimension maps and waiting lists dominated by stored tuples.

@@ -38,9 +38,63 @@ use crate::count::exact_result_count;
 use rsj_common::rng::{child_seed, RsjRng};
 use rsj_common::{TupleId, Value};
 use rsj_index::{DynamicIndex, FullSampler, IndexOptions, IndexStats};
-use rsj_query::Query;
-use rsj_storage::{InputTuple, TupleStream};
+use rsj_query::{Plan, Planner, Query};
+use rsj_storage::{InputTuple, TableStatistics, TupleStream};
 use rsj_stream::{FnBatch, Reservoir};
+
+/// The root with the smallest observed implicit array `|J_root|` —
+/// measured rejection slack, one O(1) lookup per root. `proposed` (the
+/// cost model's choice) wins ties, then the smallest id.
+fn best_observed_root(index: &DynamicIndex, proposed: usize) -> usize {
+    let mut best = proposed;
+    let mut best_size = FullSampler {
+        root: proposed,
+        ..FullSampler::default()
+    }
+    .implicit_size(index);
+    for root in 0..index.query().num_relations() {
+        if root == proposed {
+            continue;
+        }
+        let size = FullSampler {
+            root,
+            ..FullSampler::default()
+        }
+        .implicit_size(index);
+        if size < best_size || (size == best_size && root < best && best != proposed) {
+            best = root;
+            best_size = size;
+        }
+    }
+    best
+}
+
+/// When the driver re-evaluates its plan against observed statistics.
+///
+/// Checks happen at power-of-two accepted-insert counts (so the planning
+/// pass — an `O(N)` statistics scan plus candidate scoring — amortizes to
+/// `O(1)` per insert), starting at [`min_inserts`](ReplanPolicy::min_inserts).
+/// An actual index rebuild only happens when the challenger plan clears the
+/// planner's hold margin; a mere sampling-root switch is free and taken
+/// whenever the model prefers it.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplanPolicy {
+    /// Re-evaluate automatically during [`ReservoirJoin::process`]. With
+    /// `false`, plans only change through explicit
+    /// [`ReservoirJoin::replan`] calls.
+    pub auto: bool,
+    /// First accepted-insert count at which an automatic check may fire.
+    pub min_inserts: u64,
+}
+
+impl Default for ReplanPolicy {
+    fn default() -> Self {
+        ReplanPolicy {
+            auto: true,
+            min_inserts: 4096,
+        }
+    }
+}
 
 /// Maintains `k` uniform samples without replacement of the join results of
 /// an acyclic query over a fully-dynamic (insert + delete) tuple stream.
@@ -64,6 +118,16 @@ use rsj_stream::{FnBatch, Reservoir};
 /// ```
 pub struct ReservoirJoin {
     index: DynamicIndex,
+    /// The orientation the index is materialized over, plus the preferred
+    /// sampling root repair draws go through.
+    plan: Plan,
+    planner: Planner,
+    replan_policy: ReplanPolicy,
+    /// Index rebuilds performed by [`replan`](ReservoirJoin::replan).
+    rebuilds: u64,
+    /// Accepted-insert count at which the last automatic replan check
+    /// fired (guards against duplicate arrivals re-firing a checkpoint).
+    replan_checked_at: u64,
     reservoir: Reservoir<Vec<Value>>,
     /// Reusable materialization buffer for the in-place reservoir path:
     /// an evicted sample's allocation becomes the next retrieve's scratch,
@@ -92,15 +156,36 @@ impl ReservoirJoin {
         Self::with_options(query, k, seed, IndexOptions::default())
     }
 
-    /// Creates a driver with explicit index options.
+    /// Creates a driver with explicit index options over the canonical
+    /// plan (GYO tree, root 0) — byte-identical to the historical
+    /// hard-coded orientation until observed statistics justify a change.
     pub fn with_options(
         query: Query,
         k: usize,
         seed: u64,
         options: IndexOptions,
     ) -> Result<ReservoirJoin, rsj_index::dynamic::IndexError> {
+        let plan = Plan::canonical(&query).ok_or(rsj_index::dynamic::IndexError::Cyclic)?;
+        Self::with_plan(query, k, seed, options, plan)
+    }
+
+    /// Creates a driver over an explicit [`Plan`] — the planner's output,
+    /// or a hand-rooted override. The plan's tree must be a join tree of
+    /// `query` (anything [`Planner::plan`] emitted for it is).
+    pub fn with_plan(
+        query: Query,
+        k: usize,
+        seed: u64,
+        options: IndexOptions,
+        plan: Plan,
+    ) -> Result<ReservoirJoin, rsj_index::dynamic::IndexError> {
         Ok(ReservoirJoin {
-            index: DynamicIndex::new(query, options)?,
+            index: DynamicIndex::with_tree(query, &plan.tree, options)?,
+            plan,
+            planner: Planner::default(),
+            replan_policy: ReplanPolicy::default(),
+            rebuilds: 0,
+            replan_checked_at: 0,
             reservoir: Reservoir::new(k, seed),
             scratch: Vec::new(),
             repair_rng: RsjRng::seed_from_u64(child_seed(seed, u64::from_le_bytes(*b"turnstil"))),
@@ -115,6 +200,21 @@ impl ReservoirJoin {
     ///
     /// Returns the tuple's id, or `None` if it was a duplicate (no effect).
     pub fn process(&mut self, rel: usize, tuple: &[Value]) -> Option<TupleId> {
+        // Auto-replan fires *between* tuples, never between an insert and
+        // the consumption of its delta batch: a rebuild reassigns tuple
+        // ids (tombstones compact away) and runs a repair point, so an
+        // in-flight tid/batch would be stale — a panic after deletes, a
+        // double-counted delta batch otherwise. The `checked_at` marker
+        // keeps duplicate (no-op) arrivals from re-triggering the same
+        // power-of-two checkpoint.
+        if self.replan_policy.auto
+            && self.inserts >= self.replan_policy.min_inserts
+            && self.inserts.is_power_of_two()
+            && self.replan_checked_at != self.inserts
+        {
+            self.replan_checked_at = self.inserts;
+            self.replan();
+        }
         let tid = self.index.insert(rel, tuple)?;
         self.inserts += 1;
         let index = &self.index;
@@ -201,7 +301,10 @@ impl ReservoirJoin {
         self.last_population = population;
         self.deletes_since_repair = 0;
         let target = (self.reservoir.capacity() as u128).min(population) as usize;
-        let full = FullSampler::default();
+        let full = FullSampler {
+            root: self.plan.root,
+            ..FullSampler::default()
+        };
         let index = &self.index;
         let rng = &mut self.repair_rng;
         // Rejection sampling to distinctness: each accepted draw is
@@ -219,6 +322,144 @@ impl ReservoirJoin {
         });
         debug_assert!(filled, "backfill exhausted its rejection cap");
         self.reservoir.recalibrate(population);
+    }
+
+    /// Re-evaluates the plan against statistics observed from the stored
+    /// relations and adapts the orientation — the adaptive re-rooting hook.
+    ///
+    /// Statistics are snapshotted from the live database
+    /// ([`TableStatistics::from_database`]); the planner scores every
+    /// candidate tree × root against them. Three outcomes:
+    ///
+    /// * the current plan stands (challenger within the hold margin) —
+    ///   nothing changes, returns `false`;
+    /// * only the preferred **sampling root** moved — the cost model
+    ///   proposes, then the *observed* per-root implicit-array sizes
+    ///   (exact rejection slack, one O(1) lookup per root) get the final
+    ///   say — and the root is switched in place (free: every rooted view
+    ///   is already maintained), returns `true`;
+    /// * a different **tree** wins — the dynamic index is rebuilt in the
+    ///   new orientation by re-inserting the stored live relations (the
+    ///   reservoir's materialized samples stay valid — `Q(R)` itself is
+    ///   unchanged — and a repair point recalibrates the skip state against
+    ///   the exact live `|Q(R)|` and backfills any shortfall), returns
+    ///   `true`.
+    ///
+    /// Called automatically at power-of-two insert counts per
+    /// [`ReplanPolicy`]; call it directly to force a re-evaluation (e.g.
+    /// after a bulk load).
+    pub fn replan(&mut self) -> bool {
+        let stats = TableStatistics::from_database(self.index.database());
+        let Some(mut challenger) = self.planner.plan(self.index.query(), &stats) else {
+            return false;
+        };
+        let same_tree = challenger.tree.canonical_edges() == self.plan.tree.canonical_edges();
+        if same_tree {
+            // The model proposes a root; the live index can *measure* each
+            // root's rejection slack exactly — the implicit array size
+            // |J_root| is one O(1) group lookup per root — so observation
+            // overrides the estimate. Ties keep the model's proposal.
+            // After an override, the plan's metadata must describe the
+            // root actually chosen (re-scored cost, recomputed canonical
+            // flag), not the model's proposal.
+            let observed = best_observed_root(&self.index, challenger.root);
+            if observed != challenger.root {
+                self.fixup_plan_root(&mut challenger, observed, &stats);
+            }
+            if challenger.root == self.plan.root {
+                self.plan.cost = challenger.cost;
+                return false;
+            }
+            // Root-only move: every rooted view is already maintained, so
+            // switching which one repair sampling descends is free.
+            self.plan = challenger;
+            return true;
+        }
+        // The planner's hold margin is measured against the canonical
+        // anchor; when the incumbent is already non-canonical, hold again
+        // unless the challenger also clears the margin over the incumbent
+        // re-scored on today's statistics.
+        if let Some(current) =
+            self.planner
+                .score(self.index.query(), &self.plan.tree, self.plan.root, &stats)
+        {
+            if challenger.cost.total >= current.total * (1.0 - self.planner.hold_margin) {
+                self.plan.cost = current;
+                return false;
+            }
+        }
+        let mut fresh = match DynamicIndex::with_tree(
+            self.index.query().clone(),
+            &challenger.tree,
+            self.index.options(),
+        ) {
+            Ok(idx) => idx,
+            Err(_) => return false,
+        };
+        for rel in 0..self.index.query().num_relations() {
+            for (_, t) in self.index.database().relation(rel).iter() {
+                fresh.insert(rel, t);
+            }
+        }
+        self.index = fresh;
+        // The rebuilt index has fresh per-root slack; measure it.
+        let observed = best_observed_root(&self.index, challenger.root);
+        if observed != challenger.root {
+            self.fixup_plan_root(&mut challenger, observed, &stats);
+        }
+        self.plan = challenger;
+        self.rebuilds += 1;
+        // Repopulate exactly: exact live count, backfill to min(k, |Q|),
+        // recalibrate the skip state — the reservoir continues as if it had
+        // sampled the live population through the new orientation all
+        // along.
+        self.repair();
+        true
+    }
+
+    /// Moves `plan` onto the observation-chosen `root`, keeping its
+    /// metadata truthful: the cost is re-scored for the actual root and
+    /// the canonical flag recomputed against the GYO tree + root 0.
+    fn fixup_plan_root(&self, plan: &mut Plan, root: usize, stats: &TableStatistics) {
+        plan.root = root;
+        if let Some(cost) = self
+            .planner
+            .score(self.index.query(), &plan.tree, root, stats)
+        {
+            plan.cost = cost;
+        }
+        let gyo = rsj_query::JoinTree::build(self.index.query()).map(|t| t.canonical_edges());
+        plan.is_canonical = root == 0 && gyo.as_deref() == Some(&plan.tree.canonical_edges()[..]);
+    }
+
+    /// The active plan (orientation, sampling root, scores).
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The automatic re-planning policy.
+    pub fn replan_policy(&self) -> ReplanPolicy {
+        self.replan_policy
+    }
+
+    /// Replaces the planner [`replan`](ReservoirJoin::replan) consults
+    /// (weights, enumeration cap, hold margin). A zero hold margin makes
+    /// re-planning follow the cost model greedily — useful in tests that
+    /// must exercise a rebuild deterministically.
+    pub fn set_planner(&mut self, planner: Planner) {
+        self.planner = planner;
+    }
+
+    /// Replaces the automatic re-planning policy (e.g. to disable
+    /// mid-stream checks in a byte-stability harness).
+    pub fn set_replan_policy(&mut self, policy: ReplanPolicy) {
+        self.replan_policy = policy;
+    }
+
+    /// Number of orientation rebuilds [`replan`](ReservoirJoin::replan)
+    /// has performed.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
     }
 
     /// The current samples: uniform without replacement over `Q(R)`, fewer
@@ -459,6 +700,173 @@ mod tests {
             s
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn replan_on_canonical_plan_is_a_noop() {
+        let mut rj = ReservoirJoin::new(line3(), 100, 1).unwrap();
+        let mut rng = RsjRng::seed_from_u64(2);
+        for _ in 0..200 {
+            rj.process(rng.index(3), &[rng.below_u64(5), rng.below_u64(5)]);
+        }
+        let before: Vec<Vec<u64>> = rj.samples().to_vec();
+        let edges = rj.plan().tree.canonical_edges();
+        // Line-3 has a unique tree, so replan can at most move the root —
+        // never rebuild — and the reservoir must be byte-identical.
+        rj.replan();
+        assert_eq!(rj.rebuilds(), 0);
+        assert_eq!(rj.plan().tree.canonical_edges(), edges);
+        assert_eq!(rj.samples(), before.as_slice());
+    }
+
+    #[test]
+    fn replan_rebuild_preserves_the_result_set() {
+        // Star-4 sharing HUB: 16 candidate trees. Start from a non-GYO
+        // tree, zero the hold margin, and force a greedy replan; whatever
+        // orientation wins, the maintained sample set (k >= |Q|) must be
+        // exactly the live result set before and after.
+        let mut qb = QueryBuilder::new();
+        for i in 1..=4 {
+            qb.relation(&format!("G{i}"), &["HUB", &format!("B{i}")]);
+        }
+        let q = qb.build().unwrap();
+        let trees = rsj_query::all_join_trees(&q, 32);
+        assert_eq!(trees.len(), 16);
+        let greedy = rsj_query::Planner {
+            hold_margin: 0.0,
+            ..rsj_query::Planner::default()
+        };
+        // Mild hub skew so the cost model has something to chew on while
+        // |Q| stays well under k.
+        let stream: Vec<(usize, [u64; 2])> = {
+            let mut rng = RsjRng::seed_from_u64(4);
+            (0..120)
+                .map(|_| {
+                    let rel = rng.index(4);
+                    let hub = if rng.below_u64(3) == 0 {
+                        0
+                    } else {
+                        rng.below_u64(8)
+                    };
+                    (rel, [hub, rng.below_u64(40)])
+                })
+                .collect()
+        };
+        // Scout which tree the greedy planner settles on for this data,
+        // then deliberately start from a different one so replan is
+        // guaranteed to rebuild.
+        let winner_edges = {
+            let mut scout = ReservoirJoin::new(q.clone(), 4, 0).unwrap();
+            for (rel, t) in &stream {
+                scout.process(*rel, t);
+            }
+            scout.set_planner(greedy);
+            scout.replan();
+            scout.plan().tree.canonical_edges()
+        };
+        let alt = trees
+            .iter()
+            .find(|t| t.canonical_edges() != winner_edges)
+            .expect("16 trees, one winner")
+            .clone();
+        let plan = {
+            let mut p = rsj_query::Plan::canonical(&q).unwrap();
+            p.tree = alt;
+            p.is_canonical = false;
+            p
+        };
+        let mut rj =
+            ReservoirJoin::with_plan(q, 1 << 16, 3, rsj_index::IndexOptions::default(), plan)
+                .unwrap();
+        for (rel, t) in &stream {
+            rj.process(*rel, t);
+        }
+        let before: FxHashSet<Vec<u64>> = rj.samples().iter().cloned().collect();
+        let live = crate::count::exact_result_count(rj.index().query(), rj.index().database());
+        assert_eq!(before.len() as u128, live, "k >= |Q| collects everything");
+        rj.set_planner(rsj_query::Planner {
+            hold_margin: 0.0,
+            ..rsj_query::Planner::default()
+        });
+        let changed = rj.replan();
+        assert!(changed, "greedy replan must leave the degenerate start");
+        assert_eq!(rj.rebuilds(), 1, "tree change rebuilds the index");
+        let after: FxHashSet<Vec<u64>> = rj.samples().iter().cloned().collect();
+        assert_eq!(after, before, "replan altered Q(R)");
+        assert_eq!(
+            crate::count::exact_result_count(rj.index().query(), rj.index().database()),
+            live
+        );
+        // The index still accepts updates and stays consistent post-swap.
+        assert!(rj.process(0, &[999, 999]).is_some());
+        assert_eq!(
+            crate::count::exact_result_count(rj.index().query(), rj.index().database()),
+            live
+        );
+    }
+
+    #[test]
+    fn auto_replan_rebuild_is_safe_mid_stream() {
+        // Regression: the automatic replan check must never fire between
+        // an index insert and the consumption of its delta batch — a
+        // rebuild reassigns tuple ids (tombstones compact), which used to
+        // panic in delta_batch on turnstile streams. Force frequent
+        // checks with a greedy planner on a multi-tree query with
+        // interleaved deletes and verify exactness end to end.
+        let mut qb = QueryBuilder::new();
+        for i in 1..=4 {
+            qb.relation(&format!("G{i}"), &["HUB", &format!("B{i}")]);
+        }
+        let q = qb.build().unwrap();
+        let mut rj = ReservoirJoin::new(q.clone(), 1 << 16, 9).unwrap();
+        rj.set_planner(rsj_query::Planner {
+            hold_margin: 0.0,
+            ..rsj_query::Planner::default()
+        });
+        rj.set_replan_policy(ReplanPolicy {
+            auto: true,
+            min_inserts: 4,
+        });
+        let mut rng = RsjRng::seed_from_u64(77);
+        let mut live: Vec<(usize, [u64; 2])> = Vec::new();
+        for step in 0..600 {
+            if step % 5 == 4 && !live.is_empty() {
+                let (rel, t) = live.swap_remove(rng.index(live.len()));
+                assert!(rj.delete(rel, &t).is_some());
+            } else {
+                let rel = rng.index(4);
+                let t = [rng.below_u64(6), rng.below_u64(12)];
+                if rj.process(rel, &t).is_some() {
+                    live.push((rel, t));
+                }
+            }
+        }
+        let got: FxHashSet<Vec<u64>> = rj.samples().iter().cloned().collect();
+        let population =
+            crate::count::exact_result_count(rj.index().query(), rj.index().database());
+        assert_eq!(
+            got.len() as u128,
+            population,
+            "k >= |Q| collects everything"
+        );
+    }
+
+    #[test]
+    fn with_plan_rejects_a_tree_that_is_not_a_join_tree() {
+        // Spanning, but attribute-connectedness violated: G1-G3-G2 breaks
+        // B's subtree (B lives in G1 and G2 only).
+        let q = line3();
+        let bad = rsj_query::JoinTree::from_edges(3, &[(0, 2), (1, 2)]);
+        let plan = {
+            let mut p = rsj_query::Plan::canonical(&q).unwrap();
+            p.tree = bad;
+            p
+        };
+        let Err(err) = ReservoirJoin::with_plan(q, 8, 1, rsj_index::IndexOptions::default(), plan)
+        else {
+            panic!("invalid tree accepted");
+        };
+        assert!(err.to_string().contains("join-tree property"), "got: {err}");
     }
 
     #[test]

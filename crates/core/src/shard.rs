@@ -82,17 +82,29 @@ impl ShardPlan {
     /// # Panics
     /// Panics if `shards == 0` or the query has no attributes.
     pub fn new(query: &Query, shards: usize) -> ShardPlan {
-        assert!(shards > 0, "at least one shard");
         assert!(query.num_attrs() > 0, "query has no attributes");
         let partition_attr = (0..query.num_attrs())
             .max_by_key(|&a| (query.relations_with_attr(a).len(), usize::MAX - a))
             .expect("non-empty attribute set");
+        Self::with_partition_attr(query, shards, partition_attr)
+    }
+
+    /// Builds the plan with an explicit partition attribute — how the
+    /// cost-based planner's statistics-informed choice
+    /// (`rsj_query::plan::partition_attr`, which breaks most-shared ties
+    /// towards the highest observed distinct count) reaches the router.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or `attr` is out of range.
+    pub fn with_partition_attr(query: &Query, shards: usize, attr: usize) -> ShardPlan {
+        assert!(shards > 0, "at least one shard");
+        assert!(attr < query.num_attrs(), "partition attribute out of range");
         let positions = (0..query.num_relations())
-            .map(|r| query.relation(r).position_of(partition_attr))
+            .map(|r| query.relation(r).position_of(attr))
             .collect();
         ShardPlan {
             shards,
-            partition_attr,
+            partition_attr: attr,
             positions,
         }
     }
@@ -133,6 +145,9 @@ struct Snapshot {
 enum Msg {
     Batch(Vec<StreamOp>),
     Read(mpsc::Sender<Snapshot>),
+    /// Ask the inner engine to re-evaluate its plan; replies with whether
+    /// anything changed.
+    Replan(mpsc::Sender<bool>),
 }
 
 fn worker_loop(
@@ -172,6 +187,9 @@ fn worker_loop(
                     population,
                     stats: sampler.stats(),
                 });
+            }
+            Msg::Replan(reply) => {
+                let _ = reply.send(sampler.replan());
             }
         }
     }
@@ -242,10 +260,38 @@ impl ShardedSampler {
     where
         F: Fn(u64) -> Result<Box<dyn JoinSampler + Send>, String>,
     {
+        Self::with_partition(query, k, seed, shards, None, build)
+    }
+
+    /// Like [`ShardedSampler::new`], with an explicit partition attribute
+    /// (`None` keeps the most-shared/smallest-id default). The cost-based
+    /// planner's `partition_attr` flows in here through the `Engine`
+    /// factory.
+    pub fn with_partition<F>(
+        query: &Query,
+        k: usize,
+        seed: u64,
+        shards: usize,
+        partition_attr: Option<usize>,
+        build: F,
+    ) -> Result<ShardedSampler, String>
+    where
+        F: Fn(u64) -> Result<Box<dyn JoinSampler + Send>, String>,
+    {
         if shards == 0 {
             return Err("sharded execution needs at least one shard".to_string());
         }
-        let plan = ShardPlan::new(query, shards);
+        if partition_attr.is_some_and(|a| a >= query.num_attrs()) {
+            return Err(format!(
+                "partition attribute {} out of range for {} attributes",
+                partition_attr.unwrap(),
+                query.num_attrs()
+            ));
+        }
+        let plan = match partition_attr {
+            Some(a) => ShardPlan::with_partition_attr(query, shards, a),
+            None => ShardPlan::new(query, shards),
+        };
         let mut txs = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         let mut output_query = None;
@@ -372,6 +418,30 @@ impl JoinSampler for ShardedSampler {
         }
         self.route_op(op.clone());
         Ok(())
+    }
+
+    /// Forwards the re-planning request to every shard's inner engine
+    /// (after flushing pending batches, so each worker plans against
+    /// everything routed so far). Each shard adapts to *its* partition's
+    /// statistics independently; `true` if any shard changed its plan.
+    fn replan(&mut self) -> bool {
+        let st = self.state.get_mut();
+        for s in 0..self.plan.shards() {
+            st.flush(s);
+        }
+        let replies: Vec<mpsc::Receiver<bool>> = st
+            .txs
+            .iter()
+            .map(|tx| {
+                let (rtx, rrx) = mpsc::channel();
+                tx.send(Msg::Replan(rtx)).expect("shard worker thread died");
+                rrx
+            })
+            .collect();
+        replies
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard worker thread died"))
+            .fold(false, |acc, changed| acc | changed)
     }
 
     /// The merged sample: a weighted reservoir union of the per-shard

@@ -205,6 +205,9 @@ pub enum IndexError {
     Cyclic,
     /// Key or `ē` arity exceeded [`rsj_common::value::MAX_KEY_ARITY`].
     KeyTooWide(String),
+    /// An explicitly supplied tree is not a join tree for the query
+    /// (wrong node count, or per-attribute connectedness violated).
+    InvalidTree(String),
 }
 
 impl std::fmt::Display for IndexError {
@@ -212,6 +215,7 @@ impl std::fmt::Display for IndexError {
         match self {
             IndexError::Cyclic => write!(f, "query is cyclic; decompose it with a GHD first"),
             IndexError::KeyTooWide(m) => write!(f, "{m}"),
+            IndexError::InvalidTree(m) => write!(f, "{m}"),
         }
     }
 }
@@ -219,10 +223,42 @@ impl std::fmt::Display for IndexError {
 impl std::error::Error for IndexError {}
 
 impl DynamicIndex {
-    /// Builds an (empty) index for an acyclic query.
+    /// Builds an (empty) index for an acyclic query over the canonical GYO
+    /// join tree.
     pub fn new(query: Query, options: IndexOptions) -> Result<DynamicIndex, IndexError> {
         let jt = rsj_query::JoinTree::build(&query).ok_or(IndexError::Cyclic)?;
-        let rooted = rsj_query::rooted::all_rooted_trees(&query, &jt)
+        Self::with_tree(query, &jt, options)
+    }
+
+    /// Builds an (empty) index over an explicit join tree — the entry point
+    /// the cost-based planner (`rsj_query::plan`) uses to materialize a
+    /// non-canonical orientation. The tree is validated to actually be a
+    /// join tree for `query` (everything the planner emits is; a
+    /// hand-rolled `EngineOpts::plan` might not be — a silently accepted
+    /// invalid tree would produce wrong join results, so the check is a
+    /// real error, not a debug assertion). All rooted views are derived
+    /// from it exactly as [`DynamicIndex::new`] derives them from the GYO
+    /// tree.
+    pub fn with_tree(
+        query: Query,
+        jt: &rsj_query::JoinTree,
+        options: IndexOptions,
+    ) -> Result<DynamicIndex, IndexError> {
+        if jt.len() != query.num_relations() {
+            return Err(IndexError::InvalidTree(format!(
+                "tree spans {} relations but the query has {}",
+                jt.len(),
+                query.num_relations()
+            )));
+        }
+        if !jt.satisfies_connectedness(&query) {
+            return Err(IndexError::InvalidTree(format!(
+                "edges {:?} violate the join-tree property (some attribute's \
+                 relations are not connected)",
+                jt.canonical_edges()
+            )));
+        }
+        let rooted = rsj_query::rooted::all_rooted_trees(&query, jt)
             .map_err(|e| IndexError::KeyTooWide(e.to_string()))?;
         let mut db = Database::new();
         for r in query.relations() {

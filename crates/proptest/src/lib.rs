@@ -170,6 +170,25 @@ pub mod collection {
     }
 }
 
+/// Discards the current generated case when its precondition fails (the
+/// real crate resamples; here the case is simply skipped — with
+/// deterministic generation the retained subsequence is still identical
+/// across runs). Only usable directly inside a [`proptest!`] body, which
+/// runs each case in its own closure.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
 /// Asserts a condition inside a property (panics with the case context).
 #[macro_export]
 macro_rules! prop_assert {
@@ -217,7 +236,10 @@ macro_rules! __proptest_fns {
                 for __case in 0..__cfg.cases {
                     let _ = __case;
                     $( let $arg = $crate::Strategy::sample(&($strat), &mut __rng); )+
-                    $body
+                    // Each case runs in its own closure so `prop_assume!`
+                    // can skip it with an early return.
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| { $body })();
                 }
             }
         )*
@@ -227,8 +249,8 @@ macro_rules! __proptest_fns {
 /// The glob-import surface test files expect.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary, ProptestConfig,
-        Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Arbitrary,
+        ProptestConfig, Strategy,
     };
 }
 

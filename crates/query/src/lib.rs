@@ -16,17 +16,22 @@
 //!   vertex-enumeration LP solver (Definition 5.1);
 //! * [`ghd`] — generalized hypertree decompositions for cyclic queries
 //!   (Definitions 5.2–5.3), with automatic search for small queries;
-//! * [`foreign_key`] — the foreign-key combination rewrite of §4.4.
+//! * [`foreign_key`] — the foreign-key combination rewrite of §4.4;
+//! * [`plan`] — cost-based plan selection: enumerate candidate join trees
+//!   ([`join_tree::all_join_trees`]), score every tree × root against
+//!   observed stream statistics, return the winning [`plan::Plan`].
 
 pub mod foreign_key;
 pub mod fractional;
 pub mod ghd;
 pub mod hypergraph;
 pub mod join_tree;
+pub mod plan;
 pub mod rooted;
 
 pub use foreign_key::{CombinePlan, FkSchema};
 pub use ghd::Ghd;
 pub use hypergraph::{Query, QueryBuilder, RelSchema};
-pub use join_tree::JoinTree;
+pub use join_tree::{all_join_trees, JoinTree};
+pub use plan::{CostWeights, Plan, PlanCost, Planner};
 pub use rooted::{NodeInfo, RootedTree};

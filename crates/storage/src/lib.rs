@@ -17,12 +17,17 @@
 //! * [`input::InputTuple`] / [`input::TupleStream`] — the insert-only input
 //!   stream fed to the drivers;
 //! * [`input::StreamOp`] / [`input::OpStream`] — the fully-dynamic
-//!   (turnstile) stream of interleaved inserts and deletes.
+//!   (turnstile) stream of interleaved inserts and deletes;
+//! * [`stats::TableStatistics`] — observed per-relation/per-column stream
+//!   statistics, the evidence the cost-based planner (`rsj-query::plan`)
+//!   scores candidate join trees with.
 
 pub mod input;
 pub mod relation;
 pub mod semijoin;
+pub mod stats;
 
 pub use input::{InputTuple, OpStream, StreamOp, TupleStream};
 pub use relation::{Database, Relation};
 pub use semijoin::SemijoinIndex;
+pub use stats::{ColumnStats, RelationStats, TableStatistics};

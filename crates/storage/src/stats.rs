@@ -1,0 +1,340 @@
+//! Observed stream statistics — the evidence the cost-based planner runs on.
+//!
+//! The planner in `rsj-query::plan` scores candidate join trees with a cost
+//! model whose inputs are *observed* quantities of the live data: how many
+//! tuples each relation holds, how many distinct values each column has
+//! seen, and how heavy the heaviest key is. [`TableStatistics`] collects
+//! exactly those, two ways:
+//!
+//! * **streaming** — [`TableStatistics::observe_insert`] /
+//!   [`observe_delete`](TableStatistics::observe_delete) per tuple, for
+//!   pipelines that want statistics without retaining the data (the
+//!   `fig_planner` pre-pass, the sharded router);
+//! * **snapshot** — [`TableStatistics::from_database`] scans the live
+//!   tuples of a [`Database`], for consumers that already store the
+//!   relations (the `RSJoin` driver's `replan()` hook).
+//!
+//! Both produce identical numbers for the same live multiset: the
+//! per-column sketch is an exact value→frequency map, not an approximation
+//! — relations in this system live in memory anyway, so the planner may as
+//! well run on exact frequencies. (A sub-linear sketch can replace the map
+//! behind the same accessors if stream cardinalities ever outgrow memory.)
+
+use crate::relation::Database;
+use rsj_common::{FxHashMap, Value};
+
+/// Exact per-column frequency sketch: distinct count, maximum per-key
+/// frequency, and the live row count behind them.
+#[derive(Clone, Debug, Default)]
+pub struct ColumnStats {
+    freq: FxHashMap<Value, u64>,
+    rows: u64,
+}
+
+impl ColumnStats {
+    /// Records one occurrence of `v`.
+    pub fn observe(&mut self, v: Value) {
+        *self.freq.entry(v).or_insert(0) += 1;
+        self.rows += 1;
+    }
+
+    /// Removes one occurrence of `v` (no-op if `v` was never observed —
+    /// the caller is expected to mirror the relation's set semantics).
+    pub fn unobserve(&mut self, v: Value) {
+        if let Some(c) = self.freq.get_mut(&v) {
+            *c -= 1;
+            self.rows -= 1;
+            if *c == 0 {
+                self.freq.remove(&v);
+            }
+        }
+    }
+
+    /// Number of live rows observed through this column.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Number of distinct live values.
+    pub fn distinct(&self) -> u64 {
+        self.freq.len() as u64
+    }
+
+    /// Frequency of the heaviest live value (0 when empty).
+    pub fn max_frequency(&self) -> u64 {
+        self.freq.values().copied().max().unwrap_or(0)
+    }
+
+    /// Mean rows per distinct value (1.0 when empty).
+    pub fn avg_fanout(&self) -> f64 {
+        if self.freq.is_empty() {
+            1.0
+        } else {
+            self.rows as f64 / self.freq.len() as f64
+        }
+    }
+}
+
+/// Per-relation statistics: live cardinality plus one [`ColumnStats`] per
+/// schema position.
+#[derive(Clone, Debug, Default)]
+pub struct RelationStats {
+    /// Live tuple count (set semantics — duplicates and deleted tuples
+    /// excluded, exactly like [`crate::Relation::len`]).
+    pub cardinality: u64,
+    /// One sketch per schema position.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl RelationStats {
+    fn with_arity(arity: usize) -> RelationStats {
+        RelationStats {
+            cardinality: 0,
+            columns: vec![ColumnStats::default(); arity],
+        }
+    }
+
+    /// Distinct count of the projection onto `positions`, estimated as the
+    /// largest single-column distinct count among them — a lower bound on
+    /// the true set-distinct count, so the derived fan-out
+    /// ([`fanout`](RelationStats::fanout)) is an upper estimate. An empty
+    /// projection (a root's empty key) has one distinct value.
+    pub fn distinct_at(&self, positions: &[usize]) -> u64 {
+        positions
+            .iter()
+            .map(|&p| self.columns[p].distinct())
+            .max()
+            .unwrap_or(1)
+            .max(1)
+    }
+
+    /// Expected live tuples per distinct value of the projection onto
+    /// `positions` (≥ the true average; 1.0 for an empty relation).
+    pub fn fanout(&self, positions: &[usize]) -> f64 {
+        if self.cardinality == 0 {
+            1.0
+        } else {
+            self.cardinality as f64 / self.distinct_at(positions) as f64
+        }
+    }
+
+    /// Heaviest-key frequency of the projection onto `positions`: the
+    /// smallest single-column max frequency among them (an upper bound on
+    /// the projection's true max frequency; the cardinality for an empty
+    /// projection).
+    pub fn max_fanout(&self, positions: &[usize]) -> u64 {
+        positions
+            .iter()
+            .map(|&p| self.columns[p].max_frequency())
+            .min()
+            .unwrap_or(self.cardinality)
+            .max(1)
+    }
+
+    /// Skew of the projection: heaviest key frequency over mean key
+    /// frequency (≥ 1.0; exactly 1.0 for uniform keys or no data).
+    pub fn skew(&self, positions: &[usize]) -> f64 {
+        let avg = self.fanout(positions);
+        if avg <= 0.0 {
+            1.0
+        } else {
+            (self.max_fanout(positions) as f64 / avg).max(1.0)
+        }
+    }
+}
+
+/// Observed statistics for every relation of one query.
+#[derive(Clone, Debug, Default)]
+pub struct TableStatistics {
+    rels: Vec<RelationStats>,
+    inserts_seen: u64,
+    deletes_seen: u64,
+}
+
+impl TableStatistics {
+    /// An empty collector for `arities.len()` relations.
+    pub fn new(arities: &[usize]) -> TableStatistics {
+        TableStatistics {
+            rels: arities
+                .iter()
+                .map(|&a| RelationStats::with_arity(a))
+                .collect(),
+            inserts_seen: 0,
+            deletes_seen: 0,
+        }
+    }
+
+    /// Snapshot of the live tuples of `db` (tombstones excluded).
+    pub fn from_database(db: &Database) -> TableStatistics {
+        let mut stats = TableStatistics::new(&db.iter().map(|r| r.arity()).collect::<Vec<_>>());
+        for (rel, r) in db.iter().enumerate() {
+            for (_, t) in r.iter() {
+                stats.observe_insert(rel, t);
+            }
+        }
+        stats
+    }
+
+    /// Records one accepted insert into relation `rel`. Callers enforce set
+    /// semantics (observe only tuples the relation actually accepted).
+    pub fn observe_insert(&mut self, rel: usize, tuple: &[Value]) {
+        let rs = &mut self.rels[rel];
+        rs.cardinality += 1;
+        for (col, &v) in rs.columns.iter_mut().zip(tuple) {
+            col.observe(v);
+        }
+        self.inserts_seen += 1;
+    }
+
+    /// Records one applied delete from relation `rel` (present at deletion
+    /// time).
+    pub fn observe_delete(&mut self, rel: usize, tuple: &[Value]) {
+        let rs = &mut self.rels[rel];
+        rs.cardinality = rs.cardinality.saturating_sub(1);
+        for (col, &v) in rs.columns.iter_mut().zip(tuple) {
+            col.unobserve(v);
+        }
+        self.deletes_seen += 1;
+    }
+
+    /// Per-relation statistics, indexed by relation id.
+    pub fn relations(&self) -> &[RelationStats] {
+        &self.rels
+    }
+
+    /// Statistics of relation `rel`.
+    pub fn relation(&self, rel: usize) -> &RelationStats {
+        &self.rels[rel]
+    }
+
+    /// Number of relations covered.
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// True when built for zero relations.
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// Total live tuples across all relations.
+    pub fn total_live(&self) -> u64 {
+        self.rels.iter().map(|r| r.cardinality).sum()
+    }
+
+    /// Inserts observed over the collector's lifetime (not live count).
+    pub fn inserts_seen(&self) -> u64 {
+        self.inserts_seen
+    }
+
+    /// Deletes observed over the collector's lifetime.
+    pub fn deletes_seen(&self) -> u64 {
+        self.deletes_seen
+    }
+
+    /// Observed share of stream traffic hitting relation `rel` (lifetime
+    /// inserts+deletes would be ideal; live cardinality is the proxy that
+    /// both entry points can produce identically). Uniform when no data has
+    /// been observed.
+    pub fn traffic_share(&self, rel: usize) -> f64 {
+        let total = self.total_live();
+        if total == 0 {
+            1.0 / self.rels.len().max(1) as f64
+        } else {
+            self.rels[rel].cardinality as f64 / total as f64
+        }
+    }
+
+    /// True when nothing has been observed yet — the planner treats this as
+    /// "no evidence" and keeps the canonical orientation.
+    pub fn no_evidence(&self) -> bool {
+        self.inserts_seen == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_sketch_tracks_distinct_and_max() {
+        let mut c = ColumnStats::default();
+        for v in [1u64, 1, 1, 2, 3] {
+            c.observe(v);
+        }
+        assert_eq!(c.rows(), 5);
+        assert_eq!(c.distinct(), 3);
+        assert_eq!(c.max_frequency(), 3);
+        assert!((c.avg_fanout() - 5.0 / 3.0).abs() < 1e-12);
+        c.unobserve(1);
+        c.unobserve(3);
+        assert_eq!(c.distinct(), 2);
+        assert_eq!(c.max_frequency(), 2);
+    }
+
+    #[test]
+    fn streaming_matches_snapshot() {
+        let mut db = Database::new();
+        db.add_relation("R", 2);
+        db.add_relation("S", 2);
+        let mut streaming = TableStatistics::new(&[2, 2]);
+        let tuples: Vec<(usize, [Value; 2])> = vec![
+            (0, [1, 10]),
+            (0, [2, 10]),
+            (0, [2, 11]),
+            (1, [10, 5]),
+            (1, [10, 6]),
+        ];
+        for (rel, t) in &tuples {
+            if db.relation_mut(*rel).insert(t).is_some() {
+                streaming.observe_insert(*rel, t);
+            }
+        }
+        // Delete one from both views.
+        db.relation_mut(0).remove(&[2, 10]).unwrap();
+        streaming.observe_delete(0, &[2, 10]);
+        let snap = TableStatistics::from_database(&db);
+        assert_eq!(snap.relation(0).cardinality, 2);
+        for rel in 0..2 {
+            let (a, b) = (streaming.relation(rel), snap.relation(rel));
+            assert_eq!(a.cardinality, b.cardinality, "rel {rel}");
+            for (ca, cb) in a.columns.iter().zip(&b.columns) {
+                assert_eq!(ca.distinct(), cb.distinct());
+                assert_eq!(ca.max_frequency(), cb.max_frequency());
+            }
+        }
+    }
+
+    #[test]
+    fn projection_estimates() {
+        let mut s = TableStatistics::new(&[2]);
+        // 6 tuples, column 0 has 2 distinct (heaviest 4), column 1 has 6.
+        for (a, b) in [(1, 10), (1, 11), (1, 12), (1, 13), (2, 14), (2, 15)] {
+            s.observe_insert(0, &[a, b]);
+        }
+        let r = s.relation(0);
+        assert_eq!(r.distinct_at(&[0]), 2);
+        assert_eq!(r.distinct_at(&[1]), 6);
+        // Set-distinct of (0,1) is 6; the estimate takes the max column.
+        assert_eq!(r.distinct_at(&[0, 1]), 6);
+        assert_eq!(r.distinct_at(&[]), 1);
+        assert!((r.fanout(&[0]) - 3.0).abs() < 1e-12);
+        assert_eq!(r.max_fanout(&[0]), 4);
+        assert!((r.skew(&[0]) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((r.skew(&[1]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_share_and_evidence() {
+        let mut s = TableStatistics::new(&[1, 1]);
+        assert!(s.no_evidence());
+        assert!((s.traffic_share(0) - 0.5).abs() < 1e-12);
+        s.observe_insert(0, &[1]);
+        s.observe_insert(0, &[2]);
+        s.observe_insert(1, &[3]);
+        assert!(!s.no_evidence());
+        assert!((s.traffic_share(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.inserts_seen(), 3);
+        assert_eq!(s.total_live(), 3);
+    }
+}

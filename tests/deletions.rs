@@ -7,12 +7,16 @@
 //! validity (every sample is a live join result), cardinality
 //! (`min(k, |Q(R)|)` samples), statistical uniformity at a 20% delete
 //! ratio, delete-then-reinsert round trips, and the capability probe.
+//! The counting/brute-force/chi-square machinery is `rsj-testutil`'s; the
+//! multi-engine uniformity family runs Bonferroni-corrected (one
+//! comparison per dynamic engine).
 
-use rsj_common::rng::RsjRng;
-use rsj_common::stats::{chi_square_critical, chi_square_uniform};
-use rsj_common::{FxHashMap, FxHashSet, Value};
+use rsj_common::{FxHashSet, Value};
 use rsj_datagen::{TurnstileConfig, VictimPolicy};
-use rsj_storage::{OpStream, StreamOp, TupleStream};
+use rsj_storage::{OpStream, StreamOp};
+use rsj_testutil::{
+    brute_join_named, live_sets, op_inclusion_counts, random_stream, UniformityCheck,
+};
 use rsjoin::engine::{Engine, EngineOpts};
 use rsjoin::prelude::*;
 
@@ -44,90 +48,6 @@ fn dynamic_engines(query: &Query) -> Vec<Engine> {
         engines.push(Engine::Symmetric);
     }
     engines
-}
-
-/// Replays an op stream into per-relation live tuple sets.
-fn live_sets(query: &Query, ops: &OpStream) -> Vec<FxHashSet<Vec<Value>>> {
-    let mut live = vec![FxHashSet::default(); query.num_relations()];
-    for op in ops.iter() {
-        let t = op.tuple();
-        match op {
-            StreamOp::Insert(_) => {
-                live[t.relation].insert(t.values.clone());
-            }
-            StreamOp::Delete(_) => {
-                live[t.relation].remove(&t.values);
-            }
-        }
-    }
-    live
-}
-
-/// Brute-force join over live tuple sets, as engine-independent
-/// `samples_named` rows.
-fn brute_join_named(
-    query: &Query,
-    live: &[FxHashSet<Vec<Value>>],
-) -> FxHashSet<Vec<(String, Value)>> {
-    let mut out = FxHashSet::default();
-    let mut partial: Vec<Option<Value>> = vec![None; query.num_attrs()];
-    fn recurse(
-        query: &Query,
-        live: &[FxHashSet<Vec<Value>>],
-        rel: usize,
-        partial: &mut Vec<Option<Value>>,
-        out: &mut FxHashSet<Vec<(String, Value)>>,
-    ) {
-        if rel == query.num_relations() {
-            let mut kv: Vec<(String, Value)> = query
-                .attr_names()
-                .iter()
-                .cloned()
-                .zip(partial.iter().map(|v| v.expect("bound")))
-                .collect();
-            kv.sort();
-            out.insert(kv);
-            return;
-        }
-        let schema = &query.relation(rel).attrs;
-        'tuples: for t in &live[rel] {
-            let mut bound = Vec::new();
-            for (pos, &attr) in schema.iter().enumerate() {
-                match partial[attr] {
-                    Some(v) if v != t[pos] => {
-                        for &a in &bound {
-                            partial[a] = None;
-                        }
-                        continue 'tuples;
-                    }
-                    Some(_) => {}
-                    None => {
-                        partial[attr] = Some(t[pos]);
-                        bound.push(attr);
-                    }
-                }
-            }
-            recurse(query, live, rel + 1, partial, out);
-            for &a in &bound {
-                partial[a] = None;
-            }
-        }
-    }
-    recurse(query, live, 0, &mut partial, &mut out);
-    out
-}
-
-fn random_stream(query: &Query, n: usize, dom: u64, seed: u64) -> TupleStream {
-    let mut rng = RsjRng::seed_from_u64(seed);
-    let mut s = TupleStream::new();
-    let rels = query.num_relations();
-    for _ in 0..n {
-        s.push(
-            rng.index(rels),
-            vec![rng.below_u64(dom), rng.below_u64(dom)],
-        );
-    }
-    s
 }
 
 #[test]
@@ -193,7 +113,8 @@ fn sample_cardinality_tracks_live_population() {
 /// The maintained sample must stay uniform over the post-delete `Q(R)` —
 /// the acceptance-criteria chi-square at a 20% delete ratio, with deletes
 /// interleaved mid-stream (not just at the end) so repair points and
-/// subsequent insertions both land in the measured distribution.
+/// subsequent insertions both land in the measured distribution. One
+/// Bonferroni family across the dynamic engines.
 #[test]
 fn uniform_under_twenty_percent_deletes() {
     let query = line3();
@@ -222,27 +143,19 @@ fn uniform_under_twenty_percent_deletes() {
     assert_eq!(expect.len(), 12);
     let k = 3;
     let trials = 4000u64;
-    for engine in dynamic_engines(&query) {
-        let mut counts: FxHashMap<Vec<(String, Value)>, u64> = FxHashMap::default();
-        for seed in 0..trials {
-            let mut s = engine
-                .build(&query, k, seed, &EngineOpts::default())
-                .unwrap();
-            s.process_op_stream(&ops).unwrap();
-            let named = s.samples_named();
-            assert_eq!(named.len(), k, "{engine} seed {seed}");
-            for sample in named {
-                assert!(expect.contains(&sample), "{engine}: dead sample {sample:?}");
-                *counts.entry(sample).or_default() += 1;
-            }
-        }
-        assert_eq!(counts.len(), 12, "{engine} reached every live result");
-        let observed: Vec<u64> = counts.values().copied().collect();
-        let (stat, df) = chi_square_uniform(&observed);
-        assert!(
-            stat < chi_square_critical(df, 0.0001),
-            "{engine}: chi2={stat} df={df}"
+    let engines = dynamic_engines(&query);
+    let check = UniformityCheck::across(engines.len());
+    for engine in engines {
+        let counts = op_inclusion_counts(
+            &engine,
+            &query,
+            &EngineOpts::default(),
+            &ops,
+            &expect,
+            k,
+            0..trials,
         );
+        check.assert_uniform(&counts, 12, &format!("{engine} at 20% deletes"));
     }
 }
 

@@ -93,6 +93,91 @@ fn rsjoin_opt_reservoir_bytes_are_pinned() {
     );
 }
 
+/// Digest of a planner choice: tree edge set, root, partition attribute.
+fn plan_digest(plan: &Plan) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    let edges = plan.tree.canonical_edges();
+    eat(edges.len() as u64);
+    for (i, j) in edges {
+        eat(i as u64);
+        eat(j as u64);
+    }
+    eat(plan.root as u64);
+    eat(plan.partition_attr as u64);
+    h
+}
+
+/// The planner's default choice for a workload, run against statistics
+/// observed from the workload's full input under set semantics (preload
+/// then stream, in arrival order — exactly what an engine's live database
+/// would report at end of stream).
+fn default_plan(w: &rsj_queries::Workload) -> Plan {
+    let mut stats = rsjoin::query::plan::empty_statistics(&w.query);
+    let mut seen: rsjoin::common::FxHashSet<(usize, Vec<Value>)> = Default::default();
+    for t in w.preload.iter().chain(w.stream.iter()) {
+        if seen.insert((t.relation, t.values.clone())) {
+            stats.observe_insert(t.relation, &t.values);
+        }
+    }
+    Planner::default().plan(&w.query, &stats).expect("acyclic")
+}
+
+/// Pin the planner's default tree/root/partition choices on the existing
+/// and new workloads. A silent cost-model change that moves any default
+/// choice fails here loudly; deliberate model changes must update these
+/// digests *knowingly* (and re-run `fig_planner` to show the new choices
+/// are no slower).
+#[test]
+fn planner_default_choices_are_pinned() {
+    let cases: [(&str, rsj_queries::Workload, u64); 5] = [
+        ("line-3", graph_workload(), 0xA93B_B823_B561_9E45),
+        ("QY", relational_workload(), 0x4EC9_42DD_7ADB_EFC1),
+        (
+            "snowflake",
+            rsj_queries::snowflake(192, 23),
+            0xD650_9511_7FB3_ABC4,
+        ),
+        (
+            "self-line-3",
+            rsj_queries::self_join_line(3, 96, 29),
+            0xA93B_B823_B561_9E45,
+        ),
+        (
+            "skewed-star-4",
+            rsj_queries::skewed_star(4, 128, 31),
+            0xCB46_E9C7_16D0_1524,
+        ),
+    ];
+    for (name, w, expect) in cases {
+        let plan = default_plan(&w);
+        assert!(plan.tree.satisfies_connectedness(&w.query), "{name}");
+        if std::env::var_os("RSJ_PIN_PLANS").is_some() {
+            println!(
+                "{name}: 0x{:016X} (tree {:?}, root {}, partition {})",
+                plan_digest(&plan),
+                plan.tree.canonical_edges(),
+                plan.root,
+                plan.partition_attr
+            );
+            continue;
+        }
+        assert_eq!(
+            plan_digest(&plan),
+            expect,
+            "{name}: planner default choice moved (tree {:?}, root {}, partition {})",
+            plan.tree.canonical_edges(),
+            plan.root,
+            plan.partition_attr
+        );
+    }
+}
+
 /// The turnstile machinery must be invisible to insert-only runs: driving
 /// the identical insert-only stream through the `StreamOp` path
 /// (`process_op_stream`) consumes the same randomness and must reproduce

@@ -1,50 +1,14 @@
 //! Statistical uniformity tests: the sample distribution of every engine
 //! matches the uniform distribution over the true result set, at final and
-//! intermediate timestamps. Fixed seeds; thresholds at alpha = 1e-4 so the
-//! suite never flakes. One trait-driven counting harness serves every
-//! engine.
+//! intermediate timestamps. Fixed seeds; all machinery (counting harness,
+//! chi-square thresholds, alpha levels) lives in `rsj-testutil` — see its
+//! crate docs for the documented base level and the Bonferroni correction
+//! applied when one family of checks spans several engines.
 
-use rsjoin::common::stats::{chi_square_critical, chi_square_uniform};
-use rsjoin::common::FxHashMap;
+use rsj_testutil::{inclusion_counts, UniformityCheck};
 use rsjoin::prelude::*;
 
-type NamedSample = Vec<(String, u64)>;
-
-/// Streams `stream` through a fresh `engine` instance per seed and counts
-/// how often each (normalized) result lands in the reservoir.
-fn inclusion_counts(
-    engine: Engine,
-    q: &Query,
-    opts: &EngineOpts,
-    stream: &TupleStream,
-    k: usize,
-    seeds: std::ops::Range<u64>,
-    expect_full: bool,
-) -> FxHashMap<NamedSample, u64> {
-    let mut counts: FxHashMap<NamedSample, u64> = FxHashMap::default();
-    for seed in seeds {
-        let mut s = engine
-            .build(q, k, seed, opts)
-            .unwrap_or_else(|e| panic!("{engine}: {e}"));
-        s.process_stream(stream);
-        let named = s.samples_named();
-        if expect_full {
-            assert_eq!(named.len(), k, "{engine} seed {seed}");
-        }
-        for sample in named {
-            *counts.entry(sample).or_default() += 1;
-        }
-    }
-    counts
-}
-
-fn assert_uniform(counts: &FxHashMap<NamedSample, u64>, expected_support: usize, label: &str) {
-    assert_eq!(counts.len(), expected_support, "{label}: support");
-    let obs: Vec<u64> = counts.values().copied().collect();
-    let (stat, df) = chi_square_uniform(&obs);
-    let crit = chi_square_critical(df, 0.0001);
-    assert!(stat < crit, "{label}: chi2={stat:.1} > crit={crit:.1}");
-}
+type NamedSample = rsj_testutil::NamedSample;
 
 fn line3_query() -> Query {
     let mut qb = QueryBuilder::new();
@@ -72,32 +36,23 @@ fn skewed_stream() -> TupleStream {
     s
 }
 
+/// RSJoin and SJoin each run the same skewed instance — one family of two
+/// comparisons sharing the base alpha budget.
 #[test]
-fn rsjoin_uniform_with_k3() {
-    let counts = inclusion_counts(
-        Engine::Reservoir,
-        &line3_query(),
-        &EngineOpts::default(),
-        &skewed_stream(),
-        3,
-        0..6000,
-        true,
-    );
-    assert_uniform(&counts, 24, "rsjoin k=3");
-}
-
-#[test]
-fn sjoin_uniform_with_k3() {
-    let counts = inclusion_counts(
-        Engine::SJoin,
-        &line3_query(),
-        &EngineOpts::default(),
-        &skewed_stream(),
-        3,
-        0..6000,
-        false,
-    );
-    assert_uniform(&counts, 24, "sjoin k=3");
+fn rsjoin_and_sjoin_uniform_with_k3() {
+    let check = UniformityCheck::across(2);
+    for (engine, expect_full) in [(Engine::Reservoir, true), (Engine::SJoin, false)] {
+        let counts = inclusion_counts(
+            &engine,
+            &line3_query(),
+            &EngineOpts::default(),
+            &skewed_stream(),
+            3,
+            0..6000,
+            expect_full,
+        );
+        check.assert_uniform(&counts, 24, &format!("{engine} k=3"));
+    }
 }
 
 #[test]
@@ -109,9 +64,9 @@ fn rsjoin_and_sjoin_agree_distributionally() {
     let opts = EngineOpts::default();
     let trials = 4000u64;
     let k = 4;
-    let rs_counts = inclusion_counts(Engine::Reservoir, &q, &opts, &stream, k, 0..trials, true);
+    let rs_counts = inclusion_counts(&Engine::Reservoir, &q, &opts, &stream, k, 0..trials, true);
     let sj_counts = inclusion_counts(
-        Engine::SJoin,
+        &Engine::SJoin,
         &q,
         &opts,
         &stream,
@@ -143,7 +98,7 @@ fn uniform_at_intermediate_prefix() {
     // => 4 * 2 = 8 results.
     let prefix: TupleStream = full.iter().take(8).cloned().collect();
     let counts = inclusion_counts(
-        Engine::Reservoir,
+        &Engine::Reservoir,
         &line3_query(),
         &EngineOpts::default(),
         &prefix,
@@ -151,7 +106,7 @@ fn uniform_at_intermediate_prefix() {
         90_000..95_000,
         false,
     );
-    assert_uniform(&counts, 8, "prefix");
+    UniformityCheck::single().assert_uniform(&counts, 8, "prefix");
 }
 
 /// A line-3 instance whose results are spread over several B values, so
@@ -183,11 +138,11 @@ fn sharded_stream() -> TupleStream {
 
 #[test]
 fn sharded_rsjoin_uniform_with_k3() {
-    // The tentpole statistical guarantee: the weighted reservoir union of
+    // The scale-out statistical guarantee: the weighted reservoir union of
     // per-shard RSJoin reservoirs is uniform over the full result set,
     // even with shard populations skewed 15:2:1.
     let counts = inclusion_counts(
-        Engine::sharded(Engine::Reservoir, 3),
+        &Engine::sharded(Engine::Reservoir, 3),
         &line3_query(),
         &EngineOpts::default(),
         &sharded_stream(),
@@ -195,7 +150,7 @@ fn sharded_rsjoin_uniform_with_k3() {
         0..6000,
         true,
     );
-    assert_uniform(&counts, 18, "sharded rsjoin k=3");
+    UniformityCheck::single().assert_uniform(&counts, 18, "sharded rsjoin k=3");
 }
 
 #[test]
@@ -208,7 +163,7 @@ fn sharded_matches_naive_ground_truth_distributionally() {
     let trials = 4000u64;
     let k = 4;
     let sharded = inclusion_counts(
-        Engine::sharded(Engine::Reservoir, 3),
+        &Engine::sharded(Engine::Reservoir, 3),
         &q,
         &opts,
         &stream,
@@ -217,7 +172,7 @@ fn sharded_matches_naive_ground_truth_distributionally() {
         true,
     );
     let naive = inclusion_counts(
-        Engine::Naive,
+        &Engine::Naive,
         &q,
         &opts,
         &stream,
@@ -232,7 +187,7 @@ fn sharded_matches_naive_ground_truth_distributionally() {
             (c - expect).abs() < expect * 0.25,
             "sharded freq off for {r:?}: {c} vs {expect}"
         );
-        let nc = naive.get(r).copied().unwrap_or(0) as f64;
+        let nc: f64 = naive.get(r).copied().unwrap_or(0) as f64;
         assert!(
             (nc - expect).abs() < expect * 0.25,
             "naive freq off for {r:?}: {nc} vs {expect}"
@@ -265,7 +220,7 @@ fn sharded_cyclic_uniform() {
     }
     // Triangles: (0,1,4), (0,2,4), (0,1,5) on X=0; (1,1,4) on X=1.
     let counts = inclusion_counts(
-        Engine::sharded(Engine::Cyclic, 2),
+        &Engine::sharded(Engine::Cyclic, 2),
         &q,
         &EngineOpts::default(),
         &stream,
@@ -273,7 +228,7 @@ fn sharded_cyclic_uniform() {
         0..6000,
         true,
     );
-    assert_uniform(&counts, 4, "sharded cyclic k=1");
+    UniformityCheck::single().assert_uniform(&counts, 4, "sharded cyclic k=1");
 }
 
 #[test]
@@ -300,8 +255,8 @@ fn fk_driver_uniform() {
     ] {
         stream.push(rel, t);
     }
-    let counts = inclusion_counts(Engine::FkReservoir, &q, &opts, &stream, 1, 0..6000, true);
-    assert_uniform(&counts, 6, "fk k=1");
+    let counts = inclusion_counts(&Engine::FkReservoir, &q, &opts, &stream, 1, 0..6000, true);
+    UniformityCheck::single().assert_uniform(&counts, 6, "fk k=1");
 }
 
 #[test]
@@ -327,7 +282,7 @@ fn cyclic_driver_uniform() {
     }
     // Triangles: (0,1,4), (0,2,4), (0,1,5), (0,2,5).
     let counts = inclusion_counts(
-        Engine::Cyclic,
+        &Engine::Cyclic,
         &q,
         &EngineOpts::default(),
         &stream,
@@ -335,5 +290,23 @@ fn cyclic_driver_uniform() {
         0..6000,
         true,
     );
-    assert_uniform(&counts, 4, "cyclic k=1");
+    UniformityCheck::single().assert_uniform(&counts, 4, "cyclic k=1");
+}
+
+/// The harness's named-sample normalization keeps engines comparable: spot
+/// check the shape once here rather than per test.
+#[test]
+fn named_samples_are_sorted_pairs() {
+    let counts = inclusion_counts(
+        &Engine::Reservoir,
+        &line3_query(),
+        &EngineOpts::default(),
+        &skewed_stream(),
+        1,
+        0..1,
+        true,
+    );
+    let sample: &NamedSample = counts.keys().next().unwrap();
+    let names: Vec<&str> = sample.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, ["A", "B", "C", "D"]);
 }
