@@ -35,7 +35,7 @@ use rsj_baselines::{NaiveRebuild, SJoin, SJoinOpt, SymmetricSampler};
 use rsj_core::{CyclicReservoirJoin, FkReservoirJoin, JoinSampler, ReservoirJoin, ShardedSampler};
 use rsj_index::IndexOptions;
 use rsj_queries::Workload;
-use rsj_query::{FkSchema, JoinTree, Query};
+use rsj_query::{FkSchema, JoinTree, Plan, Query};
 
 /// Per-build options shared by all engines.
 ///
@@ -50,6 +50,18 @@ pub struct EngineOpts {
     pub fks: Option<FkSchema>,
     /// Dynamic-index tuning for the `RSJoin` family (grouping on/off).
     pub index: IndexOptions,
+    /// Explicit execution plan (join-tree orientation, sampling root,
+    /// partition attribute) — the explicit-rooting override. `None` lets
+    /// each engine start from the canonical plan and adapt at runtime via
+    /// `JoinSampler::replan`.
+    ///
+    /// Honoured by `Engine::Reservoir` (the plan's query is the indexed
+    /// query) and by `Engine::Sharded` (partition attribute; the plan also
+    /// flows to a `Reservoir` inner engine). Engines that index a
+    /// *rewritten* query (`RSJoin_opt`, the cyclic GHD driver) or have no
+    /// plan choice (the baselines) reject an explicit plan with
+    /// [`EngineError::Build`] rather than silently ignoring it.
+    pub plan: Option<Plan>,
 }
 
 /// Why an engine could not be constructed for a query.
@@ -211,42 +223,104 @@ impl Engine {
                 .clone()
                 .unwrap_or_else(|| FkSchema::none(query.num_relations()))
         };
+        // Engines with no plan choice (or whose indexed query is a rewrite
+        // of `query`) cannot honour an explicit plan; failing loudly beats
+        // silently running a different orientation than the caller asked
+        // for.
+        let reject_plan = || -> Result<(), EngineError> {
+            match &opts.plan {
+                Some(_) => Err(EngineError::Build(format!(
+                    "{} cannot honour an explicit plan (no plan choice, or it \
+                     indexes a rewritten query); leave EngineOpts::plan unset",
+                    self.name()
+                ))),
+                None => Ok(()),
+            }
+        };
         match self {
-            Engine::Reservoir => ReservoirJoin::with_options(query.clone(), k, seed, opts.index)
-                .map(|e| Box::new(e) as Box<dyn JoinSampler + Send>)
-                .map_err(|e| EngineError::Build(e.to_string())),
+            Engine::Reservoir => match &opts.plan {
+                Some(plan) => {
+                    if plan.tree.len() != query.num_relations() {
+                        return Err(EngineError::Build(format!(
+                            "plan tree spans {} relations but the query has {}",
+                            plan.tree.len(),
+                            query.num_relations()
+                        )));
+                    }
+                    ReservoirJoin::with_plan(query.clone(), k, seed, opts.index, plan.clone())
+                        .map(|e| Box::new(e) as Box<dyn JoinSampler + Send>)
+                        .map_err(|e| EngineError::Build(e.to_string()))
+                }
+                None => ReservoirJoin::with_options(query.clone(), k, seed, opts.index)
+                    .map(|e| Box::new(e) as Box<dyn JoinSampler + Send>)
+                    .map_err(|e| EngineError::Build(e.to_string())),
+            },
             Engine::FkReservoir => {
+                reject_plan()?;
                 FkReservoirJoin::with_options(query, &fks(), k, seed, opts.index)
                     .map(|e| Box::new(e) as Box<dyn JoinSampler + Send>)
                     .map_err(|e| EngineError::Build(e.to_string()))
             }
-            Engine::Cyclic => CyclicReservoirJoin::with_options(query.clone(), k, seed, opts.index)
-                .map(|e| Box::new(e) as Box<dyn JoinSampler + Send>)
-                .map_err(|e| EngineError::Build(e.to_string())),
-            Engine::Naive => Ok(Box::new(NaiveRebuild::new(query.clone(), k, seed))),
-            Engine::SJoin => SJoin::new(query.clone(), k, seed)
-                .map(|e| Box::new(e) as Box<dyn JoinSampler + Send>)
-                .map_err(EngineError::Build),
-            Engine::SJoinOpt => SJoinOpt::new(query, &fks(), k, seed)
-                .map(|e| Box::new(e) as Box<dyn JoinSampler + Send>)
-                .map_err(EngineError::Build),
-            Engine::Symmetric => SymmetricSampler::new(query.clone(), k, seed)
-                .map(|e| Box::new(e) as Box<dyn JoinSampler + Send>)
-                .map_err(EngineError::Build),
+            Engine::Cyclic => {
+                reject_plan()?;
+                CyclicReservoirJoin::with_options(query.clone(), k, seed, opts.index)
+                    .map(|e| Box::new(e) as Box<dyn JoinSampler + Send>)
+                    .map_err(|e| EngineError::Build(e.to_string()))
+            }
+            Engine::Naive => {
+                reject_plan()?;
+                Ok(Box::new(NaiveRebuild::new(query.clone(), k, seed)))
+            }
+            Engine::SJoin => {
+                reject_plan()?;
+                SJoin::new(query.clone(), k, seed)
+                    .map(|e| Box::new(e) as Box<dyn JoinSampler + Send>)
+                    .map_err(EngineError::Build)
+            }
+            Engine::SJoinOpt => {
+                reject_plan()?;
+                SJoinOpt::new(query, &fks(), k, seed)
+                    .map(|e| Box::new(e) as Box<dyn JoinSampler + Send>)
+                    .map_err(EngineError::Build)
+            }
+            Engine::Symmetric => {
+                reject_plan()?;
+                SymmetricSampler::new(query.clone(), k, seed)
+                    .map(|e| Box::new(e) as Box<dyn JoinSampler + Send>)
+                    .map_err(EngineError::Build)
+            }
             Engine::Sharded { inner, shards } => {
                 if matches!(**inner, Engine::Sharded { .. }) {
                     return Err(EngineError::Unsupported(
                         "nested sharding is not supported".to_string(),
                     ));
                 }
+                if opts.plan.is_some() && !matches!(**inner, Engine::Reservoir) {
+                    // The partition attribute applies to any inner engine,
+                    // but the plan's tree only to the plain RSJoin; keep
+                    // the contract simple and reject mixed cases.
+                    return Err(EngineError::Build(
+                        "explicit plans under Engine::Sharded require an \
+                         Engine::Reservoir inner engine"
+                            .to_string(),
+                    ));
+                }
+                let partition_attr = opts.plan.as_ref().map(|p| p.partition_attr);
                 let inner_engine = (**inner).clone();
                 let build_query = query.clone();
                 let build_opts = opts.clone();
-                ShardedSampler::new(query, k, seed, *shards, move |shard_seed| {
-                    inner_engine
-                        .build(&build_query, k, shard_seed, &build_opts)
-                        .map_err(|e| e.to_string())
-                })
+                ShardedSampler::with_partition(
+                    query,
+                    k,
+                    seed,
+                    *shards,
+                    partition_attr,
+                    move |shard_seed| {
+                        inner_engine
+                            .build(&build_query, k, shard_seed, &build_opts)
+                            .map_err(|e| e.to_string())
+                    },
+                )
                 .map(|e| Box::new(e) as Box<dyn JoinSampler + Send>)
                 .map_err(EngineError::Build)
             }

@@ -38,6 +38,7 @@
 //! | SJoin / symmetric / naive baselines | [`baselines`] | §6 |
 //! | `JoinSampler` executor trait + [`engine::Engine`] factory | [`core`], [`engine`] | §6.1 (the engines compared) |
 //! | Sharded parallel executor (`Engine::Sharded`) | [`core`], [`engine`] | beyond the paper |
+//! | Cost-based planner + adaptive re-rooting (`replan`) | [`query`], [`storage`], [`core`] | beyond the paper |
 //! | Workload generators & benchmark queries | [`datagen`], [`queries`] | §6.1, §6.3 |
 //!
 //! Every figure and table of the paper's evaluation has a regenerating
@@ -70,10 +71,10 @@ pub mod prelude {
     pub use rsj_common::{Key, TupleId, Value};
     pub use rsj_core::{
         CyclicReservoirJoin, DeleteUnsupported, DynamicSampleIndex, FkReservoirJoin, JoinSampler,
-        ReservoirJoin, SamplerStats, ShardPlan, ShardedSampler,
+        ReplanPolicy, ReservoirJoin, SamplerStats, ShardPlan, ShardedSampler,
     };
     pub use rsj_index::{DynamicIndex, FullSampler, IndexOptions};
-    pub use rsj_query::{FkSchema, Ghd, Query, QueryBuilder};
-    pub use rsj_storage::{Database, InputTuple, OpStream, StreamOp, TupleStream};
+    pub use rsj_query::{FkSchema, Ghd, JoinTree, Plan, PlanCost, Planner, Query, QueryBuilder};
+    pub use rsj_storage::{Database, InputTuple, OpStream, StreamOp, TableStatistics, TupleStream};
     pub use rsj_stream::{Batch, ClassicReservoir, FnBatch, Reservoir, SliceBatch};
 }
