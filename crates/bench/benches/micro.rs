@@ -8,7 +8,9 @@
 //! iteration.
 
 use rsj_bench::{fig_name, record_json};
+use rsj_common::hash::{fx_hash_columns, fx_hash_columns_scalar};
 use rsj_common::rng::RsjRng;
+use rsj_common::{fx_hash_one, Key, KeyMap};
 use rsj_datagen::GraphConfig;
 use rsj_index::{DynamicIndex, FullSampler, IndexOptions};
 use rsj_queries::line_k;
@@ -110,10 +112,70 @@ fn bench_reservoir_skip() {
     });
 }
 
+/// The vectorized column-hash kernel against its scalar fallback: 8192
+/// binary rows hashed per iteration, both bit-identical to `fx_hash_one`
+/// over the row slice (the unrolled kernel's claim to exist is pure
+/// throughput).
+fn bench_columnar_hash() {
+    let mut rng = RsjRng::seed_from_u64(3);
+    let flat: Vec<u64> = (0..8192 * 2).map(|_| rng.below_u64(1 << 20)).collect();
+    let mut out = Vec::new();
+    bench("columnar_hash_8k_keys", 2_000, || {
+        out.clear();
+        fx_hash_columns(2, 2, &flat, &mut out);
+        black_box(out.last().copied());
+    });
+    bench("columnar_hash_8k_keys_scalar", 2_000, || {
+        out.clear();
+        fx_hash_columns_scalar(2, 2, &flat, &mut out);
+        black_box(out.last().copied());
+    });
+}
+
+/// The hash-grouped probe pipeline the columnar insert runs per node: sort
+/// 8192 probe requests (4-way duplicated keys, shuffled arrival order) by
+/// digest, coalesce equal-key runs, probe the `KeyMap` once per run.
+fn bench_keymap_grouped_probe() {
+    let mut map: KeyMap<u32> = KeyMap::default();
+    let mut rng = RsjRng::seed_from_u64(4);
+    let mut probes: Vec<(u64, Key)> = Vec::with_capacity(8192);
+    for i in 0..2048u64 {
+        let key = Key::from_slice(&[i, i.wrapping_mul(0x9e37_79b9)]);
+        let hash = fx_hash_one(&key);
+        map.get_or_insert_with(hash, key, || i as u32);
+        for _ in 0..4 {
+            probes.push((hash, key));
+        }
+    }
+    for i in (1..probes.len()).rev() {
+        probes.swap(i, rng.index(i + 1));
+    }
+    bench("keymap_grouped_probe_8k", 2_000, || {
+        let mut sorted = probes.clone();
+        sorted.sort_unstable_by_key(|&(h, _)| h);
+        let mut hits = 0usize;
+        let mut i = 0;
+        while i < sorted.len() {
+            let (h, k) = sorted[i];
+            let mut j = i + 1;
+            while j < sorted.len() && sorted[j] == (h, k) {
+                j += 1;
+            }
+            if map.get(h, &k).is_some() {
+                hits += j - i;
+            }
+            i = j;
+        }
+        black_box(hits);
+    });
+}
+
 fn main() {
     println!("micro — primitive-operation costs\n");
     bench_index_insert();
     bench_full_sample();
     bench_delta_retrieve();
     bench_reservoir_skip();
+    bench_columnar_hash();
+    bench_keymap_grouped_probe();
 }

@@ -50,10 +50,11 @@
 
 use crate::count::JoinCounter;
 use crate::exec::{DeleteUnsupported, JoinSampler, SamplerStats};
+use rsj_common::hash::fx_hash_words;
 use rsj_common::rng::{child_seed, RsjRng};
 use rsj_common::Value;
 use rsj_query::Query;
-use rsj_storage::StreamOp;
+use rsj_storage::{ColumnarBatch, StreamOp};
 use std::cell::RefCell;
 use std::hash::Hasher;
 use std::sync::mpsc;
@@ -144,6 +145,10 @@ struct Snapshot {
 
 enum Msg {
     Batch(Vec<StreamOp>),
+    /// A columnar sub-batch (inserts only): the routing side has already
+    /// partitioned it, the worker ingests it through the engine's columnar
+    /// path.
+    Columnar(ColumnarBatch),
     Read(mpsc::Sender<Snapshot>),
     /// Ask the inner engine to re-evaluate its plan; replies with whether
     /// anything changed.
@@ -177,6 +182,14 @@ fn worker_loop(
                         StreamOp::Delete(t) => counter.remove(t.relation, &t.values),
                     }
                 }
+            }
+            Msg::Columnar(batch) => {
+                cached_count = None;
+                // The columnar twin of `Msg::Batch`: one batched call into
+                // the engine's columnar path, then the tuples move into the
+                // counter in arrival order.
+                sampler.process_columnar(&batch);
+                batch.shred(|rel, values| counter.insert(rel, values.to_vec()));
             }
             Msg::Read(reply) => {
                 let population = *cached_count.get_or_insert_with(|| counter.count());
@@ -220,6 +233,15 @@ impl State {
         let batch = std::mem::take(&mut self.bufs[shard]);
         self.txs[shard]
             .send(Msg::Batch(batch))
+            .expect("shard worker thread died");
+    }
+
+    /// Ships a columnar sub-batch to `shard`, flushing the shard's pending
+    /// row buffer first so the worker sees tuples in routing order.
+    fn send_columnar(&mut self, shard: usize, sub: ColumnarBatch) {
+        self.flush(shard);
+        self.txs[shard]
+            .send(Msg::Columnar(sub))
             .expect("shard worker thread died");
     }
 }
@@ -400,6 +422,52 @@ impl JoinSampler for ShardedSampler {
 
     fn process(&mut self, rel: usize, tuple: &[Value]) {
         self.route_op(StreamOp::insert(rel, tuple.to_vec()));
+    }
+
+    /// Routes a whole columnar batch in one pass: every partitioned
+    /// relation's partition column is hashed in bulk with
+    /// [`fx_hash_words`] — bit-identical to the per-tuple digest
+    /// [`ShardPlan::route`] computes — the arrivals are split into
+    /// per-shard columnar sub-batches in arrival order, and each non-empty
+    /// sub-batch ships over the channel behind the shard's pending row
+    /// buffer, so per-shard arrival order matches tuple-at-a-time routing
+    /// exactly. The routed-tuple count advances as on the row path, so the
+    /// merge RNG (seeded per stream position) is unaffected by which
+    /// ingest shape delivered the tuples.
+    fn process_columnar(&mut self, batch: &ColumnarBatch) {
+        let shards = self.plan.shards();
+        // Bulk-hash each partitioned relation's partition column once; a
+        // broadcast relation keeps an empty digest column.
+        let mut owners: Vec<Vec<u64>> = Vec::with_capacity(batch.num_relations());
+        for rel in 0..batch.num_relations() {
+            let mut hs = Vec::new();
+            if let Some(&Some(pos)) = self.plan.positions.get(rel) {
+                fx_hash_words(batch.relation(rel).column(pos), &mut hs);
+            }
+            owners.push(hs);
+        }
+        let mut subs: Vec<ColumnarBatch> = (0..shards).map(|_| ColumnarBatch::new()).collect();
+        let mut row = Vec::new();
+        for &(rel, r) in batch.arrivals() {
+            let (rel, r) = (rel as usize, r as usize);
+            row.clear();
+            batch.relation(rel).write_row(r, &mut row);
+            match owners[rel].get(r) {
+                Some(&h) => subs[(h % shards as u64) as usize].push(rel, &row),
+                None => {
+                    for sub in &mut subs {
+                        sub.push(rel, &row);
+                    }
+                }
+            }
+        }
+        let st = self.state.get_mut();
+        st.tuples_routed += batch.len() as u64;
+        for (shard, sub) in subs.into_iter().enumerate() {
+            if !sub.is_empty() {
+                st.send_columnar(shard, sub);
+            }
+        }
     }
 
     /// The sharded executor is fully dynamic exactly when its inner engine
@@ -705,6 +773,37 @@ mod tests {
             JoinSampler::process(&mut s, 1, &[2, z]);
         }
         assert_eq!(JoinSampler::samples(&s).len(), 4, "|Q|=11 >= k");
+    }
+
+    #[test]
+    fn columnar_routing_is_byte_identical_to_row_routing() {
+        // Line-3 exercises both routing modes: G1/G2 partition on B, G3 is
+        // broadcast. Interleaving row-shaped ops with columnar chunks on
+        // the columnar side checks that pending row buffers flush ahead of
+        // every sub-batch (per-shard arrival order is preserved).
+        let stream = random_stream(3, 400, 6, 33);
+        for shards in [1, 3] {
+            let mut rows = sharded_rsjoin(&line3(), 8, 7, shards);
+            let mut cols = sharded_rsjoin(&line3(), 8, 7, shards);
+            for t in stream.iter() {
+                JoinSampler::process(&mut rows, t.relation, &t.values);
+            }
+            for (i, chunk) in stream.tuples().chunks(90).enumerate() {
+                if i % 2 == 0 {
+                    for t in chunk {
+                        JoinSampler::process(&mut cols, t.relation, &t.values);
+                    }
+                } else {
+                    cols.process_columnar(&rsj_storage::ColumnarBatch::from_rows(chunk));
+                }
+            }
+            assert_eq!(
+                JoinSampler::samples(&rows),
+                JoinSampler::samples(&cols),
+                "shards={shards}"
+            );
+            assert_eq!(rows.stats(), cols.stats(), "shards={shards}");
+        }
     }
 
     #[test]

@@ -18,15 +18,20 @@
 //!   stream fed to the drivers;
 //! * [`input::StreamOp`] / [`input::OpStream`] — the fully-dynamic
 //!   (turnstile) stream of interleaved inserts and deletes;
+//! * [`columnar::ColumnarBatch`] — an insert-only stream window in
+//!   struct-of-arrays form (one column vector per attribute, per relation),
+//!   the substrate of the columnar ingest fast path;
 //! * [`stats::TableStatistics`] — observed per-relation/per-column stream
 //!   statistics, the evidence the cost-based planner (`rsj-query::plan`)
 //!   scores candidate join trees with.
 
+pub mod columnar;
 pub mod input;
 pub mod relation;
 pub mod semijoin;
 pub mod stats;
 
+pub use columnar::{ColumnarBatch, RelationColumns};
 pub use input::{InputTuple, OpStream, StreamOp, TupleStream};
 pub use relation::{Database, Relation};
 pub use semijoin::SemijoinIndex;

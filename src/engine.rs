@@ -357,8 +357,12 @@ pub fn run_workload(
     seed: u64,
 ) -> Result<Box<dyn JoinSampler + Send>, EngineError> {
     let mut s = engine.build(&w.query, k, seed, &workload_opts(w))?;
-    s.process_batch(&w.preload);
-    s.process_stream(&w.stream);
+    // Native columnar ingest: both phases ship as struct-of-arrays batches
+    // with bulk-hashed keys. Engines without a columnar override shred the
+    // batch back tuple-at-a-time, so every engine sees the same arrival
+    // order (and the RSJoin family the same bytes) as the row path.
+    s.process_columnar(&rsj_storage::ColumnarBatch::from_rows(&w.preload));
+    s.process_columnar(&rsj_storage::ColumnarBatch::from(&w.stream));
     Ok(s)
 }
 

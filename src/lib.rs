@@ -75,6 +75,9 @@ pub mod prelude {
     };
     pub use rsj_index::{DynamicIndex, FullSampler, IndexOptions};
     pub use rsj_query::{FkSchema, Ghd, JoinTree, Plan, PlanCost, Planner, Query, QueryBuilder};
-    pub use rsj_storage::{Database, InputTuple, OpStream, StreamOp, TableStatistics, TupleStream};
+    pub use rsj_storage::{
+        ColumnarBatch, Database, InputTuple, OpStream, RelationColumns, StreamOp, TableStatistics,
+        TupleStream,
+    };
     pub use rsj_stream::{Batch, ClassicReservoir, FnBatch, Reservoir, SliceBatch};
 }

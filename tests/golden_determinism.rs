@@ -11,7 +11,7 @@
 //! shifts them is changing *samples*, not just memory layout, and must be
 //! treated as a correctness bug, not a test update.
 
-use rsjoin::engine::{run_workload, Engine};
+use rsjoin::engine::{run_workload, workload_opts, Engine};
 use rsjoin::prelude::*;
 
 /// FNV-1a over the sample matrix, in reservoir order.
@@ -91,6 +91,51 @@ fn rsjoin_opt_reservoir_bytes_are_pinned() {
         0xD85D_8DF7_05E9_87FE,
         "RSJoin_opt/QY"
     );
+}
+
+/// The columnar fast path must be byte-invisible: `run_workload` ships the
+/// preload and stream as struct-of-arrays batches with bulk-hashed keys, so
+/// the four pinned digests above already certify the columnar path. This
+/// test drives the identical arrivals tuple-at-a-time (the historical row
+/// shape) and checks both ingest shapes land on the same pinned bytes —
+/// including through the sharded router, whose columnar side partitions on
+/// vectorized column hashes instead of per-tuple hashing.
+#[test]
+fn row_shaped_ingest_reproduces_columnar_digests() {
+    let cases: [(&str, rsj_queries::Workload, Engine, u64); 4] = [
+        (
+            "RSJoin/line3",
+            graph_workload(),
+            Engine::Reservoir,
+            0x42B7_36F8_2FB0_5316,
+        ),
+        (
+            "Sharded<RSJoinx2>/line3",
+            graph_workload(),
+            Engine::sharded(Engine::Reservoir, 2),
+            0xE1E4_CF08_D938_BC0C,
+        ),
+        (
+            "RSJoin/QY",
+            relational_workload(),
+            Engine::Reservoir,
+            0x7B60_24CE_90D1_C2BE,
+        ),
+        (
+            "RSJoin_opt/QY",
+            relational_workload(),
+            Engine::FkReservoir,
+            0xD85D_8DF7_05E9_87FE,
+        ),
+    ];
+    for (name, w, engine, expect) in cases {
+        let mut s = engine
+            .build(&w.query, 64, 0xD15EA5E, &workload_opts(&w))
+            .unwrap();
+        s.process_batch(&w.preload);
+        s.process_stream(&w.stream);
+        assert_eq!(digest(&s.samples()), expect, "{name}: row-shaped ingest");
+    }
 }
 
 /// Digest of a planner choice: tree edge set, root, partition attribute.
