@@ -6,6 +6,8 @@
 //! insertions grow them, turnstile deletions shrink them (possibly to
 //! zero; zero-weight items are skipped by [`Fenwick::search`]).
 
+use rsj_common::codec::{CodecError, Decoder, Encoder};
+
 /// Growable binary indexed tree with prefix-sum search.
 #[derive(Clone, Debug, Default)]
 pub struct Fenwick {
@@ -137,6 +139,23 @@ impl Fenwick {
     pub fn heap_size(&self) -> usize {
         (self.tree.capacity() + self.weights.capacity()) * std::mem::size_of::<u128>()
     }
+
+    /// Serializes the raw weights. The BIT array is a pure function of
+    /// them and is rebuilt on [`Fenwick::restore_from`].
+    pub fn snapshot_to(&self, enc: &mut Encoder) {
+        enc.put_u128s(&self.weights);
+    }
+
+    /// Rebuilds a tree from a [`Fenwick::snapshot_to`] image.
+    pub fn restore_from(dec: &mut Decoder) -> Result<Fenwick, CodecError> {
+        let weights = dec.u128s()?;
+        let mut f = Fenwick::new();
+        f.tree.reserve_exact(weights.len());
+        for &w in &weights {
+            f.push(w);
+        }
+        Ok(f)
+    }
 }
 
 #[cfg(test)]
@@ -236,6 +255,32 @@ mod tests {
                 assert_eq!(f.prefix(idx) + rem, z);
             }
         }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut f = Fenwick::new();
+        for w in [3u128, 0, 1u128 << 90, 2, 7] {
+            f.push(w);
+        }
+        f.set(1, 4);
+        f.sub(3, 2);
+        let mut e = Encoder::new();
+        f.snapshot_to(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        let g = Fenwick::restore_from(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(g.len(), f.len());
+        assert_eq!(g.total(), f.total());
+        for i in 0..f.len() {
+            assert_eq!(g.weight(i), f.weight(i));
+            assert_eq!(g.prefix(i), f.prefix(i));
+        }
+        // Re-serialization is byte-identical.
+        let mut e2 = Encoder::new();
+        g.snapshot_to(&mut e2);
+        assert_eq!(e2.into_bytes(), bytes);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! slow (`Ω(N · |Q(R)|)`); it exists as ground truth for the statistical
 //! tests and as the lower anchor in benchmark plots.
 
+use rsj_common::codec::{CodecError, Decoder, Encoder};
 use rsj_common::rng::RsjRng;
 use rsj_common::Value;
 use rsj_query::Query;
@@ -114,6 +115,50 @@ impl NaiveRebuild {
     pub fn k(&self) -> usize {
         self.k
     }
+
+    /// Serializes the full dynamic state: database, RNG position, and the
+    /// current sample set. `query` and `k` are construction parameters and
+    /// are only validated on restore.
+    pub fn snapshot_to(&self, enc: &mut Encoder) {
+        self.db.snapshot_to(enc);
+        for w in self.rng.state() {
+            enc.put_u64(w);
+        }
+        enc.put_usize(self.samples.len());
+        for s in &self.samples {
+            enc.put_u64s(s);
+        }
+    }
+
+    /// Restores from a [`NaiveRebuild::snapshot_to`] image taken by an
+    /// engine built with the same `(query, k)`. On error the receiver is
+    /// unchanged.
+    pub fn restore_from_snapshot(&mut self, dec: &mut Decoder) -> Result<(), CodecError> {
+        let db = Database::restore_from(dec)?;
+        if db.len() != self.query.num_relations() {
+            return Err(CodecError::Corrupt("snapshot relation count mismatch"));
+        }
+        for rel in 0..db.len() {
+            if db.relation(rel).arity() != self.query.relation(rel).attrs.len() {
+                return Err(CodecError::Corrupt("snapshot relation arity mismatch"));
+            }
+        }
+        let s = [dec.u64()?, dec.u64()?, dec.u64()?, dec.u64()?];
+        let rng = RsjRng::restore_state(s)
+            .ok_or(CodecError::Corrupt("rng state is the zero fixed point"))?;
+        let n = dec.seq_len(1)?;
+        if n > self.k {
+            return Err(CodecError::Corrupt("snapshot holds more samples than k"));
+        }
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            samples.push(dec.u64s()?);
+        }
+        self.db = db;
+        self.rng = rng;
+        self.samples = samples;
+        Ok(())
+    }
 }
 
 /// Uniform sample of `min(k, n)` items without replacement (partial
@@ -174,6 +219,49 @@ mod tests {
             let set: FxHashSet<u32> = s.iter().copied().collect();
             assert_eq!(set.len(), 10);
         }
+    }
+
+    #[test]
+    fn snapshot_restores_byte_identical_behavior() {
+        let mut nb = NaiveRebuild::new(two_table(), 6, 17);
+        let mut rng = RsjRng::seed_from_u64(90);
+        for i in 0..80u64 {
+            let rel = (i % 2) as usize;
+            let t = [rng.below_u64(8), rng.below_u64(8)];
+            if i % 5 == 4 {
+                nb.delete(rel, &t);
+            } else {
+                nb.process(rel, &t);
+            }
+        }
+        let mut e = Encoder::new();
+        nb.snapshot_to(&mut e);
+        let bytes = e.into_bytes();
+
+        let mut restored = NaiveRebuild::new(two_table(), 6, 0);
+        let mut d = Decoder::new(&bytes);
+        restored.restore_from_snapshot(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(restored.samples(), nb.samples());
+
+        // Continue both in lockstep — identical draws step for step.
+        for i in 0..60u64 {
+            let rel = (i % 2) as usize;
+            let t = [rng.below_u64(8), rng.below_u64(8)];
+            if i % 4 == 3 {
+                nb.delete(rel, &t);
+                restored.delete(rel, &t);
+            } else {
+                nb.process(rel, &t);
+                restored.process(rel, &t);
+            }
+            assert_eq!(restored.samples(), nb.samples());
+        }
+
+        // A mismatched k is rejected.
+        let mut wrong = NaiveRebuild::new(two_table(), 1, 0);
+        let mut d = Decoder::new(&bytes);
+        assert!(wrong.restore_from_snapshot(&mut d).is_err());
     }
 
     #[test]

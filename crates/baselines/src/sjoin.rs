@@ -14,6 +14,7 @@
 //! group (`O(log n)` locate and re-weight).
 
 use crate::fenwick::Fenwick;
+use rsj_common::codec::{CodecError, Decoder, Encoder};
 use rsj_common::{FxHashMap, Key, TupleId, Value};
 use rsj_query::{Query, RootedTree};
 use rsj_storage::{Database, TupleStream};
@@ -86,6 +87,97 @@ impl ExactNode {
         self.groups
             .get(key)
             .map_or(0, |&g| self.arena[g as usize].cnt())
+    }
+
+    /// Serializes the node's exact physical layout. Group ids and item
+    /// positions are positional (retrieval walks `arena[g].items[pos]`), so
+    /// `group_keys` and the per-group item vectors go out in storage order.
+    /// `child_indexes` maps are never iterated for behavior (propagation
+    /// re-weights each listed tuple from final child state, order-free), so
+    /// their entries are emitted sorted by key for a canonical byte image.
+    fn snapshot_to(&self, enc: &mut Encoder) {
+        enc.put_usize(self.group_keys.len());
+        for k in &self.group_keys {
+            k.encode_to(enc);
+        }
+        for g in &self.arena {
+            enc.put_u32s(&g.items);
+            g.weights.snapshot_to(enc);
+        }
+        enc.put_usize(self.item_loc.len());
+        for &(g, pos) in &self.item_loc {
+            enc.put_u32(g);
+            enc.put_u32(pos);
+        }
+        enc.put_usize(self.child_indexes.len());
+        for m in self.child_indexes.iter() {
+            let mut entries: Vec<(&Key, &Vec<TupleId>)> = m.iter().collect();
+            entries.sort_unstable_by(|a, b| a.0.as_slice().cmp(b.0.as_slice()));
+            enc.put_usize(entries.len());
+            for (k, list) in entries {
+                k.encode_to(enc);
+                enc.put_u32s(list);
+            }
+        }
+    }
+
+    /// Rebuilds a node from a [`ExactNode::snapshot_to`] image. The
+    /// `groups` map is reconstructed from `group_keys` (group ids are the
+    /// storage positions).
+    fn restore_from(dec: &mut Decoder) -> Result<ExactNode, CodecError> {
+        let ng = dec.seq_len(1)?;
+        let mut group_keys = Vec::with_capacity(ng);
+        let mut groups = FxHashMap::default();
+        for g in 0..ng {
+            let k = Key::decode_from(dec)?;
+            if groups.insert(k, g as u32).is_some() {
+                return Err(CodecError::Corrupt("duplicate group key in node snapshot"));
+            }
+            group_keys.push(k);
+        }
+        let mut arena = Vec::with_capacity(ng);
+        for _ in 0..ng {
+            let items = dec.u32s()?;
+            let weights = Fenwick::restore_from(dec)?;
+            if weights.len() != items.len() {
+                return Err(CodecError::Corrupt("group item/weight length mismatch"));
+            }
+            arena.push(ExactGroup { items, weights });
+        }
+        let nloc = dec.seq_len(8)?;
+        let mut item_loc = Vec::with_capacity(nloc);
+        for _ in 0..nloc {
+            let g = dec.u32()?;
+            let pos = dec.u32()?;
+            let valid = arena
+                .get(g as usize)
+                .is_some_and(|grp| (pos as usize) < grp.items.len());
+            if !valid {
+                return Err(CodecError::Corrupt("item location out of range"));
+            }
+            item_loc.push((g, pos));
+        }
+        let nc = dec.seq_len(1)?;
+        let mut child_indexes = Vec::with_capacity(nc);
+        for _ in 0..nc {
+            let ne = dec.seq_len(1)?;
+            let mut m: FxHashMap<Key, Vec<TupleId>> = FxHashMap::default();
+            for _ in 0..ne {
+                let k = Key::decode_from(dec)?;
+                let list = dec.u32s()?;
+                if m.insert(k, list).is_some() {
+                    return Err(CodecError::Corrupt("duplicate child-index key"));
+                }
+            }
+            child_indexes.push(m);
+        }
+        Ok(ExactNode {
+            groups,
+            group_keys,
+            arena,
+            item_loc,
+            child_indexes,
+        })
     }
 
     fn heap_size(&self) -> usize {
@@ -247,6 +339,63 @@ impl SJoinIndex {
                 .iter()
                 .map(|t| t.nodes.iter().map(ExactNode::heap_size).sum::<usize>())
                 .sum::<usize>()
+    }
+
+    /// Serializes the full dynamic state: database, every rooted tree's
+    /// exact nodes, and counters. The rooted-tree topology is a pure
+    /// function of the query and is rebuilt on restore.
+    pub fn snapshot_to(&self, enc: &mut Encoder) {
+        self.db.snapshot_to(enc);
+        enc.put_usize(self.trees.len());
+        for t in &self.trees {
+            for n in &t.nodes {
+                n.snapshot_to(enc);
+            }
+        }
+        enc.put_u64(self.stats.inserts);
+        enc.put_u64(self.stats.deletes);
+        enc.put_u64(self.stats.item_updates);
+    }
+
+    /// Restores from a [`SJoinIndex::snapshot_to`] image taken by an index
+    /// built over the same query. The receiver is unchanged on error.
+    pub fn restore_from_snapshot(&mut self, dec: &mut Decoder) -> Result<(), CodecError> {
+        let db = Database::restore_from(dec)?;
+        if db.len() != self.query.num_relations() {
+            return Err(CodecError::Corrupt("snapshot relation count mismatch"));
+        }
+        for rel in 0..db.len() {
+            if db.relation(rel).arity() != self.query.relation(rel).attrs.len() {
+                return Err(CodecError::Corrupt("snapshot relation arity mismatch"));
+            }
+        }
+        let nt = dec.seq_len(1)?;
+        if nt != self.trees.len() {
+            return Err(CodecError::Corrupt("snapshot rooted-tree count mismatch"));
+        }
+        let mut restored: Vec<Vec<ExactNode>> = Vec::with_capacity(nt);
+        for t in &self.trees {
+            let mut nodes = Vec::with_capacity(self.query.num_relations());
+            for rel in 0..self.query.num_relations() {
+                let n = ExactNode::restore_from(dec)?;
+                if n.child_indexes.len() != t.tree.node(rel).children.len() {
+                    return Err(CodecError::Corrupt("snapshot node child-count mismatch"));
+                }
+                nodes.push(n);
+            }
+            restored.push(nodes);
+        }
+        let stats = SJoinStats {
+            inserts: dec.u64()?,
+            deletes: dec.u64()?,
+            item_updates: dec.u64()?,
+        };
+        self.db = db;
+        for (t, nodes) in self.trees.iter_mut().zip(restored) {
+            t.nodes = nodes;
+        }
+        self.stats = stats;
+        Ok(())
     }
 }
 
@@ -538,6 +687,33 @@ impl SJoin {
                 .map(|s| s.capacity() * 8)
                 .sum::<usize>()
     }
+
+    /// Serializes the full dynamic state: exact index, reservoir (samples,
+    /// skip state, RNG), and the turnstile repair RNG.
+    pub fn snapshot_to(&self, enc: &mut Encoder) {
+        self.index.snapshot_to(enc);
+        self.reservoir.snapshot_to(enc, |e, s| e.put_u64s(s));
+        for w in self.repair_rng.state() {
+            enc.put_u64(w);
+        }
+    }
+
+    /// Restores from a [`SJoin::snapshot_to`] image taken by a driver built
+    /// with the same `(query, k)`. On error the receiver may be partially
+    /// overwritten and must be discarded.
+    pub fn restore_from_snapshot(&mut self, dec: &mut Decoder) -> Result<(), CodecError> {
+        self.index.restore_from_snapshot(dec)?;
+        let reservoir = Reservoir::restore_from(dec, |d| d.u64s())?;
+        if reservoir.capacity() != self.reservoir.capacity() {
+            return Err(CodecError::Corrupt("snapshot reservoir capacity mismatch"));
+        }
+        let s = [dec.u64()?, dec.u64()?, dec.u64()?, dec.u64()?];
+        let repair_rng = rsj_common::rng::RsjRng::restore_state(s)
+            .ok_or(CodecError::Corrupt("rng state is the zero fixed point"))?;
+        self.reservoir = reservoir;
+        self.repair_rng = repair_rng;
+        Ok(())
+    }
 }
 
 /// `SJoin_opt`: SJoin behind the foreign-key combination rewrite.
@@ -712,6 +888,62 @@ mod tests {
         let obs: Vec<u64> = counts.values().copied().collect();
         let (stat, df) = chi_square_uniform(&obs);
         assert!(stat < chi_square_critical(df, 0.0001), "chi2={stat}");
+    }
+
+    #[test]
+    fn snapshot_restores_byte_identical_turnstile_behavior() {
+        let mut sj = SJoin::new(line3(), 8, 42).unwrap();
+        let mut rng = RsjRng::seed_from_u64(7);
+        let mut live: Vec<(usize, [u64; 2])> = Vec::new();
+        for i in 0..350u64 {
+            if i % 4 == 3 && !live.is_empty() {
+                let (rel, t) = live.swap_remove(rng.index(live.len()));
+                sj.delete(rel, &t);
+            } else {
+                let rel = rng.index(3);
+                let t = [rng.below_u64(6), rng.below_u64(6)];
+                if sj.process(rel, &t).is_some() {
+                    live.push((rel, t));
+                }
+            }
+        }
+        let mut e = Encoder::new();
+        sj.snapshot_to(&mut e);
+        let bytes = e.into_bytes();
+
+        let mut restored = SJoin::new(line3(), 8, 0).unwrap();
+        let mut d = Decoder::new(&bytes);
+        restored.restore_from_snapshot(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(restored.samples(), sj.samples());
+        assert_eq!(restored.index().total_results(), sj.index().total_results());
+
+        // Re-serialization is byte-identical (canonical image).
+        let mut e2 = Encoder::new();
+        restored.snapshot_to(&mut e2);
+        assert_eq!(e2.into_bytes(), bytes);
+
+        // Lockstep continuation with mixed inserts/deletes.
+        for i in 0..250u64 {
+            if i % 4 == 3 && !live.is_empty() {
+                let (rel, t) = live.swap_remove(rng.index(live.len()));
+                assert_eq!(sj.delete(rel, &t), restored.delete(rel, &t));
+            } else {
+                let rel = rng.index(3);
+                let t = [rng.below_u64(6), rng.below_u64(6)];
+                let tid = sj.process(rel, &t);
+                assert_eq!(tid, restored.process(rel, &t));
+                if tid.is_some() {
+                    live.push((rel, t));
+                }
+            }
+            assert_eq!(restored.samples(), sj.samples());
+        }
+
+        // A mismatched k is rejected.
+        let mut wrong = SJoin::new(line3(), 9, 0).unwrap();
+        let mut d = Decoder::new(&bytes);
+        assert!(wrong.restore_from_snapshot(&mut d).is_err());
     }
 
     #[test]

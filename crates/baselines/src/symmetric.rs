@@ -13,6 +13,7 @@
 //! reservoir repairs exactly — its acceptance probability is driven by an
 //! explicit counter, which simply tracks the live population.
 
+use rsj_common::codec::{CodecError, Decoder, Encoder};
 use rsj_common::rng::{child_seed, RsjRng};
 use rsj_common::{FxHashMap, Key, Value};
 use rsj_stream::ClassicReservoir;
@@ -109,10 +110,15 @@ impl SymmetricHashJoin {
         // the sample.
         let per_slot = (4096 + 256 * self.reservoir.capacity()).min(1 << 24);
         let (left, right, live) = (&self.left, &self.right, self.results_live);
+        // Walk key blocks in sorted order so draws depend only on logical
+        // state, never on hash-map iteration order — required for
+        // byte-identical replay after a snapshot restore.
+        let mut keys: Vec<Key> = left.keys().copied().collect();
+        keys.sort_unstable_by(|a, b| a.as_slice().cmp(b.as_slice()));
         let rng = &mut self.repair_rng;
-        let filled = self
-            .reservoir
-            .backfill_distinct(target, per_slot, || draw_uniform(left, right, live, rng));
+        let filled = self.reservoir.backfill_distinct(target, per_slot, || {
+            draw_uniform(&keys, left, right, live, rng)
+        });
         debug_assert!(filled, "backfill exhausted its rejection cap");
         self.reservoir.set_population(self.results_live);
     }
@@ -127,11 +133,117 @@ impl SymmetricHashJoin {
     pub fn live_results(&self) -> u128 {
         self.results_live
     }
+
+    /// Serializes the full dynamic state. Hash-table entries go out sorted
+    /// by key (canonical image); bucket order within a key is positional
+    /// (draws index `ls[i]`/`rs[j]`) and is preserved verbatim.
+    pub fn snapshot_to(&self, enc: &mut Encoder) {
+        enc.put_usize(self.left_key.len());
+        for &p in &self.left_key {
+            enc.put_usize(p);
+        }
+        for &p in &self.right_key {
+            enc.put_usize(p);
+        }
+        put_side(enc, &self.left);
+        put_side(enc, &self.right);
+        self.reservoir.snapshot_to(enc, |e, (l, r)| {
+            e.put_u64s(l);
+            e.put_u64s(r);
+        });
+        enc.put_u128(self.results_live);
+        for w in self.repair_rng.state() {
+            enc.put_u64(w);
+        }
+    }
+
+    /// Restores from a [`SymmetricHashJoin::snapshot_to`] image taken by an
+    /// operator built with the same key positions and `k`. The receiver is
+    /// unchanged on error.
+    pub fn restore_from_snapshot(&mut self, dec: &mut Decoder) -> Result<(), CodecError> {
+        let nk = dec.seq_len(1)?;
+        if nk != self.left_key.len() {
+            return Err(CodecError::Corrupt("snapshot join-key width mismatch"));
+        }
+        for i in 0..nk {
+            if dec.usize()? != self.left_key[i] {
+                return Err(CodecError::Corrupt("snapshot left key positions differ"));
+            }
+        }
+        for i in 0..nk {
+            if dec.usize()? != self.right_key[i] {
+                return Err(CodecError::Corrupt("snapshot right key positions differ"));
+            }
+        }
+        let left = read_side(dec)?;
+        let right = read_side(dec)?;
+        let reservoir = ClassicReservoir::restore_from(dec, |d| Ok((d.u64s()?, d.u64s()?)))?;
+        if reservoir.capacity() != self.reservoir.capacity() {
+            return Err(CodecError::Corrupt("snapshot reservoir capacity mismatch"));
+        }
+        let results_live = dec.u128()?;
+        let computed: u128 = left
+            .iter()
+            .map(|(k, ls)| {
+                let rs = right.get(k).map_or(0, Vec::len);
+                (ls.len() as u128) * (rs as u128)
+            })
+            .sum();
+        if computed != results_live {
+            return Err(CodecError::Corrupt("snapshot live-result count mismatch"));
+        }
+        let s = [dec.u64()?, dec.u64()?, dec.u64()?, dec.u64()?];
+        let repair_rng = RsjRng::restore_state(s)
+            .ok_or(CodecError::Corrupt("rng state is the zero fixed point"))?;
+        self.left = left;
+        self.right = right;
+        self.reservoir = reservoir;
+        self.results_live = results_live;
+        self.repair_rng = repair_rng;
+        Ok(())
+    }
+}
+
+/// Serializes one hash side sorted by key; buckets keep their stored order.
+fn put_side(enc: &mut Encoder, side: &FxHashMap<Key, Vec<Vec<Value>>>) {
+    let mut entries: Vec<(&Key, &Vec<Vec<Value>>)> = side.iter().collect();
+    entries.sort_unstable_by(|a, b| a.0.as_slice().cmp(b.0.as_slice()));
+    enc.put_usize(entries.len());
+    for (k, bucket) in entries {
+        k.encode_to(enc);
+        enc.put_usize(bucket.len());
+        for t in bucket {
+            enc.put_u64s(t);
+        }
+    }
+}
+
+/// Reads back one hash side written by [`put_side`].
+fn read_side(dec: &mut Decoder) -> Result<FxHashMap<Key, Vec<Vec<Value>>>, CodecError> {
+    let n = dec.seq_len(2)?;
+    let mut side = FxHashMap::default();
+    for _ in 0..n {
+        let k = Key::decode_from(dec)?;
+        let nb = dec.seq_len(1)?;
+        if nb == 0 {
+            return Err(CodecError::Corrupt("empty bucket in snapshot"));
+        }
+        let mut bucket = Vec::with_capacity(nb);
+        for _ in 0..nb {
+            bucket.push(dec.u64s()?);
+        }
+        if side.insert(k, bucket).is_some() {
+            return Err(CodecError::Corrupt("duplicate key in side snapshot"));
+        }
+    }
+    Ok(side)
 }
 
 /// One uniform draw over the live results: pick a global position in
-/// `Σ_key |L_key|·|R_key|` and decode it. `O(#distinct keys)`.
+/// `Σ_key |L_key|·|R_key|` and decode it against the key blocks in the
+/// caller-fixed (sorted) order. `O(#distinct keys)`.
 fn draw_uniform(
+    keys: &[Key],
     left: &FxHashMap<Key, Vec<Vec<Value>>>,
     right: &FxHashMap<Key, Vec<Vec<Value>>>,
     live: u128,
@@ -141,7 +253,8 @@ fn draw_uniform(
         return None;
     }
     let mut z = rng.below_u128(live);
-    for (key, ls) in left {
+    for key in keys {
+        let ls = &left[key];
         let rs = match right.get(key) {
             Some(rs) if !ls.is_empty() => rs,
             _ => continue,
@@ -216,6 +329,78 @@ mod tests {
         let b = run(&[(false, [7, 2]), (true, [3, 7]), (true, [1, 7])]);
         assert_eq!(a, 2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshot_restores_byte_identical_turnstile_behavior() {
+        let mut shj = SymmetricHashJoin::new(vec![1], vec![0], 4, 11);
+        let mut rng = RsjRng::seed_from_u64(23);
+        let mut live: Vec<(bool, [u64; 2])> = Vec::new();
+        for i in 0..300u64 {
+            if i % 4 == 3 && !live.is_empty() {
+                let (is_left, t) = live.swap_remove(rng.index(live.len()));
+                if is_left {
+                    shj.delete_left(&t);
+                } else {
+                    shj.delete_right(&t);
+                }
+            } else {
+                let is_left = rng.index(2) == 0;
+                let t = [rng.below_u64(5), rng.below_u64(5)];
+                if is_left {
+                    shj.insert_left(&t);
+                } else {
+                    shj.insert_right(&t);
+                }
+                live.push((is_left, t));
+            }
+        }
+        let mut e = Encoder::new();
+        shj.snapshot_to(&mut e);
+        let bytes = e.into_bytes();
+
+        let mut restored = SymmetricHashJoin::new(vec![1], vec![0], 4, 0);
+        let mut d = Decoder::new(&bytes);
+        restored.restore_from_snapshot(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(restored.samples(), shj.samples());
+        assert_eq!(restored.live_results(), shj.live_results());
+
+        // Re-serialization is byte-identical (canonical image).
+        let mut e2 = Encoder::new();
+        restored.snapshot_to(&mut e2);
+        assert_eq!(e2.into_bytes(), bytes);
+
+        // Lockstep continuation; deletes exercise the sorted-key repair
+        // draws, which must match step for step.
+        for i in 0..200u64 {
+            if i % 3 == 2 && !live.is_empty() {
+                let (is_left, t) = live.swap_remove(rng.index(live.len()));
+                if is_left {
+                    assert_eq!(shj.delete_left(&t), restored.delete_left(&t));
+                } else {
+                    assert_eq!(shj.delete_right(&t), restored.delete_right(&t));
+                }
+            } else {
+                let is_left = rng.index(2) == 0;
+                let t = [rng.below_u64(5), rng.below_u64(5)];
+                if is_left {
+                    shj.insert_left(&t);
+                    restored.insert_left(&t);
+                } else {
+                    shj.insert_right(&t);
+                    restored.insert_right(&t);
+                }
+                live.push((is_left, t));
+            }
+            assert_eq!(restored.samples(), shj.samples());
+            assert_eq!(restored.live_results(), shj.live_results());
+        }
+
+        // Mismatched key positions are rejected.
+        let mut wrong = SymmetricHashJoin::new(vec![0], vec![1], 4, 0);
+        let mut d = Decoder::new(&bytes);
+        assert!(wrong.restore_from_snapshot(&mut d).is_err());
     }
 
     #[test]

@@ -14,9 +14,37 @@ use rsj_common::{fx_hash_one, Key, KeyMap};
 use rsj_datagen::GraphConfig;
 use rsj_index::{DynamicIndex, FullSampler, IndexOptions};
 use rsj_queries::line_k;
+use rsj_storage::ColumnarBatch;
 use rsj_stream::{Reservoir, SliceBatch};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Counts heap allocations so the steady-state columnar bench can report
+/// allocs/iter, not just wall time (a relaxed counter around `System`).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 /// Times `iters` runs of `f` (after one warmup call) and prints the mean.
 fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
@@ -170,6 +198,52 @@ fn bench_keymap_grouped_probe() {
     });
 }
 
+/// Steady-state columnar re-ingest: the same 8k-tuple batch pushed into a
+/// warm index again, so every tuple takes the dedup fast path and the
+/// persistent per-index scratch (sort buffers, `out_changes`) is already
+/// grown (ROADMAP item 3). The headline number is **allocs/iter**, counted
+/// by the global allocator wrapper — the persistent-scratch fix makes the
+/// steady state allocation-free, which per-call scratch could never be.
+fn bench_columnar_steady_state() {
+    let edges = GraphConfig {
+        nodes: 1000,
+        edges: 8000,
+        zipf: 1.0,
+        seed: 42,
+    }
+    .generate();
+    let w = line_k(3, &edges, 1);
+    let rows: Vec<_> = w.stream.iter().cloned().collect();
+    let batch = ColumnarBatch::from_rows(&rows);
+    let mut idx = DynamicIndex::new(w.query.clone(), IndexOptions::default()).unwrap();
+    idx.insert_columnar(&batch); // warm: dedup sets filled, scratch grown
+    let iters = 200u32;
+    idx.insert_columnar(&batch); // bench()'s warmup, outside the count
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(idx.insert_columnar(&batch));
+    }
+    let total = start.elapsed();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    let per_iter = total / iters;
+    println!(
+        "{:<36} {per_iter:>12.2?}/iter  ({iters} iters, {:.1} allocs/iter)",
+        "columnar_reingest_steady_state_8k",
+        allocs as f64 / iters as f64
+    );
+    record_json(
+        &fig_name(),
+        "columnar_reingest_steady_state_8k",
+        "-",
+        iters as usize,
+        total.as_nanos(),
+        Some(iters as f64 / total.as_secs_f64().max(f64::MIN_POSITIVE)),
+        Some((allocs, 0)),
+        false,
+    );
+}
+
 fn main() {
     println!("micro — primitive-operation costs\n");
     bench_index_insert();
@@ -178,4 +252,5 @@ fn main() {
     bench_reservoir_skip();
     bench_columnar_hash();
     bench_keymap_grouped_probe();
+    bench_columnar_steady_state();
 }

@@ -22,6 +22,7 @@
 //! these maps (posting lists, which do carry order, live in
 //! [`PostingArena`](crate::postings::PostingArena)).
 
+use crate::codec::{CodecError, Decoder, Encoder};
 use crate::heap::HeapSize;
 use crate::value::Key;
 
@@ -155,6 +156,57 @@ impl<V: Copy + Default> KeyMap<V> {
             .filter(|s| s.tag != 0)
             .map(|s| (&s.key, &s.val))
     }
+
+    /// Serializes the exact slot array — tags, keys and values in slot
+    /// order — so a restored map probes identically and re-serializes to
+    /// identical bytes. `put` encodes one value (`V` varies per table).
+    pub fn snapshot_to(&self, enc: &mut Encoder, mut put: impl FnMut(&mut Encoder, &V)) {
+        enc.put_usize(self.len);
+        enc.put_usize(self.slots.len());
+        for s in &self.slots {
+            enc.put_u64(s.tag);
+            if s.tag != 0 {
+                s.key.encode_to(enc);
+                put(enc, &s.val);
+            }
+        }
+    }
+
+    /// Reconstructs a map from [`snapshot_to`](KeyMap::snapshot_to) bytes;
+    /// `get` decodes one value.
+    pub fn restore_from(
+        dec: &mut Decoder,
+        mut get: impl FnMut(&mut Decoder) -> Result<V, CodecError>,
+    ) -> Result<KeyMap<V>, CodecError> {
+        let len = dec.usize()?;
+        let nslots = dec.seq_len(8)?;
+        if nslots != 0 && !nslots.is_power_of_two() {
+            return Err(CodecError::Corrupt("keymap slot count not a power of two"));
+        }
+        let mut slots = Vec::with_capacity(nslots);
+        let mut occupied = 0usize;
+        for _ in 0..nslots {
+            let tag = dec.u64()?;
+            if tag == 0 {
+                slots.push(Slot {
+                    tag: 0,
+                    key: Key::EMPTY,
+                    val: V::default(),
+                });
+            } else {
+                occupied += 1;
+                slots.push(Slot {
+                    tag,
+                    key: Key::decode_from(dec)?,
+                    val: get(dec)?,
+                });
+            }
+        }
+        if occupied != len {
+            return Err(CodecError::Corrupt("keymap length disagrees with slots"));
+        }
+        Ok(KeyMap { slots, len })
+    }
 }
 
 impl<V> HeapSize for KeyMap<V> {
@@ -236,6 +288,43 @@ mod tests {
         m.get_or_insert_with(0, key, || 5);
         assert_eq!(m.get(0, &key), Some(&5));
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trip_probes_and_rebytes_identically() {
+        let mut m: KeyMap<u32> = KeyMap::default();
+        for i in 0..500u64 {
+            let (key, h) = k(&[i, i.wrapping_mul(31)]);
+            m.get_or_insert_with(h, key, || i as u32);
+        }
+        let snap = |map: &KeyMap<u32>| {
+            let mut e = crate::codec::Encoder::new();
+            map.snapshot_to(&mut e, |e, v| e.put_u32(*v));
+            e.into_bytes()
+        };
+        let bytes = snap(&m);
+        let mut dec = crate::codec::Decoder::new(&bytes);
+        let m2 = KeyMap::restore_from(&mut dec, |d| d.u32()).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(m2.len(), m.len());
+        for i in 0..500u64 {
+            let (key, h) = k(&[i, i.wrapping_mul(31)]);
+            assert_eq!(m2.get(h, &key), m.get(h, &key), "{i}");
+        }
+        assert_eq!(snap(&m2), bytes, "re-serialization drifted");
+    }
+
+    #[test]
+    fn snapshot_rejects_inconsistent_length() {
+        let mut m: KeyMap<u32> = KeyMap::default();
+        let (key, h) = k(&[1]);
+        m.get_or_insert_with(h, key, || 7);
+        let mut e = crate::codec::Encoder::new();
+        m.snapshot_to(&mut e, |e, v| e.put_u32(*v));
+        let mut bytes = e.into_bytes();
+        bytes[..8].copy_from_slice(&9u64.to_le_bytes()); // claim len 9
+        let mut dec = crate::codec::Decoder::new(&bytes);
+        assert!(KeyMap::<u32>::restore_from(&mut dec, |d| d.u32()).is_err());
     }
 
     #[test]

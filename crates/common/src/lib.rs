@@ -7,6 +7,9 @@
 //!
 //! * [`value`] — attribute values, tuple identifiers and inline composite
 //!   join [`value::Key`]s;
+//! * [`codec`] — the little-endian [`codec::Encoder`]/[`codec::Decoder`]
+//!   pair and [`codec::crc32`] checksum that every durable byte format
+//!   (WAL records, checkpoints, sample export) is built on;
 //! * [`hash`] — an fx-style fast hasher and the [`hash::FxHashMap`]
 //!   / [`hash::FxHashSet`] aliases used on every hot path;
 //! * [`rng`] — seeded random-number helpers, in particular the geometric
@@ -23,6 +26,7 @@
 //! * [`heap`] — structural heap-size accounting used by the memory
 //!   experiments (Figure 11).
 
+pub mod codec;
 pub mod hash;
 pub mod heap;
 pub mod keymap;
@@ -32,6 +36,7 @@ pub mod rng;
 pub mod stats;
 pub mod value;
 
+pub use codec::{crc32, CodecError, Decoder, Encoder};
 pub use hash::{fx_hash_one, FxHashMap, FxHashSet};
 pub use heap::HeapSize;
 pub use keymap::KeyMap;

@@ -182,6 +182,30 @@ impl RsjRng {
     pub fn split(&mut self) -> RsjRng {
         RsjRng::seed_from_u64(self.inner.next_u64())
     }
+
+    /// The generator's position: the raw xoshiro256++ state words.
+    ///
+    /// Checkpoints persist this so a restored RNG continues the *same*
+    /// stream — [`restore_state`](RsjRng::restore_state) followed by any
+    /// draw sequence is bit-identical to having never snapshotted.
+    pub fn state(&self) -> [u64; 4] {
+        self.inner.s
+    }
+
+    /// Reconstructs an RNG at an exact position captured by
+    /// [`state`](RsjRng::state).
+    ///
+    /// The all-zero state is the xoshiro fixed point (it only ever emits
+    /// zeros) and is unreachable from [`seed_from_u64`](RsjRng::seed_from_u64),
+    /// so it is rejected as corrupt input rather than accepted silently.
+    pub fn restore_state(state: [u64; 4]) -> Option<RsjRng> {
+        if state == [0; 4] {
+            return None;
+        }
+        Some(RsjRng {
+            inner: Xoshiro256pp { s: state },
+        })
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +317,23 @@ mod tests {
         let mut r2 = RsjRng::seed_from_u64(0);
         assert_eq!(first.to_bits(), r2.unit().to_bits());
         assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF, "splitmix64 drifted");
+    }
+
+    #[test]
+    fn state_round_trip_continues_the_stream() {
+        let mut a = RsjRng::seed_from_u64(123);
+        for _ in 0..37 {
+            a.unit();
+        }
+        let snap = a.state();
+        let mut b = RsjRng::restore_state(snap).unwrap();
+        for _ in 0..100 {
+            assert_eq!(a.unit().to_bits(), b.unit().to_bits());
+        }
+        assert!(
+            RsjRng::restore_state([0; 4]).is_none(),
+            "fixed point accepted"
+        );
     }
 
     #[test]

@@ -99,6 +99,29 @@ impl Key {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// Writes the key's canonical encoding (arity byte + live slots only,
+    /// so dead-slot garbage never leaks into checkpoint bytes).
+    pub fn encode_to(&self, enc: &mut crate::codec::Encoder) {
+        enc.put_u8(self.len);
+        for v in self.as_slice() {
+            enc.put_u64(*v);
+        }
+    }
+
+    /// Reads a key written by [`encode_to`](Key::encode_to).
+    pub fn decode_from(dec: &mut crate::codec::Decoder) -> Result<Key, crate::codec::CodecError> {
+        let len = dec.u8()? as usize;
+        if len > MAX_KEY_ARITY {
+            return Err(crate::codec::CodecError::Corrupt("key arity past cap"));
+        }
+        let mut k = Key::EMPTY;
+        k.len = len as u8;
+        for slot in k.vals.iter_mut().take(len) {
+            *slot = dec.u64()?;
+        }
+        Ok(k)
+    }
 }
 
 impl PartialEq for Key {

@@ -14,6 +14,7 @@
 //!   `JoinSampler` interface — and counts on demand, with deletions
 //!   removing from the sets.
 
+use rsj_common::codec::{CodecError, Decoder, Encoder};
 use rsj_common::{FxHashMap, FxHashSet, Value};
 use rsj_query::{JoinTree, Query};
 use rsj_storage::Database;
@@ -171,6 +172,56 @@ impl JoinCounter {
     /// Removes one tuple; absent tuples are no-ops (set semantics).
     pub(crate) fn remove(&mut self, rel: usize, tuple: &[Value]) {
         self.seen[rel].remove(tuple);
+    }
+
+    /// Serializes the live tuple sets, sorted per relation for a canonical
+    /// image. The counting plan is a pure function of the query and is not
+    /// serialized.
+    pub(crate) fn snapshot_to(&self, enc: &mut Encoder) {
+        enc.put_usize(self.seen.len());
+        for side in &self.seen {
+            let mut tuples: Vec<&Vec<Value>> = side.iter().collect();
+            tuples.sort_unstable();
+            enc.put_usize(tuples.len());
+            for t in tuples {
+                enc.put_u64s(t);
+            }
+        }
+    }
+
+    /// Restores the live tuple sets from a [`JoinCounter::snapshot_to`]
+    /// image taken over the same query.
+    pub(crate) fn restore_from_snapshot(&mut self, dec: &mut Decoder) -> Result<(), CodecError> {
+        let seen = Self::decode_live(dec, self.query.num_relations())?;
+        self.seen = seen;
+        Ok(())
+    }
+
+    /// Decodes the per-relation live tuple sets of a counter image without
+    /// needing a counter instance — the shard-rebalance replay path reads
+    /// old counter images directly.
+    pub(crate) fn decode_live(
+        dec: &mut Decoder,
+        num_relations: usize,
+    ) -> Result<Vec<FxHashSet<Vec<Value>>>, CodecError> {
+        let nrels = dec.seq_len(1)?;
+        if nrels != num_relations {
+            return Err(CodecError::Corrupt(
+                "counter snapshot relation count mismatch",
+            ));
+        }
+        let mut seen = Vec::with_capacity(nrels);
+        for _ in 0..nrels {
+            let n = dec.seq_len(1)?;
+            let mut side = FxHashSet::default();
+            for _ in 0..n {
+                if !side.insert(dec.u64s()?) {
+                    return Err(CodecError::Corrupt("duplicate tuple in counter snapshot"));
+                }
+            }
+            seen.push(side);
+        }
+        Ok(seen)
     }
 
     /// Exact `|Q_i|` over the live accepted tuples.

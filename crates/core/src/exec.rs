@@ -17,6 +17,7 @@
 use crate::cyclic::CyclicReservoirJoin;
 use crate::fk_runtime::FkReservoirJoin;
 use crate::reservoir_join::ReservoirJoin;
+use rsj_common::codec::{CodecError, Decoder, Encoder};
 use rsj_common::Value;
 use rsj_query::Query;
 use rsj_storage::{ColumnarBatch, InputTuple, OpStream, StreamOp, TupleStream};
@@ -201,6 +202,37 @@ pub trait JoinSampler {
         SamplerStats::default()
     }
 
+    /// Whether this engine supports full-state snapshot/restore — the
+    /// capability probe of the durability layer (see ARCHITECTURE.md,
+    /// "Durability"). Engines that keep the default `false` cannot be
+    /// wrapped in the facade's `Persistent` checkpoint/WAL driver.
+    fn supports_snapshot(&self) -> bool {
+        false
+    }
+
+    /// Serializes the engine's complete dynamic state, or `None` for
+    /// engines without snapshot support. The encoding captures everything
+    /// future behavior depends on — index physical layout, sample slots,
+    /// RNG positions, counters — so restoring it into a freshly built
+    /// engine with identical construction parameters reproduces the
+    /// original byte-for-byte on any further stream.
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state produced by
+    /// [`snapshot_state`](JoinSampler::snapshot_state) into `self`, which
+    /// must have been built with the same construction parameters (query,
+    /// `k`, seed, options). Any prior dynamic state of `self` is
+    /// discarded. The default rejects — insert-only engines without the
+    /// capability stay honest about it.
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        let _ = bytes;
+        Err(CodecError::Corrupt(
+            "engine does not support state snapshots",
+        ))
+    }
+
     /// Samples as sorted `(attribute name, value)` pairs — identical
     /// across engines regardless of internal attribute order, so
     /// cross-engine tests compare these.
@@ -219,6 +251,84 @@ pub trait JoinSampler {
                 kv
             })
             .collect()
+    }
+}
+
+/// Boxed engines forward every method to the boxee, so `Box<dyn
+/// JoinSampler + Send>` (what the `Engine` factory hands out) satisfies
+/// generic bounds like the facade's `Persistent<S: JoinSampler>` without
+/// unwrapping.
+impl<S: JoinSampler + ?Sized> JoinSampler for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn output_query(&self) -> &Query {
+        (**self).output_query()
+    }
+
+    fn process(&mut self, rel: usize, tuple: &[Value]) {
+        (**self).process(rel, tuple)
+    }
+
+    fn process_batch(&mut self, batch: &[InputTuple]) {
+        (**self).process_batch(batch)
+    }
+
+    fn process_stream(&mut self, stream: &TupleStream) {
+        (**self).process_stream(stream)
+    }
+
+    fn process_columnar(&mut self, batch: &ColumnarBatch) {
+        (**self).process_columnar(batch)
+    }
+
+    fn supports_deletes(&self) -> bool {
+        (**self).supports_deletes()
+    }
+
+    fn process_op(&mut self, op: &StreamOp) -> Result<(), DeleteUnsupported> {
+        (**self).process_op(op)
+    }
+
+    fn process_op_batch(&mut self, ops: &[StreamOp]) -> Result<(), DeleteUnsupported> {
+        (**self).process_op_batch(ops)
+    }
+
+    fn process_op_stream(&mut self, stream: &OpStream) -> Result<(), DeleteUnsupported> {
+        (**self).process_op_stream(stream)
+    }
+
+    fn replan(&mut self) -> bool {
+        (**self).replan()
+    }
+
+    fn samples(&self) -> Vec<Vec<Value>> {
+        (**self).samples()
+    }
+
+    fn k(&self) -> usize {
+        (**self).k()
+    }
+
+    fn stats(&self) -> SamplerStats {
+        (**self).stats()
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        (**self).supports_snapshot()
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        (**self).snapshot_state()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        (**self).restore_state(bytes)
+    }
+
+    fn samples_named(&self) -> Vec<Vec<(String, Value)>> {
+        (**self).samples_named()
     }
 }
 
@@ -284,6 +394,22 @@ impl JoinSampler for ReservoirJoin {
             heap_bytes: Some(self.heap_size()),
             exact_results: None,
         }
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        let mut enc = Encoder::new();
+        ReservoirJoin::snapshot_to(self, &mut enc);
+        Some(enc.into_bytes())
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        let mut dec = Decoder::new(bytes);
+        ReservoirJoin::restore_from_snapshot(self, &mut dec)?;
+        dec.finish()
     }
 }
 

@@ -35,6 +35,7 @@
 //! no such drift; see ARCHITECTURE.md, "Update model".
 
 use crate::count::exact_result_count;
+use rsj_common::codec::{CodecError, Decoder, Encoder};
 use rsj_common::hash::fx_hash_columns;
 use rsj_common::rng::{child_seed, RsjRng};
 use rsj_common::{TupleId, Value};
@@ -550,6 +551,75 @@ impl ReservoirJoin {
         self.deletes
     }
 
+    /// Serializes the driver's complete dynamic state into `enc`: the
+    /// active plan (the index may have been re-rooted or rebuilt since
+    /// construction), the index's dynamic state (physical layout
+    /// included), the reservoir (sample slots, skip parameters `(w, q)`,
+    /// RNG position, counters), the repair RNG, and the driver counters.
+    ///
+    /// Construction parameters — query, `k`, seed, index options — are
+    /// *not* written; a snapshot restores into a driver built with
+    /// identical ones (the durability layer's `Checkpoint` tags the
+    /// engine name so cross-engine restores fail loudly). Everything
+    /// future behavior depends on is captured, so a restored driver
+    /// reproduces the original byte-for-byte on any further stream.
+    pub fn snapshot_to(&self, enc: &mut Encoder) {
+        self.plan.snapshot_to(enc);
+        self.index.snapshot_state_to(enc);
+        self.reservoir.snapshot_to(enc, |e, s| e.put_u64s(s));
+        for w in self.repair_rng.state() {
+            enc.put_u64(w);
+        }
+        enc.put_u64(self.rebuilds);
+        enc.put_u64(self.replan_checked_at);
+        enc.put_u64(self.inserts);
+        enc.put_u64(self.deletes);
+        enc.put_u128(self.last_population);
+        enc.put_u64(self.deletes_since_repair);
+    }
+
+    /// Restores state written by [`snapshot_to`](ReservoirJoin::snapshot_to)
+    /// into `self`, which must have been built with the same construction
+    /// parameters. The index is rebuilt over the snapshot's join tree (the
+    /// snapshot may have re-rooted or re-oriented since construction) and
+    /// its dynamic state overlaid; shape mismatches (wrong query, wrong
+    /// `k`) reject the snapshot. The planner and replan policy are
+    /// configuration, not state — they keep `self`'s current values.
+    pub fn restore_from_snapshot(&mut self, dec: &mut Decoder) -> Result<(), CodecError> {
+        let plan = Plan::restore_from(dec)?;
+        if plan.tree.len() != self.index.query().num_relations() {
+            return Err(CodecError::Corrupt("snapshot plan is for another query"));
+        }
+        let mut index =
+            DynamicIndex::with_tree(self.index.query().clone(), &plan.tree, self.index.options())
+                .map_err(|_| CodecError::Corrupt("snapshot plan tree is not a join tree"))?;
+        index.restore_state_from(dec)?;
+        let reservoir = Reservoir::restore_from(dec, |d| d.u64s())?;
+        if reservoir.capacity() != self.reservoir.capacity() {
+            return Err(CodecError::Corrupt("snapshot reservoir capacity mismatch"));
+        }
+        let s = [dec.u64()?, dec.u64()?, dec.u64()?, dec.u64()?];
+        let repair_rng = RsjRng::restore_state(s)
+            .ok_or(CodecError::Corrupt("rng state is the zero fixed point"))?;
+        let rebuilds = dec.u64()?;
+        let replan_checked_at = dec.u64()?;
+        let inserts = dec.u64()?;
+        let deletes = dec.u64()?;
+        let last_population = dec.u128()?;
+        let deletes_since_repair = dec.u64()?;
+        self.index = index;
+        self.plan = plan;
+        self.reservoir = reservoir;
+        self.repair_rng = repair_rng;
+        self.rebuilds = rebuilds;
+        self.replan_checked_at = replan_checked_at;
+        self.inserts = inserts;
+        self.deletes = deletes;
+        self.last_population = last_population;
+        self.deletes_since_repair = deletes_since_repair;
+        Ok(())
+    }
+
     /// Estimated heap bytes of index + reservoir.
     pub fn heap_size(&self) -> usize {
         self.index.heap_size()
@@ -918,6 +988,59 @@ mod tests {
             panic!("invalid tree accepted");
         };
         assert!(err.to_string().contains("join-tree property"), "got: {err}");
+    }
+
+    #[test]
+    fn snapshot_restores_byte_identical_turnstile_behavior() {
+        // Durability contract at the driver level: a restored driver's
+        // reservoir, counters, and *future* behavior — including repair
+        // draws after deletes — match the original exactly.
+        let mut rj = ReservoirJoin::new(line3(), 8, 42).unwrap();
+        let mut rng = RsjRng::seed_from_u64(5);
+        let mut live: Vec<(usize, [u64; 2])> = Vec::new();
+        for step in 0..400 {
+            if step % 4 == 3 && !live.is_empty() {
+                let (rel, t) = live.swap_remove(rng.index(live.len()));
+                rj.delete(rel, &t);
+            } else {
+                let rel = rng.index(3);
+                let t = [rng.below_u64(6), rng.below_u64(6)];
+                if rj.process(rel, &t).is_some() {
+                    live.push((rel, t));
+                }
+            }
+        }
+        let mut enc = Encoder::new();
+        rj.snapshot_to(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut restored = ReservoirJoin::new(line3(), 8, 42).unwrap();
+        let mut dec = Decoder::new(&bytes);
+        restored.restore_from_snapshot(&mut dec).unwrap();
+        assert_eq!(rj.samples(), restored.samples());
+        assert_eq!(rj.inserts(), restored.inserts());
+        assert_eq!(rj.deletes(), restored.deletes());
+        // Identical continuation, checked lockstep (deletes hit the
+        // repair path, so the repair RNG position must have survived).
+        for step in 0..300 {
+            if step % 3 == 2 && !live.is_empty() {
+                let (rel, t) = live.swap_remove(rng.index(live.len()));
+                assert_eq!(rj.delete(rel, &t), restored.delete(rel, &t));
+            } else {
+                let rel = rng.index(3);
+                let t = [rng.below_u64(6), rng.below_u64(6)];
+                let tid = rj.process(rel, &t);
+                assert_eq!(tid, restored.process(rel, &t));
+                if tid.is_some() {
+                    live.push((rel, t));
+                }
+            }
+            assert_eq!(rj.samples(), restored.samples(), "diverged at {step}");
+        }
+        // A wrong-k target rejects the snapshot.
+        let mut wrong_k = ReservoirJoin::new(line3(), 9, 42).unwrap();
+        assert!(wrong_k
+            .restore_from_snapshot(&mut Decoder::new(&bytes))
+            .is_err());
     }
 
     #[test]

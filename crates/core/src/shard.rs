@@ -50,9 +50,10 @@
 
 use crate::count::JoinCounter;
 use crate::exec::{DeleteUnsupported, JoinSampler, SamplerStats};
+use rsj_common::codec::{CodecError, Decoder, Encoder};
 use rsj_common::hash::fx_hash_words;
 use rsj_common::rng::{child_seed, RsjRng};
-use rsj_common::Value;
+use rsj_common::{FxHashSet, Value};
 use rsj_query::Query;
 use rsj_storage::{ColumnarBatch, StreamOp};
 use std::cell::RefCell;
@@ -143,6 +144,10 @@ struct Snapshot {
     stats: SamplerStats,
 }
 
+/// One worker's durable state: the inner engine's snapshot bytes paired
+/// with its counter's live-tuple image.
+type ShardImage = (Vec<u8>, Vec<u8>);
+
 enum Msg {
     Batch(Vec<StreamOp>),
     /// A columnar sub-batch (inserts only): the routing side has already
@@ -153,6 +158,13 @@ enum Msg {
     /// Ask the inner engine to re-evaluate its plan; replies with whether
     /// anything changed.
     Replan(mpsc::Sender<bool>),
+    /// Serialize the worker's durable state: the inner engine's snapshot
+    /// (`None` if it has no snapshot capability) paired with the counter's
+    /// live tuple sets.
+    Snapshot(mpsc::Sender<Option<ShardImage>>),
+    /// Overlay a previously captured `(engine, counter)` state pair onto
+    /// the worker's engine and counter.
+    Restore(Vec<u8>, Vec<u8>, mpsc::Sender<Result<(), CodecError>>),
 }
 
 fn worker_loop(
@@ -203,6 +215,23 @@ fn worker_loop(
             }
             Msg::Replan(reply) => {
                 let _ = reply.send(sampler.replan());
+            }
+            Msg::Snapshot(reply) => {
+                let snap = sampler.snapshot_state().map(|engine| {
+                    let mut enc = Encoder::new();
+                    counter.snapshot_to(&mut enc);
+                    (engine, enc.into_bytes())
+                });
+                let _ = reply.send(snap);
+            }
+            Msg::Restore(engine, counter_bytes, reply) => {
+                cached_count = None;
+                let res = sampler.restore_state(&engine).and_then(|()| {
+                    let mut dec = Decoder::new(&counter_bytes);
+                    counter.restore_from_snapshot(&mut dec)?;
+                    dec.finish()
+                });
+                let _ = reply.send(res);
             }
         }
     }
@@ -262,6 +291,9 @@ pub struct ShardedSampler {
     /// so the routing side can reject turnstile ops *before* they cross a
     /// channel (workers have no error path back to the caller).
     inner_supports_deletes: bool,
+    /// Whether the inner engine can serialize its state, captured at
+    /// construction for the same reason.
+    inner_supports_snapshot: bool,
     state: RefCell<State>,
 }
 
@@ -318,11 +350,13 @@ impl ShardedSampler {
         let mut handles = Vec::with_capacity(shards);
         let mut output_query = None;
         let mut inner_supports_deletes = false;
+        let mut inner_supports_snapshot = false;
         for s in 0..shards {
             let sampler = build(child_seed(seed, s as u64))?;
             if output_query.is_none() {
                 output_query = Some(sampler.output_query().clone());
                 inner_supports_deletes = sampler.supports_deletes();
+                inner_supports_snapshot = sampler.supports_snapshot();
             }
             let counter = JoinCounter::new(query.clone());
             let (tx, rx) = mpsc::channel();
@@ -338,6 +372,7 @@ impl ShardedSampler {
             k,
             merge_seed: child_seed(seed, shards as u64),
             inner_supports_deletes,
+            inner_supports_snapshot,
             plan: plan.clone(),
             state: RefCell::new(State {
                 txs,
@@ -395,6 +430,47 @@ impl ShardedSampler {
             .map(|rx| rx.recv().expect("shard worker thread died"))
             .collect();
         (snaps, st.tuples_routed)
+    }
+
+    /// Restores from a [`snapshot_state`](JoinSampler::snapshot_state)
+    /// image taken with a **different** shard count or partition attribute
+    /// — the split/merge path of a shard rebalance. The old per-shard
+    /// engine images do not transfer across topologies, so the live tuples
+    /// recorded by the old shard counters are deduplicated (broadcast
+    /// relations register on every old shard), sorted, and replayed through
+    /// the new routing as ordinary inserts. The rebuilt sampler has the
+    /// exact live `|Q(R)|` and a uniform sample, but not the byte image of
+    /// the old run — contrast [`restore_state`](JoinSampler::restore_state),
+    /// which is byte-exact and requires an identical topology.
+    ///
+    /// Call this on a freshly built sampler: replay adds to whatever was
+    /// already routed.
+    pub fn restore_rebalanced(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        let mut dec = Decoder::new(bytes);
+        let shards = dec.seq_len(1)?;
+        let _partition_attr = dec.usize()?;
+        let _tuples_routed = dec.u64()?;
+        let num_relations = self.plan.positions.len();
+        let mut union: FxHashSet<(usize, Vec<Value>)> = FxHashSet::default();
+        for _ in 0..shards {
+            let _engine = dec.bytes()?;
+            let counter = dec.bytes()?;
+            let mut cdec = Decoder::new(counter);
+            let seen = JoinCounter::decode_live(&mut cdec, num_relations)?;
+            cdec.finish()?;
+            for (rel, side) in seen.into_iter().enumerate() {
+                for t in side {
+                    union.insert((rel, t));
+                }
+            }
+        }
+        dec.finish()?;
+        let mut tuples: Vec<(usize, Vec<Value>)> = union.into_iter().collect();
+        tuples.sort_unstable();
+        for (rel, t) in tuples {
+            self.route_op(StreamOp::insert(rel, t));
+        }
+        Ok(())
     }
 }
 
@@ -557,6 +633,87 @@ impl JoinSampler for ShardedSampler {
         self.k
     }
 
+    fn supports_snapshot(&self) -> bool {
+        self.inner_supports_snapshot
+    }
+
+    /// Serializes the sharded topology (shard count, partition attribute,
+    /// routed-tuple count) plus each worker's engine snapshot and counter
+    /// state — a canonical byte image when the inner engine's own snapshot
+    /// is canonical.
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        if !self.inner_supports_snapshot {
+            return None;
+        }
+        let mut st = self.state.borrow_mut();
+        for s in 0..self.plan.shards() {
+            st.flush(s);
+        }
+        let replies: Vec<mpsc::Receiver<Option<ShardImage>>> = st
+            .txs
+            .iter()
+            .map(|tx| {
+                let (rtx, rrx) = mpsc::channel();
+                tx.send(Msg::Snapshot(rtx))
+                    .expect("shard worker thread died");
+                rrx
+            })
+            .collect();
+        let mut enc = Encoder::new();
+        enc.put_usize(self.plan.shards());
+        enc.put_usize(self.plan.partition_attr());
+        enc.put_u64(st.tuples_routed);
+        for rx in replies {
+            let (engine, counter) = rx.recv().expect("shard worker thread died")?;
+            enc.put_bytes(&engine);
+            enc.put_bytes(&counter);
+        }
+        Some(enc.into_bytes())
+    }
+
+    /// Byte-exact restore into an identical topology (same shard count and
+    /// partition attribute — a rebalance goes through
+    /// [`ShardedSampler::restore_rebalanced`] instead). On error the
+    /// receiver may be partially overwritten and must be discarded.
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        let mut dec = Decoder::new(bytes);
+        let shards = dec.seq_len(1)?;
+        let partition_attr = dec.usize()?;
+        let routed = dec.u64()?;
+        if shards != self.plan.shards() || partition_attr != self.plan.partition_attr() {
+            return Err(CodecError::Corrupt(
+                "snapshot topology differs; use restore_rebalanced for split/merge",
+            ));
+        }
+        let mut pairs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let engine = dec.bytes()?.to_vec();
+            let counter = dec.bytes()?.to_vec();
+            pairs.push((engine, counter));
+        }
+        dec.finish()?;
+        let st = self.state.get_mut();
+        for s in 0..shards {
+            st.flush(s);
+        }
+        let replies: Vec<mpsc::Receiver<Result<(), CodecError>>> = st
+            .txs
+            .iter()
+            .zip(pairs)
+            .map(|(tx, (engine, counter))| {
+                let (rtx, rrx) = mpsc::channel();
+                tx.send(Msg::Restore(engine, counter, rtx))
+                    .expect("shard worker thread died");
+                rrx
+            })
+            .collect();
+        for rx in replies {
+            rx.recv().expect("shard worker thread died")?;
+        }
+        st.tuples_routed = routed;
+        Ok(())
+    }
+
     /// Aggregated instrumentation: sums across shards (broadcast tuples are
     /// counted once per shard that processed them), plus the exact result
     /// count `Σ |Q_i| = |Q(R)|` the merge maintains anyway.
@@ -593,7 +750,7 @@ impl JoinSampler for ShardedSampler {
 mod tests {
     use super::*;
     use crate::reservoir_join::ReservoirJoin;
-    use rsj_common::FxHashSet;
+    use rsj_common::{FxHashMap, FxHashSet};
     use rsj_query::QueryBuilder;
     use rsj_storage::TupleStream;
 
@@ -804,6 +961,132 @@ mod tests {
             );
             assert_eq!(rows.stats(), cols.stats(), "shards={shards}");
         }
+    }
+
+    #[test]
+    fn sharded_snapshot_restores_byte_identical_behavior() {
+        let stream = random_stream(3, 400, 6, 55);
+        let mut s = sharded_rsjoin(&line3(), 6, 13, 3);
+        for t in stream.iter().take(250) {
+            JoinSampler::process(&mut s, t.relation, &t.values);
+        }
+        let bytes = s.snapshot_state().unwrap();
+
+        // Restore into a fresh sampler built with the same configuration
+        // (the merge seed and shard topology are construction parameters).
+        // Heap estimates legitimately differ after a restore (Vec
+        // capacities are not part of the logical state); everything else
+        // must match exactly.
+        let logical = |st: SamplerStats| SamplerStats {
+            heap_bytes: None,
+            ..st
+        };
+        let mut restored = sharded_rsjoin(&line3(), 6, 13, 3);
+        restored.restore_state(&bytes).unwrap();
+        assert_eq!(JoinSampler::samples(&restored), JoinSampler::samples(&s));
+        assert_eq!(logical(restored.stats()), logical(s.stats()));
+
+        // Lockstep continuation.
+        for t in stream.iter().skip(250) {
+            JoinSampler::process(&mut s, t.relation, &t.values);
+            JoinSampler::process(&mut restored, t.relation, &t.values);
+        }
+        assert_eq!(JoinSampler::samples(&restored), JoinSampler::samples(&s));
+        assert_eq!(logical(restored.stats()), logical(s.stats()));
+
+        // A different topology is rejected on the byte-exact path.
+        let mut wrong = sharded_rsjoin(&line3(), 6, 13, 4);
+        assert!(wrong.restore_state(&bytes).is_err());
+    }
+
+    #[test]
+    fn rebalance_split_and_merge_preserve_exact_population() {
+        // Turnstile stream so the counters carry real live sets, not just
+        // cumulative inserts.
+        let mut rng = RsjRng::seed_from_u64(77);
+        let mut s = sharded_rsjoin(&line3(), 6, 3, 2);
+        let mut live: Vec<(usize, Vec<Value>)> = Vec::new();
+        for i in 0..400u64 {
+            if i % 5 == 4 && !live.is_empty() {
+                let (rel, t) = live.swap_remove(rng.index(live.len()));
+                s.process_op(&StreamOp::delete(rel, t)).unwrap();
+            } else {
+                let rel = rng.index(3);
+                let t = vec![rng.below_u64(6), rng.below_u64(6)];
+                JoinSampler::process(&mut s, rel, &t);
+                live.push((rel, t));
+            }
+        }
+        let population = s.stats().exact_results.unwrap();
+        assert!(population > 6, "degenerate instance");
+        let bytes = s.snapshot_state().unwrap();
+
+        // Split 2 -> 4: exact population and full sample survive replay.
+        let mut split = sharded_rsjoin(&line3(), 6, 91, 4);
+        split.restore_rebalanced(&bytes).unwrap();
+        assert_eq!(split.stats().exact_results, Some(population));
+        assert_eq!(
+            JoinSampler::samples(&split).len(),
+            JoinSampler::samples(&s).len()
+        );
+
+        // Merge 4 -> 1 from the split sampler's own snapshot.
+        let split_bytes = split.snapshot_state().unwrap();
+        let mut merged = sharded_rsjoin(&line3(), 6, 17, 1);
+        merged.restore_rebalanced(&split_bytes).unwrap();
+        assert_eq!(merged.stats().exact_results, Some(population));
+        assert_eq!(
+            JoinSampler::samples(&merged).len(),
+            JoinSampler::samples(&s).len()
+        );
+
+        // The replayed engines keep answering turnstile ops correctly.
+        for (rel, t) in live.iter().take(20) {
+            s.process_op(&StreamOp::delete(*rel, t.clone())).unwrap();
+            split
+                .process_op(&StreamOp::delete(*rel, t.clone()))
+                .unwrap();
+            merged
+                .process_op(&StreamOp::delete(*rel, t.clone()))
+                .unwrap();
+        }
+        let after = s.stats().exact_results;
+        assert_eq!(split.stats().exact_results, after);
+        assert_eq!(merged.stats().exact_results, after);
+    }
+
+    #[test]
+    fn rebalanced_samples_stay_uniform() {
+        use rsj_common::stats::{chi_square_critical, chi_square_uniform};
+        // Fixed instance with exactly 6 results (see sjoin_uniformity):
+        // split a 1-shard run into 2 shards and chi-square the merged
+        // sample over many seeds.
+        let stream: Vec<(usize, [u64; 2])> = vec![
+            (0, [1, 10]),
+            (2, [20, 5]),
+            (1, [10, 20]),
+            (0, [2, 10]),
+            (2, [20, 6]),
+            (0, [3, 10]),
+        ];
+        let trials = 1500u64;
+        let mut counts: FxHashMap<Vec<Value>, u64> = FxHashMap::default();
+        for seed in 0..trials {
+            let mut one = sharded_rsjoin(&line3(), 2, seed, 1);
+            for (rel, t) in &stream {
+                JoinSampler::process(&mut one, *rel, t);
+            }
+            let bytes = one.snapshot_state().unwrap();
+            let mut two = sharded_rsjoin(&line3(), 2, child_seed(seed, 999), 2);
+            two.restore_rebalanced(&bytes).unwrap();
+            for s in JoinSampler::samples(&two) {
+                *counts.entry(s).or_default() += 1;
+            }
+        }
+        assert_eq!(counts.len(), 6);
+        let obs: Vec<u64> = counts.values().copied().collect();
+        let (stat, df) = chi_square_uniform(&obs);
+        assert!(stat < chi_square_critical(df, 0.0001), "chi2={stat}");
     }
 
     #[test]

@@ -41,9 +41,10 @@
 //! pooled scratch buffers.
 
 use crate::state::{GroupId, ItemId, NodeState};
+use rsj_common::codec::{CodecError, Decoder, Encoder};
 use rsj_common::hash::fx_hash_columns;
 use rsj_common::pow2::level_of;
-use rsj_common::{fx_hash_one, FxHashMap, HeapSize, Key, TupleId, Value};
+use rsj_common::{fx_hash_one, FxHashMap, FxHashSet, HeapSize, Key, TupleId, Value};
 use rsj_query::{NodeInfo, Query};
 use rsj_storage::{ColumnarBatch, Database};
 use std::collections::hash_map::Entry;
@@ -187,11 +188,38 @@ struct TildeChange {
 
 /// One relation's accepted arrivals of a columnar batch: tuple ids plus,
 /// for each distinct projection set of the relation, the projected key
-/// column and its bulk-hashed digests (both parallel to `tids`).
+/// column and its bulk-hashed digests (both parallel to `tids`). Empty
+/// `tids` marks a relation absent from (or fully deduplicated out of) the
+/// current batch.
+#[derive(Clone, Debug, Default)]
 struct RelBatch {
     tids: Vec<TupleId>,
     proj_keys: Vec<Vec<Key>>,
     proj_hashes: Vec<Vec<u64>>,
+}
+
+/// Reusable scratch of the columnar ingest path, persisted in the index so
+/// repeated batch calls reallocate nothing once warm — the sort buffers,
+/// per-configuration net-change vectors and per-relation key/hash columns
+/// all keep their high-water capacity between batches. The `topo` and
+/// `cfg_slot_row` entries are static per index and computed on first use.
+#[derive(Clone, Debug, Default)]
+struct ColumnarScratch {
+    rel_batches: Vec<RelBatch>,
+    flat: Vec<Value>,
+    hashes: Vec<u64>,
+    rows: Vec<Value>,
+    proj_flat: Vec<Value>,
+    topo: Vec<u32>,
+    cfg_slot_row: Vec<usize>,
+    out_changes: Vec<Vec<TildeChange>>,
+    probes: Vec<(u32, TildeChange)>,
+    items_buf: Vec<ItemId>,
+    order_buf: Vec<(u64, u32)>,
+    recomputed: FxHashSet<ItemId>,
+    touched: FxHashMap<GroupId, (Key, u64, Option<u32>)>,
+    levels: Vec<Option<u32>>,
+    gids: Vec<GroupId>,
 }
 
 /// Children-first topological order of the shared-configuration DAG: every
@@ -254,6 +282,7 @@ pub struct DynamicIndex {
     plan: ProjectionPlan,
     scratch: Projections,
     pools: Pools,
+    columnar: ColumnarScratch,
     options: IndexOptions,
     stats: IndexStats,
 }
@@ -435,6 +464,7 @@ impl DynamicIndex {
             plan,
             scratch: Projections::default(),
             pools: Pools::default(),
+            columnar: ColumnarScratch::default(),
             options,
             stats: IndexStats::default(),
         })
@@ -458,6 +488,82 @@ impl DynamicIndex {
     /// Construction options.
     pub fn options(&self) -> IndexOptions {
         self.options
+    }
+
+    /// Serializes the dynamic portion of the index — tuple storage, every
+    /// configuration's [`NodeState`], and the instrumentation counters —
+    /// into `enc`. The static topology (configuration graph, projection
+    /// plan, tree views) is a pure function of `(query, tree, options)`
+    /// and is *not* written: a restore target must be freshly built over
+    /// the same triple (see
+    /// [`restore_state_from`](DynamicIndex::restore_state_from)).
+    ///
+    /// The encoding captures *physical* layout — posting-list order, hash
+    /// slot arrays, weight-bucket chains — so a restored index reproduces
+    /// the original byte-for-byte under any further operation sequence.
+    /// That exactness is what makes deterministic sampling replay (and the
+    /// durability layer's byte-identical recovery guarantee) possible.
+    pub fn snapshot_state_to(&self, enc: &mut Encoder) {
+        self.db.snapshot_to(enc);
+        enc.put_usize(self.configs.len());
+        for ns in &self.configs {
+            ns.snapshot_to(enc);
+        }
+        enc.put_u64(self.stats.inserts);
+        enc.put_u64(self.stats.deletes);
+        enc.put_u64(self.stats.propagation_loops);
+        enc.put_u64(self.stats.tilde_changes);
+    }
+
+    /// Restores dynamic state written by
+    /// [`snapshot_state_to`](DynamicIndex::snapshot_state_to) into `self`,
+    /// which must be a freshly built (empty) index over the same `(query,
+    /// tree, options)` triple. The configuration count, each
+    /// configuration's grouping flag and child count, and every relation's
+    /// arity are cross-checked against the rebuilt topology; any mismatch
+    /// rejects the snapshot without modifying `self`.
+    pub fn restore_state_from(&mut self, dec: &mut Decoder) -> Result<(), CodecError> {
+        let db = Database::restore_from(dec)?;
+        if db.len() != self.query.num_relations() {
+            return Err(CodecError::Corrupt(
+                "index snapshot relation count mismatch",
+            ));
+        }
+        for rel in 0..db.len() {
+            if db.relation(rel).arity() != self.db.relation(rel).arity() {
+                return Err(CodecError::Corrupt(
+                    "index snapshot relation arity mismatch",
+                ));
+            }
+        }
+        let ncfg = dec.seq_len(1)?;
+        if ncfg != self.configs.len() {
+            return Err(CodecError::Corrupt(
+                "index snapshot configuration count mismatch",
+            ));
+        }
+        let mut configs = Vec::with_capacity(ncfg);
+        for cu in 0..ncfg {
+            let ns = NodeState::restore_from(dec)?;
+            if ns.grouped != self.configs[cu].grouped
+                || ns.child_indexes.len() != self.configs[cu].child_indexes.len()
+            {
+                return Err(CodecError::Corrupt(
+                    "index snapshot configuration shape mismatch",
+                ));
+            }
+            configs.push(ns);
+        }
+        let stats = IndexStats {
+            inserts: dec.u64()?,
+            deletes: dec.u64()?,
+            propagation_loops: dec.u64()?,
+            tilde_changes: dec.u64()?,
+        };
+        self.db = db;
+        self.configs = configs;
+        self.stats = stats;
+        Ok(())
     }
 
     /// State of node `rel` in the tree rooted at `root`.
@@ -578,13 +684,15 @@ impl DynamicIndex {
 
         // Phase A: per relation, hash the dedup column in bulk, insert
         // into storage (set semantics), and bulk-hash every distinct
-        // projection of the accepted rows.
-        let mut rel_batches: Vec<Option<RelBatch>> = Vec::with_capacity(nrels);
-        rel_batches.resize_with(nrels, || None);
-        let mut flat: Vec<Value> = Vec::new();
-        let mut hashes: Vec<u64> = Vec::new();
-        let mut rows: Vec<Value> = Vec::new();
-        let mut proj_flat: Vec<Value> = Vec::new();
+        // projection of the accepted rows. Every buffer lives in the
+        // persistent scratch, so steady-state batches reallocate nothing.
+        let cs = &mut self.columnar;
+        if cs.rel_batches.len() < nrels {
+            cs.rel_batches.resize_with(nrels, RelBatch::default);
+        }
+        for rb in &mut cs.rel_batches {
+            rb.tids.clear();
+        }
         let mut accepted = 0u64;
         for rel in 0..batch.num_relations() {
             let rc = batch.relation(rel);
@@ -592,60 +700,56 @@ impl DynamicIndex {
                 continue;
             }
             let arity = rc.arity();
-            flat.clear();
-            rc.gather_rows(&mut flat);
-            hashes.clear();
-            fx_hash_columns(arity as u64, arity, &flat, &mut hashes);
-            let mut tids: Vec<TupleId> = Vec::new();
-            rows.clear();
+            cs.flat.clear();
+            rc.gather_rows(&mut cs.flat);
+            cs.hashes.clear();
+            fx_hash_columns(arity as u64, arity, &cs.flat, &mut cs.hashes);
+            cs.rows.clear();
             {
                 let r = self.db.relation_mut(rel);
-                for (row, &h) in flat.chunks_exact(arity).zip(&hashes) {
+                let rb = &mut cs.rel_batches[rel];
+                for (row, &h) in cs.flat.chunks_exact(arity).zip(&cs.hashes) {
                     if let Some(tid) = r.insert_hashed(row, h) {
-                        tids.push(tid);
-                        rows.extend_from_slice(row);
+                        rb.tids.push(tid);
+                        cs.rows.extend_from_slice(row);
                     }
                 }
             }
-            if tids.is_empty() {
+            let n = cs.rel_batches[rel].tids.len();
+            if n == 0 {
                 continue;
             }
-            accepted += tids.len() as u64;
-            let n = tids.len();
+            accepted += n as u64;
             let sets = &self.plan.rels[rel].sets;
-            let mut proj_keys: Vec<Vec<Key>> = Vec::with_capacity(sets.len());
-            let mut proj_hashes: Vec<Vec<u64>> = Vec::with_capacity(sets.len());
-            for set in sets {
+            let rb = &mut cs.rel_batches[rel];
+            rb.proj_keys.resize_with(sets.len(), Vec::new);
+            rb.proj_hashes.resize_with(sets.len(), Vec::new);
+            for (si, set) in sets.iter().enumerate() {
+                rb.proj_keys[si].clear();
+                rb.proj_hashes[si].clear();
                 if set.is_empty() {
                     // Root group keys project onto no attributes; the
                     // kernel wants arity >= 1, so the constant digest is
                     // computed once instead.
-                    proj_keys.push(vec![Key::EMPTY; n]);
-                    proj_hashes.push(vec![fx_hash_one(&Key::EMPTY); n]);
+                    rb.proj_keys[si].resize(n, Key::EMPTY);
+                    rb.proj_hashes[si].resize(n, fx_hash_one(&Key::EMPTY));
                     continue;
                 }
-                proj_flat.clear();
-                proj_flat.reserve(n * set.len());
-                for row in rows.chunks_exact(arity) {
+                cs.proj_flat.clear();
+                cs.proj_flat.reserve(n * set.len());
+                for row in cs.rows.chunks_exact(arity) {
                     for &p in set {
-                        proj_flat.push(row[p]);
+                        cs.proj_flat.push(row[p]);
                     }
                 }
-                let mut ph = Vec::new();
-                fx_hash_columns(set.len() as u64, set.len(), &proj_flat, &mut ph);
-                proj_keys.push(
-                    proj_flat
-                        .chunks_exact(set.len())
-                        .map(Key::from_slice)
-                        .collect(),
+                fx_hash_columns(
+                    set.len() as u64,
+                    set.len(),
+                    &cs.proj_flat,
+                    &mut rb.proj_hashes[si],
                 );
-                proj_hashes.push(ph);
+                rb.proj_keys[si].extend(cs.proj_flat.chunks_exact(set.len()).map(Key::from_slice));
             }
-            rel_batches[rel] = Some(RelBatch {
-                tids,
-                proj_keys,
-                proj_hashes,
-            });
         }
         self.stats.inserts += accepted;
         if accepted == 0 {
@@ -658,27 +762,31 @@ impl DynamicIndex {
         // duplicate-coalesced probes, then (3) records its own net cnt~
         // changes for the parents.
         let ncfg = self.configs.len();
-        let order = topo_children_first(&self.child_cfgs);
-        let mut cfg_slot_row = vec![0usize; ncfg];
-        for cfgs in &self.rel_cfgs {
-            for (i, &c) in cfgs.iter().enumerate() {
-                cfg_slot_row[c as usize] = i;
+        if cs.topo.len() != ncfg {
+            // The traversal order and slot-row table are pure functions of
+            // the (fixed) tree topology: compute once, reuse forever.
+            cs.topo = topo_children_first(&self.child_cfgs);
+            cs.cfg_slot_row = vec![0usize; ncfg];
+            for cfgs in &self.rel_cfgs {
+                for (i, &c) in cfgs.iter().enumerate() {
+                    cs.cfg_slot_row[c as usize] = i;
+                }
             }
         }
-        let mut out_changes: Vec<Vec<TildeChange>> = Vec::with_capacity(ncfg);
-        out_changes.resize_with(ncfg, Vec::new);
+        if cs.out_changes.len() != ncfg {
+            cs.out_changes.resize_with(ncfg, Vec::new);
+        }
+        for v in &mut cs.out_changes {
+            v.clear();
+        }
         let mut pl = 0u64;
         let mut tc = 0u64;
-        let mut probes: Vec<(u32, TildeChange)> = Vec::new();
-        let mut items_buf: Vec<ItemId> = Vec::new();
-        let mut order_buf: Vec<(u64, u32)> = Vec::new();
-        let mut recomputed: rsj_common::FxHashSet<ItemId> = rsj_common::FxHashSet::default();
-        let mut touched: FxHashMap<GroupId, (Key, u64, Option<u32>)> = FxHashMap::default();
-        for &c in &order {
+        for oi in 0..ncfg {
+            let c = cs.topo[oi];
             let cu = c as usize;
             let rel = self.infos[cu].relation;
-            recomputed.clear();
-            touched.clear();
+            cs.recomputed.clear();
+            cs.touched.clear();
 
             // (1) Amortized re-level of pre-batch items: one probe per
             // distinct (child, changed key), visited in (child, hash)
@@ -687,18 +795,18 @@ impl DynamicIndex {
             // level delta; a child group coming alive recomputes from
             // scratch (once per item — the recompute reads final child
             // state, so later probes skip it).
-            probes.clear();
+            cs.probes.clear();
             for (ci, &d) in self.child_cfgs[cu].iter().enumerate() {
-                for &ch in &out_changes[d as usize] {
-                    probes.push((ci as u32, ch));
+                for &ch in &cs.out_changes[d as usize] {
+                    cs.probes.push((ci as u32, ch));
                 }
             }
-            probes.sort_unstable_by(|a, b| {
+            cs.probes.sort_unstable_by(|a, b| {
                 (a.0, a.1.hash)
                     .cmp(&(b.0, b.1.hash))
                     .then_with(|| a.1.key.as_slice().cmp(b.1.key.as_slice()))
             });
-            for &(ci, ch) in &probes {
+            for &(ci, ch) in &cs.probes {
                 let shift = match (ch.old, ch.new) {
                     (Some(o), Some(n)) => {
                         debug_assert!(n >= o, "insert-only cnt~ must not shrink");
@@ -706,16 +814,16 @@ impl DynamicIndex {
                     }
                     _ => None,
                 };
-                items_buf.clear();
+                cs.items_buf.clear();
                 {
                     let ns = &self.configs[cu];
                     match ns.child_indexes[ci as usize].get(ch.hash, &ch.key) {
-                        Some(&list) => ns.postings.extend_into(list, &mut items_buf),
+                        Some(&list) => ns.postings.extend_into(list, &mut cs.items_buf),
                         None => continue,
                     }
                 }
-                for &item in &items_buf {
-                    if recomputed.contains(&item) {
+                for &item in &cs.items_buf {
+                    if cs.recomputed.contains(&item) {
                         continue;
                     }
                     pl += 1;
@@ -724,7 +832,7 @@ impl DynamicIndex {
                         (Some(d), Some(l)) => Some((l as i64 + d) as u32),
                         (Some(_), None) => None,
                         (None, _) => {
-                            recomputed.insert(item);
+                            cs.recomputed.insert(item);
                             compute_item_level(
                                 &self.configs,
                                 &self.infos,
@@ -736,7 +844,7 @@ impl DynamicIndex {
                         }
                     };
                     if pos.level() != new_level {
-                        if let Entry::Vacant(e) = touched.entry(pos.group) {
+                        if let Entry::Vacant(e) = cs.touched.entry(pos.group) {
                             let gkey = group_key_of(&self.configs, &self.infos, &self.db, c, item);
                             let old = self.configs[cu].group(pos.group).tilde_level();
                             e.insert((gkey, fx_hash_one(&gkey), old));
@@ -750,16 +858,18 @@ impl DynamicIndex {
             // Probe requests are sorted by (hash, key); each run of equal
             // keys costs one KeyMap probe however many rows share it.
             // Children are already final, so new levels are absolute.
-            if let Some(rb) = rel_batches[rel].as_ref() {
-                let slots = &self.plan.rels[rel].cfgs[cfg_slot_row[cu]];
+            if rel < cs.rel_batches.len() && !cs.rel_batches[rel].tids.is_empty() {
+                let rb = &cs.rel_batches[rel];
+                let slots = &self.plan.rels[rel].cfgs[cs.cfg_slot_row[cu]];
                 let n = rb.tids.len();
                 if self.configs[cu].grouped {
                     let es = slots.ebar as usize;
                     let ekeys = &rb.proj_keys[es];
                     let ehs = &rb.proj_hashes[es];
-                    order_buf.clear();
-                    order_buf.extend((0..n as u32).map(|j| (ehs[j as usize], j)));
-                    order_buf.sort_unstable_by(|a, b| {
+                    cs.order_buf.clear();
+                    cs.order_buf
+                        .extend((0..n as u32).map(|j| (ehs[j as usize], j)));
+                    cs.order_buf.sort_unstable_by(|a, b| {
                         a.0.cmp(&b.0)
                             .then_with(|| {
                                 ekeys[a.1 as usize]
@@ -770,11 +880,11 @@ impl DynamicIndex {
                     });
                     let mut i = 0usize;
                     while i < n {
-                        let (eh, j0) = order_buf[i];
+                        let (eh, j0) = cs.order_buf[i];
                         let ebar = ekeys[j0 as usize];
                         let mut end = i + 1;
                         while end < n {
-                            let (h2, j2) = order_buf[end];
+                            let (h2, j2) = cs.order_buf[end];
                             if h2 != eh || ekeys[j2 as usize] != ebar {
                                 break;
                             }
@@ -786,7 +896,7 @@ impl DynamicIndex {
                             let (gt, created) = ns.grouped_data.intern(&mut ns.postings, eh, ebar);
                             ns.grouped_data.feq[gt as usize] += (end - i) as u64;
                             let base = ns.grouped_data.base[gt as usize];
-                            for &(_, j) in &order_buf[i..end] {
+                            for &(_, j) in &cs.order_buf[i..end] {
                                 ns.postings.push(base, rb.tids[j as usize]);
                             }
                             (gt, created)
@@ -812,7 +922,7 @@ impl DynamicIndex {
                                 self.configs[cu].child_index_push(ci, h, k, gt);
                             }
                             let g = self.configs[cu].group_for(gh, gkey);
-                            if let Entry::Vacant(e) = touched.entry(g) {
+                            if let Entry::Vacant(e) = cs.touched.entry(g) {
                                 let old = self.configs[cu].group(g).tilde_level();
                                 e.insert((gkey, gh, old));
                             }
@@ -822,7 +932,7 @@ impl DynamicIndex {
                             // level overrides any step-(1) shift.
                             let pos = self.configs[cu].item_pos[gt as usize];
                             if pos.level() != level {
-                                if let Entry::Vacant(e) = touched.entry(pos.group) {
+                                if let Entry::Vacant(e) = cs.touched.entry(pos.group) {
                                     let old = self.configs[cu].group(pos.group).tilde_level();
                                     e.insert((gkey, gh, old));
                                 }
@@ -835,13 +945,15 @@ impl DynamicIndex {
                     // Plain configuration: per child, coalesced child-index
                     // pushes plus one cnt~ lookup per distinct key run,
                     // accumulated into per-row levels.
-                    let mut levels: Vec<Option<u32>> = vec![Some(0); n];
+                    cs.levels.clear();
+                    cs.levels.resize(n, Some(0));
                     for (ci, &slot) in slots.children.iter().enumerate() {
                         let keys = &rb.proj_keys[slot as usize];
                         let hs = &rb.proj_hashes[slot as usize];
-                        order_buf.clear();
-                        order_buf.extend((0..n as u32).map(|j| (hs[j as usize], j)));
-                        order_buf.sort_unstable_by(|a, b| {
+                        cs.order_buf.clear();
+                        cs.order_buf
+                            .extend((0..n as u32).map(|j| (hs[j as usize], j)));
+                        cs.order_buf.sort_unstable_by(|a, b| {
                             a.0.cmp(&b.0)
                                 .then_with(|| {
                                     keys[a.1 as usize]
@@ -853,11 +965,11 @@ impl DynamicIndex {
                         let child = self.child_cfgs[cu][ci] as usize;
                         let mut i = 0usize;
                         while i < n {
-                            let (h, j0) = order_buf[i];
+                            let (h, j0) = cs.order_buf[i];
                             let k = keys[j0 as usize];
                             let mut end = i + 1;
                             while end < n {
-                                let (h2, j2) = order_buf[end];
+                                let (h2, j2) = cs.order_buf[end];
                                 if h2 != h || keys[j2 as usize] != k {
                                     break;
                                 }
@@ -877,13 +989,13 @@ impl DynamicIndex {
                                 };
                                 // Within a run, j ascends (sort tiebreak),
                                 // so posting order stays tuple-id order.
-                                for &(_, j) in &order_buf[i..end] {
+                                for &(_, j) in &cs.order_buf[i..end] {
                                     ns.postings.push(list, rb.tids[j as usize]);
                                 }
                             }
                             let t = self.configs[child].tilde_level_of(h, &k);
-                            for &(_, j) in &order_buf[i..end] {
-                                levels[j as usize] = match (levels[j as usize], t) {
+                            for &(_, j) in &cs.order_buf[i..end] {
+                                cs.levels[j as usize] = match (cs.levels[j as usize], t) {
                                     (Some(s), Some(l)) => Some(s + l),
                                     _ => None,
                                 };
@@ -894,9 +1006,10 @@ impl DynamicIndex {
                     // Group assignment, again one probe per distinct key.
                     let gkeys = &rb.proj_keys[slots.key as usize];
                     let ghs = &rb.proj_hashes[slots.key as usize];
-                    order_buf.clear();
-                    order_buf.extend((0..n as u32).map(|j| (ghs[j as usize], j)));
-                    order_buf.sort_unstable_by(|a, b| {
+                    cs.order_buf.clear();
+                    cs.order_buf
+                        .extend((0..n as u32).map(|j| (ghs[j as usize], j)));
+                    cs.order_buf.sort_unstable_by(|a, b| {
                         a.0.cmp(&b.0)
                             .then_with(|| {
                                 gkeys[a.1 as usize]
@@ -905,44 +1018,44 @@ impl DynamicIndex {
                             })
                             .then(a.1.cmp(&b.1))
                     });
-                    let mut gids: Vec<GroupId> = vec![0; n];
+                    cs.gids.clear();
+                    cs.gids.resize(n, 0);
                     let mut i = 0usize;
                     while i < n {
-                        let (h, j0) = order_buf[i];
+                        let (h, j0) = cs.order_buf[i];
                         let k = gkeys[j0 as usize];
                         let mut end = i + 1;
                         while end < n {
-                            let (h2, j2) = order_buf[end];
+                            let (h2, j2) = cs.order_buf[end];
                             if h2 != h || gkeys[j2 as usize] != k {
                                 break;
                             }
                             end += 1;
                         }
                         let g = self.configs[cu].group_for(h, k);
-                        if let Entry::Vacant(e) = touched.entry(g) {
+                        if let Entry::Vacant(e) = cs.touched.entry(g) {
                             let old = self.configs[cu].group(g).tilde_level();
                             e.insert((k, h, old));
                         }
-                        for &(_, j) in &order_buf[i..end] {
-                            gids[j as usize] = g;
+                        for &(_, j) in &cs.order_buf[i..end] {
+                            cs.gids[j as usize] = g;
                         }
                         i = end;
                     }
                     // Plain item ids are tuple ids: place in id order.
                     for j in 0..n {
-                        self.configs[cu].place_new_item(rb.tids[j], gids[j], levels[j]);
+                        self.configs[cu].place_new_item(rb.tids[j], cs.gids[j], cs.levels[j]);
                     }
                 }
             }
 
             // (3) Record this configuration's net cnt~ changes for the
             // parents' pass.
-            let mut changes: Vec<TildeChange> = Vec::with_capacity(touched.len());
-            for (&g, &(key, hash, old)) in &touched {
+            for (&g, &(key, hash, old)) in &cs.touched {
                 let new = self.configs[cu].group(g).tilde_level();
                 if new != old {
                     tc += 1;
-                    changes.push(TildeChange {
+                    cs.out_changes[cu].push(TildeChange {
                         key,
                         hash,
                         old,
@@ -950,7 +1063,6 @@ impl DynamicIndex {
                     });
                 }
             }
-            out_changes[cu] = changes;
         }
         self.stats.propagation_loops += pl;
         self.stats.tilde_changes += tc;
@@ -2177,5 +2289,100 @@ mod tests {
             .group(ns.group_id(fx_hash_one(&Key::EMPTY), &Key::EMPTY).unwrap())
             .cnt;
         assert!((6..=16).contains(&cnt), "cnt={cnt}");
+    }
+
+    #[test]
+    fn index_snapshot_round_trips_byte_identically() {
+        // The durability contract: restoring a snapshot into a freshly
+        // built index reproduces the original *physically* — the snapshot
+        // re-serializes byte-for-byte, and stays byte-locked under any
+        // identical further operation sequence (so positional sampling
+        // draws see the very same posting order).
+        use rsj_common::rng::RsjRng;
+        use rsj_storage::InputTuple;
+        for grouping in [false, true] {
+            let mut rng = RsjRng::seed_from_u64(0xD1CE);
+            let mut idx = line3_index(grouping);
+            let mut live: Vec<(usize, Vec<Value>)> = Vec::new();
+            // Mixed history: row inserts, deletes, then a columnar batch.
+            for _ in 0..250 {
+                if !live.is_empty() && rng.unit() < 0.3 {
+                    let v = rng.index(live.len());
+                    let (rel, t) = live.swap_remove(v);
+                    idx.delete(rel, &t);
+                } else {
+                    let rel = rng.index(3);
+                    let t = vec![rng.below_u64(7), rng.below_u64(7)];
+                    if idx.insert(rel, &t).is_some() {
+                        live.push((rel, t));
+                    }
+                }
+            }
+            let batch: Vec<InputTuple> = (0..120)
+                .map(|_| InputTuple::new(rng.index(3), vec![rng.below_u64(7), rng.below_u64(7)]))
+                .collect();
+            idx.insert_columnar(&ColumnarBatch::from_rows(&batch));
+
+            let mut e = Encoder::new();
+            idx.snapshot_state_to(&mut e);
+            let bytes = e.into_bytes();
+
+            let mut restored = line3_index(grouping);
+            let mut d = Decoder::new(&bytes);
+            restored.restore_state_from(&mut d).unwrap();
+            d.finish().unwrap();
+
+            // Re-serialization is byte-identical...
+            let mut e2 = Encoder::new();
+            restored.snapshot_state_to(&mut e2);
+            assert_eq!(bytes, e2.into_bytes());
+
+            // ...and stays that way after identical further mutations,
+            // with return values (tuple ids!) in lockstep.
+            let more: Vec<InputTuple> = (0..150)
+                .map(|_| InputTuple::new(rng.index(3), vec![rng.below_u64(7), rng.below_u64(7)]))
+                .collect();
+            assert_eq!(
+                idx.insert_columnar(&ColumnarBatch::from_rows(&more)),
+                restored.insert_columnar(&ColumnarBatch::from_rows(&more))
+            );
+            for (rel, t) in live.iter().take(20) {
+                assert_eq!(idx.delete(*rel, t), restored.delete(*rel, t));
+            }
+            let (mut ea, mut eb) = (Encoder::new(), Encoder::new());
+            idx.snapshot_state_to(&mut ea);
+            restored.snapshot_state_to(&mut eb);
+            assert_eq!(ea.into_bytes(), eb.into_bytes());
+            for root in 0..3 {
+                check_tree_counts(&restored, root);
+            }
+        }
+    }
+
+    #[test]
+    fn index_snapshot_rejects_mismatched_topology() {
+        let mut idx = line3_index(true);
+        idx.insert(0, &[1, 2]);
+        idx.insert(1, &[2, 3]);
+        let mut e = Encoder::new();
+        idx.snapshot_state_to(&mut e);
+        let bytes = e.into_bytes();
+        // Different query shape (same relation count, wider arities).
+        let mut qb = QueryBuilder::new();
+        qb.relation("Ra", &["X", "Y", "Z"]);
+        qb.relation("Rb", &["Z", "W", "U"]);
+        qb.relation("Rc", &["U", "V", "T"]);
+        let mut other = DynamicIndex::new(qb.build().unwrap(), IndexOptions::default()).unwrap();
+        let mut d = Decoder::new(&bytes);
+        assert!(other.restore_state_from(&mut d).is_err());
+        // Truncated payload.
+        let mut fresh = line3_index(true);
+        let mut d = Decoder::new(&bytes[..bytes.len() - 1]);
+        assert!(fresh.restore_state_from(&mut d).is_err());
+        // And the happy path on the same topology still works.
+        let mut ok = line3_index(true);
+        let mut d = Decoder::new(&bytes);
+        ok.restore_state_from(&mut d).unwrap();
+        d.finish().unwrap();
     }
 }

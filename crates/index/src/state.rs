@@ -27,6 +27,7 @@
 //! to the sampling distribution (see `tests/golden_determinism.rs` at the
 //! workspace root).
 
+use rsj_common::codec::{CodecError, Decoder, Encoder};
 use rsj_common::postings::NO_LIST;
 use rsj_common::{HeapSize, Key, KeyMap, ListId, PostingArena};
 
@@ -392,6 +393,122 @@ impl NodeState {
         self.item_pos.push(ItemPos::new(group, level, pos));
     }
 
+    /// Serializes the node's complete physical state — group arena, item
+    /// positions, bucket lists, child indexes, posting arena, grouping
+    /// payload — exactly, so a restored node continues every future
+    /// operation (and re-serializes) byte-identically. Physical layout is
+    /// sample-relevant here: retrieval is positional within posting lists.
+    pub fn snapshot_to(&self, enc: &mut Encoder) {
+        self.groups.snapshot_to(enc, |e, g| e.put_u32(*g));
+        enc.put_usize(self.arena.len());
+        for g in &self.arena {
+            enc.put_u128(g.cnt);
+            enc.put_u8(g.tilde_code);
+            enc.put_usize(g.buckets.len());
+            for b in &g.buckets {
+                enc.put_u32(b.level);
+                enc.put_u32(b.list);
+            }
+            enc.put_u32(g.zero);
+        }
+        enc.put_usize(self.item_pos.len());
+        for ip in &self.item_pos {
+            enc.put_u32(ip.group);
+            enc.put_u32(ip.pos);
+            enc.put_u32(ip.level_code);
+        }
+        enc.put_usize(self.child_indexes.len());
+        for ci in &self.child_indexes {
+            ci.snapshot_to(enc, |e, l| e.put_u32(*l));
+        }
+        self.postings.snapshot_to(enc);
+        enc.put_bool(self.grouped);
+        self.grouped_data
+            .map
+            .snapshot_to(enc, |e, id| e.put_u32(*id));
+        enc.put_usize(self.grouped_data.ebar_vals.len());
+        for k in &self.grouped_data.ebar_vals {
+            k.encode_to(enc);
+        }
+        enc.put_u64s(&self.grouped_data.feq);
+        enc.put_u32s(&self.grouped_data.base);
+    }
+
+    /// Reconstructs node state from [`snapshot_to`](NodeState::snapshot_to)
+    /// bytes.
+    pub fn restore_from(dec: &mut Decoder) -> Result<NodeState, CodecError> {
+        let groups = KeyMap::restore_from(dec, |d| d.u32())?;
+        let narena = dec.seq_len(18)?;
+        let mut arena = Vec::with_capacity(narena);
+        for _ in 0..narena {
+            let cnt = dec.u128()?;
+            let tilde_code = dec.u8()?;
+            let nbuckets = dec.seq_len(8)?;
+            let mut buckets = Vec::with_capacity(nbuckets);
+            let mut prev_level = None;
+            for _ in 0..nbuckets {
+                let level = dec.u32()?;
+                if prev_level.is_some_and(|p| level <= p) {
+                    return Err(CodecError::Corrupt("group buckets out of level order"));
+                }
+                prev_level = Some(level);
+                buckets.push(BucketRef {
+                    level,
+                    list: dec.u32()?,
+                });
+            }
+            arena.push(Group {
+                cnt,
+                tilde_code,
+                buckets,
+                zero: dec.u32()?,
+            });
+        }
+        let nitems = dec.seq_len(12)?;
+        let mut item_pos = Vec::with_capacity(nitems);
+        for _ in 0..nitems {
+            let group = dec.u32()?;
+            if group as usize >= arena.len() {
+                return Err(CodecError::Corrupt("item position group out of range"));
+            }
+            item_pos.push(ItemPos {
+                group,
+                pos: dec.u32()?,
+                level_code: dec.u32()?,
+            });
+        }
+        let nchildren = dec.seq_len(8)?;
+        let child_indexes = (0..nchildren)
+            .map(|_| KeyMap::restore_from(dec, |d| d.u32()))
+            .collect::<Result<_, _>>()?;
+        let postings = PostingArena::restore_from(dec)?;
+        let grouped = dec.bool()?;
+        let map = KeyMap::restore_from(dec, |d| d.u32())?;
+        let nebar = dec.seq_len(9)?;
+        let ebar_vals = (0..nebar)
+            .map(|_| Key::decode_from(dec))
+            .collect::<Result<Vec<_>, _>>()?;
+        let feq = dec.u64s()?;
+        let base = dec.u32s()?;
+        if feq.len() != ebar_vals.len() || base.len() != ebar_vals.len() {
+            return Err(CodecError::Corrupt("grouped payload length mismatch"));
+        }
+        Ok(NodeState {
+            groups,
+            arena,
+            item_pos,
+            child_indexes,
+            postings,
+            grouped,
+            grouped_data: GroupedData {
+                map,
+                ebar_vals,
+                feq,
+                base,
+            },
+        })
+    }
+
     /// Moves an existing item to a new level within its group, fixing the
     /// displaced item's position. `cnt` is adjusted internally by
     /// insert/remove (weights are implied by levels).
@@ -590,6 +707,63 @@ mod tests {
         ns.remove_existing_item(2);
         assert_eq!(ns.group(g).cnt, 0);
         assert_eq!(ns.group(g).tilde_level(), None);
+    }
+
+    #[test]
+    fn node_snapshot_round_trips_byte_identically() {
+        let mut ns = NodeState::new(2, true);
+        let (h, key) = hashed(Key::single(7));
+        let g = ns.group_for(h, key);
+        for item in 0..6u32 {
+            ns.place_new_item(item, g, if item == 5 { None } else { Some(item % 3) });
+            ns.child_index_push((item % 2) as usize, h, key, item);
+        }
+        ns.move_item(0, Some(4));
+        ns.remove_existing_item(3);
+        let (h2, k2) = hashed(Key::single(9));
+        let (_, created) = ns.grouped_data.intern(&mut ns.postings, h2, k2);
+        assert!(created);
+        let snap = |n: &NodeState| {
+            let mut e = Encoder::new();
+            n.snapshot_to(&mut e);
+            e.into_bytes()
+        };
+        let bytes = snap(&ns);
+        let mut dec = Decoder::new(&bytes);
+        let mut ns2 = NodeState::restore_from(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(snap(&ns2), bytes, "re-serialization drifted");
+        // Identical further mutation keeps the copies in lockstep.
+        ns.move_item(1, Some(5));
+        ns2.move_item(1, Some(5));
+        ns.remove_existing_item(4);
+        ns2.remove_existing_item(4);
+        assert_eq!(snap(&ns2), snap(&ns));
+        assert_eq!(ns2.group(g).cnt, ns.group(g).cnt);
+    }
+
+    #[test]
+    fn node_snapshot_rejects_out_of_range_group() {
+        let mut ns = NodeState::new(0, false);
+        let (h, key) = hashed(Key::single(1));
+        let g = ns.group_for(h, key);
+        ns.place_new_item(0, g, Some(0));
+        let mut e = Encoder::new();
+        ns.snapshot_to(&mut e);
+        let bytes = e.into_bytes();
+        // item_pos[0].group sits right after the groups map, the 1-group
+        // arena and the item count; easier: scan for the known u32 triple.
+        // The group id is 0; corrupt it to 9 by finding the item section.
+        // Locate it deterministically by re-encoding with a poisoned group.
+        let mut poisoned = NodeState::new(0, false);
+        let gp = poisoned.group_for(h, key);
+        poisoned.place_new_item(0, gp, Some(0));
+        poisoned.item_pos[0].group = 9;
+        let mut ep = Encoder::new();
+        poisoned.snapshot_to(&mut ep);
+        let poisoned_bytes = ep.into_bytes();
+        assert_ne!(poisoned_bytes, bytes);
+        assert!(NodeState::restore_from(&mut Decoder::new(&poisoned_bytes)).is_err());
     }
 
     #[test]

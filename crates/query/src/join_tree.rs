@@ -8,6 +8,7 @@
 //! The recorded (ear, witness) pairs form the join tree of Definition 4.1.
 
 use crate::hypergraph::Query;
+use rsj_common::codec::{CodecError, Decoder, Encoder};
 
 /// An unrooted join tree over the relations of an acyclic query.
 #[derive(Clone, Debug)]
@@ -154,6 +155,74 @@ impl JoinTree {
         let mut e = self.edges();
         e.sort_unstable();
         e
+    }
+
+    /// Serializes the *exact* adjacency lists, order included. Adjacency
+    /// order drives node-state discovery order in the dynamic index, so a
+    /// checkpointed plan must restore the instance verbatim — rebuilding
+    /// from [`canonical_edges`](JoinTree::canonical_edges) via
+    /// [`from_edges`](JoinTree::from_edges) could reorder neighbours and
+    /// change sample-relevant layout.
+    pub fn snapshot_to(&self, enc: &mut Encoder) {
+        enc.put_usize(self.adj.len());
+        for ns in &self.adj {
+            enc.put_usize(ns.len());
+            for &j in ns {
+                enc.put_usize(j);
+            }
+        }
+    }
+
+    /// Reconstructs a tree from [`snapshot_to`](JoinTree::snapshot_to)
+    /// bytes, validating that the adjacency describes a spanning tree
+    /// (symmetric edges, `n - 1` of them, all nodes reachable).
+    pub fn restore_from(dec: &mut Decoder) -> Result<JoinTree, CodecError> {
+        let n = dec.seq_len(8)?;
+        let mut adj = Vec::with_capacity(n);
+        let mut half_edges = 0usize;
+        for _ in 0..n {
+            let deg = dec.seq_len(8)?;
+            let mut ns = Vec::with_capacity(deg);
+            for _ in 0..deg {
+                let j = dec.usize()?;
+                if j >= n {
+                    return Err(CodecError::Corrupt("join tree neighbour out of range"));
+                }
+                ns.push(j);
+            }
+            half_edges += deg;
+            adj.push(ns);
+        }
+        if half_edges != n.saturating_sub(1) * 2 {
+            return Err(CodecError::Corrupt("join tree edge count"));
+        }
+        let t = JoinTree { adj };
+        for (i, ns) in t.adj.iter().enumerate() {
+            for &j in ns {
+                if !t.adj[j].contains(&i) {
+                    return Err(CodecError::Corrupt("join tree adjacency not symmetric"));
+                }
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        if n > 0 {
+            seen[0] = true;
+        }
+        let mut reached = usize::from(n > 0);
+        while let Some(i) = stack.pop() {
+            for &j in &t.adj[i] {
+                if !seen[j] {
+                    seen[j] = true;
+                    reached += 1;
+                    stack.push(j);
+                }
+            }
+        }
+        if reached != n {
+            return Err(CodecError::Corrupt("join tree not spanning"));
+        }
+        Ok(t)
     }
 
     /// Validates the join-tree property: for every attribute, the relations
@@ -412,6 +481,47 @@ mod tests {
     fn from_edges_rejects_disconnected() {
         // 4 nodes, 3 edges, but node 3 unreached (duplicate edge).
         JoinTree::from_edges(4, &[(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn snapshot_preserves_adjacency_order_exactly() {
+        // Build via GYO (adjacency order is reduction order, not sorted)
+        // and round-trip: neighbour lists must come back verbatim.
+        let q = build(&[
+            ("G1", &["A", "B1"]),
+            ("G2", &["A", "B2"]),
+            ("G3", &["A", "B3"]),
+            ("G4", &["A", "B4"]),
+        ]);
+        let t = JoinTree::build(&q).unwrap();
+        let mut e = Encoder::new();
+        t.snapshot_to(&mut e);
+        let bytes = e.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let t2 = JoinTree::restore_from(&mut dec).unwrap();
+        dec.finish().unwrap();
+        for i in 0..t.len() {
+            assert_eq!(t2.neighbors(i), t.neighbors(i), "node {i}");
+        }
+        let mut e2 = Encoder::new();
+        t2.snapshot_to(&mut e2);
+        assert_eq!(e2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn snapshot_rejects_asymmetric_adjacency() {
+        // Hand-craft bytes: 2 nodes, node 0 lists 1 but node 1 lists 0 twice.
+        let mut e = Encoder::new();
+        e.put_usize(3);
+        e.put_usize(1);
+        e.put_usize(1); // 0 -> [1]
+        e.put_usize(2);
+        e.put_usize(0);
+        e.put_usize(2); // 1 -> [0, 2]
+        e.put_usize(1);
+        e.put_usize(0); // 2 -> [0]  (asymmetric: 0 does not list 2)
+        let bytes = e.into_bytes();
+        assert!(JoinTree::restore_from(&mut Decoder::new(&bytes)).is_err());
     }
 
     #[test]

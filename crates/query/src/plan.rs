@@ -59,6 +59,7 @@
 use crate::hypergraph::Query;
 use crate::join_tree::{all_join_trees, JoinTree};
 use crate::rooted::{all_rooted_trees, RootedTree};
+use rsj_common::codec::{CodecError, Decoder, Encoder};
 use rsj_storage::{RelationStats, TableStatistics};
 
 /// Scored cost components of one `(tree, root)` candidate, in abstract
@@ -127,6 +128,42 @@ impl Plan {
             cost,
             candidates: 1,
             is_canonical: true,
+        })
+    }
+
+    /// Serializes the plan, tree adjacency order included (see
+    /// [`JoinTree::snapshot_to`] for why the order matters).
+    pub fn snapshot_to(&self, enc: &mut Encoder) {
+        self.tree.snapshot_to(enc);
+        enc.put_usize(self.root);
+        enc.put_usize(self.partition_attr);
+        enc.put_f64(self.cost.insert);
+        enc.put_f64(self.cost.delete);
+        enc.put_f64(self.cost.sample);
+        enc.put_f64(self.cost.total);
+        enc.put_usize(self.candidates);
+        enc.put_bool(self.is_canonical);
+    }
+
+    /// Reconstructs a plan from [`snapshot_to`](Plan::snapshot_to) bytes.
+    pub fn restore_from(dec: &mut Decoder) -> Result<Plan, CodecError> {
+        let tree = JoinTree::restore_from(dec)?;
+        let root = dec.usize()?;
+        if root >= tree.len() {
+            return Err(CodecError::Corrupt("plan root out of range"));
+        }
+        Ok(Plan {
+            root,
+            partition_attr: dec.usize()?,
+            cost: PlanCost {
+                insert: dec.f64()?,
+                delete: dec.f64()?,
+                sample: dec.f64()?,
+                total: dec.f64()?,
+            },
+            candidates: dec.usize()?,
+            is_canonical: dec.bool()?,
+            tree,
         })
     }
 }
@@ -529,6 +566,36 @@ mod tests {
         // Whatever wins must not be worse than the canonical candidate.
         let canon = planner.score(&q, &trees[0], 0, &stats).unwrap();
         assert!(plan.cost.total <= canon.total + 1e-9);
+    }
+
+    #[test]
+    fn plan_snapshot_round_trips() {
+        let q = line3();
+        let mut stats = empty_stats(&q);
+        for i in 0..64u64 {
+            stats.observe_insert(0, &[i, i % 8]);
+            stats.observe_insert(1, &[i % 8, i % 16]);
+            stats.observe_insert(2, &[if i < 56 { 3 } else { i }, i]);
+        }
+        let plan = Planner::default().plan(&q, &stats).unwrap();
+        let snap = |p: &Plan| {
+            let mut e = Encoder::new();
+            p.snapshot_to(&mut e);
+            e.into_bytes()
+        };
+        let bytes = snap(&plan);
+        let mut dec = Decoder::new(&bytes);
+        let plan2 = Plan::restore_from(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(plan2.root, plan.root);
+        assert_eq!(plan2.partition_attr, plan.partition_attr);
+        assert_eq!(plan2.cost, plan.cost);
+        assert_eq!(plan2.candidates, plan.candidates);
+        assert_eq!(plan2.is_canonical, plan.is_canonical);
+        for i in 0..plan.tree.len() {
+            assert_eq!(plan2.tree.neighbors(i), plan.tree.neighbors(i));
+        }
+        assert_eq!(snap(&plan2), bytes);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! fully-dynamic (turnstile) workloads interleave insertions and deletions
 //! as a [`StreamOp`] sequence in an [`OpStream`].
 
+use rsj_common::codec::{CodecError, Decoder, Encoder};
 use rsj_common::Value;
 
 /// One stream element: a tuple destined for a relation.
@@ -124,6 +125,32 @@ impl StreamOp {
     /// True for [`StreamOp::Delete`].
     pub fn is_delete(&self) -> bool {
         matches!(self, StreamOp::Delete(_))
+    }
+
+    /// Writes the op's compact binary form: a direction byte, the relation
+    /// id, then the length-prefixed attribute values. This is the WAL
+    /// record payload (`rsj-storage::wal`).
+    pub fn encode_to(&self, enc: &mut Encoder) {
+        enc.put_u8(self.is_delete() as u8);
+        let t = self.tuple();
+        enc.put_usize(t.relation);
+        enc.put_u64s(&t.values);
+    }
+
+    /// Reads an op written by [`encode_to`](StreamOp::encode_to).
+    pub fn decode_from(dec: &mut Decoder) -> Result<StreamOp, CodecError> {
+        let kind = dec.u8()?;
+        if kind > 1 {
+            return Err(CodecError::Corrupt("stream op direction byte"));
+        }
+        let relation = dec.usize()?;
+        let values = dec.u64s()?;
+        let t = InputTuple::new(relation, values);
+        Ok(if kind == 1 {
+            StreamOp::Delete(t)
+        } else {
+            StreamOp::Insert(t)
+        })
     }
 }
 
@@ -252,6 +279,28 @@ mod tests {
         assert!(ops.ops()[1].is_delete());
         assert!(!ops.ops()[0].is_delete());
         assert_eq!(ops.ops()[1].tuple(), &InputTuple::new(0, vec![1, 2]));
+    }
+
+    #[test]
+    fn op_codec_round_trips_and_rejects_bad_direction() {
+        use rsj_common::codec::{Decoder, Encoder};
+        let ops = [
+            StreamOp::insert(0, vec![1, 2, 3]),
+            StreamOp::delete(7, vec![]),
+            StreamOp::insert(2, vec![u64::MAX]),
+        ];
+        for op in &ops {
+            let mut e = Encoder::new();
+            op.encode_to(&mut e);
+            let bytes = e.into_bytes();
+            let mut d = Decoder::new(&bytes);
+            assert_eq!(&StreamOp::decode_from(&mut d).unwrap(), op);
+            d.finish().unwrap();
+            // A direction byte other than 0/1 is corruption, not a variant.
+            let mut bad = bytes.clone();
+            bad[0] = 2;
+            assert!(StreamOp::decode_from(&mut Decoder::new(&bad)).is_err());
+        }
     }
 
     #[test]

@@ -23,16 +23,21 @@
 //!   the substrate of the columnar ingest fast path;
 //! * [`stats::TableStatistics`] — observed per-relation/per-column stream
 //!   statistics, the evidence the cost-based planner (`rsj-query::plan`)
-//!   scores candidate join trees with.
+//!   scores candidate join trees with;
+//! * [`wal::Wal`] / [`wal::Checkpoint`] — the durability layer: a
+//!   segmented, checksummed write-ahead log of [`input::StreamOp`]s and the
+//!   checkpoint file format that truncates it.
 
 pub mod columnar;
 pub mod input;
 pub mod relation;
 pub mod semijoin;
 pub mod stats;
+pub mod wal;
 
 pub use columnar::{ColumnarBatch, RelationColumns};
 pub use input::{InputTuple, OpStream, StreamOp, TupleStream};
 pub use relation::{Database, Relation};
 pub use semijoin::SemijoinIndex;
 pub use stats::{ColumnStats, RelationStats, TableStatistics};
+pub use wal::{Checkpoint, Wal, WalError, FORMAT_VERSION};

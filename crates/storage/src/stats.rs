@@ -21,6 +21,7 @@
 //! behind the same accessors if stream cardinalities ever outgrow memory.)
 
 use crate::relation::Database;
+use rsj_common::codec::{CodecError, Decoder, Encoder};
 use rsj_common::{FxHashMap, Value};
 
 /// Exact per-column frequency sketch: distinct count, maximum per-key
@@ -72,6 +73,40 @@ impl ColumnStats {
         } else {
             self.rows as f64 / self.freq.len() as f64
         }
+    }
+
+    /// Serializes the sketch. The frequency map is written in sorted value
+    /// order so equal sketches always produce equal bytes regardless of
+    /// hash-map history.
+    fn snapshot_to(&self, enc: &mut Encoder) {
+        enc.put_u64(self.rows);
+        let mut entries: Vec<(Value, u64)> = self.freq.iter().map(|(&v, &c)| (v, c)).collect();
+        entries.sort_unstable();
+        enc.put_usize(entries.len());
+        for (v, c) in entries {
+            enc.put_u64(v);
+            enc.put_u64(c);
+        }
+    }
+
+    fn restore_from(dec: &mut Decoder) -> Result<ColumnStats, CodecError> {
+        let rows = dec.u64()?;
+        let n = dec.seq_len(16)?;
+        let mut freq = FxHashMap::default();
+        freq.reserve(n);
+        let mut total = 0u64;
+        for _ in 0..n {
+            let v = dec.u64()?;
+            let c = dec.u64()?;
+            if c == 0 || freq.insert(v, c).is_some() {
+                return Err(CodecError::Corrupt("column sketch frequency entry"));
+            }
+            total = total.saturating_add(c);
+        }
+        if total != rows {
+            return Err(CodecError::Corrupt("column sketch rows disagree with sum"));
+        }
+        Ok(ColumnStats { freq, rows })
     }
 }
 
@@ -250,6 +285,46 @@ impl TableStatistics {
     pub fn no_evidence(&self) -> bool {
         self.inserts_seen == 0
     }
+
+    /// Serializes the full collector (lifetime counters included, so a
+    /// restored planner sees the same evidence history).
+    pub fn snapshot_to(&self, enc: &mut Encoder) {
+        enc.put_u64(self.inserts_seen);
+        enc.put_u64(self.deletes_seen);
+        enc.put_usize(self.rels.len());
+        for rs in &self.rels {
+            enc.put_u64(rs.cardinality);
+            enc.put_usize(rs.columns.len());
+            for col in &rs.columns {
+                col.snapshot_to(enc);
+            }
+        }
+    }
+
+    /// Reconstructs a collector from
+    /// [`snapshot_to`](TableStatistics::snapshot_to) bytes.
+    pub fn restore_from(dec: &mut Decoder) -> Result<TableStatistics, CodecError> {
+        let inserts_seen = dec.u64()?;
+        let deletes_seen = dec.u64()?;
+        let nrels = dec.seq_len(16)?;
+        let mut rels = Vec::with_capacity(nrels);
+        for _ in 0..nrels {
+            let cardinality = dec.u64()?;
+            let ncols = dec.seq_len(8)?;
+            let columns = (0..ncols)
+                .map(|_| ColumnStats::restore_from(dec))
+                .collect::<Result<_, _>>()?;
+            rels.push(RelationStats {
+                cardinality,
+                columns,
+            });
+        }
+        Ok(TableStatistics {
+            rels,
+            inserts_seen,
+            deletes_seen,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -322,6 +397,59 @@ mod tests {
         assert_eq!(r.max_fanout(&[0]), 4);
         assert!((r.skew(&[0]) - 4.0 / 3.0).abs() < 1e-12);
         assert!((r.skew(&[1]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_byte_stable() {
+        let mut s = TableStatistics::new(&[2, 1]);
+        for (a, b) in [(1u64, 10u64), (1, 11), (2, 10), (3, 12)] {
+            s.observe_insert(0, &[a, b]);
+        }
+        s.observe_insert(1, &[5]);
+        s.observe_delete(0, &[1, 11]);
+        let snap = |st: &TableStatistics| {
+            let mut e = Encoder::new();
+            st.snapshot_to(&mut e);
+            e.into_bytes()
+        };
+        let bytes = snap(&s);
+        let mut dec = Decoder::new(&bytes);
+        let s2 = TableStatistics::restore_from(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(s2.inserts_seen(), s.inserts_seen());
+        assert_eq!(s2.deletes_seen(), s.deletes_seen());
+        assert_eq!(s2.relation(0).cardinality, s.relation(0).cardinality);
+        for rel in 0..2 {
+            for (a, b) in s
+                .relation(rel)
+                .columns
+                .iter()
+                .zip(&s2.relation(rel).columns)
+            {
+                assert_eq!(a.distinct(), b.distinct());
+                assert_eq!(a.max_frequency(), b.max_frequency());
+                assert_eq!(a.rows(), b.rows());
+            }
+        }
+        assert_eq!(snap(&s2), bytes, "re-serialization drifted");
+        // A restored collector keeps observing correctly.
+        let mut s3 = s2.clone();
+        s3.observe_insert(0, &[1, 10]);
+        assert_eq!(s3.relation(0).columns[0].max_frequency(), 2);
+    }
+
+    #[test]
+    fn snapshot_rejects_row_count_mismatch() {
+        let mut s = TableStatistics::new(&[1]);
+        s.observe_insert(0, &[9]);
+        let mut e = Encoder::new();
+        s.snapshot_to(&mut e);
+        let mut bytes = e.into_bytes();
+        // Column rows field sits right after the two lifetime counters,
+        // the relation count, cardinality and column count.
+        let off = 8 * 5;
+        bytes[off..off + 8].copy_from_slice(&7u64.to_le_bytes());
+        assert!(TableStatistics::restore_from(&mut Decoder::new(&bytes)).is_err());
     }
 
     #[test]

@@ -1,0 +1,692 @@
+//! Segmented, checksummed write-ahead log of [`StreamOp`]s, plus the
+//! checkpoint file format that truncates it.
+//!
+//! Durability for a streaming join sampler is cheap to specify: the *only*
+//! inputs that ever mutate engine state are the stream ops themselves, and
+//! every engine in this workspace is deterministic given its seed. So the
+//! log records nothing but the op stream, and recovery is
+//! `checkpoint state ⊕ replay of the logged suffix` — byte-identical to the
+//! uninterrupted run, reservoir contents and RNG positions included.
+//!
+//! # On-disk layout
+//!
+//! A [`Wal`] owns a directory of segment files `wal-{seq:08}.log`. Each
+//! segment starts with a 16-byte header:
+//!
+//! ```text
+//! [magic "RSJW" 4B] [format version u32 LE] [first_lsn u64 LE]
+//! ```
+//!
+//! followed by framed records:
+//!
+//! ```text
+//! [len u32 LE] [crc32(payload) u32 LE] [payload: StreamOp codec bytes]
+//! ```
+//!
+//! The LSN of a record is `first_lsn` + its ordinal in the segment; LSNs
+//! are global op indices, dense across segments. A torn tail — a record cut
+//! mid-bytes by a crash — fails its length or CRC check and replay stops at
+//! the last valid record, which is exactly the prefix the process had
+//! durably applied. A framing error anywhere *before* the final segment's
+//! tail is real corruption and surfaces as an error instead.
+//!
+//! Checkpointing rotates the log: a new segment whose `first_lsn` is the
+//! checkpoint LSN is created and older segments are deleted, so the live
+//! log is always "everything after the last checkpoint".
+//!
+//! # Format versioning
+//!
+//! [`FORMAT_VERSION`] is shared by segments and checkpoint files and is
+//! checked on open. Bump it on **any** byte-level change to either format
+//! or to the state encodings referenced from them (see the golden digests
+//! in `tests/golden_determinism.rs`); readers reject mismatched versions
+//! rather than guessing.
+
+use crate::input::StreamOp;
+use rsj_common::codec::{crc32, CodecError, Decoder, Encoder};
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// On-disk format version of WAL segments and checkpoint files.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Magic prefix of a WAL segment file.
+pub const WAL_MAGIC: [u8; 4] = *b"RSJW";
+
+/// Magic prefix of a checkpoint file.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"RSJC";
+
+const SEGMENT_HEADER_LEN: u64 = 16;
+
+/// Hard cap on one record's payload (a single op is tens of bytes; anything
+/// near this is a corrupt length field).
+const MAX_RECORD_LEN: u32 = 1 << 24;
+
+/// Errors from the durability layer.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// A record or checkpoint payload failed to decode.
+    Codec(CodecError),
+    /// Structural corruption (bad magic, version mismatch, mid-log framing
+    /// damage, checksum failure in a checkpoint).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io error: {e}"),
+            WalError::Codec(e) => write!(f, "wal codec error: {e}"),
+            WalError::Corrupt(what) => write!(f, "wal corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> WalError {
+        WalError::Io(e)
+    }
+}
+
+impl From<CodecError> for WalError {
+    fn from(e: CodecError) -> WalError {
+        WalError::Codec(e)
+    }
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:08}.log"))
+}
+
+/// Lists `(seq, path)` of the segments in `dir`, ascending by sequence.
+fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
+    let mut segs = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n,
+            None => continue,
+        };
+        if let Some(seq) = name
+            .strip_prefix("wal-")
+            .and_then(|rest| rest.strip_suffix(".log"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            segs.push((seq, path));
+        }
+    }
+    segs.sort_unstable();
+    Ok(segs)
+}
+
+fn write_segment_header(w: &mut impl Write, first_lsn: u64) -> Result<(), WalError> {
+    w.write_all(&WAL_MAGIC)?;
+    w.write_all(&FORMAT_VERSION.to_le_bytes())?;
+    w.write_all(&first_lsn.to_le_bytes())?;
+    Ok(())
+}
+
+/// Parsed segment header.
+fn read_segment_header(bytes: &[u8]) -> Result<u64, WalError> {
+    if bytes.len() < SEGMENT_HEADER_LEN as usize {
+        return Err(WalError::Corrupt("segment shorter than its header"));
+    }
+    if bytes[..4] != WAL_MAGIC {
+        return Err(WalError::Corrupt("segment magic mismatch"));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(WalError::Corrupt("segment format version mismatch"));
+    }
+    Ok(u64::from_le_bytes(bytes[8..16].try_into().unwrap()))
+}
+
+/// One segment's records, scanned leniently: stops at the first framing or
+/// checksum failure and reports the byte offset of the valid prefix.
+struct SegmentScan {
+    first_lsn: u64,
+    ops: Vec<StreamOp>,
+    /// Length of the valid prefix in bytes (header included).
+    valid_len: u64,
+    /// True when the scan stopped before the end of the file.
+    torn: bool,
+}
+
+fn scan_segment(path: &Path) -> Result<SegmentScan, WalError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let first_lsn = read_segment_header(&bytes)?;
+    let mut ops = Vec::new();
+    let mut pos = SEGMENT_HEADER_LEN as usize;
+    loop {
+        if pos == bytes.len() {
+            return Ok(SegmentScan {
+                first_lsn,
+                ops,
+                valid_len: pos as u64,
+                torn: false,
+            });
+        }
+        let valid = SegmentScan {
+            first_lsn: 0,
+            ops: Vec::new(),
+            valid_len: pos as u64,
+            torn: true,
+        };
+        if bytes.len() - pos < 8 {
+            return Ok(SegmentScan {
+                first_lsn,
+                ops,
+                ..valid
+            });
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_RECORD_LEN || bytes.len() - pos - 8 < len as usize {
+            return Ok(SegmentScan {
+                first_lsn,
+                ops,
+                ..valid
+            });
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len as usize];
+        if crc32(payload) != crc {
+            return Ok(SegmentScan {
+                first_lsn,
+                ops,
+                ..valid
+            });
+        }
+        let mut dec = Decoder::new(payload);
+        let op = match StreamOp::decode_from(&mut dec).and_then(|op| dec.finish().map(|_| op)) {
+            Ok(op) => op,
+            Err(_) => {
+                return Ok(SegmentScan {
+                    first_lsn,
+                    ops,
+                    ..valid
+                })
+            }
+        };
+        ops.push(op);
+        pos += 8 + len as usize;
+    }
+}
+
+/// A segmented, checksummed write-ahead log of [`StreamOp`]s.
+///
+/// Appends buffer in user space; call [`flush`](Wal::flush) (or drop the
+/// log) to push them to the OS, and [`sync`](Wal::sync) for a full
+/// `fdatasync`. The crash-recovery tests flush before every simulated kill,
+/// so the recovery invariant they pin is "flushed prefix is recoverable".
+pub struct Wal {
+    dir: PathBuf,
+    writer: BufWriter<File>,
+    active_seq: u64,
+    next_lsn: u64,
+    /// Reused per-append encode buffer — appends are allocation-free once
+    /// it has grown to the largest op seen.
+    scratch: Encoder,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.dir)
+            .field("active_seq", &self.active_seq)
+            .field("next_lsn", &self.next_lsn)
+            .finish()
+    }
+}
+
+impl Wal {
+    /// Opens the log in `dir`, creating the directory and an initial empty
+    /// segment (`first_lsn` 0) when none exists. An existing log is scanned
+    /// to the end of its valid records; a torn tail on the *final* segment
+    /// is truncated away, a framing error anywhere earlier is an error.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Wal, WalError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let segs = list_segments(&dir)?;
+        let (active_seq, next_lsn, valid_len) = match segs.last() {
+            None => {
+                let mut f = BufWriter::new(File::create(segment_path(&dir, 0))?);
+                write_segment_header(&mut f, 0)?;
+                f.flush()?;
+                (0, 0, SEGMENT_HEADER_LEN)
+            }
+            Some(&(last_seq, ref last_path)) => {
+                // Earlier segments must be fully intact.
+                let mut expected_next = None;
+                for (seq, path) in &segs[..segs.len() - 1] {
+                    let scan = scan_segment(path)?;
+                    if scan.torn {
+                        return Err(WalError::Corrupt("framing damage before final segment"));
+                    }
+                    if let Some(expected) = expected_next {
+                        if scan.first_lsn != expected {
+                            return Err(WalError::Corrupt("segment lsn gap"));
+                        }
+                    }
+                    expected_next = Some(scan.first_lsn + scan.ops.len() as u64);
+                    let _ = seq;
+                }
+                let scan = scan_segment(last_path)?;
+                if let Some(expected) = expected_next {
+                    if scan.first_lsn != expected {
+                        return Err(WalError::Corrupt("segment lsn gap"));
+                    }
+                }
+                (
+                    last_seq,
+                    scan.first_lsn + scan.ops.len() as u64,
+                    scan.valid_len,
+                )
+            }
+        };
+        let path = segment_path(&dir, active_seq);
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        // Drop any torn tail so new appends continue the valid prefix.
+        file.set_len(valid_len)?;
+        file.seek(SeekFrom::Start(valid_len))?;
+        Ok(Wal {
+            dir,
+            writer: BufWriter::new(file),
+            active_seq,
+            next_lsn,
+            scratch: Encoder::new(),
+        })
+    }
+
+    /// The directory holding the segments.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// LSN the next appended op will get (equals the number of ops ever
+    /// logged, since LSNs are dense global op indices).
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Appends one op and returns its LSN. Buffered; see [`flush`](Wal::flush).
+    pub fn append(&mut self, op: &StreamOp) -> Result<u64, WalError> {
+        self.scratch.clear();
+        op.encode_to(&mut self.scratch);
+        let payload = self.scratch.as_slice();
+        debug_assert!(payload.len() <= MAX_RECORD_LEN as usize);
+        self.writer
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer.write_all(&crc32(payload).to_le_bytes())?;
+        self.writer.write_all(payload)?;
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        Ok(lsn)
+    }
+
+    /// Pushes buffered appends to the OS.
+    pub fn flush(&mut self) -> Result<(), WalError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Flushes and `fdatasync`s the active segment.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// Replays every valid logged op with LSN ≥ `from_lsn`, in LSN order.
+    /// A torn tail on the final segment truncates the result; framing
+    /// damage anywhere earlier is an error.
+    pub fn replay_from(&mut self, from_lsn: u64) -> Result<Vec<StreamOp>, WalError> {
+        self.flush()?;
+        let segs = list_segments(&self.dir)?;
+        let mut out = Vec::new();
+        for (i, (_, path)) in segs.iter().enumerate() {
+            let scan = scan_segment(path)?;
+            if scan.torn && i + 1 != segs.len() {
+                return Err(WalError::Corrupt("framing damage before final segment"));
+            }
+            for (j, op) in scan.ops.into_iter().enumerate() {
+                let lsn = scan.first_lsn + j as u64;
+                if lsn >= from_lsn {
+                    out.push(op);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rotates the log at a checkpoint: starts a fresh segment whose
+    /// `first_lsn` is [`next_lsn`](Wal::next_lsn) and deletes every older
+    /// segment, so the log holds exactly the ops after the checkpoint.
+    pub fn truncate_at_checkpoint(&mut self) -> Result<(), WalError> {
+        self.writer.flush()?;
+        let new_seq = self.active_seq + 1;
+        let path = segment_path(&self.dir, new_seq);
+        let mut file = BufWriter::new(File::create(&path)?);
+        write_segment_header(&mut file, self.next_lsn)?;
+        file.flush()?;
+        let old_seq = self.active_seq;
+        self.writer = file;
+        self.active_seq = new_seq;
+        for (seq, path) in list_segments(&self.dir)? {
+            if seq <= old_seq {
+                fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// A point-in-time snapshot of one engine's complete dynamic state.
+///
+/// The payload is opaque to this layer — engines produce it via their
+/// `snapshot_state` hook — and is integrity-checked with a CRC32 plus a
+/// length-prefixed engine name, so restoring a checkpoint into the wrong
+/// engine fails loudly instead of deserializing garbage.
+///
+/// File layout:
+///
+/// ```text
+/// [magic "RSJC" 4B] [format version u32 LE] [crc32(tail) u32 LE]
+/// [tail: engine name (len-prefixed), lsn u64, state bytes (len-prefixed)]
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Name of the engine that produced the state (see `JoinSampler::name`).
+    pub engine: String,
+    /// LSN of the first op *not* reflected in the state: replay the log
+    /// from here.
+    pub lsn: u64,
+    /// Opaque engine state bytes.
+    pub state: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint to its file bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut tail = Encoder::new();
+        tail.put_str(&self.engine);
+        tail.put_u64(self.lsn);
+        tail.put_bytes(&self.state);
+        let tail = tail.into_bytes();
+        let mut out = Vec::with_capacity(12 + tail.len());
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&crc32(&tail).to_le_bytes());
+        out.extend_from_slice(&tail);
+        out
+    }
+
+    /// Parses checkpoint file bytes, validating magic, version and CRC.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, WalError> {
+        if bytes.len() < 12 {
+            return Err(WalError::Corrupt("checkpoint shorter than its header"));
+        }
+        if bytes[..4] != CHECKPOINT_MAGIC {
+            return Err(WalError::Corrupt("checkpoint magic mismatch"));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(WalError::Corrupt("checkpoint format version mismatch"));
+        }
+        let crc = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        let tail = &bytes[12..];
+        if crc32(tail) != crc {
+            return Err(WalError::Corrupt("checkpoint checksum mismatch"));
+        }
+        let mut dec = Decoder::new(tail);
+        let engine = dec.str()?.to_string();
+        let lsn = dec.u64()?;
+        let state = dec.bytes()?.to_vec();
+        dec.finish()?;
+        Ok(Checkpoint { engine, lsn, state })
+    }
+
+    /// Writes the checkpoint atomically: to `<path>.tmp`, then renamed over
+    /// `path`, so a crash mid-write leaves the previous checkpoint intact.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> Result<(), WalError> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&self.to_bytes())?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint written by [`write_to`](Checkpoint::write_to).
+    pub fn read_from(path: impl AsRef<Path>) -> Result<Checkpoint, WalError> {
+        let mut bytes = Vec::new();
+        File::open(path.as_ref())?.read_to_end(&mut bytes)?;
+        Checkpoint::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Unique scratch directory per test, cleaned up on drop.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Scratch {
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "rsj-wal-{}-{}-{}",
+                std::process::id(),
+                tag,
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            fs::create_dir_all(&dir).unwrap();
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn sample_ops(n: usize) -> Vec<StreamOp> {
+        (0..n)
+            .map(|i| {
+                if i % 5 == 4 {
+                    StreamOp::delete(i % 3, vec![i as u64, i as u64 * 7])
+                } else {
+                    StreamOp::insert(i % 3, vec![i as u64, i as u64 * 7])
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_reopen_replay_round_trips() {
+        let scratch = Scratch::new("roundtrip");
+        let ops = sample_ops(40);
+        {
+            let mut wal = Wal::open(&scratch.0).unwrap();
+            for (i, op) in ops.iter().enumerate() {
+                assert_eq!(wal.append(op).unwrap(), i as u64);
+            }
+        } // drop flushes
+        let mut wal = Wal::open(&scratch.0).unwrap();
+        assert_eq!(wal.next_lsn(), 40);
+        assert_eq!(wal.replay_from(0).unwrap(), ops);
+        assert_eq!(wal.replay_from(25).unwrap(), ops[25..]);
+        assert!(wal.replay_from(40).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rotation_drops_ops_before_the_checkpoint() {
+        let scratch = Scratch::new("rotate");
+        let ops = sample_ops(30);
+        let mut wal = Wal::open(&scratch.0).unwrap();
+        for op in &ops[..20] {
+            wal.append(op).unwrap();
+        }
+        wal.truncate_at_checkpoint().unwrap();
+        for op in &ops[20..] {
+            wal.append(op).unwrap();
+        }
+        wal.flush().unwrap();
+        assert_eq!(list_segments(&scratch.0).unwrap().len(), 1);
+        // Pre-checkpoint ops are gone; suffix LSNs are still global.
+        assert_eq!(wal.replay_from(0).unwrap(), ops[20..]);
+        assert_eq!(wal.replay_from(25).unwrap(), ops[25..]);
+        drop(wal);
+        let mut wal = Wal::open(&scratch.0).unwrap();
+        assert_eq!(wal.next_lsn(), 30);
+        assert_eq!(wal.replay_from(20).unwrap(), ops[20..]);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_the_last_valid_record() {
+        let scratch = Scratch::new("torn");
+        let ops = sample_ops(10);
+        let path;
+        {
+            let mut wal = Wal::open(&scratch.0).unwrap();
+            for op in &ops {
+                wal.append(op).unwrap();
+            }
+            wal.flush().unwrap();
+            path = segment_path(&scratch.0, 0);
+        }
+        // Cut the final record mid-payload, as a crash mid-write would.
+        let full = fs::metadata(&path).unwrap().len();
+        for cut in [3u64, 7, 11] {
+            let f = OpenOptions::new().write(true).open(&path).unwrap();
+            f.set_len(full - cut).unwrap();
+            drop(f);
+            let mut wal = Wal::open(&scratch.0).unwrap();
+            assert_eq!(wal.next_lsn(), 9, "cut {cut}");
+            assert_eq!(wal.replay_from(0).unwrap(), ops[..9]);
+            // Appending after recovery continues the sequence cleanly.
+            assert_eq!(wal.append(&ops[9]).unwrap(), 9);
+            drop(wal);
+            assert_eq!(Wal::open(&scratch.0).unwrap().replay_from(0).unwrap(), ops);
+            // Restore the full file for the next, deeper cut.
+            let mut wal = Wal::open(&scratch.0).unwrap();
+            assert_eq!(wal.replay_from(0).unwrap().len(), 10);
+            drop(wal);
+        }
+    }
+
+    #[test]
+    fn corrupted_record_body_is_detected_by_crc() {
+        let scratch = Scratch::new("crc");
+        let ops = sample_ops(6);
+        {
+            let mut wal = Wal::open(&scratch.0).unwrap();
+            for op in &ops {
+                wal.append(op).unwrap();
+            }
+        }
+        let path = segment_path(&scratch.0, 0);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one payload byte of the 4th record: records 0-3 survive,
+        // everything after the damage is dropped.
+        let mut pos = SEGMENT_HEADER_LEN as usize;
+        for _ in 0..3 {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+            pos += 8 + len as usize;
+        }
+        bytes[pos + 9] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let mut wal = Wal::open(&scratch.0).unwrap();
+        assert_eq!(wal.next_lsn(), 3);
+        assert_eq!(wal.replay_from(0).unwrap(), ops[..3]);
+    }
+
+    #[test]
+    fn damage_before_the_final_segment_is_an_error() {
+        let scratch = Scratch::new("midlog");
+        let ops = sample_ops(8);
+        let mut wal = Wal::open(&scratch.0).unwrap();
+        for op in &ops[..4] {
+            wal.append(op).unwrap();
+        }
+        wal.flush().unwrap();
+        // Manually start a second segment without deleting the first, then
+        // damage the first: recovery must refuse, not silently skip ops.
+        let seg0 = segment_path(&scratch.0, 0);
+        let seg1 = segment_path(&scratch.0, 1);
+        let mut f = BufWriter::new(File::create(&seg1).unwrap());
+        write_segment_header(&mut f, 4).unwrap();
+        f.flush().unwrap();
+        drop(wal);
+        let full = fs::metadata(&seg0).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&seg0)
+            .unwrap()
+            .set_len(full - 3)
+            .unwrap();
+        assert!(matches!(
+            Wal::open(&scratch.0),
+            Err(WalError::Corrupt("framing damage before final segment"))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_rejects_damage() {
+        let scratch = Scratch::new("ckpt");
+        let ck = Checkpoint {
+            engine: "rsjoin".to_string(),
+            lsn: 12345,
+            state: (0..200u8).collect(),
+        };
+        let path = scratch.0.join("engine.ckpt");
+        ck.write_to(&path).unwrap();
+        assert_eq!(Checkpoint::read_from(&path).unwrap(), ck);
+        let mut bytes = ck.to_bytes();
+        bytes[20] ^= 1;
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(WalError::Corrupt("checkpoint checksum mismatch"))
+        ));
+        let mut wrong_version = ck.to_bytes();
+        wrong_version[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            Checkpoint::from_bytes(&wrong_version),
+            Err(WalError::Corrupt("checkpoint format version mismatch"))
+        ));
+    }
+
+    #[test]
+    fn segment_bytes_are_deterministic() {
+        let a = Scratch::new("det-a");
+        let b = Scratch::new("det-b");
+        let ops = sample_ops(25);
+        for dir in [&a.0, &b.0] {
+            let mut wal = Wal::open(dir).unwrap();
+            for op in &ops {
+                wal.append(op).unwrap();
+            }
+        }
+        assert_eq!(
+            fs::read(segment_path(&a.0, 0)).unwrap(),
+            fs::read(segment_path(&b.0, 0)).unwrap()
+        );
+    }
+}

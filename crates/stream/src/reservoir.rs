@@ -15,7 +15,19 @@
 //! runs produce byte-identical reservoirs — a property the tests rely on.
 
 use crate::batch::Batch;
+use rsj_common::codec::{CodecError, Decoder, Encoder};
 use rsj_common::rng::RsjRng;
+
+fn put_rng(enc: &mut Encoder, rng: &RsjRng) {
+    for w in rng.state() {
+        enc.put_u64(w);
+    }
+}
+
+fn get_rng(dec: &mut Decoder) -> Result<RsjRng, CodecError> {
+    let s = [dec.u64()?, dec.u64()?, dec.u64()?, dec.u64()?];
+    RsjRng::restore_state(s).ok_or(CodecError::Corrupt("rng state is the zero fixed point"))
+}
 
 /// Shared turnstile-backfill loop: draw candidates until `samples` holds
 /// `target` distinct entries, spending at most `per_slot_tries` draws per
@@ -143,6 +155,47 @@ impl<T> ClassicReservoir<T> {
     /// the sample to stay uniform).
     pub fn set_population(&mut self, population: u128) {
         self.seen = population;
+    }
+
+    /// Serializes the full sampler state — samples in slot order, the item
+    /// counter, and the RNG position — so a restored reservoir continues
+    /// the exact same acceptance/victim stream.
+    pub fn snapshot_to(&self, enc: &mut Encoder, mut put: impl FnMut(&mut Encoder, &T)) {
+        enc.put_usize(self.k);
+        enc.put_u128(self.seen);
+        enc.put_usize(self.samples.len());
+        for s in &self.samples {
+            put(enc, s);
+        }
+        put_rng(enc, &self.rng);
+    }
+
+    /// Reconstructs a reservoir from
+    /// [`snapshot_to`](ClassicReservoir::snapshot_to) bytes.
+    pub fn restore_from(
+        dec: &mut Decoder,
+        mut get: impl FnMut(&mut Decoder) -> Result<T, CodecError>,
+    ) -> Result<ClassicReservoir<T>, CodecError> {
+        let k = dec.usize()?;
+        if k == 0 {
+            return Err(CodecError::Corrupt("reservoir capacity zero"));
+        }
+        let seen = dec.u128()?;
+        let n = dec.seq_len(1)?;
+        if n > k {
+            return Err(CodecError::Corrupt("more samples than capacity"));
+        }
+        let mut samples = Vec::with_capacity(k);
+        for _ in 0..n {
+            samples.push(get(dec)?);
+        }
+        let rng = get_rng(dec)?;
+        Ok(ClassicReservoir {
+            k,
+            seen,
+            samples,
+            rng,
+        })
     }
 }
 
@@ -377,6 +430,57 @@ impl<T> Reservoir<T> {
         }
         self.w = w;
         self.q = self.rng.geometric(self.w);
+    }
+
+    /// Serializes the full sampler state — samples in slot order, the skip
+    /// parameters `(w, q)` (bit-exact, including the pre-fill `w = ∞`), the
+    /// RNG position, and the instrumentation counters — so a restored
+    /// reservoir continues the exact same skip/victim stream.
+    pub fn snapshot_to(&self, enc: &mut Encoder, mut put: impl FnMut(&mut Encoder, &T)) {
+        enc.put_usize(self.k);
+        enc.put_usize(self.samples.len());
+        for s in &self.samples {
+            put(enc, s);
+        }
+        enc.put_f64(self.w);
+        enc.put_u128(self.q);
+        put_rng(enc, &self.rng);
+        enc.put_u64(self.stops);
+        enc.put_u64(self.replacements);
+    }
+
+    /// Reconstructs a reservoir from [`snapshot_to`](Reservoir::snapshot_to)
+    /// bytes.
+    pub fn restore_from(
+        dec: &mut Decoder,
+        mut get: impl FnMut(&mut Decoder) -> Result<T, CodecError>,
+    ) -> Result<Reservoir<T>, CodecError> {
+        let k = dec.usize()?;
+        if k == 0 {
+            return Err(CodecError::Corrupt("reservoir capacity zero"));
+        }
+        let n = dec.seq_len(1)?;
+        if n > k {
+            return Err(CodecError::Corrupt("more samples than capacity"));
+        }
+        let mut samples = Vec::with_capacity(k.min(1 << 20).max(n));
+        for _ in 0..n {
+            samples.push(get(dec)?);
+        }
+        let w = dec.f64()?;
+        let q = dec.u128()?;
+        let rng = get_rng(dec)?;
+        let stops = dec.u64()?;
+        let replacements = dec.u64()?;
+        Ok(Reservoir {
+            k,
+            samples,
+            w,
+            q,
+            rng,
+            stops,
+            replacements,
+        })
     }
 }
 
@@ -655,5 +759,73 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_panics() {
         Reservoir::<u64>::new(0, 0);
+    }
+
+    #[test]
+    fn snapshot_mid_stream_continues_byte_identically() {
+        // Run to position p, snapshot, restore, finish — the reservoir must
+        // equal an uninterrupted run bit for bit (samples AND skip state,
+        // exercised by continuing the stream after restore).
+        let items: Vec<u64> = (0..30_000).collect();
+        let real = |x: u64| x % 5 != 2;
+        for p in [0usize, 3, 1000, 15_000, 29_999] {
+            let mut whole = Reservoir::new(12, 99);
+            let mut b = SliceBatch::new(&items);
+            whole.process_batch(&mut b, |x| real(x).then_some(x));
+
+            let mut head = Reservoir::new(12, 99);
+            let mut b = SliceBatch::new(&items[..p]);
+            head.process_batch(&mut b, |x| real(x).then_some(x));
+            let mut enc = rsj_common::codec::Encoder::new();
+            head.snapshot_to(&mut enc, |e, v| e.put_u64(*v));
+            let bytes = enc.into_bytes();
+            let mut dec = rsj_common::codec::Decoder::new(&bytes);
+            let mut tail = Reservoir::restore_from(&mut dec, |d| d.u64()).unwrap();
+            dec.finish().unwrap();
+            let mut b = SliceBatch::new(&items[p..]);
+            tail.process_batch(&mut b, |x| real(x).then_some(x));
+            assert_eq!(tail.samples(), whole.samples(), "split at {p}");
+            assert_eq!(tail.stops(), whole.stops(), "split at {p}");
+            assert_eq!(tail.replacements(), whole.replacements(), "split at {p}");
+        }
+    }
+
+    #[test]
+    fn classic_snapshot_continues_byte_identically() {
+        for p in [0usize, 5, 500] {
+            let mut whole = ClassicReservoir::new(7, 31);
+            for x in 0..1000u64 {
+                whole.offer(x);
+            }
+            let mut head = ClassicReservoir::new(7, 31);
+            for x in 0..p as u64 {
+                head.offer(x);
+            }
+            let mut enc = rsj_common::codec::Encoder::new();
+            head.snapshot_to(&mut enc, |e, v| e.put_u64(*v));
+            let bytes = enc.into_bytes();
+            let mut dec = rsj_common::codec::Decoder::new(&bytes);
+            let mut tail = ClassicReservoir::restore_from(&mut dec, |d| d.u64()).unwrap();
+            dec.finish().unwrap();
+            for x in p as u64..1000 {
+                tail.offer(x);
+            }
+            assert_eq!(tail.samples(), whole.samples(), "split at {p}");
+            assert_eq!(tail.seen(), whole.seen(), "split at {p}");
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_over_capacity_sample_counts() {
+        let mut r = Reservoir::new(2, 1);
+        let items: Vec<u64> = (0..10).collect();
+        let mut b = SliceBatch::new(&items);
+        r.process_batch(&mut b, Some);
+        let mut enc = rsj_common::codec::Encoder::new();
+        r.snapshot_to(&mut enc, |e, v| e.put_u64(*v));
+        let mut bytes = enc.into_bytes();
+        bytes[..8].copy_from_slice(&1u64.to_le_bytes()); // claim k=1 < 2 samples
+        let mut dec = rsj_common::codec::Decoder::new(&bytes);
+        assert!(Reservoir::<u64>::restore_from(&mut dec, |d| d.u64()).is_err());
     }
 }

@@ -39,6 +39,7 @@
 //! | `JoinSampler` executor trait + [`engine::Engine`] factory | [`core`], [`engine`] | §6.1 (the engines compared) |
 //! | Sharded parallel executor (`Engine::Sharded`) | [`core`], [`engine`] | beyond the paper |
 //! | Cost-based planner + adaptive re-rooting (`replan`) | [`query`], [`storage`], [`core`] | beyond the paper |
+//! | Durability: op-stream WAL + checkpoint/restore ([`persist`]) | [`storage`], facade | beyond the paper |
 //! | Workload generators & benchmark queries | [`datagen`], [`queries`] | §6.1, §6.3 |
 //!
 //! Every figure and table of the paper's evaluation has a regenerating
@@ -56,6 +57,7 @@ pub use rsj_storage as storage;
 pub use rsj_stream as stream;
 
 pub mod engine;
+pub mod persist;
 
 /// Compiles every `rust` code block in the README as a doctest, so the
 /// quickstart can never drift from the actual API.
@@ -66,6 +68,7 @@ pub struct ReadmeDoctests;
 /// The most common imports in one place.
 pub mod prelude {
     pub use crate::engine::{Engine, EngineError, EngineOpts};
+    pub use crate::persist::{CheckpointPolicy, PersistError, Persistent};
     pub use rsj_baselines::{NaiveRebuild, SJoin, SJoinOpt, SymmetricHashJoin, SymmetricSampler};
     pub use rsj_common::rng::RsjRng;
     pub use rsj_common::{Key, TupleId, Value};
@@ -75,6 +78,7 @@ pub mod prelude {
     };
     pub use rsj_index::{DynamicIndex, FullSampler, IndexOptions};
     pub use rsj_query::{FkSchema, Ghd, JoinTree, Plan, PlanCost, Planner, Query, QueryBuilder};
+    pub use rsj_storage::wal::{Checkpoint, Wal, WalError};
     pub use rsj_storage::{
         ColumnarBatch, Database, InputTuple, OpStream, RelationColumns, StreamOp, TableStatistics,
         TupleStream,

@@ -1,0 +1,229 @@
+//! The durability layer: a write-ahead log plus periodic checkpoints
+//! around any snapshot-capable [`JoinSampler`].
+//!
+//! [`Persistent`] wraps an engine and gives its turnstile stream crash
+//! recovery with **byte-identical** semantics: every op is appended to a
+//! segmented, checksummed WAL (`rsj_storage::wal::Wal`) *before* it is
+//! applied to the engine, and on a checkpoint the engine's complete
+//! dynamic state (`JoinSampler::snapshot_state`) is written atomically
+//! next to the log, which is then truncated. Recovery restores the last
+//! checkpoint and replays the log suffix — the recovered engine is
+//! byte-for-byte the engine that would have resulted from an
+//! uninterrupted run of the same flushed prefix, including its future
+//! random choices.
+//!
+//! ```text
+//!   op ──▶ wal.append ──▶ engine.process_op
+//!                │
+//!                └─ every N ops: checkpoint = snapshot_state @ lsn
+//!                               wal.truncate_at_checkpoint()
+//! ```
+//!
+//! The recovery invariant the crash tests pin (tests/recovery.rs): after a
+//! kill at any op boundary, `Persistent::open` with the same engine
+//! builder restores exactly the flushed prefix — finishing the stream then
+//! yields the same sample digest as a run that never crashed. See
+//! ARCHITECTURE.md, "Durability".
+
+use rsj_core::JoinSampler;
+use rsj_storage::wal::{Checkpoint, Wal, WalError};
+use rsj_storage::StreamOp;
+use std::path::{Path, PathBuf};
+
+/// File name of the checkpoint inside the durability directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.rsjc";
+
+/// When the wrapper takes a checkpoint on its own.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckpointPolicy {
+    /// Checkpoint after every `n` logged ops (and truncate the log).
+    EveryOps(u64),
+    /// Only when [`Persistent::checkpoint`] is called explicitly.
+    Manual,
+}
+
+/// Why a durable operation failed.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The wrapped engine has no snapshot capability
+    /// (`JoinSampler::supports_snapshot` is `false`).
+    Unsupported(&'static str),
+    /// WAL or checkpoint I/O / integrity failure.
+    Wal(WalError),
+    /// The engine rejected restored state or a replayed op.
+    Engine(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Unsupported(engine) => {
+                write!(f, "engine {engine} does not support state snapshots")
+            }
+            PersistError::Wal(e) => write!(f, "wal failure: {e}"),
+            PersistError::Engine(m) => write!(f, "engine failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<WalError> for PersistError {
+    fn from(e: WalError) -> PersistError {
+        PersistError::Wal(e)
+    }
+}
+
+/// A [`JoinSampler`] with crash recovery: WAL-logged ops, periodic atomic
+/// checkpoints, byte-identical restore (see the [module docs](self)).
+///
+/// The wrapper owns a durability directory holding the log segments and
+/// the checkpoint file. Ops flow through [`process_op`](Persistent::process_op);
+/// reads pass through to the engine.
+pub struct Persistent<S: JoinSampler> {
+    inner: S,
+    wal: Wal,
+    checkpoint_path: PathBuf,
+    policy: CheckpointPolicy,
+    ops_since_checkpoint: u64,
+}
+
+impl<S: JoinSampler> Persistent<S> {
+    /// Wraps `inner` with durability rooted at `dir`, recovering any state
+    /// already there: if a checkpoint exists it is restored into `inner`
+    /// (which must be freshly built with the construction parameters of
+    /// the original run), then the log suffix is replayed; a log without a
+    /// checkpoint is replayed from the beginning.
+    ///
+    /// Fails with [`PersistError::Unsupported`] when the engine cannot
+    /// snapshot, with [`PersistError::Wal`] on unrecoverable log damage
+    /// (a torn tail on the final segment is fine — it is truncated), and
+    /// with [`PersistError::Engine`] when the checkpoint belongs to a
+    /// different engine or the state bytes do not fit.
+    pub fn open(
+        inner: S,
+        dir: impl AsRef<Path>,
+        policy: CheckpointPolicy,
+    ) -> Result<Persistent<S>, PersistError> {
+        let mut inner = inner;
+        if !inner.supports_snapshot() {
+            return Err(PersistError::Unsupported(inner.name()));
+        }
+        let dir = dir.as_ref();
+        let mut wal = Wal::open(dir.join("wal"))?;
+        let checkpoint_path = dir.join(CHECKPOINT_FILE);
+        let mut from_lsn = 0;
+        if checkpoint_path.exists() {
+            let cp = Checkpoint::read_from(&checkpoint_path)?;
+            if cp.engine != inner.name() {
+                return Err(PersistError::Engine(format!(
+                    "checkpoint was written by engine {} but {} is being restored",
+                    cp.engine,
+                    inner.name()
+                )));
+            }
+            inner
+                .restore_state(&cp.state)
+                .map_err(|e| PersistError::Engine(format!("checkpoint state rejected: {e}")))?;
+            from_lsn = cp.lsn;
+        }
+        for op in &wal.replay_from(from_lsn)? {
+            inner
+                .process_op(op)
+                .map_err(|e| PersistError::Engine(e.to_string()))?;
+        }
+        Ok(Persistent {
+            inner,
+            wal,
+            checkpoint_path,
+            policy,
+            ops_since_checkpoint: 0,
+        })
+    }
+
+    /// Logs one op, applies it to the engine, and checkpoints when the
+    /// policy says so. The append is buffered — call
+    /// [`flush`](Persistent::flush) (or [`sync`](Persistent::sync)) to
+    /// make it crash-durable; the recovery invariant covers the flushed
+    /// prefix.
+    pub fn process_op(&mut self, op: &StreamOp) -> Result<(), PersistError> {
+        self.wal.append(op)?;
+        self.inner
+            .process_op(op)
+            .map_err(|e| PersistError::Engine(e.to_string()))?;
+        self.ops_since_checkpoint += 1;
+        if let CheckpointPolicy::EveryOps(n) = self.policy {
+            if self.ops_since_checkpoint >= n {
+                self.checkpoint()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience insert mirroring [`JoinSampler::process`].
+    pub fn process(&mut self, rel: usize, tuple: &[rsj_common::Value]) -> Result<(), PersistError> {
+        self.process_op(&StreamOp::insert(rel, tuple.to_vec()))
+    }
+
+    /// Takes a checkpoint now: snapshots the engine at the current LSN,
+    /// writes it atomically (tmp + rename), then truncates the log so it
+    /// holds only ops after the checkpoint.
+    pub fn checkpoint(&mut self) -> Result<(), PersistError> {
+        let state = self
+            .inner
+            .snapshot_state()
+            .ok_or(PersistError::Unsupported(self.inner.name()))?;
+        let cp = Checkpoint {
+            engine: self.inner.name().to_string(),
+            lsn: self.wal.next_lsn(),
+            state,
+        };
+        cp.write_to(&self.checkpoint_path)?;
+        self.wal.truncate_at_checkpoint()?;
+        self.ops_since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// Pushes buffered log appends to the OS (what the crash tests call
+    /// before a simulated kill).
+    pub fn flush(&mut self) -> Result<(), PersistError> {
+        self.wal.flush()?;
+        Ok(())
+    }
+
+    /// Flushes and `fdatasync`s the active log segment.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        self.wal.sync()?;
+        Ok(())
+    }
+
+    /// LSN the next op will get — equals the total number of ops ever
+    /// logged through this directory.
+    pub fn next_lsn(&self) -> u64 {
+        self.wal.next_lsn()
+    }
+
+    /// Ops logged since the last checkpoint (the policy counter).
+    pub fn ops_since_checkpoint(&self) -> u64 {
+        self.ops_since_checkpoint
+    }
+
+    /// The wrapped engine, for reads (`samples`, `stats`, ...).
+    pub fn engine(&self) -> &S {
+        &self.inner
+    }
+
+    /// The wrapped engine, mutably — for maintenance calls like
+    /// [`JoinSampler::replan`] that do not consume stream ops. Feeding the
+    /// engine tuples through this reference bypasses the log and forfeits
+    /// recovery; use [`process_op`](Persistent::process_op).
+    pub fn engine_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// Unwraps the engine, dropping durability (the log is flushed by
+    /// `Wal`'s drop).
+    pub fn into_engine(self) -> S {
+        self.inner
+    }
+}

@@ -138,6 +138,94 @@ fn row_shaped_ingest_reproduces_columnar_digests() {
     }
 }
 
+/// On-disk durability images are golden too: the WAL segment and the
+/// checkpoint written for a fixed engine/seed/stream must be
+/// byte-identical across releases, or old logs stop being replayable.
+///
+/// **Format-version bump rule**: these digests pin WAL/checkpoint
+/// `FORMAT_VERSION = 1` (crates/storage/src/wal.rs) *and* every engine's
+/// canonical snapshot image. Any deliberate change to the record layout,
+/// the checkpoint layout, or a snapshot wire format MUST (1) bump
+/// `FORMAT_VERSION` so old files are rejected loudly instead of
+/// misparsed, and (2) re-pin these digests in the same commit, with a
+/// migration note. A digest shift without a version bump is a corruption
+/// bug, not a test update.
+#[test]
+fn durability_images_are_pinned() {
+    use rsjoin::prelude::{CheckpointPolicy, Persistent};
+
+    // FNV-1a over raw file bytes.
+    fn file_digest(path: &std::path::Path) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in std::fs::read(path).unwrap() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    // Fixed turnstile stream over line-3: inserts with every 5th op
+    // deleting the tuple inserted four ops earlier.
+    let mut qb = QueryBuilder::new();
+    qb.relation("G1", &["A", "B"]);
+    qb.relation("G2", &["B", "C"]);
+    qb.relation("G3", &["C", "D"]);
+    let query = qb.build().unwrap();
+    let mut rng = RsjRng::seed_from_u64(0x90_1D);
+    let mut ops: Vec<StreamOp> = Vec::new();
+    let mut recent: Vec<(usize, Vec<Value>)> = Vec::new();
+    for i in 0..120usize {
+        if i % 5 == 4 {
+            let (rel, t) = recent.remove(0);
+            ops.push(StreamOp::delete(rel, t));
+        } else {
+            let rel = rng.index(3);
+            let t = vec![rng.below_u64(6), rng.below_u64(6)];
+            recent.push((rel, t.clone()));
+            ops.push(StreamOp::insert(rel, t));
+        }
+    }
+
+    let dir = std::env::temp_dir().join(format!("rsj-golden-durability-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let engine = Engine::Reservoir;
+    let mut p = Persistent::open(
+        engine
+            .build(&query, 16, 0xD15EA5E, &Default::default())
+            .unwrap(),
+        &dir,
+        CheckpointPolicy::Manual,
+    )
+    .unwrap();
+    for op in &ops[..100] {
+        p.process_op(op).unwrap();
+    }
+    p.checkpoint().unwrap(); // checkpoint @ lsn 100, log truncated
+    for op in &ops[100..] {
+        p.process_op(op).unwrap();
+    }
+    p.flush().unwrap();
+    drop(p);
+
+    let checkpoint = file_digest(&dir.join("checkpoint.rsjc"));
+    // After truncation the live segment is wal-00000001.log, holding ops
+    // 100..120.
+    let segment = file_digest(&dir.join("wal").join("wal-00000001.log"));
+    std::fs::remove_dir_all(&dir).unwrap();
+    if std::env::var_os("RSJ_PIN_PLANS").is_some() {
+        println!("checkpoint: 0x{checkpoint:016X}\nsegment: 0x{segment:016X}");
+        return;
+    }
+    assert_eq!(
+        checkpoint, 0x1D13_8FA6_1909_DCBA,
+        "checkpoint image moved — see the format-version bump rule above"
+    );
+    assert_eq!(
+        segment, 0xF639_9094_2DAA_D761,
+        "WAL segment image moved — see the format-version bump rule above"
+    );
+}
+
 /// Digest of a planner choice: tree edge set, root, partition attribute.
 fn plan_digest(plan: &Plan) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
