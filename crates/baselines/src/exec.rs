@@ -108,6 +108,7 @@ impl JoinSampler for SJoin {
             reservoir_stops: Some(self.reservoir_stops()),
             heap_bytes: Some(self.heap_size()),
             exact_results: Some(self.index().total_results()),
+            ..SamplerStats::default()
         }
     }
 
@@ -156,6 +157,7 @@ impl JoinSampler for SJoinOpt {
             reservoir_stops: Some(self.inner().reservoir_stops()),
             heap_bytes: Some(self.inner().heap_size()),
             exact_results: Some(self.inner().index().total_results()),
+            ..SamplerStats::default()
         }
     }
 }
@@ -295,6 +297,7 @@ impl JoinSampler for SymmetricSampler {
             reservoir_stops: None,
             heap_bytes: None,
             exact_results: Some(self.inner.live_results()),
+            ..SamplerStats::default()
         }
     }
 

@@ -50,6 +50,7 @@ fn main() {
         rs_total_ns,
         Some(rs_summary.len() as f64 * 1e9 / rs_total_ns.max(1) as f64),
         None,
+        None,
         false,
     );
 
@@ -100,6 +101,7 @@ fn main() {
             med,
             Some(n as f64 * 1e9 / med.max(1) as f64),
             None,
+            None,
             false,
         );
     }
@@ -140,6 +142,7 @@ fn main() {
         sj_summary.len(),
         sj_total_ns,
         Some(sj_summary.len() as f64 * 1e9 / sj_total_ns.max(1) as f64),
+        None,
         None,
         sj_capped,
     );

@@ -98,6 +98,7 @@ fn main() {
                 },
                 Some(per_s),
                 st.inserts.map(|i| (i, st.deletes.unwrap_or(0))),
+                fault_counters(&st),
                 matches!(out, Outcome::TimedOut { .. }),
             );
         }

@@ -166,6 +166,7 @@ fn main() {
             base_ns,
             Some(per_s(base_ns)),
             None,
+            None,
             false,
         );
         record_json(
@@ -175,6 +176,7 @@ fn main() {
             n,
             plan_ns,
             Some(per_s(plan_ns)),
+            None,
             None,
             false,
         );
@@ -201,6 +203,7 @@ fn main() {
             ns0,
             Some(smp0),
             None,
+            None,
             false,
         );
         record_json(
@@ -210,6 +213,7 @@ fn main() {
             DRAWS,
             ns1,
             Some(smp1),
+            None,
             None,
             false,
         );

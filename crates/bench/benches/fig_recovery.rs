@@ -141,6 +141,7 @@ fn overhead_sweep() {
                 (ns * ops.len() as f64) as u128,
                 Some(1e9 / ns),
                 None,
+                None,
                 false,
             );
         }
@@ -202,6 +203,7 @@ fn restore_sweep() {
                 engine.name(),
                 ops.len(),
                 d.as_nanos(),
+                None,
                 None,
                 None,
                 false,

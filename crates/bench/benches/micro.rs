@@ -64,6 +64,7 @@ fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
         total.as_nanos(),
         Some(iters as f64 / total.as_secs_f64().max(f64::MIN_POSITIVE)),
         None,
+        None,
         false,
     );
 }
@@ -240,6 +241,7 @@ fn bench_columnar_steady_state() {
         total.as_nanos(),
         Some(iters as f64 / total.as_secs_f64().max(f64::MIN_POSITIVE)),
         Some((allocs, 0)),
+        None,
         false,
     );
 }

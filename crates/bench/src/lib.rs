@@ -122,6 +122,7 @@ pub fn run_engine(
     let n = w.stream.len();
     let st = sampler.stats();
     let ops = st.inserts.map(|i| (i, st.deletes.unwrap_or(0)));
+    let fault = fault_counters(&st);
     match out {
         Outcome::Finished(d) => {
             let per_s = n as f64 / d.as_secs_f64().max(f64::MIN_POSITIVE);
@@ -133,6 +134,7 @@ pub fn run_engine(
                 d.as_nanos(),
                 Some(per_s),
                 ops,
+                fault,
                 false,
             );
         }
@@ -147,6 +149,7 @@ pub fn run_engine(
                 cap.as_nanos(),
                 Some(per_s),
                 ops,
+                fault,
                 true,
             );
         }
@@ -196,13 +199,31 @@ pub fn fig_name() -> String {
         .unwrap_or_else(|| "bench".to_string())
 }
 
+/// The `(restarts, retries, degraded)` triple for [`record_json`]'s
+/// `fault` field, derived from an engine's stats: `Some` as soon as any of
+/// the supervision/durability counters is reported, so fault-tolerant runs
+/// are distinguishable from engines that do not track them at all.
+pub fn fault_counters(st: &rsj_core::SamplerStats) -> Option<(u64, u64, u64)> {
+    if st.restarts.is_none() && st.retries.is_none() && st.degraded.is_none() {
+        return None;
+    }
+    Some((
+        st.restarts.unwrap_or(0),
+        st.retries.unwrap_or(0),
+        st.degraded.unwrap_or(0),
+    ))
+}
+
 /// Appends one JSON line describing a figure run to the file named by
 /// `RSJ_BENCH_JSON` (no-op when the variable is unset). `samples_per_s`
 /// is throughput in the figure's unit of work — tuples for stream runs,
 /// inserts for `fig6_update_time`, iterations for `micro`. `ops` carries
 /// the engine's accepted `(inserts, deletes)` counters when the engine
 /// tracks them — `n` alone conflates stream length with accepted tuples
-/// on turnstile streams, so the two are recorded separately.
+/// on turnstile streams, so the two are recorded separately. `fault`
+/// carries `(restarts, retries, degraded)` from supervised/durable runs
+/// (see [`fault_counters`]), so recovery-cost figures and the CI gate can
+/// tell a healed run from an unfaulted one.
 #[allow(clippy::too_many_arguments)]
 pub fn record_json(
     fig: &str,
@@ -212,6 +233,7 @@ pub fn record_json(
     wall_ns: u128,
     samples_per_s: Option<f64>,
     ops: Option<(u64, u64)>,
+    fault: Option<(u64, u64, u64)>,
     timed_out: bool,
 ) {
     let Some(path) = std::env::var_os("RSJ_BENCH_JSON") else {
@@ -229,6 +251,11 @@ pub fn record_json(
     }
     if let Some((ins, del)) = ops {
         line.push_str(&format!(",\"inserts\":{ins},\"deletes\":{del}"));
+    }
+    if let Some((restarts, retries, degraded)) = fault {
+        line.push_str(&format!(
+            ",\"restarts\":{restarts},\"retries\":{retries},\"degraded\":{degraded}"
+        ));
     }
     if timed_out {
         line.push_str(",\"timed_out\":true");
@@ -252,4 +279,55 @@ pub fn banner(fig: &str, what: &str) {
     println!("{fig} — {what}");
     println!("(RSJ_SCALE={}, cap {:?}/run)", scale(), run_cap());
     println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_json_emits_fault_counters() {
+        let path = std::env::temp_dir().join(format!("rsj-bench-json-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("RSJ_BENCH_JSON", &path);
+        record_json(
+            "figX",
+            "q",
+            "E",
+            10,
+            123,
+            None,
+            None,
+            Some((2, 5, 1)),
+            false,
+        );
+        record_json("figX", "q", "E", 10, 456, None, None, None, false);
+        std::env::remove_var("RSJ_BENCH_JSON");
+        let body = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let mut lines = body.lines();
+        let faulted = lines.next().unwrap();
+        assert!(
+            faulted.contains("\"restarts\":2")
+                && faulted.contains("\"retries\":5")
+                && faulted.contains("\"degraded\":1"),
+            "fault counters missing: {faulted}"
+        );
+        let clean = lines.next().unwrap();
+        assert!(
+            !clean.contains("restarts"),
+            "unfaulted records must omit the counters: {clean}"
+        );
+    }
+
+    #[test]
+    fn fault_counters_distinguish_tracking_from_zero() {
+        let mut st = rsj_core::SamplerStats::default();
+        assert_eq!(fault_counters(&st), None);
+        st.restarts = Some(0);
+        assert_eq!(fault_counters(&st), Some((0, 0, 0)));
+        st.retries = Some(7);
+        st.degraded = Some(1);
+        assert_eq!(fault_counters(&st), Some((0, 7, 1)));
+    }
 }

@@ -42,6 +42,15 @@ pub struct SamplerStats {
     /// Exact `|Q(R)|` when the engine maintains it (SJoin family,
     /// symmetric hash join).
     pub exact_results: Option<u128>,
+    /// Worker restarts performed by a supervising executor (sharded
+    /// executor) after fault-induced deaths.
+    pub restarts: Option<u64>,
+    /// Transient I/O errors absorbed by retry/backoff in the durability
+    /// layer.
+    pub retries: Option<u64>,
+    /// Degradation indicator: dead shards past the restart budget, or `1`
+    /// when a durability wrapper is serving with logging marked lost.
+    pub degraded: Option<u64>,
 }
 
 /// A [`StreamOp::Delete`] was fed to an engine that only supports
@@ -393,6 +402,7 @@ impl JoinSampler for ReservoirJoin {
             reservoir_stops: Some(self.reservoir_stops()),
             heap_bytes: Some(self.heap_size()),
             exact_results: None,
+            ..SamplerStats::default()
         }
     }
 
@@ -447,6 +457,7 @@ impl JoinSampler for FkReservoirJoin {
             reservoir_stops: Some(self.inner().reservoir_stops()),
             heap_bytes: Some(self.heap_size()),
             exact_results: None,
+            ..SamplerStats::default()
         }
     }
 }
@@ -489,6 +500,7 @@ impl JoinSampler for CyclicReservoirJoin {
             reservoir_stops: Some(self.inner().reservoir_stops()),
             heap_bytes: Some(self.heap_size()),
             exact_results: None,
+            ..SamplerStats::default()
         }
     }
 }

@@ -41,4 +41,7 @@ pub use exec::{DeleteUnsupported, JoinSampler, SamplerStats};
 pub use fk_runtime::{FkCombiner, FkReservoirJoin};
 pub use reservoir_join::{ReplanPolicy, ReservoirJoin};
 pub use sampler_facade::DynamicSampleIndex;
-pub use shard::{ShardPlan, ShardedSampler};
+pub use shard::{
+    ShardError, ShardFault, ShardHealth, ShardPlan, ShardedSampler, SupervisorPolicy,
+    INJECTED_FAULT,
+};

@@ -47,6 +47,22 @@
 //! `child_seed(seed, S)` mixed with the routed-tuple count. No decision
 //! depends on thread scheduling, so a sharded run is reproducible from the
 //! single user seed regardless of interleaving.
+//!
+//! # Supervision
+//!
+//! Workers run under `catch_unwind`: a panic in an inner engine (or one
+//! injected by [`ShardFault::Panic`]) kills that worker's thread quietly,
+//! and the routing side discovers the death through its closed channel. A
+//! dead shard is restarted — budget permitting, see [`SupervisorPolicy`] —
+//! from its last `ShardImage` snapshot plus a per-shard **replay buffer**
+//! of everything routed since, then the replay is re-fed. Because engines
+//! are seed-deterministic and batching-independent, the healed worker's
+//! state is *byte-identical* to an unfaulted run's, independent of where in
+//! the stream the death landed (ARCHITECTURE.md, invariant 9). A shard
+//! that dies past its restart budget degrades instead: its ops are counted
+//! as lost, reads serve from the surviving shards (still uniform over the
+//! surviving population), and [`ShardedSampler::health`] reports
+//! [`ShardHealth::Degraded`].
 
 use crate::count::JoinCounter;
 use crate::exec::{DeleteUnsupported, JoinSampler, SamplerStats};
@@ -64,6 +80,103 @@ use std::thread::JoinHandle;
 /// Tuples buffered per shard before a channel send.
 const BATCH_TUPLES: usize = 1024;
 
+/// Panic payload used by [`ShardFault::Panic`], so tests and panic hooks
+/// can tell an injected crash from a real engine bug.
+pub const INJECTED_FAULT: &str = "injected shard fault";
+
+/// Construction-path errors of the sharded executor, surfaced through
+/// `Engine::build` instead of panicking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardError {
+    /// `shards == 0`: there is nothing to route to.
+    NoShards,
+    /// The query has no attributes, so no partition attribute exists.
+    NoAttributes,
+    /// An explicit partition attribute does not exist in the query.
+    PartitionAttrOutOfRange {
+        /// The requested attribute id.
+        attr: usize,
+        /// Number of attributes in the query.
+        num_attrs: usize,
+    },
+    /// The inner engine builder failed.
+    Build(String),
+    /// The OS refused to spawn a worker thread.
+    Spawn(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::NoShards => write!(f, "sharded execution needs at least one shard"),
+            ShardError::NoAttributes => write!(f, "query has no attributes"),
+            ShardError::PartitionAttrOutOfRange { attr, num_attrs } => write!(
+                f,
+                "partition attribute {attr} out of range for {num_attrs} attributes"
+            ),
+            ShardError::Build(e) | ShardError::Spawn(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Restart and snapshot-cadence knobs of the shard supervisor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SupervisorPolicy {
+    /// Take a fresh `ShardImage` once a shard's replay buffer holds this
+    /// many ops (`0` = never snapshot mid-stream; restarts replay from the
+    /// beginning of the stream). Only effective for snapshot-capable inner
+    /// engines.
+    pub snapshot_every: u64,
+    /// Restarts allowed per shard before it degrades. `0` disables healing
+    /// entirely — no replay buffer is kept, and any death degrades.
+    pub max_restarts: u64,
+    /// Hard cap on a shard's replay buffer (ops). Snapshot-capable engines
+    /// take an image when they hit it; engines without snapshots become
+    /// unhealable past it (their next death degrades).
+    pub replay_cap: u64,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> SupervisorPolicy {
+        SupervisorPolicy {
+            snapshot_every: 8192,
+            max_restarts: 3,
+            replay_cap: 65536,
+        }
+    }
+}
+
+/// Liveness of a [`ShardedSampler`]'s worker pool.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Every shard is live (possibly after restarts — a healed shard is
+    /// indistinguishable from an unfaulted one).
+    Healthy,
+    /// One or more shards died past their restart budget. Reads serve from
+    /// the survivors: still a uniform sample, but over the surviving
+    /// population only.
+    Degraded {
+        /// Indices of the dead shards.
+        dead_shards: Vec<usize>,
+        /// Ops routed to dead shards and dropped.
+        lost_ops: u64,
+    },
+}
+
+/// A deterministic fault deliverable to one worker via
+/// [`ShardedSampler::inject_fault`] — the shard-side half of the chaos
+/// harness (`rsj-testutil`'s `FaultPlan` schedules these from a seed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardFault {
+    /// The worker panics (payload [`INJECTED_FAULT`]) after processing
+    /// everything routed before the injection point.
+    Panic,
+    /// The worker sleeps this many milliseconds, simulating a slow shard.
+    Stall(u64),
+}
+
 /// The partitioning scheme: which attribute to hash on, and where it sits
 /// in each relation's schema.
 #[derive(Clone, Debug)]
@@ -80,14 +193,10 @@ impl ShardPlan {
     /// attribute is the one contained in the most relations (ties resolved
     /// towards the smallest attribute id), so broadcast traffic is
     /// minimized.
-    ///
-    /// # Panics
-    /// Panics if `shards == 0` or the query has no attributes.
-    pub fn new(query: &Query, shards: usize) -> ShardPlan {
-        assert!(query.num_attrs() > 0, "query has no attributes");
+    pub fn new(query: &Query, shards: usize) -> Result<ShardPlan, ShardError> {
         let partition_attr = (0..query.num_attrs())
             .max_by_key(|&a| (query.relations_with_attr(a).len(), usize::MAX - a))
-            .expect("non-empty attribute set");
+            .ok_or(ShardError::NoAttributes)?;
         Self::with_partition_attr(query, shards, partition_attr)
     }
 
@@ -95,20 +204,28 @@ impl ShardPlan {
     /// cost-based planner's statistics-informed choice
     /// (`rsj_query::plan::partition_attr`, which breaks most-shared ties
     /// towards the highest observed distinct count) reaches the router.
-    ///
-    /// # Panics
-    /// Panics if `shards == 0` or `attr` is out of range.
-    pub fn with_partition_attr(query: &Query, shards: usize, attr: usize) -> ShardPlan {
-        assert!(shards > 0, "at least one shard");
-        assert!(attr < query.num_attrs(), "partition attribute out of range");
+    pub fn with_partition_attr(
+        query: &Query,
+        shards: usize,
+        attr: usize,
+    ) -> Result<ShardPlan, ShardError> {
+        if shards == 0 {
+            return Err(ShardError::NoShards);
+        }
+        if attr >= query.num_attrs() {
+            return Err(ShardError::PartitionAttrOutOfRange {
+                attr,
+                num_attrs: query.num_attrs(),
+            });
+        }
         let positions = (0..query.num_relations())
             .map(|r| query.relation(r).position_of(attr))
             .collect();
-        ShardPlan {
+        Ok(ShardPlan {
             shards,
             partition_attr: attr,
             positions,
-        }
+        })
     }
 
     /// Number of shards `S`.
@@ -148,6 +265,10 @@ struct Snapshot {
 /// with its counter's live-tuple image.
 type ShardImage = (Vec<u8>, Vec<u8>);
 
+/// The builder the supervisor re-invokes to construct a replacement engine
+/// for a restarted shard.
+type BuildFn = Box<dyn Fn(u64) -> Result<Box<dyn JoinSampler + Send>, String> + Send>;
+
 enum Msg {
     Batch(Vec<StreamOp>),
     /// A columnar sub-batch (inserts only): the routing side has already
@@ -165,6 +286,8 @@ enum Msg {
     /// Overlay a previously captured `(engine, counter)` state pair onto
     /// the worker's engine and counter.
     Restore(Vec<u8>, Vec<u8>, mpsc::Sender<Result<(), CodecError>>),
+    /// Deliver an injected fault (chaos harness only).
+    Chaos(ShardFault),
 }
 
 fn worker_loop(
@@ -233,52 +356,358 @@ fn worker_loop(
                 });
                 let _ = reply.send(res);
             }
+            Msg::Chaos(fault) => match fault {
+                ShardFault::Panic => std::panic::panic_any(INJECTED_FAULT),
+                ShardFault::Stall(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+            },
         }
+    }
+}
+
+/// Spawns one supervised worker thread. The `catch_unwind` is what turns a
+/// worker panic into a silently closed channel for the routing side to
+/// discover, instead of a process-level crash.
+fn spawn_worker(
+    shard: usize,
+    sampler: Box<dyn JoinSampler + Send>,
+    counter: JoinCounter,
+    rx: mpsc::Receiver<Msg>,
+) -> Result<JoinHandle<()>, ShardError> {
+    std::thread::Builder::new()
+        .name(format!("rsj-shard-{shard}"))
+        .spawn(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                worker_loop(sampler, counter, rx)
+            }));
+        })
+        .map_err(|e| ShardError::Spawn(format!("failed to spawn shard worker: {e}")))
+}
+
+/// Replay-buffer entries mirror the two channel ingest shapes, so a healed
+/// worker sees the same call sequence (batching independence makes the
+/// exact chunking irrelevant to the rebuilt state).
+enum ReplayEntry {
+    Ops(Vec<StreamOp>),
+    Columnar(ColumnarBatch),
+}
+
+/// One shard's worker plus everything the supervisor needs to resurrect it.
+struct Slot {
+    tx: mpsc::Sender<Msg>,
+    handle: Option<JoinHandle<()>>,
+    /// Ops routed but not yet shipped over the channel.
+    buf: Vec<StreamOp>,
+    /// Last durable image of this worker's state.
+    image: Option<ShardImage>,
+    /// Everything routed since `image` (or since construction), replayed
+    /// into a restarted worker. Always a superset of `buf`.
+    replay: Vec<ReplayEntry>,
+    /// Ops held in `replay`.
+    replay_ops: u64,
+    /// Times this shard has been restarted.
+    restarts: u64,
+    /// Dead past the restart budget: ops are dropped, reads skip it.
+    dead: bool,
+    /// The replay buffer no longer covers the full history and the engine
+    /// cannot snapshot: the next death cannot be healed.
+    unhealable: bool,
+}
+
+impl Slot {
+    fn record_op(&mut self, op: &StreamOp) {
+        if let Some(ReplayEntry::Ops(v)) = self.replay.last_mut() {
+            v.push(op.clone());
+        } else {
+            self.replay.push(ReplayEntry::Ops(vec![op.clone()]));
+        }
+        self.replay_ops += 1;
     }
 }
 
 /// Mutable innards behind a `RefCell` so that the read-only trait surface
-/// (`samples(&self)`, `stats(&self)`) can flush buffers and synchronize
-/// with the workers.
+/// (`samples(&self)`, `stats(&self)`) can flush buffers, synchronize with
+/// the workers, and heal dead shards.
 struct State {
-    txs: Vec<mpsc::Sender<Msg>>,
-    handles: Vec<JoinHandle<()>>,
-    bufs: Vec<Vec<StreamOp>>,
+    slots: Vec<Slot>,
     tuples_routed: u64,
+    /// Ops routed to shards that were already degraded.
+    lost_ops: u64,
+    query: Query,
+    seed: u64,
+    policy: SupervisorPolicy,
+    /// Whether the inner engine can produce a [`ShardImage`].
+    snapshot_capable: bool,
+    build: BuildFn,
 }
 
 impl State {
-    fn push(&mut self, shard: usize, op: StreamOp) {
-        self.bufs[shard].push(op);
-        if self.bufs[shard].len() >= BATCH_TUPLES {
-            self.flush(shard);
-        }
+    fn recording(&self, shard: usize) -> bool {
+        self.policy.max_restarts > 0 && !self.slots[shard].unhealable
     }
 
-    fn flush(&mut self, shard: usize) {
-        if self.bufs[shard].is_empty() {
+    fn push(&mut self, shard: usize, op: StreamOp) {
+        if self.slots[shard].dead {
+            self.lost_ops += 1;
             return;
         }
-        let batch = std::mem::take(&mut self.bufs[shard]);
-        self.txs[shard]
-            .send(Msg::Batch(batch))
-            .expect("shard worker thread died");
+        if self.recording(shard) {
+            self.slots[shard].record_op(&op);
+        }
+        let slot = &mut self.slots[shard];
+        slot.buf.push(op);
+        if slot.buf.len() >= BATCH_TUPLES {
+            self.flush(shard);
+        }
+        self.maybe_snapshot(shard);
+    }
+
+    /// Ships the shard's pending row buffer. Returns false if the shard is
+    /// (or just became) degraded.
+    fn flush(&mut self, shard: usize) -> bool {
+        if self.slots[shard].dead {
+            self.slots[shard].buf.clear();
+            return false;
+        }
+        if self.slots[shard].buf.is_empty() {
+            return true;
+        }
+        let batch = std::mem::take(&mut self.slots[shard].buf);
+        let n = batch.len() as u64;
+        if self.slots[shard].tx.send(Msg::Batch(batch)).is_ok() {
+            return true;
+        }
+        // Worker died. The batch is already in the replay buffer, so a
+        // successful heal resends it.
+        if self.on_dead(shard) {
+            true
+        } else {
+            self.lost_ops += n;
+            false
+        }
     }
 
     /// Ships a columnar sub-batch to `shard`, flushing the shard's pending
     /// row buffer first so the worker sees tuples in routing order.
     fn send_columnar(&mut self, shard: usize, sub: ColumnarBatch) {
-        self.flush(shard);
-        self.txs[shard]
-            .send(Msg::Columnar(sub))
-            .expect("shard worker thread died");
+        let n = sub.len() as u64;
+        if self.slots[shard].dead {
+            self.lost_ops += n;
+            return;
+        }
+        if !self.flush(shard) {
+            self.lost_ops += n;
+            return;
+        }
+        if self.recording(shard) {
+            self.slots[shard]
+                .replay
+                .push(ReplayEntry::Columnar(sub.clone()));
+            self.slots[shard].replay_ops += n;
+        }
+        if self.slots[shard].tx.send(Msg::Columnar(sub)).is_err() && !self.on_dead(shard) {
+            self.lost_ops += n;
+            return;
+        }
+        self.maybe_snapshot(shard);
+    }
+
+    /// Takes a fresh image when the shard's replay buffer hits the snapshot
+    /// cadence or the hard cap (see [`SupervisorPolicy`]).
+    fn maybe_snapshot(&mut self, shard: usize) {
+        if self.policy.max_restarts == 0 {
+            return;
+        }
+        let slot = &self.slots[shard];
+        if slot.dead || slot.unhealable {
+            return;
+        }
+        let due = self.policy.snapshot_every > 0 && slot.replay_ops >= self.policy.snapshot_every;
+        let overflow = slot.replay_ops >= self.policy.replay_cap;
+        if !(due || overflow) {
+            return;
+        }
+        if self.snapshot_capable {
+            self.take_image(shard);
+        } else if overflow {
+            // Replay can no longer cover the full history and the engine
+            // cannot snapshot: from here on a death degrades.
+            let slot = &mut self.slots[shard];
+            slot.unhealable = true;
+            slot.replay.clear();
+            slot.replay_ops = 0;
+        }
+    }
+
+    /// Synchronously snapshots one worker and resets its replay buffer.
+    fn take_image(&mut self, shard: usize) {
+        if !self.flush(shard) {
+            return;
+        }
+        let (rtx, rrx) = mpsc::channel();
+        if self.slots[shard].tx.send(Msg::Snapshot(rtx)).is_err() {
+            // Died right here; heal (state is image+replay) and let the
+            // next cadence check retry the snapshot.
+            let _ = self.on_dead(shard);
+            return;
+        }
+        match rrx.recv() {
+            Ok(Some(img)) => {
+                let slot = &mut self.slots[shard];
+                slot.image = Some(img);
+                slot.replay.clear();
+                slot.replay_ops = 0;
+            }
+            Ok(None) => {}
+            Err(_) => {
+                let _ = self.on_dead(shard);
+            }
+        }
+    }
+
+    /// Marks shard `shard` dead and drops its supervision state.
+    fn degrade(&mut self, shard: usize) -> bool {
+        let slot = &mut self.slots[shard];
+        slot.dead = true;
+        let lost = slot.buf.len() as u64;
+        slot.buf.clear();
+        slot.replay.clear();
+        slot.replay_ops = 0;
+        slot.image = None;
+        self.lost_ops += lost;
+        false
+    }
+
+    /// Handles a dead worker: joins the corpse and, budget permitting,
+    /// restarts it from its last image plus the replay buffer. Returns true
+    /// when the shard is healthy again; false leaves it degraded.
+    fn on_dead(&mut self, shard: usize) -> bool {
+        loop {
+            if let Some(h) = self.slots[shard].handle.take() {
+                let _ = h.join();
+            }
+            if self.slots[shard].dead {
+                return false;
+            }
+            if self.slots[shard].unhealable
+                || self.slots[shard].restarts >= self.policy.max_restarts
+            {
+                return self.degrade(shard);
+            }
+            self.slots[shard].restarts += 1;
+            let engine = match (self.build)(child_seed(self.seed, shard as u64)) {
+                Ok(e) => e,
+                Err(_) => return self.degrade(shard),
+            };
+            let counter = JoinCounter::new(self.query.clone());
+            let (tx, rx) = mpsc::channel();
+            let handle = match spawn_worker(shard, engine, counter, rx) {
+                Ok(h) => h,
+                Err(_) => return self.degrade(shard),
+            };
+            {
+                let slot = &mut self.slots[shard];
+                slot.tx = tx;
+                slot.handle = Some(handle);
+                // The buffered tail is a suffix of the replay buffer and is
+                // resent with it; drop the duplicate.
+                slot.buf.clear();
+            }
+            if self.rehydrate(shard) {
+                return true;
+            }
+            // The fresh worker died during rehydration (another injected
+            // fault, or a corrupt image): loop — the budget bounds this.
+        }
+    }
+
+    /// Replays image + buffered ops into a freshly restarted shard.
+    fn rehydrate(&mut self, shard: usize) -> bool {
+        if let Some((engine, counter)) = self.slots[shard].image.clone() {
+            let (rtx, rrx) = mpsc::channel();
+            if self.slots[shard]
+                .tx
+                .send(Msg::Restore(engine, counter, rtx))
+                .is_err()
+            {
+                return false;
+            }
+            match rrx.recv() {
+                Ok(Ok(())) => {}
+                Ok(Err(_)) | Err(_) => return false,
+            }
+        }
+        for i in 0..self.slots[shard].replay.len() {
+            let msg = match &self.slots[shard].replay[i] {
+                ReplayEntry::Ops(ops) => Msg::Batch(ops.clone()),
+                ReplayEntry::Columnar(b) => Msg::Columnar(b.clone()),
+            };
+            if self.slots[shard].tx.send(msg).is_err() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Flushes everything, sends one request per live shard in parallel,
+    /// and collects the replies — healing (or degrading) shards whose
+    /// worker died along the way. `None` entries are degraded shards.
+    fn request_all<T>(&mut self, make: &dyn Fn(mpsc::Sender<T>) -> Msg) -> Vec<Option<T>> {
+        let n = self.slots.len();
+        for s in 0..n {
+            self.flush(s);
+        }
+        let mut pending: Vec<Option<mpsc::Receiver<T>>> = Vec::with_capacity(n);
+        for s in 0..n {
+            if self.slots[s].dead {
+                pending.push(None);
+                continue;
+            }
+            let (rtx, rrx) = mpsc::channel();
+            match self.slots[s].tx.send(make(rtx)) {
+                Ok(()) => pending.push(Some(rrx)),
+                Err(_) => pending.push(None),
+            }
+        }
+        pending
+            .into_iter()
+            .enumerate()
+            .map(|(s, p)| match p {
+                Some(rrx) => match rrx.recv() {
+                    Ok(v) => Some(v),
+                    Err(_) => self.retry_request(s, make),
+                },
+                None => self.retry_request(s, make),
+            })
+            .collect()
+    }
+
+    /// Heal-and-retry loop for one shard's request; bounded by the restart
+    /// budget.
+    fn retry_request<T>(
+        &mut self,
+        shard: usize,
+        make: &dyn Fn(mpsc::Sender<T>) -> Msg,
+    ) -> Option<T> {
+        loop {
+            if !self.on_dead(shard) {
+                return None;
+            }
+            let (rtx, rrx) = mpsc::channel();
+            if self.slots[shard].tx.send(make(rtx)).is_err() {
+                continue;
+            }
+            match rrx.recv() {
+                Ok(v) => return Some(v),
+                Err(_) => continue,
+            }
+        }
     }
 }
 
 /// A partition-parallel [`JoinSampler`]: `S` independent inner engines on
 /// their own threads, one hash partition of the stream each, merged into a
 /// single uniform reservoir on read (see the [module docs](self) for the
-/// partitioning and merge arguments).
+/// partitioning, merge, and supervision arguments).
 ///
 /// Constructed directly from any engine builder, or through the factory as
 /// `Engine::Sharded { inner, shards }` in the `rsjoin` facade.
@@ -299,7 +728,8 @@ pub struct ShardedSampler {
 
 impl ShardedSampler {
     /// Spawns `shards` workers, each owning one inner sampler built by
-    /// `build(child_seed(seed, shard))`.
+    /// `build(child_seed(seed, shard))`, under the default
+    /// [`SupervisorPolicy`].
     ///
     /// All inner samplers must be instances of the same engine (the merged
     /// sample is materialized in the first one's
@@ -310,11 +740,19 @@ impl ShardedSampler {
         seed: u64,
         shards: usize,
         build: F,
-    ) -> Result<ShardedSampler, String>
+    ) -> Result<ShardedSampler, ShardError>
     where
-        F: Fn(u64) -> Result<Box<dyn JoinSampler + Send>, String>,
+        F: Fn(u64) -> Result<Box<dyn JoinSampler + Send>, String> + Send + 'static,
     {
-        Self::with_partition(query, k, seed, shards, None, build)
+        Self::with_policy(
+            query,
+            k,
+            seed,
+            shards,
+            None,
+            SupervisorPolicy::default(),
+            build,
+        )
     }
 
     /// Like [`ShardedSampler::new`], with an explicit partition attribute
@@ -328,31 +766,46 @@ impl ShardedSampler {
         shards: usize,
         partition_attr: Option<usize>,
         build: F,
-    ) -> Result<ShardedSampler, String>
+    ) -> Result<ShardedSampler, ShardError>
     where
-        F: Fn(u64) -> Result<Box<dyn JoinSampler + Send>, String>,
+        F: Fn(u64) -> Result<Box<dyn JoinSampler + Send>, String> + Send + 'static,
     {
-        if shards == 0 {
-            return Err("sharded execution needs at least one shard".to_string());
-        }
-        if partition_attr.is_some_and(|a| a >= query.num_attrs()) {
-            return Err(format!(
-                "partition attribute {} out of range for {} attributes",
-                partition_attr.unwrap(),
-                query.num_attrs()
-            ));
-        }
+        Self::with_policy(
+            query,
+            k,
+            seed,
+            shards,
+            partition_attr,
+            SupervisorPolicy::default(),
+            build,
+        )
+    }
+
+    /// The fully explicit constructor: partition attribute and supervisor
+    /// policy.
+    pub fn with_policy<F>(
+        query: &Query,
+        k: usize,
+        seed: u64,
+        shards: usize,
+        partition_attr: Option<usize>,
+        policy: SupervisorPolicy,
+        build: F,
+    ) -> Result<ShardedSampler, ShardError>
+    where
+        F: Fn(u64) -> Result<Box<dyn JoinSampler + Send>, String> + Send + 'static,
+    {
         let plan = match partition_attr {
-            Some(a) => ShardPlan::with_partition_attr(query, shards, a),
-            None => ShardPlan::new(query, shards),
+            Some(a) => ShardPlan::with_partition_attr(query, shards, a)?,
+            None => ShardPlan::new(query, shards)?,
         };
-        let mut txs = Vec::with_capacity(shards);
-        let mut handles = Vec::with_capacity(shards);
+        let build: BuildFn = Box::new(build);
+        let mut slots = Vec::with_capacity(shards);
         let mut output_query = None;
         let mut inner_supports_deletes = false;
         let mut inner_supports_snapshot = false;
         for s in 0..shards {
-            let sampler = build(child_seed(seed, s as u64))?;
+            let sampler = build(child_seed(seed, s as u64)).map_err(ShardError::Build)?;
             if output_query.is_none() {
                 output_query = Some(sampler.output_query().clone());
                 inner_supports_deletes = sampler.supports_deletes();
@@ -360,12 +813,18 @@ impl ShardedSampler {
             }
             let counter = JoinCounter::new(query.clone());
             let (tx, rx) = mpsc::channel();
-            let handle = std::thread::Builder::new()
-                .name(format!("rsj-shard-{s}"))
-                .spawn(move || worker_loop(sampler, counter, rx))
-                .map_err(|e| format!("failed to spawn shard worker: {e}"))?;
-            txs.push(tx);
-            handles.push(handle);
+            let handle = spawn_worker(s, sampler, counter, rx)?;
+            slots.push(Slot {
+                tx,
+                handle: Some(handle),
+                buf: Vec::new(),
+                image: None,
+                replay: Vec::new(),
+                replay_ops: 0,
+                restarts: 0,
+                dead: false,
+                unhealable: false,
+            });
         }
         Ok(ShardedSampler {
             output_query: output_query.expect("shards >= 1"),
@@ -373,12 +832,16 @@ impl ShardedSampler {
             merge_seed: child_seed(seed, shards as u64),
             inner_supports_deletes,
             inner_supports_snapshot,
-            plan: plan.clone(),
+            plan,
             state: RefCell::new(State {
-                txs,
-                handles,
-                bufs: vec![Vec::new(); shards],
+                slots,
                 tuples_routed: 0,
+                lost_ops: 0,
+                query: query.clone(),
+                seed,
+                policy,
+                snapshot_capable: inner_supports_snapshot,
+                build,
             }),
         })
     }
@@ -386,6 +849,39 @@ impl ShardedSampler {
     /// The partitioning scheme in use.
     pub fn plan(&self) -> &ShardPlan {
         &self.plan
+    }
+
+    /// Liveness of the worker pool: [`ShardHealth::Healthy`] when every
+    /// shard is live (restarted-and-healed shards count as healthy),
+    /// [`ShardHealth::Degraded`] once any shard died past its budget.
+    pub fn health(&self) -> ShardHealth {
+        let st = self.state.borrow();
+        let dead_shards: Vec<usize> = st
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(s, slot)| slot.dead.then_some(s))
+            .collect();
+        if dead_shards.is_empty() {
+            ShardHealth::Healthy
+        } else {
+            ShardHealth::Degraded {
+                dead_shards,
+                lost_ops: st.lost_ops,
+            }
+        }
+    }
+
+    /// Delivers a deterministic fault to one worker (chaos harness).
+    /// Pending ops routed to the shard are flushed first, so the fault
+    /// lands after exactly the ops routed so far — reproducible regardless
+    /// of thread scheduling.
+    pub fn inject_fault(&mut self, shard: usize, fault: ShardFault) {
+        let st = self.state.get_mut();
+        if !st.flush(shard) {
+            return;
+        }
+        let _ = st.slots[shard].tx.send(Msg::Chaos(fault));
     }
 
     /// Routes one op to its owning shard (or every shard for broadcast
@@ -409,26 +905,11 @@ impl ShardedSampler {
     }
 
     /// Flushes every buffer and snapshots every shard (samples, exact
-    /// population, stats) — the only synchronization point with the
-    /// workers.
-    fn snapshots(&self) -> (Vec<Snapshot>, u64) {
+    /// population, stats) — the synchronization point with the workers.
+    /// Degraded shards yield `None`.
+    fn snapshots(&self) -> (Vec<Option<Snapshot>>, u64) {
         let mut st = self.state.borrow_mut();
-        for s in 0..self.plan.shards() {
-            st.flush(s);
-        }
-        let replies: Vec<mpsc::Receiver<Snapshot>> = st
-            .txs
-            .iter()
-            .map(|tx| {
-                let (rtx, rrx) = mpsc::channel();
-                tx.send(Msg::Read(rtx)).expect("shard worker thread died");
-                rrx
-            })
-            .collect();
-        let snaps = replies
-            .into_iter()
-            .map(|rx| rx.recv().expect("shard worker thread died"))
-            .collect();
+        let snaps = st.request_all(&Msg::Read);
         (snaps, st.tuples_routed)
     }
 
@@ -477,12 +958,16 @@ impl ShardedSampler {
 impl Drop for ShardedSampler {
     fn drop(&mut self) {
         let st = self.state.get_mut();
-        // Closing the channels ends the worker loops; join to avoid leaking
-        // threads past the sampler's lifetime. A worker that already
-        // panicked is reported on the send path, not here (double panic).
-        st.txs.clear();
-        for h in st.handles.drain(..) {
-            let _ = h.join();
+        // Closing each channel ends its worker loop; join to avoid leaking
+        // threads past the sampler's lifetime. Nothing here panics — a
+        // worker that died of a panic shows up as `Err` from `join`, which
+        // is discarded — so dropping mid-unwind cannot double-panic.
+        for slot in st.slots.drain(..) {
+            let Slot { tx, handle, .. } = slot;
+            drop(tx);
+            if let Some(h) = handle {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -570,39 +1055,36 @@ impl JoinSampler for ShardedSampler {
     /// statistics independently; `true` if any shard changed its plan.
     fn replan(&mut self) -> bool {
         let st = self.state.get_mut();
-        for s in 0..self.plan.shards() {
-            st.flush(s);
-        }
-        let replies: Vec<mpsc::Receiver<bool>> = st
-            .txs
-            .iter()
-            .map(|tx| {
-                let (rtx, rrx) = mpsc::channel();
-                tx.send(Msg::Replan(rtx)).expect("shard worker thread died");
-                rrx
-            })
-            .collect();
-        replies
+        st.request_all(&Msg::Replan)
             .into_iter()
-            .map(|rx| rx.recv().expect("shard worker thread died"))
+            .flatten()
             .fold(false, |acc, changed| acc | changed)
     }
 
     /// The merged sample: a weighted reservoir union of the per-shard
     /// reservoirs (each slot drawn from shard `i` with probability
     /// proportional to its remaining population — see the
-    /// [module docs](self)).
+    /// [module docs](self)). Degraded shards contribute an empty
+    /// population: the draw stays uniform over the surviving shards'
+    /// results.
     fn samples(&self) -> Vec<Vec<Value>> {
         let (snaps, routed) = self.snapshots();
         let total: u128 = snaps
             .iter()
+            .flatten()
             .fold(0u128, |acc, s| acc.saturating_add(s.population));
         let target = (self.k as u128).min(total) as usize;
         // Deterministic per (seed, stream position); stable across repeated
         // reads at the same position.
         let mut rng = RsjRng::seed_from_u64(child_seed(self.merge_seed, routed));
-        let mut remaining: Vec<u128> = snaps.iter().map(|s| s.population).collect();
-        let mut avail: Vec<Vec<Vec<Value>>> = snaps.into_iter().map(|s| s.samples).collect();
+        let mut remaining: Vec<u128> = snaps
+            .iter()
+            .map(|s| s.as_ref().map_or(0, |s| s.population))
+            .collect();
+        let mut avail: Vec<Vec<Vec<Value>>> = snaps
+            .into_iter()
+            .map(|s| s.map(|s| s.samples).unwrap_or_default())
+            .collect();
         let mut out = Vec::with_capacity(target);
         while out.len() < target {
             let live: u128 = remaining.iter().sum();
@@ -640,31 +1122,23 @@ impl JoinSampler for ShardedSampler {
     /// Serializes the sharded topology (shard count, partition attribute,
     /// routed-tuple count) plus each worker's engine snapshot and counter
     /// state — a canonical byte image when the inner engine's own snapshot
-    /// is canonical.
+    /// is canonical. A degraded sampler has no canonical image and returns
+    /// `None`.
     fn snapshot_state(&self) -> Option<Vec<u8>> {
         if !self.inner_supports_snapshot {
             return None;
         }
         let mut st = self.state.borrow_mut();
-        for s in 0..self.plan.shards() {
-            st.flush(s);
+        if st.slots.iter().any(|s| s.dead) {
+            return None;
         }
-        let replies: Vec<mpsc::Receiver<Option<ShardImage>>> = st
-            .txs
-            .iter()
-            .map(|tx| {
-                let (rtx, rrx) = mpsc::channel();
-                tx.send(Msg::Snapshot(rtx))
-                    .expect("shard worker thread died");
-                rrx
-            })
-            .collect();
+        let imgs = st.request_all(&Msg::Snapshot);
         let mut enc = Encoder::new();
         enc.put_usize(self.plan.shards());
         enc.put_usize(self.plan.partition_attr());
         enc.put_u64(st.tuples_routed);
-        for rx in replies {
-            let (engine, counter) = rx.recv().expect("shard worker thread died")?;
+        for img in imgs {
+            let (engine, counter) = img.flatten()?;
             enc.put_bytes(&engine);
             enc.put_bytes(&counter);
         }
@@ -674,7 +1148,9 @@ impl JoinSampler for ShardedSampler {
     /// Byte-exact restore into an identical topology (same shard count and
     /// partition attribute — a rebalance goes through
     /// [`ShardedSampler::restore_rebalanced`] instead). On error the
-    /// receiver may be partially overwritten and must be discarded.
+    /// receiver may be partially overwritten and must be discarded. The
+    /// restored pairs double as each shard's `ShardImage`, so the
+    /// supervisor can heal from them without a fresh snapshot.
     fn restore_state(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
         let mut dec = Decoder::new(bytes);
         let shards = dec.seq_len(1)?;
@@ -693,34 +1169,58 @@ impl JoinSampler for ShardedSampler {
         }
         dec.finish()?;
         let st = self.state.get_mut();
-        for s in 0..shards {
+        for (s, (engine, counter)) in pairs.into_iter().enumerate() {
             st.flush(s);
-        }
-        let replies: Vec<mpsc::Receiver<Result<(), CodecError>>> = st
-            .txs
-            .iter()
-            .zip(pairs)
-            .map(|(tx, (engine, counter))| {
+            loop {
+                if st.slots[s].dead {
+                    return Err(CodecError::Corrupt(
+                        "cannot restore into a degraded sharded sampler",
+                    ));
+                }
                 let (rtx, rrx) = mpsc::channel();
-                tx.send(Msg::Restore(engine, counter, rtx))
-                    .expect("shard worker thread died");
-                rrx
-            })
-            .collect();
-        for rx in replies {
-            rx.recv().expect("shard worker thread died")?;
+                if st.slots[s]
+                    .tx
+                    .send(Msg::Restore(engine.clone(), counter.clone(), rtx))
+                    .is_err()
+                {
+                    st.on_dead(s);
+                    continue;
+                }
+                match rrx.recv() {
+                    Ok(res) => {
+                        res?;
+                        break;
+                    }
+                    Err(_) => {
+                        st.on_dead(s);
+                    }
+                }
+            }
+            let slot = &mut st.slots[s];
+            slot.image = Some((engine, counter));
+            slot.replay.clear();
+            slot.replay_ops = 0;
         }
         st.tuples_routed = routed;
         Ok(())
     }
 
-    /// Aggregated instrumentation: sums across shards (broadcast tuples are
-    /// counted once per shard that processed them), plus the exact result
-    /// count `Σ |Q_i| = |Q(R)|` the merge maintains anyway.
+    /// Aggregated instrumentation: sums across surviving shards (broadcast
+    /// tuples are counted once per shard that processed them), plus the
+    /// exact result count `Σ |Q_i| = |Q(R)|` the merge maintains anyway,
+    /// and the supervisor's restart / degradation counters.
     fn stats(&self) -> SamplerStats {
         let (snaps, _) = self.snapshots();
+        let (restarts, dead) = {
+            let st = self.state.borrow();
+            (
+                st.slots.iter().map(|s| s.restarts).sum::<u64>(),
+                st.slots.iter().filter(|s| s.dead).count() as u64,
+            )
+        };
+        let alive: Vec<&Snapshot> = snaps.iter().flatten().collect();
         let sum_opt = |f: &dyn Fn(&SamplerStats) -> Option<u64>| {
-            snaps
+            alive
                 .iter()
                 .filter_map(|s| f(&s.stats))
                 .fold(None, |acc: Option<u64>, v| {
@@ -731,17 +1231,20 @@ impl JoinSampler for ShardedSampler {
             inserts: sum_opt(&|s| s.inserts),
             deletes: sum_opt(&|s| s.deletes),
             reservoir_stops: sum_opt(&|s| s.reservoir_stops),
-            heap_bytes: snaps
+            heap_bytes: alive
                 .iter()
                 .filter_map(|s| s.stats.heap_bytes)
                 .fold(None, |acc: Option<usize>, v| {
                     Some(acc.unwrap_or(0).saturating_add(v))
                 }),
             exact_results: Some(
-                snaps
+                alive
                     .iter()
                     .fold(0u128, |acc, s| acc.saturating_add(s.population)),
             ),
+            restarts: Some(restarts),
+            retries: None,
+            degraded: Some(dead),
         }
     }
 }
@@ -777,14 +1280,24 @@ mod tests {
         qb.build().unwrap()
     }
 
-    fn sharded_rsjoin(query: &Query, k: usize, seed: u64, shards: usize) -> ShardedSampler {
+    fn sharded_with_policy(
+        query: &Query,
+        k: usize,
+        seed: u64,
+        shards: usize,
+        policy: SupervisorPolicy,
+    ) -> ShardedSampler {
         let q = query.clone();
-        ShardedSampler::new(query, k, seed, shards, move |s| {
+        ShardedSampler::with_policy(query, k, seed, shards, None, policy, move |s| {
             ReservoirJoin::new(q.clone(), k, s)
                 .map(|e| Box::new(e) as Box<dyn JoinSampler + Send>)
                 .map_err(|e| e.to_string())
         })
         .unwrap()
+    }
+
+    fn sharded_rsjoin(query: &Query, k: usize, seed: u64, shards: usize) -> ShardedSampler {
+        sharded_with_policy(query, k, seed, shards, SupervisorPolicy::default())
     }
 
     fn random_stream(rels: usize, n: usize, dom: u64, seed: u64) -> TupleStream {
@@ -799,15 +1312,34 @@ mod tests {
         s
     }
 
+    /// Replaces the default panic hook with one that stays silent for
+    /// injected chaos faults, so supervision tests don't spray backtraces.
+    fn quiet_injected_panics() {
+        use std::sync::Once;
+        static HOOK: Once = Once::new();
+        HOOK.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|s| s.contains(INJECTED_FAULT));
+                if !injected {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
     #[test]
     fn plan_prefers_the_most_shared_attribute() {
         // Two-table: Y is in both relations; nothing is broadcast.
-        let plan = ShardPlan::new(&two_table(), 4);
+        let plan = ShardPlan::new(&two_table(), 4).unwrap();
         assert!(!plan.is_broadcast(0));
         assert!(!plan.is_broadcast(1));
         // Line-3: B and C tie at two relations each; the smaller attr id
         // (B) wins, G3 is broadcast.
-        let plan = ShardPlan::new(&line3(), 4);
+        let plan = ShardPlan::new(&line3(), 4).unwrap();
         assert_eq!(plan.partition_attr(), 1, "B");
         assert!(!plan.is_broadcast(0));
         assert!(!plan.is_broadcast(1));
@@ -816,7 +1348,7 @@ mod tests {
 
     #[test]
     fn routing_is_consistent_on_the_partition_attribute() {
-        let plan = ShardPlan::new(&two_table(), 7);
+        let plan = ShardPlan::new(&two_table(), 7).unwrap();
         for y in 0..50u64 {
             // R(X,Y) routes on position 1, S(Y,Z) on position 0: same Y
             // must land on the same shard.
@@ -825,6 +1357,28 @@ mod tests {
             assert_eq!(a, b, "y={y}");
             assert!(a < 7);
         }
+    }
+
+    #[test]
+    fn construction_errors_are_typed() {
+        let q = two_table();
+        assert_eq!(ShardPlan::new(&q, 0).unwrap_err(), ShardError::NoShards);
+        assert_eq!(
+            ShardPlan::with_partition_attr(&q, 2, 99).unwrap_err(),
+            ShardError::PartitionAttrOutOfRange {
+                attr: 99,
+                num_attrs: q.num_attrs()
+            }
+        );
+        let e = ShardedSampler::new(&q, 2, 1, 0, |_| Err("unused".to_string()))
+            .err()
+            .unwrap();
+        assert_eq!(e, ShardError::NoShards);
+        assert_eq!(e.to_string(), "sharded execution needs at least one shard");
+        let e = ShardedSampler::new(&q, 2, 1, 2, |_| Err("inner boom".to_string()))
+            .err()
+            .unwrap();
+        assert_eq!(e, ShardError::Build("inner boom".to_string()));
     }
 
     #[test]
@@ -1101,6 +1655,128 @@ mod tests {
             JoinSampler::process(&mut s, 2, &[c, 100 + c]);
         }
         assert_eq!(JoinSampler::samples(&s).len(), 10);
+    }
+
+    #[test]
+    fn worker_panic_heals_to_a_byte_identical_run() {
+        quiet_injected_panics();
+        let stream = random_stream(3, 400, 6, 91);
+        let logical = |st: SamplerStats| SamplerStats {
+            heap_bytes: None,
+            restarts: None,
+            ..st
+        };
+        let mut clean = sharded_rsjoin(&line3(), 6, 13, 3);
+        let mut faulted = sharded_rsjoin(&line3(), 6, 13, 3);
+        for (i, t) in stream.iter().enumerate() {
+            JoinSampler::process(&mut clean, t.relation, &t.values);
+            JoinSampler::process(&mut faulted, t.relation, &t.values);
+            if i == 120 {
+                faulted.inject_fault(0, ShardFault::Panic);
+                faulted.inject_fault(1, ShardFault::Stall(5));
+            }
+            if i == 250 {
+                // Mid-stream read while the kill is outstanding: detection,
+                // restart, replay and the read itself all happen here.
+                assert_eq!(
+                    JoinSampler::samples(&faulted),
+                    JoinSampler::samples(&clean),
+                    "mid-stream"
+                );
+            }
+        }
+        assert_eq!(JoinSampler::samples(&faulted), JoinSampler::samples(&clean));
+        assert_eq!(logical(faulted.stats()), logical(clean.stats()));
+        assert_eq!(faulted.health(), ShardHealth::Healthy);
+        assert!(faulted.stats().restarts.unwrap() >= 1, "a restart happened");
+        assert_eq!(clean.stats().restarts, Some(0));
+    }
+
+    #[test]
+    fn restart_from_snapshot_image_matches_full_replay() {
+        quiet_injected_panics();
+        // Tight snapshot cadence: the shard has a recent image when it is
+        // killed, so healing goes through Restore + short replay instead of
+        // replay-from-scratch — and must land on the same bytes.
+        let policy = SupervisorPolicy {
+            snapshot_every: 64,
+            ..SupervisorPolicy::default()
+        };
+        let stream = random_stream(3, 500, 6, 17);
+        let mut clean = sharded_rsjoin(&line3(), 6, 29, 2);
+        let mut snap = sharded_with_policy(&line3(), 6, 29, 2, policy);
+        for (i, t) in stream.iter().enumerate() {
+            JoinSampler::process(&mut clean, t.relation, &t.values);
+            JoinSampler::process(&mut snap, t.relation, &t.values);
+            if i % 180 == 150 {
+                snap.inject_fault(i % 2, ShardFault::Panic);
+            }
+        }
+        assert_eq!(JoinSampler::samples(&snap), JoinSampler::samples(&clean));
+        assert_eq!(snap.health(), ShardHealth::Healthy);
+        assert!(snap.stats().restarts.unwrap() >= 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_to_surviving_shards() {
+        quiet_injected_panics();
+        let policy = SupervisorPolicy {
+            max_restarts: 0,
+            ..SupervisorPolicy::default()
+        };
+        let mut s = sharded_with_policy(&line3(), 1 << 16, 2, 2, policy);
+        let stream = random_stream(3, 300, 6, 43);
+        for t in stream.iter().take(150) {
+            JoinSampler::process(&mut s, t.relation, &t.values);
+        }
+        let before = JoinSampler::samples(&s).len();
+        assert!(before > 0, "degenerate instance");
+        s.inject_fault(0, ShardFault::Panic);
+        // The next read detects the death; with a zero budget the shard
+        // degrades instead of healing.
+        let survivors = JoinSampler::samples(&s).len();
+        assert!(survivors <= before);
+        match s.health() {
+            ShardHealth::Degraded { dead_shards, .. } => assert_eq!(dead_shards, vec![0]),
+            h => panic!("expected degraded health, got {h:?}"),
+        }
+        // Routing keeps working; broadcast ops to the dead shard count as
+        // lost, reads keep serving from the survivor.
+        for t in stream.iter().skip(150) {
+            JoinSampler::process(&mut s, t.relation, &t.values);
+        }
+        let _ = JoinSampler::samples(&s);
+        match s.health() {
+            ShardHealth::Degraded {
+                dead_shards,
+                lost_ops,
+            } => {
+                assert_eq!(dead_shards, vec![0]);
+                assert!(lost_ops > 0, "broadcast ops to the dead shard are lost");
+            }
+            h => panic!("expected degraded health, got {h:?}"),
+        }
+        let st = s.stats();
+        assert_eq!(st.degraded, Some(1));
+        assert_eq!(st.restarts, Some(0));
+        // A degraded sampler has no canonical image.
+        assert!(s.snapshot_state().is_none());
+    }
+
+    #[test]
+    fn drop_mid_unwind_joins_workers_without_double_panic() {
+        quiet_injected_panics();
+        // A panic while a ShardedSampler with a dead worker is in scope
+        // must unwind cleanly: Drop joins the corpses without panicking
+        // again (a double panic would abort the whole test process).
+        let result = std::panic::catch_unwind(|| {
+            let mut s = sharded_rsjoin(&two_table(), 4, 1, 3);
+            JoinSampler::process(&mut s, 0, &[1, 2]);
+            s.inject_fault(1, ShardFault::Panic);
+            JoinSampler::process(&mut s, 1, &[2, 3]);
+            std::panic::panic_any(INJECTED_FAULT);
+        });
+        assert!(result.is_err(), "the outer panic must surface as Err");
     }
 
     /// Brute-force recount used to pin `JoinCounter`.

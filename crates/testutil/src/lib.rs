@@ -27,6 +27,10 @@
 //! family-wise rate stays below the requested one). Use
 //! [`UniformityCheck::across`] and the correction is applied for you.
 
+pub mod fault;
+
+pub use fault::{FaultFs, FaultHandle, FaultPlan, FsOp, IoFault, TestSleeper};
+
 use rsj_common::stats::{chi_square_critical, chi_square_uniform};
 use rsj_common::{FxHashMap, FxHashSet, Value};
 use rsj_storage::{OpStream, StreamOp, TupleStream};

@@ -32,7 +32,10 @@
 //! ```
 
 use rsj_baselines::{NaiveRebuild, SJoin, SJoinOpt, SymmetricSampler};
-use rsj_core::{CyclicReservoirJoin, FkReservoirJoin, JoinSampler, ReservoirJoin, ShardedSampler};
+use rsj_core::{
+    CyclicReservoirJoin, FkReservoirJoin, JoinSampler, ReservoirJoin, ShardedSampler,
+    SupervisorPolicy,
+};
 use rsj_index::IndexOptions;
 use rsj_queries::Workload;
 use rsj_query::{FkSchema, JoinTree, Plan, Query};
@@ -62,6 +65,10 @@ pub struct EngineOpts {
     /// plan choice (the baselines) reject an explicit plan with
     /// [`EngineError::Build`] rather than silently ignoring it.
     pub plan: Option<Plan>,
+    /// Supervisor tuning for `Engine::Sharded` (restart budget, snapshot
+    /// cadence, replay cap — see [`SupervisorPolicy`]). `None` uses the
+    /// defaults; ignored by unsharded engines.
+    pub supervision: Option<SupervisorPolicy>,
 }
 
 /// Why an engine could not be constructed for a query.
@@ -306,15 +313,17 @@ impl Engine {
                     ));
                 }
                 let partition_attr = opts.plan.as_ref().map(|p| p.partition_attr);
+                let policy = opts.supervision.unwrap_or_default();
                 let inner_engine = (**inner).clone();
                 let build_query = query.clone();
                 let build_opts = opts.clone();
-                ShardedSampler::with_partition(
+                ShardedSampler::with_policy(
                     query,
                     k,
                     seed,
                     *shards,
                     partition_attr,
+                    policy,
                     move |shard_seed| {
                         inner_engine
                             .build(&build_query, k, shard_seed, &build_opts)
@@ -322,7 +331,7 @@ impl Engine {
                     },
                 )
                 .map(|e| Box::new(e) as Box<dyn JoinSampler + Send>)
-                .map_err(EngineError::Build)
+                .map_err(|e| EngineError::Build(e.to_string()))
             }
         }
     }

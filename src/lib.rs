@@ -68,17 +68,18 @@ pub struct ReadmeDoctests;
 /// The most common imports in one place.
 pub mod prelude {
     pub use crate::engine::{Engine, EngineError, EngineOpts};
-    pub use crate::persist::{CheckpointPolicy, PersistError, Persistent};
+    pub use crate::persist::{CheckpointPolicy, DurabilityHealth, PersistError, Persistent};
     pub use rsj_baselines::{NaiveRebuild, SJoin, SJoinOpt, SymmetricHashJoin, SymmetricSampler};
     pub use rsj_common::rng::RsjRng;
     pub use rsj_common::{Key, TupleId, Value};
     pub use rsj_core::{
         CyclicReservoirJoin, DeleteUnsupported, DynamicSampleIndex, FkReservoirJoin, JoinSampler,
-        ReplanPolicy, ReservoirJoin, SamplerStats, ShardPlan, ShardedSampler,
+        ReplanPolicy, ReservoirJoin, SamplerStats, ShardError, ShardFault, ShardHealth, ShardPlan,
+        ShardedSampler, SupervisorPolicy, INJECTED_FAULT,
     };
     pub use rsj_index::{DynamicIndex, FullSampler, IndexOptions};
     pub use rsj_query::{FkSchema, Ghd, JoinTree, Plan, PlanCost, Planner, Query, QueryBuilder};
-    pub use rsj_storage::wal::{Checkpoint, Wal, WalError};
+    pub use rsj_storage::wal::{Checkpoint, RetryPolicy, Wal, WalError, WalFs, WalOptions};
     pub use rsj_storage::{
         ColumnarBatch, Database, InputTuple, OpStream, RelationColumns, StreamOp, TableStatistics,
         TupleStream,

@@ -25,8 +25,8 @@
 //! yields the same sample digest as a run that never crashed. See
 //! ARCHITECTURE.md, "Durability".
 
-use rsj_core::JoinSampler;
-use rsj_storage::wal::{Checkpoint, Wal, WalError};
+use rsj_core::{JoinSampler, SamplerStats};
+use rsj_storage::wal::{Checkpoint, Sleeper, Wal, WalError, WalFs, WalOptions};
 use rsj_storage::StreamOp;
 use std::path::{Path, PathBuf};
 
@@ -40,6 +40,27 @@ pub enum CheckpointPolicy {
     EveryOps(u64),
     /// Only when [`Persistent::checkpoint`] is called explicitly.
     Manual,
+}
+
+/// Whether the durability guarantee currently holds.
+///
+/// The wrapper degrades instead of failing when the log runs out of space:
+/// reads keep working, ops keep flowing to the engine, and the lost logging
+/// is reported here until a successful checkpoint re-establishes a durable
+/// baseline (the checkpoint captures the engine state *including* the
+/// unlogged ops, so recovery coverage is restored in full).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DurabilityHealth {
+    /// Every applied op is covered by the log or a checkpoint.
+    Durable,
+    /// Logging is lost: ops since `since_lsn` are applied to the engine but
+    /// not recoverable until the next successful checkpoint.
+    Degraded {
+        /// Ops applied without log coverage so far.
+        lost_ops: u64,
+        /// First LSN whose durability is no longer guaranteed.
+        since_lsn: u64,
+    },
 }
 
 /// Why a durable operation failed.
@@ -86,6 +107,13 @@ pub struct Persistent<S: JoinSampler> {
     checkpoint_path: PathBuf,
     policy: CheckpointPolicy,
     ops_since_checkpoint: u64,
+    /// First LSN with lost logging, set when the log hit out-of-space.
+    lost_since: Option<u64>,
+    /// Ops applied without log coverage while degraded.
+    lost_ops: u64,
+    /// Checkpoint attempts that failed (the previous checkpoint stayed
+    /// valid each time — the write is atomic).
+    checkpoint_failures: u64,
 }
 
 impl<S: JoinSampler> Persistent<S> {
@@ -105,12 +133,34 @@ impl<S: JoinSampler> Persistent<S> {
         dir: impl AsRef<Path>,
         policy: CheckpointPolicy,
     ) -> Result<Persistent<S>, PersistError> {
+        Persistent::open_with(
+            inner,
+            dir,
+            policy,
+            WalOptions::default(),
+            Box::new(rsj_storage::wal::RealFs::new()),
+            Box::new(rsj_storage::wal::SystemSleeper),
+        )
+    }
+
+    /// [`open`](Persistent::open) with explicit WAL tuning, filesystem
+    /// shim, and backoff clock — the constructor the fault-injection
+    /// harness uses to drive I/O errors through the whole durability
+    /// stack.
+    pub fn open_with(
+        inner: S,
+        dir: impl AsRef<Path>,
+        policy: CheckpointPolicy,
+        opts: WalOptions,
+        fs: Box<dyn WalFs>,
+        sleeper: Box<dyn Sleeper>,
+    ) -> Result<Persistent<S>, PersistError> {
         let mut inner = inner;
         if !inner.supports_snapshot() {
             return Err(PersistError::Unsupported(inner.name()));
         }
         let dir = dir.as_ref();
-        let mut wal = Wal::open(dir.join("wal"))?;
+        let mut wal = Wal::open_with(dir.join("wal"), opts, fs, sleeper)?;
         let checkpoint_path = dir.join(CHECKPOINT_FILE);
         let mut from_lsn = 0;
         if checkpoint_path.exists() {
@@ -138,6 +188,9 @@ impl<S: JoinSampler> Persistent<S> {
             checkpoint_path,
             policy,
             ops_since_checkpoint: 0,
+            lost_since: None,
+            lost_ops: 0,
+            checkpoint_failures: 0,
         })
     }
 
@@ -146,18 +199,47 @@ impl<S: JoinSampler> Persistent<S> {
     /// [`flush`](Persistent::flush) (or [`sync`](Persistent::sync)) to
     /// make it crash-durable; the recovery invariant covers the flushed
     /// prefix.
+    ///
+    /// **Out of space degrades instead of failing.** When the append hits
+    /// `ENOSPC` the op is still applied to the engine, the wrapper enters
+    /// degraded mode (see [`health`](Persistent::health)), and this call
+    /// returns the out-of-space error exactly once so the caller learns
+    /// about the lost durability. Subsequent ops skip the log silently,
+    /// are counted as lost, and keep serving reads; a later successful
+    /// checkpoint heals the wrapper (its snapshot covers the unlogged
+    /// ops). Any other WAL error is returned without applying the op.
     pub fn process_op(&mut self, op: &StreamOp) -> Result<(), PersistError> {
-        self.wal.append(op)?;
+        let mut just_degraded: Option<WalError> = None;
+        if self.lost_since.is_some() {
+            self.lost_ops += 1;
+        } else {
+            match self.wal.append(op) {
+                Ok(_) => {}
+                Err(e) if e.is_out_of_space() => {
+                    self.lost_since = Some(self.wal.flushed_lsn());
+                    self.lost_ops = 1;
+                    just_degraded = Some(e);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
         self.inner
             .process_op(op)
             .map_err(|e| PersistError::Engine(e.to_string()))?;
         self.ops_since_checkpoint += 1;
         if let CheckpointPolicy::EveryOps(n) = self.policy {
             if self.ops_since_checkpoint >= n {
-                self.checkpoint()?;
+                // Policy-driven checkpoints are non-fatal: a failure counts
+                // and re-arms the policy (checkpoint() does both), the
+                // previous checkpoint stays valid, and the op itself
+                // already succeeded.
+                let _ = self.checkpoint();
             }
         }
-        Ok(())
+        match just_degraded {
+            Some(e) => Err(PersistError::Wal(e)),
+            None => Ok(()),
+        }
     }
 
     /// Convenience insert mirroring [`JoinSampler::process`].
@@ -168,6 +250,13 @@ impl<S: JoinSampler> Persistent<S> {
     /// Takes a checkpoint now: snapshots the engine at the current LSN,
     /// writes it atomically (tmp + rename), then truncates the log so it
     /// holds only ops after the checkpoint.
+    ///
+    /// A failed attempt never damages recoverability: the write is atomic,
+    /// so the previous checkpoint (and the log) stay valid, the failure is
+    /// counted ([`checkpoint_failures`](Persistent::checkpoint_failures)),
+    /// and the policy window is re-armed so a later attempt retries. A
+    /// successful checkpoint also heals a degraded wrapper — its snapshot
+    /// includes any ops that were applied without log coverage.
     pub fn checkpoint(&mut self) -> Result<(), PersistError> {
         let state = self
             .inner
@@ -178,10 +267,27 @@ impl<S: JoinSampler> Persistent<S> {
             lsn: self.wal.next_lsn(),
             state,
         };
-        cp.write_to(&self.checkpoint_path)?;
-        self.wal.truncate_at_checkpoint()?;
+        let attempt = (|| -> Result<(), PersistError> {
+            self.wal
+                .write_atomic(&self.checkpoint_path, &cp.to_bytes())?;
+            self.wal.truncate_at_checkpoint()?;
+            Ok(())
+        })();
+        // Either way the policy window restarts: on success because the
+        // checkpoint is the new baseline, on failure so one bad attempt
+        // does not turn into an attempt per op.
         self.ops_since_checkpoint = 0;
-        Ok(())
+        match attempt {
+            Ok(()) => {
+                self.lost_since = None;
+                self.lost_ops = 0;
+                Ok(())
+            }
+            Err(e) => {
+                self.checkpoint_failures += 1;
+                Err(e)
+            }
+        }
     }
 
     /// Pushes buffered log appends to the OS (what the crash tests call
@@ -206,6 +312,40 @@ impl<S: JoinSampler> Persistent<S> {
     /// Ops logged since the last checkpoint (the policy counter).
     pub fn ops_since_checkpoint(&self) -> u64 {
         self.ops_since_checkpoint
+    }
+
+    /// Whether every applied op is currently recoverable (see
+    /// [`DurabilityHealth`]).
+    pub fn health(&self) -> DurabilityHealth {
+        match self.lost_since {
+            None => DurabilityHealth::Durable,
+            Some(since_lsn) => DurabilityHealth::Degraded {
+                lost_ops: self.lost_ops,
+                since_lsn,
+            },
+        }
+    }
+
+    /// Transient I/O errors absorbed by the WAL's retry/backoff so far.
+    pub fn retries(&self) -> u64 {
+        self.wal.retries()
+    }
+
+    /// Checkpoint attempts that failed non-fatally (the previous
+    /// checkpoint stayed valid each time).
+    pub fn checkpoint_failures(&self) -> u64 {
+        self.checkpoint_failures
+    }
+
+    /// The engine's stats with the durability counters filled in:
+    /// `retries` accumulates the WAL's absorbed transient errors onto
+    /// whatever the engine reports, and `degraded` is `1` while logging is
+    /// lost (see [`health`](Persistent::health)).
+    pub fn stats(&self) -> SamplerStats {
+        let mut s = self.inner.stats();
+        s.retries = Some(s.retries.unwrap_or(0) + self.wal.retries());
+        s.degraded = Some(s.degraded.unwrap_or(0) + u64::from(self.lost_since.is_some()));
+        s
     }
 
     /// The wrapped engine, for reads (`samples`, `stats`, ...).
