@@ -1,0 +1,252 @@
+//! [`EpochCell`] — a fixed-capacity seqlock for single-writer snapshot
+//! publication.
+//!
+//! The sampler service publishes each registered query's read state —
+//! `(LSN, exact |Q(R)|, reservoir contents)` flattened to `u64` words —
+//! through one of these cells. The write path is wait-free for the
+//! publisher: a publish performs a bounded number of atomic stores and
+//! **never takes a lock**, so readers can never block the ingest thread.
+//! Readers are lock-free in aggregate: a read races the writer only during
+//! an in-flight publish and retries on sequence mismatch, so it observes
+//! either the complete previous snapshot or the complete next one — never
+//! a torn mix (tests/service.rs pins this as invariant 10: a snapshot read
+//! observes the state at some single LSN).
+//!
+//! # Protocol
+//!
+//! The cell holds a sequence counter and a word buffer, all plain atomics
+//! (no `unsafe`). The writer bumps the counter to an odd value, stores the
+//! payload words, then bumps it to the next even value; release fences
+//! order the odd store before the payload stores as observed by any reader
+//! that sees the new payload. A reader loads the counter (retrying while
+//! odd), copies the words, re-reads the counter behind an acquire fence,
+//! and retries unless both loads agree — the classic seqlock read, per
+//! Boehm, *"Can seqlocks get along with programming language memory
+//! models?"* (MSPC 2012).
+//!
+//! Capacity is fixed at construction: the service sizes each cell for its
+//! query's `k·arity` worst case, so publication never allocates and the
+//! buffer never moves (which is what makes the all-atomic, `unsafe`-free
+//! implementation possible).
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// A single-writer, many-reader seqlock over a fixed-capacity `u64` word
+/// buffer. See the [module docs](self) for the protocol.
+///
+/// ```
+/// use rsj_common::epoch::EpochCell;
+/// let cell = EpochCell::new(4);
+/// cell.publish(&[7, 8, 9]);
+/// let mut out = Vec::new();
+/// let epoch = cell.read_into(&mut out);
+/// assert_eq!(out, [7, 8, 9]);
+/// assert_eq!(epoch, cell.epoch());
+/// ```
+#[derive(Debug)]
+pub struct EpochCell {
+    /// Even = stable, odd = publish in flight. Starts at 0 (empty).
+    seq: AtomicU64,
+    /// Number of valid words in `words`.
+    len: AtomicU64,
+    words: Box<[AtomicU64]>,
+}
+
+impl EpochCell {
+    /// Creates an empty cell able to hold up to `capacity` words.
+    pub fn new(capacity: usize) -> EpochCell {
+        EpochCell {
+            seq: AtomicU64::new(0),
+            len: AtomicU64::new(0),
+            words: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Maximum payload length in words.
+    pub fn capacity(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Publishes `words` as the new snapshot. Wait-free; intended for one
+    /// writer at a time (the service's ingest thread). Concurrent
+    /// publishers would interleave their word stores — memory-safe, but
+    /// readers could then be handed a mix of the two payloads under an
+    /// even sequence, so the single-writer discipline is load-bearing.
+    ///
+    /// # Panics
+    /// Panics if `words.len()` exceeds the capacity.
+    pub fn publish(&self, words: &[u64]) {
+        assert!(
+            words.len() <= self.words.len(),
+            "payload {} exceeds cell capacity {}",
+            words.len(),
+            self.words.len()
+        );
+        let s = self.seq.load(Ordering::Relaxed);
+        debug_assert_eq!(s % 2, 0, "concurrent publishers on an EpochCell");
+        self.seq.store(s + 1, Ordering::Relaxed);
+        // Orders the odd store before the payload stores for any reader
+        // whose acquire fence observes one of the new payload words.
+        fence(Ordering::Release);
+        self.len.store(words.len() as u64, Ordering::Relaxed);
+        for (slot, &w) in self.words.iter().zip(words) {
+            slot.store(w, Ordering::Relaxed);
+        }
+        self.seq.store(s + 2, Ordering::Release);
+    }
+
+    /// The current epoch: the sequence value of the last completed
+    /// publish. Even; `0` means nothing has been published yet.
+    pub fn epoch(&self) -> u64 {
+        let s = self.seq.load(Ordering::Acquire);
+        s & !1
+    }
+
+    /// Reads a consistent snapshot into `out` (cleared first), spinning
+    /// through in-flight publishes, and returns the epoch it belongs to.
+    /// Returns epoch `0` with an empty payload if nothing has been
+    /// published yet.
+    pub fn read_into(&self, out: &mut Vec<u64>) -> u64 {
+        loop {
+            if let Some(epoch) = self.try_read_into(out) {
+                return epoch;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// One seqlock read attempt: `Some(epoch)` with `out` filled on a
+    /// consistent snapshot, `None` when a publish raced it (the caller
+    /// retries). Exposed so the interleaving harness can count retries.
+    pub fn try_read_into(&self, out: &mut Vec<u64>) -> Option<u64> {
+        let s1 = self.seq.load(Ordering::Acquire);
+        if s1 % 2 == 1 {
+            return None;
+        }
+        out.clear();
+        let len = (self.len.load(Ordering::Relaxed) as usize).min(self.words.len());
+        out.extend(self.words[..len].iter().map(|w| w.load(Ordering::Relaxed)));
+        // Pairs with the writer's release fence: if any word read above
+        // came from an in-flight publish, the second sequence load below
+        // is guaranteed to see its odd value (or a later one) and the
+        // attempt reports inconsistent.
+        fence(Ordering::Acquire);
+        let s2 = self.seq.load(Ordering::Relaxed);
+        if s1 == s2 {
+            Some(s1)
+        } else {
+            out.clear();
+            None
+        }
+    }
+}
+
+impl crate::heap::HeapSize for EpochCell {
+    fn heap_size(&self) -> usize {
+        self.words.len() * std::mem::size_of::<AtomicU64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_cell_reads_epoch_zero() {
+        let cell = EpochCell::new(8);
+        let mut out = vec![1, 2, 3];
+        assert_eq!(cell.read_into(&mut out), 0);
+        assert!(out.is_empty());
+        assert_eq!(cell.epoch(), 0);
+    }
+
+    #[test]
+    fn publish_then_read_round_trips() {
+        let cell = EpochCell::new(8);
+        cell.publish(&[10, 20, 30]);
+        let mut out = Vec::new();
+        assert_eq!(cell.read_into(&mut out), 2);
+        assert_eq!(out, [10, 20, 30]);
+        cell.publish(&[5]);
+        assert_eq!(cell.read_into(&mut out), 4);
+        assert_eq!(out, [5]);
+        assert_eq!(cell.capacity(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cell capacity")]
+    fn oversized_payload_panics() {
+        EpochCell::new(2).publish(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn concurrent_readers_never_observe_torn_payloads() {
+        // The writer publishes [i; 16] for increasing i; a torn read would
+        // surface as a payload with two different values.
+        let cell = Arc::new(EpochCell::new(16));
+        let stop = Arc::new(AtomicU64::new(0));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut out = Vec::new();
+                    let mut seen = 0u64;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        let epoch = cell.read_into(&mut out);
+                        if epoch == 0 {
+                            continue;
+                        }
+                        assert!(
+                            out.iter().all(|&w| w == out[0]),
+                            "torn read at epoch {epoch}: {out:?}"
+                        );
+                        assert_eq!(out.len(), 16);
+                        assert!(out[0] >= seen, "epoch went backwards");
+                        seen = out[0];
+                    }
+                })
+            })
+            .collect();
+        for i in 1..=20_000u64 {
+            cell.publish(&[i; 16]);
+        }
+        stop.store(1, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(cell.epoch(), 2 * 20_000);
+    }
+
+    #[test]
+    fn try_read_reports_in_flight_publishes() {
+        // Simulate a publish caught mid-flight by driving the sequence
+        // word directly through a stalled writer: publish from another
+        // thread in a loop and require that at least one try_read_into
+        // attempt across the run fails (statistically certain under
+        // contention), while every success is consistent.
+        let cell = Arc::new(EpochCell::new(4));
+        let writer = {
+            let cell = Arc::clone(&cell);
+            std::thread::spawn(move || {
+                for i in 1..=50_000u64 {
+                    cell.publish(&[i; 4]);
+                }
+            })
+        };
+        let mut out = Vec::new();
+        let mut failures = 0u64;
+        for _ in 0..200_000 {
+            match cell.try_read_into(&mut out) {
+                Some(0) => {}
+                Some(_) => assert!(out.iter().all(|&w| w == out[0]), "torn: {out:?}"),
+                None => failures += 1,
+            }
+        }
+        writer.join().unwrap();
+        // Not asserted: `failures > 0` depends on scheduling. It exists so
+        // the loop exercises the retry path under real contention.
+        let _ = failures;
+    }
+}

@@ -10,6 +10,8 @@
 //! * [`codec`] — the little-endian [`codec::Encoder`]/[`codec::Decoder`]
 //!   pair and [`codec::crc32`] checksum that every durable byte format
 //!   (WAL records, checkpoints, sample export) is built on;
+//! * [`epoch`] — the single-writer seqlock [`epoch::EpochCell`] behind the
+//!   sampler service's never-blocking snapshot reads;
 //! * [`hash`] — an fx-style fast hasher and the [`hash::FxHashMap`]
 //!   / [`hash::FxHashSet`] aliases used on every hot path;
 //! * [`rng`] — seeded random-number helpers, in particular the geometric
@@ -27,6 +29,7 @@
 //!   experiments (Figure 11).
 
 pub mod codec;
+pub mod epoch;
 pub mod hash;
 pub mod heap;
 pub mod keymap;
@@ -37,6 +40,7 @@ pub mod stats;
 pub mod value;
 
 pub use codec::{crc32, CodecError, Decoder, Encoder};
+pub use epoch::EpochCell;
 pub use hash::{fx_hash_one, FxHashMap, FxHashSet};
 pub use heap::HeapSize;
 pub use keymap::KeyMap;

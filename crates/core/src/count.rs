@@ -224,6 +224,21 @@ impl JoinCounter {
         Ok(seen)
     }
 
+    /// Structural heap bytes of the live tuple sets — the sidecar's share
+    /// of a service member's footprint.
+    pub(crate) fn heap_size(&self) -> usize {
+        self.seen
+            .iter()
+            .map(|side| {
+                side.capacity() * std::mem::size_of::<Vec<Value>>()
+                    + side
+                        .iter()
+                        .map(|t| t.capacity() * std::mem::size_of::<Value>())
+                        .sum::<usize>()
+            })
+            .sum()
+    }
+
     /// Exact `|Q_i|` over the live accepted tuples.
     pub(crate) fn count(&self) -> u128 {
         match &self.plan {

@@ -23,7 +23,10 @@
 //! * [`shard::ShardedSampler`] — the partition-parallel execution layer:
 //!   hash-partition the stream across `S` worker shards, run any
 //!   [`exec::JoinSampler`] per shard on its own thread, merge the
-//!   per-shard reservoirs by weighted reservoir union.
+//!   per-shard reservoirs by weighted reservoir union;
+//! * [`service::SamplerService`] — the resident sampler: one op stream in,
+//!   many registered queries sharing dynamic indexes, many concurrent
+//!   readers on never-blocking epoch snapshots.
 
 pub mod count;
 pub mod cyclic;
@@ -32,6 +35,7 @@ pub mod export;
 pub mod fk_runtime;
 pub mod reservoir_join;
 pub mod sampler_facade;
+pub mod service;
 pub mod shard;
 pub mod wcoj;
 
@@ -41,6 +45,10 @@ pub use exec::{DeleteUnsupported, JoinSampler, SamplerStats};
 pub use fk_runtime::{FkCombiner, FkReservoirJoin};
 pub use reservoir_join::{ReplanPolicy, ReservoirJoin};
 pub use sampler_facade::DynamicSampleIndex;
+pub use service::{
+    QueryHandle, QueryOpts, RebuildFn, SampleReader, SampleSnapshot, SamplerService, ServiceError,
+    ServiceOpts,
+};
 pub use shard::{
     ShardError, ShardFault, ShardHealth, ShardPlan, ShardedSampler, SupervisorPolicy,
     INJECTED_FAULT,

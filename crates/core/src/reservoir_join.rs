@@ -38,8 +38,8 @@ use crate::count::exact_result_count;
 use rsj_common::codec::{CodecError, Decoder, Encoder};
 use rsj_common::hash::fx_hash_columns;
 use rsj_common::rng::{child_seed, RsjRng};
-use rsj_common::{TupleId, Value};
-use rsj_index::{DynamicIndex, FullSampler, IndexOptions, IndexStats};
+use rsj_common::{FxHashMap, TupleId, Value};
+use rsj_index::{DeltaBatch, DynamicIndex, FullSampler, IndexOptions, IndexStats};
 use rsj_query::{Plan, Planner, Query};
 use rsj_storage::{ColumnarBatch, InputTuple, TableStatistics, TupleStream};
 use rsj_stream::{FnBatch, Reservoir};
@@ -120,9 +120,9 @@ impl Default for ReplanPolicy {
 /// ```
 pub struct ReservoirJoin {
     index: DynamicIndex,
-    /// The orientation the index is materialized over, plus the preferred
-    /// sampling root repair draws go through.
-    plan: Plan,
+    /// The read path: reservoir, repair state, and the plan metadata —
+    /// everything that consumes the index without owning it.
+    core: SamplerCore,
     planner: Planner,
     replan_policy: ReplanPolicy,
     /// Index rebuilds performed by [`replan`](ReservoirJoin::replan).
@@ -130,22 +130,265 @@ pub struct ReservoirJoin {
     /// Accepted-insert count at which the last automatic replan check
     /// fired (guards against duplicate arrivals re-firing a checkpoint).
     replan_checked_at: u64,
-    reservoir: Reservoir<Vec<Value>>,
+}
+
+/// Memoizes one op's delta-batch retrievals across the members of a
+/// service index group. Within one op every member walks the *same*
+/// implicit batch (same index state, same generating tuple), so the first
+/// member to touch position `z` pays the `O(log N)` retrieval and
+/// materialization; the rest clone the cached row. The win concentrates
+/// in the fill phase, where every still-filling member scans the batch
+/// prefix position by position.
+///
+/// Cleared per op ([`begin_op`](DeltaCache::begin_op)); the map's
+/// allocation is retained, so steady-state ingest stays allocation-free
+/// on the cache side.
+#[derive(Default)]
+pub(crate) struct DeltaCache {
+    rows: FxHashMap<u128, Option<Vec<Value>>>,
+}
+
+impl DeltaCache {
+    /// Forgets the previous op's rows (the batch they came from is gone).
+    pub(crate) fn begin_op(&mut self) {
+        self.rows.clear();
+    }
+
+    /// The materialized row at batch position `z`, or `None` for a dummy —
+    /// retrieved on first touch, cloned out on every later one.
+    fn row(&mut self, index: &DynamicIndex, batch: &DeltaBatch<'_>, z: u128) -> Option<Vec<Value>> {
+        self.rows
+            .entry(z)
+            .or_insert_with(|| batch.retrieve(z).map(|r| index.materialize(&r)))
+            .clone()
+    }
+}
+
+/// The reservoir-side half of the driver: everything of [`ReservoirJoin`]
+/// that *reads* a [`DynamicIndex`] without owning it — the reservoir and
+/// its skip state, the eviction/backfill/recalibration repair protocol,
+/// the repair RNG, and the plan whose root repair sampling descends.
+///
+/// The split is what makes index sharing possible: the sampler service
+/// (`crate::service`) runs many `SamplerCore`s — one per registered query,
+/// each with its own `k`, seed and sampling root — over **one** shared
+/// index, and each core behaves byte-identically to a standalone
+/// [`ReservoirJoin`] fed the same op sequence, because this is the same
+/// code `ReservoirJoin` itself runs.
+pub(crate) struct SamplerCore {
+    /// The orientation the index is materialized over, plus the preferred
+    /// sampling root repair draws go through.
+    pub(crate) plan: Plan,
+    pub(crate) reservoir: Reservoir<Vec<Value>>,
     /// Reusable materialization buffer for the in-place reservoir path:
     /// an evicted sample's allocation becomes the next retrieve's scratch,
     /// so steady-state sampling performs no per-sample allocations.
-    scratch: Vec<Value>,
+    pub(crate) scratch: Vec<Value>,
     /// RNG for repair backfill draws, independent of the reservoir's skip
     /// stream (insert-only runs never touch it, keeping their reservoirs
     /// byte-identical across this feature).
-    repair_rng: RsjRng,
-    inserts: u64,
-    deletes: u64,
+    pub(crate) repair_rng: RsjRng,
+    pub(crate) inserts: u64,
+    pub(crate) deletes: u64,
     /// Exact `|Q(R)|` measured at the last repair point (0 before any).
-    last_population: u128,
+    pub(crate) last_population: u128,
     /// Deletes since the last repair point; forces a refresh when it
-    /// reaches [`repair_period`](ReservoirJoin::repair_period).
-    deletes_since_repair: u64,
+    /// reaches [`repair_period`](SamplerCore::repair_period).
+    pub(crate) deletes_since_repair: u64,
+}
+
+impl SamplerCore {
+    /// A fresh core over `plan` with reservoir capacity `k` and the given
+    /// seed — exactly the reservoir-side state [`ReservoirJoin::with_plan`]
+    /// starts from.
+    pub(crate) fn new(plan: Plan, k: usize, seed: u64) -> SamplerCore {
+        SamplerCore {
+            plan,
+            reservoir: Reservoir::new(k, seed),
+            scratch: Vec::new(),
+            repair_rng: RsjRng::seed_from_u64(child_seed(seed, u64::from_le_bytes(*b"turnstil"))),
+            inserts: 0,
+            deletes: 0,
+            last_population: 0,
+            deletes_since_repair: 0,
+        }
+    }
+
+    /// Feeds an accepted insert's implicit delta batch to the reservoir
+    /// (Algorithm 6 lines 5–7). `index` must have already accepted the
+    /// tuple as `tid` into relation `rel`.
+    pub(crate) fn consume_delta(&mut self, index: &DynamicIndex, rel: usize, tid: TupleId) {
+        self.inserts += 1;
+        let batch = index.delta_batch(rel, tid);
+        if batch.size() > 0 && !self.reservoir.try_skip(batch.size()) {
+            let mut fb = FnBatch::new(batch.size(), |z| batch.retrieve(z));
+            self.reservoir.process_batch_in_place(
+                &mut fb,
+                |item, buf| match item {
+                    Some(r) => {
+                        index.materialize_into(&r, buf);
+                        true
+                    }
+                    None => false,
+                },
+                &mut self.scratch,
+            );
+        }
+    }
+
+    /// [`consume_delta`](SamplerCore::consume_delta) against a delta batch
+    /// the caller already built, with retrievals shared through `cache` —
+    /// the many-members-one-index ingest path of `crate::service`.
+    ///
+    /// Byte-identical to the uncached method: the reservoir sees the same
+    /// batch size and stops at the same positions (its RNG never touches
+    /// the cache), and a cached row equals a fresh retrieval because
+    /// retrieval is a pure function of the index state. The sharing win is
+    /// in the fill phase, where every still-filling member scans the same
+    /// batch prefix: the first member pays the `O(log N)` retrieval per
+    /// position, the rest clone the cached row.
+    pub(crate) fn consume_delta_cached(
+        &mut self,
+        index: &DynamicIndex,
+        batch: &DeltaBatch<'_>,
+        cache: &mut DeltaCache,
+    ) {
+        self.inserts += 1;
+        if batch.size() > 0 && !self.reservoir.try_skip(batch.size()) {
+            let mut fb = FnBatch::new(batch.size(), |z| cache.row(index, batch, z));
+            self.reservoir.process_batch_in_place(
+                &mut fb,
+                |item, buf| match item {
+                    Some(row) => {
+                        *buf = row;
+                        true
+                    }
+                    None => false,
+                },
+                &mut self.scratch,
+            );
+        }
+    }
+
+    /// The reservoir side of a deletion `index` has already applied:
+    /// evict samples using the tuple, then repair if the eviction damaged
+    /// the sample or the repair period elapsed (see the [module
+    /// docs](self)).
+    pub(crate) fn apply_delete(&mut self, index: &DynamicIndex, rel: usize, tuple: &[Value]) {
+        self.deletes += 1;
+        self.deletes_since_repair += 1;
+        // A materialized sample used the deleted tuple iff its projection
+        // onto the relation's schema equals the deleted values (set
+        // semantics: values identify the tuple).
+        let attrs = &index.query().relation(rel).attrs;
+        let evicted = self
+            .reservoir
+            .evict_where(|s| attrs.iter().enumerate().all(|(pos, &a)| s[a] == tuple[pos]));
+        if evicted > 0 || self.deletes_since_repair >= self.repair_period() {
+            self.repair(index);
+        }
+    }
+
+    /// Deletes between forced repairs: `|Q(R)| / 4k` (last measured), so
+    /// the deleted-since-repair fraction — which bounds the calibration
+    /// drift on results inserted between repair points — stays below
+    /// `~1/4k`. When the population is small (`<= 4k`) the period is 1 and
+    /// every delete is a repair point, making the sample exactly uniform
+    /// in precisely the regime where a single delete matters; for large
+    /// populations the `O(N)` count amortizes to `O(k)` per delete.
+    pub(crate) fn repair_period(&self) -> u64 {
+        1u64.max(
+            (self.last_population / (4 * self.reservoir.capacity().max(1) as u128))
+                .min(u64::MAX as u128) as u64,
+        )
+    }
+
+    /// A repair point: exact live count, sample backfill to
+    /// `min(k, |Q(R)|)` distinct uniform results, skip-state
+    /// recalibration.
+    pub(crate) fn repair(&mut self, index: &DynamicIndex) {
+        let population = exact_result_count(index.query(), index.database());
+        self.last_population = population;
+        self.deletes_since_repair = 0;
+        let target = (self.reservoir.capacity() as u128).min(population) as usize;
+        let full = FullSampler {
+            root: self.plan.root,
+            ..FullSampler::default()
+        };
+        let rng = &mut self.repair_rng;
+        // Rejection sampling to distinctness: each accepted draw is
+        // uniform over the live results not yet in the sample, which is
+        // exactly sequential SRS. The per-slot budget covers the two
+        // rejection sources — dummy positions, bounded by the density
+        // invariant at (1/2)^(2|T|-2), and duplicate hits, worst around
+        // O(k) when the population barely exceeds the sample.
+        let nrels = index.query().num_relations();
+        let per_slot = (4096 + 256 * self.reservoir.capacity())
+            .saturating_mul(1usize << (2 * (nrels.max(1) - 1)).min(16))
+            .min(1 << 24);
+        let filled = self.reservoir.backfill_distinct(target, per_slot, || {
+            full.try_sample(index, rng).map(|r| index.materialize(&r))
+        });
+        debug_assert!(filled, "backfill exhausted its rejection cap");
+        self.reservoir.recalibrate(population);
+    }
+
+    /// The current samples (uniform without replacement over `Q(R)`).
+    pub(crate) fn samples(&self) -> &[Vec<Value>] {
+        self.reservoir.samples()
+    }
+
+    /// Heap bytes held by the materialized sample slots.
+    pub(crate) fn sample_heap_size(&self) -> usize {
+        self.samples()
+            .iter()
+            .map(|s| s.capacity() * std::mem::size_of::<Value>())
+            .sum::<usize>()
+    }
+
+    /// Serializes the core: plan, reservoir (slots, skip state, RNG),
+    /// repair RNG, and counters — the per-query half of a service
+    /// snapshot. [`ReservoirJoin::snapshot_to`] keeps its own historical
+    /// field order and does not call this.
+    pub(crate) fn snapshot_to(&self, enc: &mut Encoder) {
+        self.plan.snapshot_to(enc);
+        self.reservoir.snapshot_to(enc, |e, s| e.put_u64s(s));
+        for w in self.repair_rng.state() {
+            enc.put_u64(w);
+        }
+        enc.put_u64(self.inserts);
+        enc.put_u64(self.deletes);
+        enc.put_u128(self.last_population);
+        enc.put_u64(self.deletes_since_repair);
+    }
+
+    /// Restores a core written by [`snapshot_to`](SamplerCore::snapshot_to).
+    /// `num_relations` guards the plan against cross-query snapshots.
+    pub(crate) fn restore_from(
+        dec: &mut Decoder,
+        num_relations: usize,
+    ) -> Result<SamplerCore, CodecError> {
+        let plan = Plan::restore_from(dec)?;
+        if plan.tree.len() != num_relations {
+            return Err(CodecError::Corrupt(
+                "core snapshot plan is for another query",
+            ));
+        }
+        let reservoir = Reservoir::restore_from(dec, |d| d.u64s())?;
+        let s = [dec.u64()?, dec.u64()?, dec.u64()?, dec.u64()?];
+        let repair_rng = RsjRng::restore_state(s)
+            .ok_or(CodecError::Corrupt("rng state is the zero fixed point"))?;
+        Ok(SamplerCore {
+            plan,
+            reservoir,
+            scratch: Vec::new(),
+            repair_rng,
+            inserts: dec.u64()?,
+            deletes: dec.u64()?,
+            last_population: dec.u128()?,
+            deletes_since_repair: dec.u64()?,
+        })
+    }
 }
 
 impl ReservoirJoin {
@@ -183,18 +426,11 @@ impl ReservoirJoin {
     ) -> Result<ReservoirJoin, rsj_index::dynamic::IndexError> {
         Ok(ReservoirJoin {
             index: DynamicIndex::with_tree(query, &plan.tree, options)?,
-            plan,
+            core: SamplerCore::new(plan, k, seed),
             planner: Planner::default(),
             replan_policy: ReplanPolicy::default(),
             rebuilds: 0,
             replan_checked_at: 0,
-            reservoir: Reservoir::new(k, seed),
-            scratch: Vec::new(),
-            repair_rng: RsjRng::seed_from_u64(child_seed(seed, u64::from_le_bytes(*b"turnstil"))),
-            inserts: 0,
-            deletes: 0,
-            last_population: 0,
-            deletes_since_repair: 0,
         })
     }
 
@@ -204,7 +440,7 @@ impl ReservoirJoin {
     pub fn process(&mut self, rel: usize, tuple: &[Value]) -> Option<TupleId> {
         self.maybe_auto_replan();
         let tid = self.index.insert(rel, tuple)?;
-        self.consume_delta(rel, tid);
+        self.core.consume_delta(&self.index, rel, tid);
         Some(tid)
     }
 
@@ -213,7 +449,7 @@ impl ReservoirJoin {
     fn process_hashed(&mut self, rel: usize, tuple: &[Value], hash: u64) -> Option<TupleId> {
         self.maybe_auto_replan();
         let tid = self.index.insert_hashed(rel, tuple, hash)?;
-        self.consume_delta(rel, tid);
+        self.core.consume_delta(&self.index, rel, tid);
         Some(tid)
     }
 
@@ -226,33 +462,12 @@ impl ReservoirJoin {
     /// power-of-two checkpoint.
     fn maybe_auto_replan(&mut self) {
         if self.replan_policy.auto
-            && self.inserts >= self.replan_policy.min_inserts
-            && self.inserts.is_power_of_two()
-            && self.replan_checked_at != self.inserts
+            && self.core.inserts >= self.replan_policy.min_inserts
+            && self.core.inserts.is_power_of_two()
+            && self.replan_checked_at != self.core.inserts
         {
-            self.replan_checked_at = self.inserts;
+            self.replan_checked_at = self.core.inserts;
             self.replan();
-        }
-    }
-
-    /// Feeds the accepted insert's implicit delta batch to the reservoir.
-    fn consume_delta(&mut self, rel: usize, tid: TupleId) {
-        self.inserts += 1;
-        let index = &self.index;
-        let batch = index.delta_batch(rel, tid);
-        if batch.size() > 0 {
-            let mut fb = FnBatch::new(batch.size(), |z| batch.retrieve(z));
-            self.reservoir.process_batch_in_place(
-                &mut fb,
-                |item, buf| match item {
-                    Some(r) => {
-                        index.materialize_into(&r, buf);
-                        true
-                    }
-                    None => false,
-                },
-                &mut self.scratch,
-            );
         }
     }
 
@@ -310,33 +525,8 @@ impl ReservoirJoin {
     /// (set semantics — no effect).
     pub fn delete(&mut self, rel: usize, tuple: &[Value]) -> Option<TupleId> {
         let tid = self.index.delete(rel, tuple)?;
-        self.deletes += 1;
-        self.deletes_since_repair += 1;
-        // A materialized sample used the deleted tuple iff its projection
-        // onto the relation's schema equals the deleted values (set
-        // semantics: values identify the tuple).
-        let attrs = &self.index.query().relation(rel).attrs;
-        let evicted = self
-            .reservoir
-            .evict_where(|s| attrs.iter().enumerate().all(|(pos, &a)| s[a] == tuple[pos]));
-        if evicted > 0 || self.deletes_since_repair >= self.repair_period() {
-            self.repair();
-        }
+        self.core.apply_delete(&self.index, rel, tuple);
         Some(tid)
-    }
-
-    /// Deletes between forced repairs: `|Q(R)| / 4k` (last measured), so
-    /// the deleted-since-repair fraction — which bounds the calibration
-    /// drift on results inserted between repair points — stays below
-    /// `~1/4k`. When the population is small (`<= 4k`) the period is 1 and
-    /// every delete is a repair point, making the sample exactly uniform
-    /// in precisely the regime where a single delete matters; for large
-    /// populations the `O(N)` count amortizes to `O(k)` per delete.
-    fn repair_period(&self) -> u64 {
-        1u64.max(
-            (self.last_population / (4 * self.reservoir.capacity().max(1) as u128))
-                .min(u64::MAX as u128) as u64,
-        )
     }
 
     /// Forces a repair point now: exact live count, sample backfill to
@@ -345,35 +535,7 @@ impl ReservoirJoin {
     /// repair-period deletes (see the [module docs](self)); exposed so
     /// turnstile pipelines can buy back exactness before a read.
     pub fn refresh(&mut self) {
-        self.repair();
-    }
-
-    fn repair(&mut self) {
-        let population = exact_result_count(self.index.query(), self.index.database());
-        self.last_population = population;
-        self.deletes_since_repair = 0;
-        let target = (self.reservoir.capacity() as u128).min(population) as usize;
-        let full = FullSampler {
-            root: self.plan.root,
-            ..FullSampler::default()
-        };
-        let index = &self.index;
-        let rng = &mut self.repair_rng;
-        // Rejection sampling to distinctness: each accepted draw is
-        // uniform over the live results not yet in the sample, which is
-        // exactly sequential SRS. The per-slot budget covers the two
-        // rejection sources — dummy positions, bounded by the density
-        // invariant at (1/2)^(2|T|-2), and duplicate hits, worst around
-        // O(k) when the population barely exceeds the sample.
-        let nrels = index.query().num_relations();
-        let per_slot = (4096 + 256 * self.reservoir.capacity())
-            .saturating_mul(1usize << (2 * (nrels.max(1) - 1)).min(16))
-            .min(1 << 24);
-        let filled = self.reservoir.backfill_distinct(target, per_slot, || {
-            full.try_sample(index, rng).map(|r| index.materialize(&r))
-        });
-        debug_assert!(filled, "backfill exhausted its rejection cap");
-        self.reservoir.recalibrate(population);
+        self.core.repair(&self.index);
     }
 
     /// Re-evaluates the plan against statistics observed from the stored
@@ -405,7 +567,7 @@ impl ReservoirJoin {
         let Some(mut challenger) = self.planner.plan(self.index.query(), &stats) else {
             return false;
         };
-        let same_tree = challenger.tree.canonical_edges() == self.plan.tree.canonical_edges();
+        let same_tree = challenger.tree.canonical_edges() == self.core.plan.tree.canonical_edges();
         if same_tree {
             // The model proposes a root; the live index can *measure* each
             // root's rejection slack exactly — the implicit array size
@@ -418,25 +580,27 @@ impl ReservoirJoin {
             if observed != challenger.root {
                 self.fixup_plan_root(&mut challenger, observed, &stats);
             }
-            if challenger.root == self.plan.root {
-                self.plan.cost = challenger.cost;
+            if challenger.root == self.core.plan.root {
+                self.core.plan.cost = challenger.cost;
                 return false;
             }
             // Root-only move: every rooted view is already maintained, so
             // switching which one repair sampling descends is free.
-            self.plan = challenger;
+            self.core.plan = challenger;
             return true;
         }
         // The planner's hold margin is measured against the canonical
         // anchor; when the incumbent is already non-canonical, hold again
         // unless the challenger also clears the margin over the incumbent
         // re-scored on today's statistics.
-        if let Some(current) =
-            self.planner
-                .score(self.index.query(), &self.plan.tree, self.plan.root, &stats)
-        {
+        if let Some(current) = self.planner.score(
+            self.index.query(),
+            &self.core.plan.tree,
+            self.core.plan.root,
+            &stats,
+        ) {
             if challenger.cost.total >= current.total * (1.0 - self.planner.hold_margin) {
-                self.plan.cost = current;
+                self.core.plan.cost = current;
                 return false;
             }
         }
@@ -459,13 +623,13 @@ impl ReservoirJoin {
         if observed != challenger.root {
             self.fixup_plan_root(&mut challenger, observed, &stats);
         }
-        self.plan = challenger;
+        self.core.plan = challenger;
         self.rebuilds += 1;
         // Repopulate exactly: exact live count, backfill to min(k, |Q|),
         // recalibrate the skip state — the reservoir continues as if it had
         // sampled the live population through the new orientation all
         // along.
-        self.repair();
+        self.core.repair(&self.index);
         true
     }
 
@@ -486,7 +650,7 @@ impl ReservoirJoin {
 
     /// The active plan (orientation, sampling root, scores).
     pub fn plan(&self) -> &Plan {
-        &self.plan
+        &self.core.plan
     }
 
     /// The automatic re-planning policy.
@@ -517,12 +681,12 @@ impl ReservoirJoin {
     /// The current samples: uniform without replacement over `Q(R)`, fewer
     /// than `k` while `|Q(R)| < k`.
     pub fn samples(&self) -> &[Vec<Value>] {
-        self.reservoir.samples()
+        self.core.samples()
     }
 
     /// Reservoir capacity `k`.
     pub fn k(&self) -> usize {
-        self.reservoir.capacity()
+        self.core.reservoir.capacity()
     }
 
     /// The underlying index (for sizes, stats, full-query sampling).
@@ -538,17 +702,17 @@ impl ReservoirJoin {
     /// Number of predicate-evaluating stops the reservoir performed (each
     /// costing one `O(log N)` retrieve).
     pub fn reservoir_stops(&self) -> u64 {
-        self.reservoir.stops()
+        self.core.reservoir.stops()
     }
 
     /// Tuples accepted so far (on insert-only streams, the paper's `N`).
     pub fn inserts(&self) -> u64 {
-        self.inserts
+        self.core.inserts
     }
 
     /// Tuples deleted so far (present at deletion time).
     pub fn deletes(&self) -> u64 {
-        self.deletes
+        self.core.deletes
     }
 
     /// Serializes the driver's complete dynamic state into `enc`: the
@@ -564,18 +728,18 @@ impl ReservoirJoin {
     /// future behavior depends on is captured, so a restored driver
     /// reproduces the original byte-for-byte on any further stream.
     pub fn snapshot_to(&self, enc: &mut Encoder) {
-        self.plan.snapshot_to(enc);
+        self.core.plan.snapshot_to(enc);
         self.index.snapshot_state_to(enc);
-        self.reservoir.snapshot_to(enc, |e, s| e.put_u64s(s));
-        for w in self.repair_rng.state() {
+        self.core.reservoir.snapshot_to(enc, |e, s| e.put_u64s(s));
+        for w in self.core.repair_rng.state() {
             enc.put_u64(w);
         }
         enc.put_u64(self.rebuilds);
         enc.put_u64(self.replan_checked_at);
-        enc.put_u64(self.inserts);
-        enc.put_u64(self.deletes);
-        enc.put_u128(self.last_population);
-        enc.put_u64(self.deletes_since_repair);
+        enc.put_u64(self.core.inserts);
+        enc.put_u64(self.core.deletes);
+        enc.put_u128(self.core.last_population);
+        enc.put_u64(self.core.deletes_since_repair);
     }
 
     /// Restores state written by [`snapshot_to`](ReservoirJoin::snapshot_to)
@@ -595,7 +759,7 @@ impl ReservoirJoin {
                 .map_err(|_| CodecError::Corrupt("snapshot plan tree is not a join tree"))?;
         index.restore_state_from(dec)?;
         let reservoir = Reservoir::restore_from(dec, |d| d.u64s())?;
-        if reservoir.capacity() != self.reservoir.capacity() {
+        if reservoir.capacity() != self.core.reservoir.capacity() {
             return Err(CodecError::Corrupt("snapshot reservoir capacity mismatch"));
         }
         let s = [dec.u64()?, dec.u64()?, dec.u64()?, dec.u64()?];
@@ -608,26 +772,21 @@ impl ReservoirJoin {
         let last_population = dec.u128()?;
         let deletes_since_repair = dec.u64()?;
         self.index = index;
-        self.plan = plan;
-        self.reservoir = reservoir;
-        self.repair_rng = repair_rng;
+        self.core.plan = plan;
+        self.core.reservoir = reservoir;
+        self.core.repair_rng = repair_rng;
         self.rebuilds = rebuilds;
         self.replan_checked_at = replan_checked_at;
-        self.inserts = inserts;
-        self.deletes = deletes;
-        self.last_population = last_population;
-        self.deletes_since_repair = deletes_since_repair;
+        self.core.inserts = inserts;
+        self.core.deletes = deletes;
+        self.core.last_population = last_population;
+        self.core.deletes_since_repair = deletes_since_repair;
         Ok(())
     }
 
     /// Estimated heap bytes of index + reservoir.
     pub fn heap_size(&self) -> usize {
-        self.index.heap_size()
-            + self
-                .samples()
-                .iter()
-                .map(|s| s.capacity() * std::mem::size_of::<Value>())
-                .sum::<usize>()
+        self.index.heap_size() + self.core.sample_heap_size()
     }
 }
 

@@ -50,7 +50,11 @@ use rsj_storage::{ColumnarBatch, Database};
 use std::collections::hash_map::Entry;
 
 /// Construction options.
-#[derive(Clone, Copy, Debug)]
+///
+/// `PartialEq` is part of the contract: the sampler service groups
+/// registrations by (join tree, options), so two option values compare
+/// equal exactly when the indexes they build are interchangeable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct IndexOptions {
     /// Enable the §4.4 grouping optimization on groupable nodes.
     pub grouping: bool,

@@ -21,6 +21,9 @@
 //! * [`columnar::ColumnarBatch`] — an insert-only stream window in
 //!   struct-of-arrays form (one column vector per attribute, per relation),
 //!   the substrate of the columnar ingest fast path;
+//! * [`shared::SharedStore`] — the sampler service's retained op history
+//!   with per-relation registration reference counts (one copy of the
+//!   stream shared by every registered query);
 //! * [`stats::TableStatistics`] — observed per-relation/per-column stream
 //!   statistics, the evidence the cost-based planner (`rsj-query::plan`)
 //!   scores candidate join trees with;
@@ -32,6 +35,7 @@ pub mod columnar;
 pub mod input;
 pub mod relation;
 pub mod semijoin;
+pub mod shared;
 pub mod stats;
 pub mod wal;
 
@@ -39,5 +43,6 @@ pub use columnar::{ColumnarBatch, RelationColumns};
 pub use input::{InputTuple, OpStream, StreamOp, TupleStream};
 pub use relation::{Database, Relation};
 pub use semijoin::SemijoinIndex;
+pub use shared::{SharedStore, SharedStoreError};
 pub use stats::{ColumnStats, RelationStats, TableStatistics};
 pub use wal::{Checkpoint, Wal, WalError, FORMAT_VERSION};

@@ -326,6 +326,24 @@ impl<T> Reservoir<T> {
         self.q -= batch.remain();
     }
 
+    /// Consumes a whole batch of `n` items by pure skip arithmetic, if the
+    /// pending geometric skip allows it: a full reservoir whose next stop
+    /// lies beyond the batch does exactly `q -= n` and touches nothing
+    /// else — no RNG, no retrievals. Returns whether the batch was
+    /// consumed; on `false` the caller must run the real
+    /// [`process_batch_in_place`](Reservoir::process_batch_in_place) path.
+    ///
+    /// Callers use this to spare building the batch's retrieval machinery
+    /// at all; randomness consumption is identical either way.
+    pub fn try_skip(&mut self, n: u128) -> bool {
+        if self.samples.len() == self.k && self.w <= 1.0 && n <= self.q {
+            self.q -= n;
+            true
+        } else {
+            false
+        }
+    }
+
     /// The current samples (fewer than `k` until enough real items arrive).
     pub fn samples(&self) -> &[T] {
         &self.samples

@@ -28,8 +28,10 @@
 //! [`UniformityCheck::across`] and the correction is applied for you.
 
 pub mod fault;
+pub mod schedule;
 
 pub use fault::{FaultFs, FaultHandle, FaultPlan, FsOp, IoFault, TestSleeper};
+pub use schedule::{Schedule, Step, StepMix};
 
 use rsj_common::stats::{chi_square_critical, chi_square_uniform};
 use rsj_common::{FxHashMap, FxHashSet, Value};

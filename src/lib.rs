@@ -40,6 +40,7 @@
 //! | Sharded parallel executor (`Engine::Sharded`) | [`core`], [`engine`] | beyond the paper |
 //! | Cost-based planner + adaptive re-rooting (`replan`) | [`query`], [`storage`], [`core`] | beyond the paper |
 //! | Durability: op-stream WAL + checkpoint/restore ([`persist`]) | [`storage`], facade | beyond the paper |
+//! | Resident `SamplerService`: many queries, shared indexes, epoch readers | [`common`], [`storage`], [`core`], facade | beyond the paper |
 //! | Workload generators & benchmark queries | [`datagen`], [`queries`] | §6.1, §6.3 |
 //!
 //! Every figure and table of the paper's evaluation has a regenerating
@@ -68,14 +69,18 @@ pub struct ReadmeDoctests;
 /// The most common imports in one place.
 pub mod prelude {
     pub use crate::engine::{Engine, EngineError, EngineOpts};
-    pub use crate::persist::{CheckpointPolicy, DurabilityHealth, PersistError, Persistent};
+    pub use crate::persist::{
+        CheckpointPolicy, DurabilityHealth, PersistError, Persistent, PersistentService,
+    };
     pub use rsj_baselines::{NaiveRebuild, SJoin, SJoinOpt, SymmetricHashJoin, SymmetricSampler};
     pub use rsj_common::rng::RsjRng;
+    pub use rsj_common::EpochCell;
     pub use rsj_common::{Key, TupleId, Value};
     pub use rsj_core::{
         CyclicReservoirJoin, DeleteUnsupported, DynamicSampleIndex, FkReservoirJoin, JoinSampler,
-        ReplanPolicy, ReservoirJoin, SamplerStats, ShardError, ShardFault, ShardHealth, ShardPlan,
-        ShardedSampler, SupervisorPolicy, INJECTED_FAULT,
+        QueryHandle, QueryOpts, ReplanPolicy, ReservoirJoin, SampleReader, SampleSnapshot,
+        SamplerService, SamplerStats, ServiceError, ServiceOpts, ShardError, ShardFault,
+        ShardHealth, ShardPlan, ShardedSampler, SupervisorPolicy, INJECTED_FAULT,
     };
     pub use rsj_index::{DynamicIndex, FullSampler, IndexOptions};
     pub use rsj_query::{FkSchema, Ghd, JoinTree, Plan, PlanCost, Planner, Query, QueryBuilder};

@@ -25,13 +25,18 @@
 //! yields the same sample digest as a run that never crashed. See
 //! ARCHITECTURE.md, "Durability".
 
-use rsj_core::{JoinSampler, SamplerStats};
+use rsj_core::{JoinSampler, RebuildFn, SamplerService, SamplerStats};
 use rsj_storage::wal::{Checkpoint, Sleeper, Wal, WalError, WalFs, WalOptions};
 use rsj_storage::StreamOp;
 use std::path::{Path, PathBuf};
 
 /// File name of the checkpoint inside the durability directory.
 pub const CHECKPOINT_FILE: &str = "checkpoint.rsjc";
+
+/// Engine tag [`PersistentService`] writes into its checkpoints, so a
+/// service checkpoint can never be restored into a single-engine wrapper
+/// (or vice versa) silently.
+pub const SERVICE_ENGINE: &str = "SamplerService";
 
 /// When the wrapper takes a checkpoint on its own.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -364,6 +369,194 @@ impl<S: JoinSampler> Persistent<S> {
     /// Unwraps the engine, dropping durability (the log is flushed by
     /// `Wal`'s drop).
     pub fn into_engine(self) -> S {
+        self.inner
+    }
+}
+
+/// Durability for the resident [`SamplerService`]: the same
+/// append-then-apply WAL discipline as [`Persistent`], wrapped around the
+/// whole service — one log covers every registered query, because they
+/// all consume the one retained stream.
+///
+/// What is durable when:
+///
+/// * **Ops** are covered from the moment
+///   [`process_op`](PersistentService::process_op) returns (flushed
+///   prefix, as for [`Persistent`]). Every op is validated
+///   ([`SamplerService::validate_op`]) *before* it is logged, so nothing
+///   reaches the WAL that recovery replay would reject.
+/// * **Registrations** are part of checkpoints, not the log: a
+///   [`checkpoint`](PersistentService::checkpoint) captures the full
+///   service (store, shared indexes, member cores, boxed engine states).
+///   A query registered after the last checkpoint is absent after
+///   recovery — re-registering it backfills from the recovered history
+///   and lands byte-identical, so the loss is recoverable; checkpoint
+///   after registration churn to avoid it entirely.
+///
+/// This wrapper is the strict path: a WAL error fails the op without
+/// applying it. The out-of-space degradation machinery (serve
+/// non-durably, heal at the next checkpoint) lives in [`Persistent`].
+pub struct PersistentService {
+    inner: SamplerService,
+    wal: Wal,
+    checkpoint_path: PathBuf,
+    policy: CheckpointPolicy,
+    ops_since_checkpoint: u64,
+}
+
+impl PersistentService {
+    /// Wraps `inner` (freshly built over the original run's universe)
+    /// with durability rooted at `dir`, recovering any state already
+    /// there: an existing checkpoint is restored into `inner` — boxed
+    /// members are rebuilt through `rebuild(engine_name, k)`, see
+    /// [`SamplerService::restore_from_snapshot`] — and the log suffix is
+    /// replayed through the service.
+    pub fn open(
+        inner: SamplerService,
+        dir: impl AsRef<Path>,
+        policy: CheckpointPolicy,
+        rebuild: &mut RebuildFn,
+    ) -> Result<PersistentService, PersistError> {
+        Self::open_with(
+            inner,
+            dir,
+            policy,
+            rebuild,
+            WalOptions::default(),
+            Box::new(rsj_storage::wal::RealFs::new()),
+            Box::new(rsj_storage::wal::SystemSleeper),
+        )
+    }
+
+    /// [`open`](PersistentService::open) with explicit WAL tuning,
+    /// filesystem shim, and backoff clock (the fault-injection entry
+    /// point, as for [`Persistent::open_with`]).
+    pub fn open_with(
+        inner: SamplerService,
+        dir: impl AsRef<Path>,
+        policy: CheckpointPolicy,
+        rebuild: &mut RebuildFn,
+        opts: WalOptions,
+        fs: Box<dyn WalFs>,
+        sleeper: Box<dyn Sleeper>,
+    ) -> Result<PersistentService, PersistError> {
+        let mut inner = inner;
+        let dir = dir.as_ref();
+        let mut wal = Wal::open_with(dir.join("wal"), opts, fs, sleeper)?;
+        let checkpoint_path = dir.join(CHECKPOINT_FILE);
+        let mut from_lsn = 0;
+        if checkpoint_path.exists() {
+            let cp = Checkpoint::read_from(&checkpoint_path)?;
+            if cp.engine != SERVICE_ENGINE {
+                return Err(PersistError::Engine(format!(
+                    "checkpoint was written by engine {} but a service is being restored",
+                    cp.engine
+                )));
+            }
+            let mut dec = rsj_common::codec::Decoder::new(&cp.state);
+            inner
+                .restore_from_snapshot(&mut dec, rebuild)
+                .and_then(|()| dec.finish())
+                .map_err(|e| PersistError::Engine(format!("checkpoint state rejected: {e}")))?;
+            from_lsn = cp.lsn;
+        }
+        for op in &wal.replay_from(from_lsn)? {
+            inner
+                .process_op(op)
+                .map_err(|e| PersistError::Engine(e.to_string()))?;
+        }
+        Ok(PersistentService {
+            inner,
+            wal,
+            checkpoint_path,
+            policy,
+            ops_since_checkpoint: 0,
+        })
+    }
+
+    /// Validates, logs, and applies one op, checkpointing when the policy
+    /// says so. Validation failures and WAL errors fail the call without
+    /// applying anything.
+    pub fn process_op(&mut self, op: &StreamOp) -> Result<u64, PersistError> {
+        self.inner
+            .validate_op(op)
+            .map_err(|e| PersistError::Engine(e.to_string()))?;
+        self.wal.append(op)?;
+        let lsn = self
+            .inner
+            .process_op(op)
+            .map_err(|e| PersistError::Engine(e.to_string()))?;
+        self.ops_since_checkpoint += 1;
+        if let CheckpointPolicy::EveryOps(n) = self.policy {
+            if self.ops_since_checkpoint >= n {
+                // Non-fatal, as for Persistent: the previous checkpoint
+                // stays valid and the window re-arms.
+                let _ = self.checkpoint();
+            }
+        }
+        Ok(lsn)
+    }
+
+    /// Takes a checkpoint of the whole service now (atomic write, then
+    /// log truncation). Fails without damaging recoverability when a
+    /// registered boxed engine cannot snapshot or on I/O errors — the
+    /// previous checkpoint and the log stay valid.
+    pub fn checkpoint(&mut self) -> Result<(), PersistError> {
+        let mut enc = rsj_common::codec::Encoder::new();
+        self.inner
+            .snapshot_to(&mut enc)
+            .map_err(|e| PersistError::Engine(e.to_string()))?;
+        let cp = Checkpoint {
+            engine: SERVICE_ENGINE.to_string(),
+            lsn: self.wal.next_lsn(),
+            state: enc.into_bytes(),
+        };
+        self.ops_since_checkpoint = 0;
+        self.wal
+            .write_atomic(&self.checkpoint_path, &cp.to_bytes())?;
+        self.wal.truncate_at_checkpoint()?;
+        Ok(())
+    }
+
+    /// Pushes buffered log appends to the OS.
+    pub fn flush(&mut self) -> Result<(), PersistError> {
+        self.wal.flush()?;
+        Ok(())
+    }
+
+    /// Flushes and `fdatasync`s the active log segment.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        self.wal.sync()?;
+        Ok(())
+    }
+
+    /// LSN the next op will get.
+    pub fn next_lsn(&self) -> u64 {
+        self.wal.next_lsn()
+    }
+
+    /// Ops logged since the last checkpoint.
+    pub fn ops_since_checkpoint(&self) -> u64 {
+        self.ops_since_checkpoint
+    }
+
+    /// The wrapped service, for reads and registration
+    /// ([`SamplerService::register`] backfills from the retained history;
+    /// checkpoint afterwards to make the registration durable).
+    pub fn service(&self) -> &SamplerService {
+        &self.inner
+    }
+
+    /// The wrapped service, mutably — registration and deregistration go
+    /// through here. Feeding stream ops through this reference bypasses
+    /// the log and forfeits recovery; use
+    /// [`process_op`](PersistentService::process_op).
+    pub fn service_mut(&mut self) -> &mut SamplerService {
+        &mut self.inner
+    }
+
+    /// Unwraps the service, dropping durability.
+    pub fn into_service(self) -> SamplerService {
         self.inner
     }
 }
