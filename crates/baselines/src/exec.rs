@@ -150,15 +150,50 @@ impl JoinSampler for SJoinOpt {
         SJoinOpt::k(self)
     }
 
+    /// Fully dynamic since PR 10: the foreign-key combiner retracts
+    /// combined tuples as signed deltas and the inner SJoin repairs its
+    /// reservoir against the exact live count.
+    fn supports_deletes(&self) -> bool {
+        true
+    }
+
+    fn process_op(&mut self, op: &StreamOp) -> Result<(), DeleteUnsupported> {
+        match op {
+            StreamOp::Insert(t) => {
+                SJoinOpt::process(self, t.relation, &t.values);
+            }
+            StreamOp::Delete(t) => {
+                SJoinOpt::delete(self, t.relation, &t.values);
+            }
+        }
+        Ok(())
+    }
+
     fn stats(&self) -> SamplerStats {
         SamplerStats {
-            inserts: Some(self.inner().index().stats().inserts),
-            deletes: Some(0),
+            inserts: Some(self.combiner().inserts()),
+            deletes: Some(self.combiner().deletes()),
             reservoir_stops: Some(self.inner().reservoir_stops()),
-            heap_bytes: Some(self.inner().heap_size()),
+            heap_bytes: Some(self.inner().heap_size() + self.combiner().heap_size()),
             exact_results: Some(self.inner().index().total_results()),
             ..SamplerStats::default()
         }
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        let mut enc = Encoder::new();
+        SJoinOpt::snapshot_to(self, &mut enc);
+        Some(enc.into_bytes())
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        let mut dec = Decoder::new(bytes);
+        SJoinOpt::restore_from_snapshot(self, &mut dec)?;
+        dec.finish()
     }
 }
 
@@ -391,10 +426,11 @@ mod tests {
             match which {
                 0 => Box::new(NaiveRebuild::new(q.clone(), 5, 3)),
                 1 => Box::new(SJoin::new(q.clone(), 5, 3).unwrap()),
-                _ => Box::new(SymmetricSampler::new(q.clone(), 5, 3).unwrap()),
+                2 => Box::new(SymmetricSampler::new(q.clone(), 5, 3).unwrap()),
+                _ => Box::new(SJoinOpt::new(&q, &rsj_query::FkSchema::none(2), 5, 3).unwrap()),
             }
         };
-        for which in 0..3 {
+        for which in 0..4 {
             let mut engine = build(which);
             assert!(engine.supports_snapshot(), "{}", engine.name());
             let mut rng = RsjRng::seed_from_u64(61);
@@ -439,6 +475,7 @@ mod tests {
             Box::new(NaiveRebuild::new(q.clone(), 100, 1)),
             Box::new(SJoin::new(q.clone(), 100, 1).unwrap()),
             Box::new(SymmetricSampler::new(q.clone(), 100, 1).unwrap()),
+            Box::new(SJoinOpt::new(&q, &rsj_query::FkSchema::none(2), 100, 1).unwrap()),
         ];
         for e in &mut engines {
             e.process(0, &[1, 2]);

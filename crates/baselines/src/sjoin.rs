@@ -730,7 +730,7 @@ impl SJoinOpt {
         k: usize,
         seed: u64,
     ) -> Result<SJoinOpt, String> {
-        let plan = rsj_query::CombinePlan::build(query, fks);
+        let plan = rsj_query::CombinePlan::build(query, fks).map_err(|e| e.to_string())?;
         let inner = SJoin::new(plan.rewritten.clone(), k, seed)?;
         Ok(SJoinOpt {
             combiner: rsj_core::FkCombiner::new(plan),
@@ -743,6 +743,34 @@ impl SJoinOpt {
         for (rel, t) in self.combiner.process(orig_rel, tuple) {
             self.inner.process(rel, &t);
         }
+    }
+
+    /// Deletes one original-stream tuple: the combiner's `-1` deltas route
+    /// to the inner SJoin's delete path (exact eviction + backfill repair).
+    pub fn delete(&mut self, orig_rel: usize, tuple: &[Value]) {
+        for (rel, t) in self.combiner.retract(orig_rel, tuple) {
+            self.inner.delete(rel, &t);
+        }
+    }
+
+    /// The streaming combiner (op counters, heap accounting).
+    pub fn combiner(&self) -> &rsj_core::FkCombiner {
+        &self.combiner
+    }
+
+    /// Serializes the full dynamic state: combiner registries, then the
+    /// inner SJoin snapshot.
+    pub fn snapshot_to(&self, enc: &mut Encoder) {
+        self.combiner.snapshot_to(enc);
+        self.inner.snapshot_to(enc);
+    }
+
+    /// Restores from a [`SJoinOpt::snapshot_to`] image taken by a driver
+    /// built with the same `(query, fks, k, seed)`. On error the receiver
+    /// may be partially overwritten and must be discarded.
+    pub fn restore_from_snapshot(&mut self, dec: &mut Decoder) -> Result<(), CodecError> {
+        self.combiner.restore_from_snapshot(dec)?;
+        self.inner.restore_from_snapshot(dec)
     }
 
     /// Current samples (rewritten-query attribute order).
@@ -1019,5 +1047,65 @@ mod tests {
             norm(plain.samples(), plain.index().query()),
             norm(opt.samples(), opt.rewritten_query())
         );
+    }
+
+    #[test]
+    fn sjoin_opt_deletes_match_plain_on_fk_query() {
+        // Turnstile tail over a fact ⋈ dim schema: deletes hit facts and
+        // the dimension alike, and SJoin_opt must track plain SJoin's live
+        // result set exactly (k >= |Q|), with matching exact totals.
+        use rsj_query::FkSchema;
+        let mut qb = QueryBuilder::new();
+        qb.relation("fact", &["K", "M"]);
+        qb.relation("dim", &["K", "D"]);
+        let q = qb.build().unwrap();
+        let fks = FkSchema::none(2).with_pk(1, vec![0]);
+        let mut plain = SJoin::new(q.clone(), 100_000, 1).unwrap();
+        let mut opt = SJoinOpt::new(&q, &fks, 100_000, 2).unwrap();
+        let mut apply = |ins: bool, rel: usize, t: &[u64]| {
+            if ins {
+                plain.process(rel, t);
+                opt.process(rel, t);
+            } else {
+                plain.delete(rel, t);
+                opt.delete(rel, t);
+            }
+        };
+        for k in 0..6u64 {
+            apply(true, 1, &[k, 100 + k]);
+        }
+        for i in 0..30u64 {
+            apply(true, 0, &[i % 6, i]);
+        }
+        // Delete a dimension tuple (kills every K=2 chain), two facts,
+        // then re-insert the dimension under a fresh attribute value.
+        apply(false, 1, &[2, 102]);
+        apply(false, 0, &[0, 0]);
+        apply(false, 0, &[3, 3]);
+        apply(true, 1, &[2, 202]);
+        let norm = |samples: &[Vec<u64>], query: &Query| -> FxHashSet<Vec<(String, u64)>> {
+            samples
+                .iter()
+                .map(|s| {
+                    let mut kv: Vec<(String, u64)> = query
+                        .attr_names()
+                        .iter()
+                        .cloned()
+                        .zip(s.iter().copied())
+                        .collect();
+                    kv.sort();
+                    kv
+                })
+                .collect()
+        };
+        let a = norm(plain.samples(), plain.index().query());
+        let b = norm(opt.samples(), opt.rewritten_query());
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+        assert_eq!(
+            plain.index().total_results(),
+            opt.inner().index().total_results()
+        );
+        assert_eq!(opt.combiner().deletes(), 3);
     }
 }

@@ -15,7 +15,7 @@ use rsj_query::CombinePlan;
 
 fn run_grouped(w: &Workload, k: usize, grouping: bool, fk: bool) -> (Outcome, u64) {
     if fk {
-        let plan = CombinePlan::build(&w.query, &w.fks);
+        let plan = CombinePlan::build(&w.query, &w.fks).expect("workload fks are well-formed");
         let mut comb = FkCombiner::new(plan.clone());
         let mut rj =
             ReservoirJoin::with_options(plan.rewritten.clone(), k, 1, IndexOptions { grouping })

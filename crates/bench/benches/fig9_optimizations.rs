@@ -35,7 +35,7 @@ fn main() {
         (out, rj.index_stats().propagation_loops)
     };
     let run_fk = |grouping: bool| -> (Outcome, u64) {
-        let plan = CombinePlan::build(&w.query, &w.fks);
+        let plan = CombinePlan::build(&w.query, &w.fks).expect("workload fks are well-formed");
         let mut comb = FkCombiner::new(plan.clone());
         let mut rj =
             ReservoirJoin::with_options(plan.rewritten.clone(), k, 1, IndexOptions { grouping })

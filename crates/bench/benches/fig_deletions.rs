@@ -5,11 +5,14 @@
 //! its maintained-sample guarantee is stated under updates. This harness
 //! opens that workload: the line-3 graph stream is woven with deletions at
 //! a sweep of ratios (and both victim policies at the EXPERIMENTS.md
-//! default ratio), then replayed through every fully-dynamic engine.
-//! Expected shape: RSJoin degrades gracefully with the delete ratio
-//! (unlink scans + amortized repair points); SJoin pays its usual exact
-//! re-weighting on both directions; the insert-only engines are excluded
-//! by the capability probe.
+//! default ratio), then replayed through every fully-dynamic engine —
+//! which, since the signed delta pipelines, is every engine family: the
+//! `_opt` rewrites (identity FK schema here) and the cyclic GHD driver
+//! sweep alongside the original three. Expected shape: RSJoin degrades
+//! gracefully with the delete ratio (unlink scans + amortized repair
+//! points); SJoin pays its usual exact re-weighting on both directions;
+//! the front layers add combiner retraction / bag delta enumeration on
+//! top of their inner driver.
 //!
 //! Knobs: `RSJ_SCALE` (stream size), `RSJ_CAP_SECS` (per-run cap),
 //! `RSJ_DELETE_RATIOS` (comma-separated, default `0,0.1,0.2,0.3`).
@@ -42,7 +45,10 @@ fn main() {
     let k = 64;
     let engines = [
         Engine::Reservoir,
+        Engine::FkReservoir,
+        Engine::Cyclic,
         Engine::SJoin,
+        Engine::SJoinOpt,
         Engine::sharded(Engine::Reservoir, 2),
     ];
 
@@ -103,5 +109,8 @@ fn main() {
             );
         }
     }
-    println!("\n(insert-only engines are excluded by Engine::supports_deletes)");
+    println!(
+        "\n(every engine family is fully dynamic; NaiveRebuild is skipped as a \
+         ground-truth-only strawman and SymmetricHashJoin is binary-only)"
+    );
 }

@@ -16,6 +16,7 @@
 
 use crate::reservoir_join::ReservoirJoin;
 use crate::wcoj::BagJoin;
+use rsj_common::codec::{CodecError, Decoder, Encoder};
 use rsj_common::Value;
 use rsj_query::{Ghd, Query};
 
@@ -28,6 +29,9 @@ pub struct CyclicReservoirJoin {
     /// Total bag-delta tuples produced (the simulated stream length, whose
     /// bound is `O(N^w)`).
     bag_tuples: u64,
+    /// Original-stream tuples accepted / deleted (set semantics).
+    inserts: u64,
+    deletes: u64,
 }
 
 impl CyclicReservoirJoin {
@@ -108,22 +112,101 @@ impl CyclicReservoirJoin {
             bags,
             inner,
             bag_tuples: 0,
+            inserts: 0,
+            deletes: 0,
         })
     }
 
-    /// Processes one input tuple of the original query.
-    pub fn process(&mut self, rel: usize, tuple: &[Value]) {
+    /// The bag index and within-bag relation index an original relation
+    /// routes to.
+    fn route(&self, rel: usize) -> (usize, usize) {
         let bag = self.ghd.bag_of(rel);
         let ri = self.ghd.bags()[bag]
             .relations
             .iter()
             .position(|&r| r == rel)
             .expect("relation assigned to its bag");
-        let deltas = self.bags[bag].insert_and_delta(ri, tuple);
+        (bag, ri)
+    }
+
+    /// Processes one input tuple of the original query. A duplicate insert
+    /// is a no-op (set semantics).
+    pub fn process(&mut self, rel: usize, tuple: &[Value]) {
+        let (bag, ri) = self.route(rel);
+        let Some(deltas) = self.bags[bag].insert_and_delta(ri, tuple) else {
+            return;
+        };
+        self.inserts += 1;
         for d in deltas {
             self.bag_tuples += 1;
             self.inner.process(bag, &d);
         }
+    }
+
+    /// Deletes one input tuple of the original query: the bag's *dead*
+    /// delta — every bag result that joined through the departing tuple —
+    /// routes to the inner driver's delete path, which cascades across the
+    /// other bags and repairs its reservoir by eviction-and-backfill.
+    /// Correct for the same reason insertion is: the bag deltas partition
+    /// `Q(R) ⋉ t`, so retracting them retracts exactly the results lost.
+    /// Deleting an absent tuple is a no-op.
+    pub fn delete(&mut self, rel: usize, tuple: &[Value]) {
+        let (bag, ri) = self.route(rel);
+        let Some(dead) = self.bags[bag].delete_and_delta(ri, tuple) else {
+            return;
+        };
+        self.deletes += 1;
+        for d in dead {
+            self.inner.delete(bag, &d);
+        }
+    }
+
+    /// Original-stream tuples accepted so far (set semantics).
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Original-stream tuples deleted so far (present at deletion time).
+    pub fn deletes(&self) -> u64 {
+        self.deletes
+    }
+
+    /// Exact live `|Q(R)|`, computed on demand from the inner driver's
+    /// bag-level relations (`O(N^w)` in the worst case — the same walk the
+    /// delete repair uses).
+    pub fn exact_result_count(&self) -> u128 {
+        crate::count::exact_result_count(self.inner.index().query(), self.inner.index().database())
+    }
+
+    /// Serializes the full dynamic state: bag trie contents, the stream
+    /// counters, then the inner driver's snapshot.
+    pub fn snapshot_to(&self, enc: &mut Encoder) {
+        enc.put_usize(self.bags.len());
+        for b in &self.bags {
+            b.snapshot_to(enc);
+        }
+        enc.put_u64(self.bag_tuples);
+        enc.put_u64(self.inserts);
+        enc.put_u64(self.deletes);
+        self.inner.snapshot_to(enc);
+    }
+
+    /// Restores from a [`CyclicReservoirJoin::snapshot_to`] image taken by
+    /// a driver built with the same `(query, ghd, k, seed, options)`. On
+    /// error the receiver may be partially overwritten and must be
+    /// discarded.
+    pub fn restore_from_snapshot(&mut self, dec: &mut Decoder) -> Result<(), CodecError> {
+        let n = dec.seq_len(2)?;
+        if n != self.bags.len() {
+            return Err(CodecError::Corrupt("bag count mismatch"));
+        }
+        for b in &mut self.bags {
+            b.restore_from_snapshot(dec)?;
+        }
+        self.bag_tuples = dec.u64()?;
+        self.inserts = dec.u64()?;
+        self.deletes = dec.u64()?;
+        self.inner.restore_from_snapshot(dec)
     }
 
     /// Current samples, as value tuples indexed by the bag-level query's
@@ -323,6 +406,116 @@ mod tests {
         assert_eq!(crj.bag_tuples(), 0);
         crj.process(2, &[3, 1]);
         assert_eq!(crj.bag_tuples(), 1);
+    }
+
+    #[test]
+    fn triangle_deletes_track_live_results() {
+        // Random turnstile stream; at the end the sample set (k >= |Q|)
+        // must equal the brute-force join of the live edges, and the
+        // driver's exact count must agree.
+        let mut rng = RsjRng::seed_from_u64(47);
+        let mut crj = CyclicReservoirJoin::new(triangle_query(), 100_000, 1).unwrap();
+        let mut edges: [FxHashSet<(u64, u64)>; 3] =
+            [Default::default(), Default::default(), Default::default()];
+        for _ in 0..900 {
+            let rel = rng.index(3);
+            let e = (rng.below_u64(9), rng.below_u64(9));
+            if rng.below_u64(4) == 0 && edges[rel].contains(&e) {
+                edges[rel].remove(&e);
+                crj.delete(rel, &[e.0, e.1]);
+            } else if edges[rel].insert(e) {
+                crj.process(rel, &[e.0, e.1]);
+            }
+        }
+        let mut brute: FxHashSet<(u64, u64, u64)> = FxHashSet::default();
+        for &(x, y) in &edges[0] {
+            for &(y2, z) in &edges[1] {
+                if y == y2 && edges[2].contains(&(z, x)) {
+                    brute.insert((x, y, z));
+                }
+            }
+        }
+        assert!(!brute.is_empty(), "test instance lost all triangles");
+        let q = crj.inner().index().query().clone();
+        let pos = |n: &str| q.attr_names().iter().position(|a| a == n).unwrap();
+        let (px, py, pz) = (pos("X"), pos("Y"), pos("Z"));
+        let got: FxHashSet<(u64, u64, u64)> = crj
+            .samples()
+            .iter()
+            .map(|s| (s[px], s[py], s[pz]))
+            .collect();
+        assert_eq!(got, brute);
+        assert_eq!(crj.samples().len(), brute.len(), "stale duplicate samples");
+        assert_eq!(crj.exact_result_count(), brute.len() as u128);
+        assert!(crj.deletes() > 0);
+    }
+
+    #[test]
+    fn delete_then_reinsert_restores_the_dead_delta() {
+        let mut crj = CyclicReservoirJoin::new(triangle_query(), 10, 9).unwrap();
+        crj.process(0, &[1, 2]);
+        crj.process(1, &[2, 3]);
+        crj.process(2, &[3, 1]);
+        assert_eq!(crj.samples().len(), 1);
+        crj.delete(1, &[2, 3]);
+        assert!(crj.samples().is_empty());
+        assert_eq!(crj.exact_result_count(), 0);
+        crj.process(1, &[2, 3]);
+        assert_eq!(crj.sample_named().len(), 1);
+        // Deleting an absent tuple is a no-op.
+        crj.delete(0, &[8, 8]);
+        assert_eq!(crj.samples().len(), 1);
+        assert_eq!((crj.inserts(), crj.deletes()), (4, 1));
+    }
+
+    #[test]
+    fn cyclic_snapshot_round_trips_mid_stream() {
+        let mut rng = RsjRng::seed_from_u64(53);
+        let mut ops: Vec<(bool, usize, [u64; 2])> = Vec::new();
+        let mut edges: [FxHashSet<(u64, u64)>; 3] = Default::default();
+        while ops.len() < 300 {
+            let rel = rng.index(3);
+            let e = (rng.below_u64(8), rng.below_u64(8));
+            if rng.below_u64(5) == 0 && edges[rel].contains(&e) {
+                edges[rel].remove(&e);
+                ops.push((false, rel, [e.0, e.1]));
+            } else if edges[rel].insert(e) {
+                ops.push((true, rel, [e.0, e.1]));
+            }
+        }
+        let mut crj = CyclicReservoirJoin::new(triangle_query(), 8, 11).unwrap();
+        for (ins, rel, t) in &ops[..200] {
+            if *ins {
+                crj.process(*rel, t);
+            } else {
+                crj.delete(*rel, t);
+            }
+        }
+        let mut enc = Encoder::new();
+        crj.snapshot_to(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut restored = CyclicReservoirJoin::new(triangle_query(), 8, 11).unwrap();
+        restored
+            .restore_from_snapshot(&mut Decoder::new(&bytes))
+            .unwrap();
+        for (ins, rel, t) in &ops[200..] {
+            if *ins {
+                crj.process(*rel, t);
+                restored.process(*rel, t);
+            } else {
+                crj.delete(*rel, t);
+                restored.delete(*rel, t);
+            }
+        }
+        assert_eq!(crj.samples(), restored.samples());
+        assert_eq!(crj.bag_tuples(), restored.bag_tuples());
+        assert_eq!(crj.inserts(), restored.inserts());
+        assert_eq!(crj.deletes(), restored.deletes());
+        // Truncated images are rejected.
+        let mut fresh = CyclicReservoirJoin::new(triangle_query(), 8, 11).unwrap();
+        assert!(fresh
+            .restore_from_snapshot(&mut Decoder::new(&bytes[..bytes.len() / 3]))
+            .is_err());
     }
 
     #[test]

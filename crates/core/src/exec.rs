@@ -156,8 +156,12 @@ pub trait JoinSampler {
         }
     }
 
-    /// Feeds a batch of turnstile ops in arrival order, stopping at the
-    /// first unsupported delete.
+    /// Feeds a batch of turnstile ops in arrival order. The batch is
+    /// atomic with respect to capability: it is pre-scanned, and a batch
+    /// containing any delete an insert-only engine cannot process is
+    /// rejected *before any op is applied*, leaving the sampler
+    /// byte-identical to its pre-batch state (the same contract the
+    /// service layer enforces per batch).
     ///
     /// Delete-free windows are routed through the columnar ingest path
     /// ([`process_columnar`](JoinSampler::process_columnar)) — identical
@@ -168,6 +172,13 @@ pub trait JoinSampler {
         if let Some(batch) = ColumnarBatch::from_insert_ops(ops) {
             self.process_columnar(&batch);
             return Ok(());
+        }
+        // The batch contains at least one delete: reject it up front if
+        // this engine is insert-only, so no prefix of the batch lands.
+        if !self.supports_deletes() {
+            return Err(DeleteUnsupported {
+                engine: self.name(),
+            });
         }
         for op in ops {
             self.process_op(op)?;
@@ -450,15 +461,53 @@ impl JoinSampler for FkReservoirJoin {
         self.inner().k()
     }
 
+    /// Fully dynamic since PR 10: the foreign-key combiner is a signed
+    /// delta pipeline — retractions withdraw combined tuples (and re-park
+    /// rewound facts), and the inner acyclic driver repairs its reservoir
+    /// by eviction-and-backfill.
+    fn supports_deletes(&self) -> bool {
+        true
+    }
+
+    fn process_op(&mut self, op: &StreamOp) -> Result<(), DeleteUnsupported> {
+        match op {
+            StreamOp::Insert(t) => {
+                FkReservoirJoin::process(self, t.relation, &t.values);
+            }
+            StreamOp::Delete(t) => {
+                FkReservoirJoin::delete(self, t.relation, &t.values);
+            }
+        }
+        Ok(())
+    }
+
     fn stats(&self) -> SamplerStats {
         SamplerStats {
-            inserts: Some(self.inner().inserts()),
-            deletes: Some(0),
+            inserts: Some(self.combiner().inserts()),
+            deletes: Some(self.combiner().deletes()),
             reservoir_stops: Some(self.inner().reservoir_stops()),
             heap_bytes: Some(self.heap_size()),
-            exact_results: None,
+            // Recomputed on demand from the stored relations (O(N) walk —
+            // the same pass the delete repair uses), not maintained per op.
+            exact_results: Some(self.exact_result_count()),
             ..SamplerStats::default()
         }
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        let mut enc = Encoder::new();
+        FkReservoirJoin::snapshot_to(self, &mut enc);
+        Some(enc.into_bytes())
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        let mut dec = Decoder::new(bytes);
+        FkReservoirJoin::restore_from_snapshot(self, &mut dec)?;
+        dec.finish()
     }
 }
 
@@ -489,19 +538,51 @@ impl JoinSampler for CyclicReservoirJoin {
         self.inner().k()
     }
 
+    /// Fully dynamic since PR 10: deletions enumerate the bag's dead delta
+    /// and forward it, signed, into the inner acyclic driver's delete path.
+    fn supports_deletes(&self) -> bool {
+        true
+    }
+
+    fn process_op(&mut self, op: &StreamOp) -> Result<(), DeleteUnsupported> {
+        match op {
+            StreamOp::Insert(t) => {
+                CyclicReservoirJoin::process(self, t.relation, &t.values);
+            }
+            StreamOp::Delete(t) => {
+                CyclicReservoirJoin::delete(self, t.relation, &t.values);
+            }
+        }
+        Ok(())
+    }
+
     fn stats(&self) -> SamplerStats {
         SamplerStats {
-            // The GHD driver only counts the simulated bag-level stream
-            // (`O(N^w)` deltas, via [`CyclicReservoirJoin::bag_tuples`]),
-            // not distinct accepted input tuples, so the field stays
-            // honest-`None` here.
-            inserts: None,
-            deletes: None,
+            inserts: Some(self.inserts()),
+            deletes: Some(self.deletes()),
             reservoir_stops: Some(self.inner().reservoir_stops()),
             heap_bytes: Some(self.heap_size()),
-            exact_results: None,
+            // Recomputed on demand from the bag-level relations (worst
+            // case O(N^w), the delete-repair walk), not maintained per op.
+            exact_results: Some(self.exact_result_count()),
             ..SamplerStats::default()
         }
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        let mut enc = Encoder::new();
+        CyclicReservoirJoin::snapshot_to(self, &mut enc);
+        Some(enc.into_bytes())
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        let mut dec = Decoder::new(bytes);
+        CyclicReservoirJoin::restore_from_snapshot(self, &mut dec)?;
+        dec.finish()
     }
 }
 
@@ -545,16 +626,74 @@ mod tests {
         assert_eq!(s.stats().deletes, Some(1));
     }
 
+    /// Minimal insert-only engine: every real engine is fully dynamic now,
+    /// so the default-impl contracts (delete rejection, batch atomicity)
+    /// are exercised through a stub that keeps the trait defaults.
+    struct InsertOnlyStub {
+        query: Query,
+        applied: Vec<(usize, Vec<Value>)>,
+    }
+
+    impl InsertOnlyStub {
+        fn new() -> InsertOnlyStub {
+            InsertOnlyStub {
+                query: two_table(),
+                applied: Vec::new(),
+            }
+        }
+    }
+
+    impl JoinSampler for InsertOnlyStub {
+        fn name(&self) -> &'static str {
+            "InsertOnlyStub"
+        }
+        fn output_query(&self) -> &Query {
+            &self.query
+        }
+        fn process(&mut self, rel: usize, tuple: &[Value]) {
+            self.applied.push((rel, tuple.to_vec()));
+        }
+        fn samples(&self) -> Vec<Vec<Value>> {
+            Vec::new()
+        }
+        fn k(&self) -> usize {
+            1
+        }
+    }
+
     #[test]
     fn insert_only_engines_reject_deletes() {
-        let q = two_table();
-        let fks = rsj_query::FkSchema::none(2);
-        let mut s: Box<dyn JoinSampler> = Box::new(FkReservoirJoin::new(&q, &fks, 10, 1).unwrap());
+        let mut s: Box<dyn JoinSampler> = Box::new(InsertOnlyStub::new());
         assert!(!s.supports_deletes());
         assert!(s.process_op(&StreamOp::insert(0, vec![1, 2])).is_ok());
         let err = s.process_op(&StreamOp::delete(0, vec![1, 2])).unwrap_err();
-        assert_eq!(err.engine, "RSJoin_opt");
+        assert_eq!(err.engine, "InsertOnlyStub");
         assert!(err.to_string().contains("insert-only"));
+    }
+
+    #[test]
+    fn rejected_op_batch_applies_nothing() {
+        // Regression: the default `process_op_batch` used to apply ops one
+        // at a time, leaving the inserts before a mid-batch unsupported
+        // delete applied behind the error. The batch must be atomic with
+        // respect to the capability check.
+        let mut s = InsertOnlyStub::new();
+        let ops = vec![
+            StreamOp::insert(0, vec![1, 2]),
+            StreamOp::insert(1, vec![2, 3]),
+            StreamOp::delete(0, vec![1, 2]),
+            StreamOp::insert(0, vec![4, 5]),
+        ];
+        let err = s.process_op_batch(&ops).unwrap_err();
+        assert_eq!(err.engine, "InsertOnlyStub");
+        assert!(
+            s.applied.is_empty(),
+            "rejected batch left partial state: {:?}",
+            s.applied
+        );
+        // Delete-free batches still apply in full.
+        s.process_op_batch(&ops[..2]).unwrap();
+        assert_eq!(s.applied.len(), 2);
     }
 
     #[test]

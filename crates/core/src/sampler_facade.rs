@@ -43,6 +43,13 @@ impl DynamicSampleIndex {
         self.index.insert_batch(batch)
     }
 
+    /// Deletes a tuple (`O(log N)` amortized); subsequent [`Self::sample`]
+    /// draws are uniform over the post-delete `Q(R)`. Deleting an absent
+    /// tuple is a no-op returning `None`.
+    pub fn delete(&mut self, rel: usize, tuple: &[Value]) -> Option<TupleId> {
+        self.index.delete(rel, tuple)
+    }
+
     /// Draws one uniform sample of `Q(R)`, `None` when the result is empty.
     /// `O(log N)` expected.
     pub fn sample(&mut self) -> Option<Vec<Value>> {
@@ -151,6 +158,25 @@ mod tests {
         let mut ix = DynamicSampleIndex::new(q, 5).unwrap();
         assert_eq!(ix.insert_batch(&batch), 2);
         assert_eq!(ix.sample(), Some(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn deletes_flow_through_the_facade() {
+        let mut qb = QueryBuilder::new();
+        qb.relation("R", &["X", "Y"]);
+        qb.relation("S", &["Y", "Z"]);
+        let mut ix = DynamicSampleIndex::new(qb.build().unwrap(), 7).unwrap();
+        ix.insert(0, &[1, 2]);
+        ix.insert(1, &[2, 3]);
+        ix.insert(1, &[2, 4]);
+        assert!(ix.sample().is_some());
+        assert!(ix.delete(1, &[2, 3]).is_some());
+        assert!(ix.delete(1, &[2, 3]).is_none()); // absent: no-op
+        for _ in 0..50 {
+            assert_eq!(ix.sample(), Some(vec![1, 2, 4]));
+        }
+        assert!(ix.delete(0, &[1, 2]).is_some());
+        assert!(ix.sample().is_none());
     }
 
     #[test]

@@ -1274,20 +1274,37 @@ mod tests {
             svc.register(&q, &QueryOpts::new(0, 1)),
             Err(ServiceError::ZeroCapacity)
         ));
-        // Insert-only boxed engine + a history with deletes: rejected at
-        // registration, and a later delete is rejected before application.
+        // Insert-only boxed member + a later delete: rejected before any
+        // member sees the op. Every real engine is fully dynamic now, so
+        // the blocker is a stub that keeps the trait's insert-only
+        // defaults.
+        struct InsertOnlyStub {
+            query: Query,
+        }
+        impl JoinSampler for InsertOnlyStub {
+            fn name(&self) -> &'static str {
+                "InsertOnlyStub"
+            }
+            fn output_query(&self) -> &Query {
+                &self.query
+            }
+            fn process(&mut self, _rel: usize, _tuple: &[Value]) {}
+            fn samples(&self) -> Vec<Vec<Value>> {
+                Vec::new()
+            }
+            fn k(&self) -> usize {
+                1
+            }
+        }
         let mut svc2 = SamplerService::new(q.clone());
-        let fks = rsj_query::FkSchema::none(3);
-        svc2.register_sampler(Box::new(
-            crate::fk_runtime::FkReservoirJoin::new(&q, &fks, 4, 1).unwrap(),
-        ))
-        .unwrap();
+        svc2.register_sampler(Box::new(InsertOnlyStub { query: q.clone() }))
+            .unwrap();
         let h = svc2.register(&q, &QueryOpts::new(4, 2)).unwrap();
         svc2.process(0, &[1, 2]).unwrap();
         let before = svc2.samples(h).unwrap();
         assert!(matches!(
             svc2.delete(0, &[1, 2]),
-            Err(ServiceError::DeleteUnsupported("RSJoin_opt"))
+            Err(ServiceError::DeleteUnsupported("InsertOnlyStub"))
         ));
         assert_eq!(svc2.samples(h).unwrap(), before, "no half-applied op");
         assert_eq!(svc2.lsn(), 1, "rejected op is not retained");

@@ -10,7 +10,14 @@
 //! result the work is `O(|attrs| · |relations|)` hash probes, and the total
 //! across a stream is bounded by the bag's AGM bound — the `N^w` term of
 //! Theorem 5.4.
+//!
+//! Since PR 10 the structure is fully turnstile: [`HashTrie::remove`] prunes
+//! emptied trie paths (recycling arena nodes through a free list), and
+//! [`BagJoin::delete_and_delta`] enumerates the *dead* delta — the bag
+//! results that existed only through the departing tuple — before removing
+//! it, giving the cyclic driver the `-1` side of its signed pipeline.
 
+use rsj_common::codec::{CodecError, Decoder, Encoder};
 use rsj_common::{FxHashMap, Value};
 
 /// A hash trie over tuples of a fixed arity, one map level per attribute in
@@ -20,6 +27,8 @@ pub struct HashTrie {
     depth: usize,
     /// Node arena; node 0 is the root. Leaf-level nodes store no children.
     nodes: Vec<TrieNode>,
+    /// Arena slots freed by [`HashTrie::remove`], recycled by inserts.
+    free: Vec<u32>,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -34,6 +43,7 @@ impl HashTrie {
         HashTrie {
             depth,
             nodes: vec![TrieNode::default()],
+            free: Vec::new(),
         }
     }
 
@@ -48,14 +58,82 @@ impl HashTrie {
                 Some(&c) => c,
                 None => {
                     created = true;
-                    let c = self.nodes.len() as u32;
-                    self.nodes.push(TrieNode::default());
+                    let c = match self.free.pop() {
+                        Some(c) => c,
+                        None => {
+                            self.nodes.push(TrieNode::default());
+                            (self.nodes.len() - 1) as u32
+                        }
+                    };
                     self.nodes[node as usize].children.insert(v, c);
                     c
                 }
             };
         }
         created
+    }
+
+    /// Whether the tuple is present.
+    pub fn contains(&self, values: &[Value]) -> bool {
+        debug_assert_eq!(values.len(), self.depth);
+        let mut node = 0u32;
+        for &v in values {
+            match self.nodes[node as usize].children.get(&v) {
+                Some(&c) => node = c,
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Removes a tuple, pruning every trie path that held only this tuple
+    /// and recycling the freed arena nodes. Returns `true` if the tuple was
+    /// present.
+    pub fn remove(&mut self, values: &[Value]) -> bool {
+        debug_assert_eq!(values.len(), self.depth);
+        // Record the descent: (parent node, branch value, child node).
+        let mut path = Vec::with_capacity(self.depth);
+        let mut node = 0u32;
+        for &v in values {
+            match self.nodes[node as usize].children.get(&v) {
+                Some(&c) => {
+                    path.push((node, v, c));
+                    node = c;
+                }
+                None => return false,
+            }
+        }
+        // Unwind: drop the leaf, then every ancestor left childless.
+        for &(parent, v, child) in path.iter().rev() {
+            if !self.nodes[child as usize].children.is_empty() {
+                break;
+            }
+            self.nodes[parent as usize].children.remove(&v);
+            self.free.push(child);
+        }
+        true
+    }
+
+    /// All stored tuples in trie attribute order, sorted lexicographically
+    /// (a canonical enumeration, independent of insertion history).
+    pub fn tuples(&self) -> Vec<Vec<Value>> {
+        let mut out = Vec::new();
+        let mut acc = Vec::with_capacity(self.depth);
+        self.collect(0, &mut acc, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    fn collect(&self, node: u32, acc: &mut Vec<Value>, out: &mut Vec<Vec<Value>>) {
+        if acc.len() == self.depth {
+            out.push(acc.clone());
+            return;
+        }
+        for (&v, &c) in &self.nodes[node as usize].children {
+            acc.push(v);
+            self.collect(c, acc, out);
+            acc.pop();
+        }
     }
 
     /// The child node for value `v` under `node`, if present.
@@ -150,8 +228,8 @@ impl BagJoin {
     /// Inserts a tuple into bag relation `ri` (values in the relation's own
     /// schema order) and returns the *delta*: every full bag-attribute
     /// assignment newly joined through this tuple, in bag attribute order.
-    /// A duplicate insert yields an empty delta (set semantics).
-    pub fn insert_and_delta(&mut self, ri: usize, tuple: &[Value]) -> Vec<Vec<Value>> {
+    /// A duplicate insert returns `None` (set semantics, nothing changed).
+    pub fn insert_and_delta(&mut self, ri: usize, tuple: &[Value]) -> Option<Vec<Vec<Value>>> {
         // Reorder into trie order and insert.
         let reordered: Vec<Value> = self.rels[ri]
             .schema_positions
@@ -159,9 +237,34 @@ impl BagJoin {
             .map(|&p| tuple[p])
             .collect();
         if !self.rels[ri].trie.insert(&reordered) {
-            return Vec::new();
+            return None;
         }
-        // Bind the inserted tuple's attributes.
+        Some(self.semijoin_delta(ri, &reordered))
+    }
+
+    /// Deletes a tuple from bag relation `ri` and returns the *dead delta*:
+    /// every full bag-attribute assignment that joined through this tuple
+    /// (enumerated before removal, so it is exactly the mirror of the delta
+    /// its insertion produced against the same co-relations). Deleting an
+    /// absent tuple returns `None`.
+    pub fn delete_and_delta(&mut self, ri: usize, tuple: &[Value]) -> Option<Vec<Vec<Value>>> {
+        let reordered: Vec<Value> = self.rels[ri]
+            .schema_positions
+            .iter()
+            .map(|&p| tuple[p])
+            .collect();
+        if !self.rels[ri].trie.contains(&reordered) {
+            return None;
+        }
+        let dead = self.semijoin_delta(ri, &reordered);
+        self.rels[ri].trie.remove(&reordered);
+        Some(dead)
+    }
+
+    /// Enumerates the bag results semijoined with relation `ri`'s tuple
+    /// (given in trie order): the delta of that tuple against the current
+    /// trie contents, which must already include the tuple itself.
+    fn semijoin_delta(&self, ri: usize, reordered: &[Value]) -> Vec<Vec<Value>> {
         let mut bound: Vec<Option<Value>> = vec![None; self.num_attrs];
         for (level, &a) in self.rels[ri].attr_order_idx.iter().enumerate() {
             bound[a] = Some(reordered[level]);
@@ -217,7 +320,12 @@ impl BagJoin {
             .iter()
             .min_by_key(|&&ri| self.rels[ri].trie.fanout(cursors[ri]))
             .expect("nonempty holders");
-        let candidates: Vec<(Value, u32)> = self.rels[lead].trie.children(cursors[lead]).collect();
+        let mut candidates: Vec<(Value, u32)> =
+            self.rels[lead].trie.children(cursors[lead]).collect();
+        // Canonical order: delta emission must not depend on hash-map
+        // iteration (node ids shift once deletes recycle arena slots, and
+        // restored tries rebuild their maps from scratch).
+        candidates.sort_unstable();
         'candidates: for (v, lead_child) in candidates {
             let mut saved = Vec::with_capacity(holders.len());
             for &ri in holders {
@@ -251,6 +359,45 @@ impl BagJoin {
     pub fn heap_size(&self) -> usize {
         self.rels.iter().map(|r| r.trie.heap_size()).sum()
     }
+
+    /// Serializes the bag's dynamic contents canonically: per relation, its
+    /// stored tuples in sorted trie order. Structure (attribute orders,
+    /// schema positions) is not serialized — it is rebuilt from the query.
+    pub fn snapshot_to(&self, enc: &mut Encoder) {
+        enc.put_usize(self.rels.len());
+        for r in &self.rels {
+            let tuples = r.trie.tuples();
+            enc.put_usize(tuples.len());
+            for t in tuples {
+                enc.put_u64s(&t);
+            }
+        }
+    }
+
+    /// Restores contents produced by [`BagJoin::snapshot_to`] into a bag
+    /// built with the same structure. On error the receiver may be partially
+    /// overwritten and must be discarded.
+    pub fn restore_from_snapshot(&mut self, dec: &mut Decoder) -> Result<(), CodecError> {
+        let n = dec.seq_len(2)?;
+        if n != self.rels.len() {
+            return Err(CodecError::Corrupt("bag relation count mismatch"));
+        }
+        for r in &mut self.rels {
+            let depth = r.attr_order_idx.len();
+            r.trie = HashTrie::new(depth);
+            let count = dec.seq_len(2)?;
+            for _ in 0..count {
+                let t = dec.u64s()?;
+                if t.len() != depth {
+                    return Err(CodecError::Corrupt("bag tuple arity mismatch"));
+                }
+                if !r.trie.insert(&t) {
+                    return Err(CodecError::Corrupt("duplicate bag tuple in snapshot"));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +417,36 @@ mod tests {
         assert!(t.descend(t.root(), 9).is_none());
     }
 
+    #[test]
+    fn trie_remove_prunes_and_recycles() {
+        let mut t = HashTrie::new(3);
+        t.insert(&[1, 2, 3]);
+        t.insert(&[1, 2, 4]);
+        t.insert(&[1, 5, 6]);
+        assert!(t.contains(&[1, 2, 3]));
+        assert!(!t.remove(&[9, 9, 9])); // absent
+        assert!(t.remove(&[1, 2, 3]));
+        assert!(!t.contains(&[1, 2, 3]));
+        assert!(t.contains(&[1, 2, 4])); // shared prefix survives
+        assert!(t.remove(&[1, 2, 4]));
+        // The (1,2) branch is now fully pruned.
+        let n1 = t.descend(t.root(), 1).unwrap();
+        assert!(t.descend(n1, 2).is_none());
+        assert!(t.remove(&[1, 5, 6]));
+        assert_eq!(t.fanout(t.root()), 0);
+        // Freed arena slots are recycled: re-inserting everything does not
+        // grow the arena past its previous footprint.
+        let nodes_before = t.nodes.len();
+        t.insert(&[1, 2, 3]);
+        t.insert(&[1, 2, 4]);
+        t.insert(&[1, 5, 6]);
+        assert_eq!(t.nodes.len(), nodes_before);
+        assert_eq!(
+            t.tuples(),
+            vec![vec![1, 2, 3], vec![1, 2, 4], vec![1, 5, 6]]
+        );
+    }
+
     /// Triangle bag: R1(X,Y), R2(Y,Z), R3(Z,X); attrs X=0, Y=1, Z=2.
     fn triangle() -> BagJoin {
         BagJoin::new(
@@ -285,9 +462,9 @@ mod tests {
     #[test]
     fn triangle_delta_closes_on_last_edge() {
         let mut bj = triangle();
-        assert!(bj.insert_and_delta(0, &[1, 2]).is_empty()); // X=1,Y=2
-        assert!(bj.insert_and_delta(1, &[2, 3]).is_empty()); // Y=2,Z=3
-        let d = bj.insert_and_delta(2, &[3, 1]); // Z=3,X=1
+        assert!(bj.insert_and_delta(0, &[1, 2]).unwrap().is_empty()); // X=1,Y=2
+        assert!(bj.insert_and_delta(1, &[2, 3]).unwrap().is_empty()); // Y=2,Z=3
+        let d = bj.insert_and_delta(2, &[3, 1]).unwrap(); // Z=3,X=1
         assert_eq!(d, vec![vec![1, 2, 3]]);
     }
 
@@ -304,7 +481,7 @@ mod tests {
             if !edges[ri].insert(e) {
                 continue; // duplicate; BagJoin insert is idempotent too
             }
-            total_delta += bj.insert_and_delta(ri, &[e.0, e.1]).len();
+            total_delta += bj.insert_and_delta(ri, &[e.0, e.1]).unwrap().len();
         }
         // Brute-force triangle count.
         let mut brute = 0usize;
@@ -330,7 +507,7 @@ mod tests {
         for _ in 0..500 {
             let ri = rng.index(3);
             let t = [rng.below_u64(8), rng.below_u64(8)];
-            for d in bj.insert_and_delta(ri, &t) {
+            for d in bj.insert_and_delta(ri, &t).into_iter().flatten() {
                 assert!(seen.insert(d.clone()), "duplicate delta {d:?}");
             }
         }
@@ -342,7 +519,7 @@ mod tests {
         let mut bj = BagJoin::new(3, &[vec![(0, 0), (1, 1)], vec![(1, 0), (2, 1)]]);
         bj.insert_and_delta(0, &[1, 5]);
         bj.insert_and_delta(0, &[2, 5]);
-        let d = bj.insert_and_delta(1, &[5, 9]);
+        let d = bj.insert_and_delta(1, &[5, 9]).unwrap();
         let set: FxHashSet<Vec<u64>> = d.into_iter().collect();
         assert_eq!(set, [vec![1, 5, 9], vec![2, 5, 9]].into_iter().collect());
     }
@@ -352,7 +529,7 @@ mod tests {
         // Relation whose schema order differs from bag attr order.
         // Bag attrs: A=0, B=1. Relation schema is (B, A).
         let mut bj = BagJoin::new(2, &[vec![(1, 0), (0, 1)]]);
-        let d = bj.insert_and_delta(0, &[7, 3]); // B=7, A=3
+        let d = bj.insert_and_delta(0, &[7, 3]).unwrap(); // B=7, A=3
         assert_eq!(d, vec![vec![3, 7]]); // output in bag order (A, B)
     }
 
@@ -371,7 +548,7 @@ mod tests {
         bj.insert_and_delta(0, &[1, 2]);
         bj.insert_and_delta(1, &[2, 3]);
         bj.insert_and_delta(2, &[3, 4]);
-        let d = bj.insert_and_delta(3, &[4, 1]);
+        let d = bj.insert_and_delta(3, &[4, 1]).unwrap();
         assert_eq!(d, vec![vec![1, 2, 3, 4]]);
     }
 }

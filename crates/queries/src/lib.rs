@@ -87,7 +87,8 @@ mod tests {
                 "{} must be acyclic",
                 w.name
             );
-            let plan = rsj_query::CombinePlan::build(&w.query, &w.fks);
+            let plan = rsj_query::CombinePlan::build(&w.query, &w.fks)
+                .expect("workload fks are well-formed");
             assert_eq!(
                 plan.rewritten.num_relations(),
                 expected_rewritten,
@@ -103,7 +104,8 @@ mod tests {
             rsj_query::JoinTree::build(&w.query).is_some(),
             "Q10 acyclic"
         );
-        let plan = rsj_query::CombinePlan::build(&w.query, &w.fks);
+        let plan =
+            rsj_query::CombinePlan::build(&w.query, &w.fks).expect("workload fks are well-formed");
         assert!(
             plan.rewritten.num_relations() <= 4,
             "Q10 rewrite got {} relations",

@@ -232,7 +232,8 @@ mod tests {
     fn qx_rewrite_shape() {
         let data = TpcdsLite::generate(1, 1);
         let w = qx(&data, 2);
-        let plan = rsj_query::CombinePlan::build(&w.query, &w.fks);
+        let plan =
+            rsj_query::CombinePlan::build(&w.query, &w.fks).expect("workload fks are well-formed");
         assert_eq!(plan.rewritten.num_relations(), 2);
         // The surviving relations join on CUST.
         let shared = plan.rewritten.shared_attrs(0, 1);
@@ -247,7 +248,8 @@ mod tests {
     fn qy_rewrite_joins_on_income_band() {
         let data = TpcdsLite::generate(1, 1);
         let w = qy(&data, 2);
-        let plan = rsj_query::CombinePlan::build(&w.query, &w.fks);
+        let plan =
+            rsj_query::CombinePlan::build(&w.query, &w.fks).expect("workload fks are well-formed");
         assert_eq!(plan.rewritten.num_relations(), 2);
         let shared = plan.rewritten.shared_attrs(0, 1);
         let names: Vec<&str> = shared
@@ -261,7 +263,8 @@ mod tests {
     fn qz_rewrite_three_relations() {
         let data = TpcdsLite::generate(1, 1);
         let w = qz(&data, 2);
-        let plan = rsj_query::CombinePlan::build(&w.query, &w.fks);
+        let plan =
+            rsj_query::CombinePlan::build(&w.query, &w.fks).expect("workload fks are well-formed");
         assert_eq!(plan.rewritten.num_relations(), 3);
     }
 
@@ -270,7 +273,8 @@ mod tests {
         let data = LdbcLite::generate(1, 1);
         let w = q10(&data, 2);
         assert!(rsj_query::JoinTree::build(&w.query).is_some());
-        let plan = rsj_query::CombinePlan::build(&w.query, &w.fks);
+        let plan =
+            rsj_query::CombinePlan::build(&w.query, &w.fks).expect("workload fks are well-formed");
         assert!(plan.rewritten.num_relations() <= 4);
         // Knows cannot be absorbed (P1 is not its key), so it survives.
         assert!(plan

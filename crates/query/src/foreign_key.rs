@@ -14,6 +14,59 @@
 
 use crate::hypergraph::{AttrId, Query, QueryBuilder};
 
+/// Why the foreign-key rewrite could not be computed for a query.
+///
+/// These are the construction failures a caller can reach with ordinary
+/// (if malformed) input; they route through the engine factories' build
+/// errors instead of panicking mid-construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CombineError {
+    /// The [`FkSchema`] declares keys for a different number of relations
+    /// than the query has.
+    SchemaArityMismatch {
+        /// Relations in the query.
+        relations: usize,
+        /// Entries in [`FkSchema::primary_keys`].
+        declared: usize,
+    },
+    /// A declared primary key is empty or wider than the inline composite
+    /// key the runtime combiner can project (`MAX_KEY_ARITY`).
+    UnusableKey {
+        /// The relation whose key is unusable.
+        relation: usize,
+        /// The declared key arity.
+        arity: usize,
+    },
+    /// The rewritten query failed validation (e.g. the merge left a
+    /// degenerate hypergraph the query builder rejects).
+    MalformedRewrite(String),
+}
+
+impl std::fmt::Display for CombineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CombineError::SchemaArityMismatch {
+                relations,
+                declared,
+            } => write!(
+                f,
+                "FkSchema declares keys for {declared} relations but the query has {relations}"
+            ),
+            CombineError::UnusableKey { relation, arity } => write!(
+                f,
+                "relation {relation} declares a primary key of arity {arity}, \
+                 outside the combinable range 1..={}",
+                rsj_common::value::MAX_KEY_ARITY
+            ),
+            CombineError::MalformedRewrite(m) => {
+                write!(f, "foreign-key rewrite produced a malformed query: {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CombineError {}
+
 /// Primary-key metadata for the relations of a query.
 #[derive(Clone, Debug, Default)]
 pub struct FkSchema {
@@ -104,9 +157,29 @@ impl CombinePlan {
     /// attributes of `i`'s current schema and `j` equal `j`'s primary key;
     /// merge `j` into `i` as a dimension. Relations that never merge become
     /// trivial single-fact combined relations.
-    pub fn build(q: &Query, fks: &FkSchema) -> CombinePlan {
+    ///
+    /// Malformed input — a schema sized for a different query, a key the
+    /// runtime combiner cannot project, a rewrite the query builder
+    /// rejects — returns a [`CombineError`] instead of panicking; the
+    /// engine factories surface it through their build errors.
+    pub fn build(q: &Query, fks: &FkSchema) -> Result<CombinePlan, CombineError> {
         let n = q.num_relations();
-        assert_eq!(fks.primary_keys.len(), n);
+        if fks.primary_keys.len() != n {
+            return Err(CombineError::SchemaArityMismatch {
+                relations: n,
+                declared: fks.primary_keys.len(),
+            });
+        }
+        for (r, pk) in fks.primary_keys.iter().enumerate() {
+            if let Some(pk) = pk {
+                if pk.is_empty() || pk.len() > rsj_common::value::MAX_KEY_ARITY {
+                    return Err(CombineError::UnusableKey {
+                        relation: r,
+                        arity: pk.len(),
+                    });
+                }
+            }
+        }
         let mut combined: Vec<CombinedRelation> = (0..n)
             .map(|r| CombinedRelation {
                 name: q.relation(r).name.clone(),
@@ -213,12 +286,14 @@ impl CombinePlan {
             qb.relation(&c.name, &names);
             out_combined.push(c);
         }
-        let rewritten = qb.build().expect("rewritten query must stay well-formed");
-        CombinePlan {
+        let rewritten = qb
+            .build()
+            .map_err(|e| CombineError::MalformedRewrite(e.to_string()))?;
+        Ok(CombinePlan {
             combined: out_combined,
             rewritten,
             routing,
-        }
+        })
     }
 
     /// True when the rewrite changed nothing.
@@ -257,7 +332,7 @@ mod tests {
         qb.relation("R", &["X", "Y"]);
         qb.relation("S", &["Y", "Z"]);
         let q = qb.build().unwrap();
-        let plan = CombinePlan::build(&q, &FkSchema::none(2));
+        let plan = CombinePlan::build(&q, &FkSchema::none(2)).unwrap();
         assert!(plan.is_identity());
         assert_eq!(plan.rewritten.num_relations(), 2);
         assert_eq!(plan.routing[0], Routing::Fact { combined: 0 });
@@ -266,7 +341,7 @@ mod tests {
     #[test]
     fn qy_collapses_to_two_relations() {
         let (q, fks) = qy_like();
-        let plan = CombinePlan::build(&q, &fks);
+        let plan = CombinePlan::build(&q, &fks).unwrap();
         // ss absorbs c1 then d1; c2 absorbs d2. Two relations remain,
         // joined on IB — the paper's QY outcome.
         assert_eq!(plan.rewritten.num_relations(), 2);
@@ -282,7 +357,7 @@ mod tests {
     #[test]
     fn dim_routing_points_at_steps() {
         let (q, fks) = qy_like();
-        let plan = CombinePlan::build(&q, &fks);
+        let plan = CombinePlan::build(&q, &fks).unwrap();
         // c1 (rel 1) is step 0 of ss's combined relation; d1 (rel 2) step 1.
         let ss_combined = match plan.routing[0] {
             Routing::Fact { combined } => combined,
@@ -307,7 +382,7 @@ mod tests {
     #[test]
     fn combined_schema_orders_fact_then_appended() {
         let (q, fks) = qy_like();
-        let plan = CombinePlan::build(&q, &fks);
+        let plan = CombinePlan::build(&q, &fks).unwrap();
         let ss = &plan.combined[0];
         // Schema: CK, M (fact) then HD1 (from c1) then IB (from d1).
         let names: Vec<&str> = ss.schema_attrs.iter().map(|&a| q.attr_name(a)).collect();
@@ -340,7 +415,7 @@ mod tests {
             .with_pk(2, vec![2]) // R3 PK Z
             .with_pk(3, vec![4]) // R4 PK U
             .with_pk(5, vec![6]); // R6 PK C
-        let plan = CombinePlan::build(&q, &fks);
+        let plan = CombinePlan::build(&q, &fks).unwrap();
         assert_eq!(plan.rewritten.num_relations(), 3);
         let sizes: Vec<usize> = plan.combined.iter().map(|c| c.dims.len()).collect();
         // R1 alone, R2 absorbs R3+R4, R5 absorbs R6.
@@ -355,7 +430,50 @@ mod tests {
         qb.relation("D", &["A", "B"]);
         let q = qb.build().unwrap();
         let fks = FkSchema::none(2).with_pk(1, vec![0, 1]); // PK = (A, B)
-        let plan = CombinePlan::build(&q, &fks);
+        let plan = CombinePlan::build(&q, &fks).unwrap();
         assert!(plan.is_identity());
+    }
+
+    #[test]
+    fn mis_sized_schema_is_a_typed_error() {
+        // An FkSchema built for another query used to trip an assert deep
+        // inside the rewrite; now it is a plain build error.
+        let mut qb = QueryBuilder::new();
+        qb.relation("R", &["X", "Y"]);
+        qb.relation("S", &["Y", "Z"]);
+        let q = qb.build().unwrap();
+        let err = CombinePlan::build(&q, &FkSchema::none(3)).unwrap_err();
+        assert_eq!(
+            err,
+            CombineError::SchemaArityMismatch {
+                relations: 2,
+                declared: 3
+            }
+        );
+        assert!(err.to_string().contains("declares keys for 3 relations"));
+    }
+
+    #[test]
+    fn oversized_primary_key_is_a_typed_error() {
+        // A PK wider than MAX_KEY_ARITY would overflow the runtime
+        // combiner's inline Key projection.
+        let mut qb = QueryBuilder::new();
+        qb.relation("F", &["A", "B", "C", "D", "E"]);
+        qb.relation("D5", &["A", "B", "C", "D", "E", "W"]);
+        let q = qb.build().unwrap();
+        let fks = FkSchema::none(2).with_pk(1, vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            CombinePlan::build(&q, &fks).unwrap_err(),
+            CombineError::UnusableKey {
+                relation: 1,
+                arity: 5
+            }
+        );
+        // An empty PK is equally unusable (it would merge on nothing).
+        let fks = FkSchema::none(2).with_pk(1, vec![]);
+        assert!(matches!(
+            CombinePlan::build(&q, &fks).unwrap_err(),
+            CombineError::UnusableKey { arity: 0, .. }
+        ));
     }
 }

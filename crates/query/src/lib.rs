@@ -29,7 +29,7 @@ pub mod join_tree;
 pub mod plan;
 pub mod rooted;
 
-pub use foreign_key::{CombinePlan, FkSchema};
+pub use foreign_key::{CombineError, CombinePlan, FkSchema};
 pub use ghd::Ghd;
 pub use hypergraph::{Query, QueryBuilder, RelSchema};
 pub use join_tree::{all_join_trees, JoinTree};

@@ -172,20 +172,21 @@ impl Engine {
     /// Whether the engine this descriptor builds accepts
     /// `StreamOp::Delete` — the static side of the update-model contract
     /// (ARCHITECTURE.md, "Update model"). Matches
-    /// `JoinSampler::supports_deletes` on the built sampler:
+    /// `JoinSampler::supports_deletes` on the built sampler.
     ///
-    /// * fully dynamic — `RSJoin` (eviction-and-backfill repair),
-    ///   `SJoin` and `SymmetricHashJoin` (exact per-delete
-    ///   recalibration), `NaiveRebuild` (rebuild-on-delete);
-    /// * insert-only — the `_opt` rewrites (the streaming foreign-key
-    ///   combiner holds merged state that cannot be unwound) and the
-    ///   cyclic GHD driver (bag materialization is append-only);
-    /// * `Sharded` — whatever its inner engine supports.
+    /// Every engine family is fully dynamic: `RSJoin` repairs by
+    /// eviction-and-backfill, `SJoin` and `SymmetricHashJoin` recalibrate
+    /// against their exact live counts, `NaiveRebuild` rebuilds, the
+    /// `_opt` rewrites run their foreign-key combiner as a signed delta
+    /// pipeline (retractions withdraw combined tuples and re-park rewound
+    /// facts), and the cyclic GHD driver forwards each bag's dead delta
+    /// into its inner acyclic driver's delete path. `Sharded` mirrors its
+    /// inner engine, so the whole matrix reduces to this one method — the
+    /// doc table in ARCHITECTURE.md is checked against it by test.
     pub fn supports_deletes(&self) -> bool {
         match self {
-            Engine::Reservoir | Engine::Naive | Engine::SJoin | Engine::Symmetric => true,
-            Engine::FkReservoir | Engine::Cyclic | Engine::SJoinOpt => false,
             Engine::Sharded { inner, .. } => inner.supports_deletes(),
+            _ => true,
         }
     }
 

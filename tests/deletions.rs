@@ -36,11 +36,17 @@ fn two_table() -> Query {
 }
 
 /// The engines the turnstile contract declares fully dynamic, per query
-/// shape (SymmetricHashJoin only runs two-table joins).
+/// shape (SymmetricHashJoin only runs two-table joins). Since the signed
+/// delta pipelines landed this is *every* engine family; with no keys
+/// declared the `_opt` engines run the identity rewrite here, and the
+/// FK-combining case is exercised separately below.
 fn dynamic_engines(query: &Query) -> Vec<Engine> {
     let mut engines = vec![
         Engine::Reservoir,
+        Engine::FkReservoir,
+        Engine::Cyclic,
         Engine::SJoin,
+        Engine::SJoinOpt,
         Engine::Naive,
         Engine::sharded(Engine::Reservoir, 2),
     ];
@@ -198,6 +204,10 @@ fn delete_then_reinsert_matches_fresh_insert_only_run() {
 fn capability_matrix_is_consistent() {
     let q = two_table();
     for engine in Engine::ALL {
+        assert!(
+            engine.supports_deletes(),
+            "{engine}: the capability matrix must be all-green"
+        );
         let built = engine.build(&q, 8, 1, &EngineOpts::default()).unwrap();
         assert_eq!(
             built.supports_deletes(),
@@ -205,37 +215,200 @@ fn capability_matrix_is_consistent() {
             "{engine}: static matrix disagrees with the built sampler"
         );
     }
-    // The sharded wrapper mirrors its inner engine.
-    for (inner, expect) in [(Engine::Reservoir, true), (Engine::SJoinOpt, false)] {
+    // The sharded wrapper mirrors its inner engine — all-green inner
+    // engines make the wrapper all-green too, including the families that
+    // were insert-only before the signed delta pipelines.
+    for inner in [Engine::Reservoir, Engine::SJoinOpt, Engine::Cyclic] {
         let sharded = Engine::sharded(inner, 2);
-        assert_eq!(sharded.supports_deletes(), expect);
+        assert!(sharded.supports_deletes(), "{sharded}");
         let built = sharded.build(&q, 8, 1, &EngineOpts::default()).unwrap();
-        assert_eq!(built.supports_deletes(), expect, "{sharded}");
+        assert!(built.supports_deletes(), "{sharded}: built wrapper");
     }
 }
 
+/// ARCHITECTURE.md's "Engine × update-model capability matrix" documents
+/// `Engine::supports_deletes`; this test parses the doc table so the two
+/// can never silently disagree again (the table once claimed the `_opt`
+/// engines were insert-only after the code had moved on).
 #[test]
-fn insert_only_engines_reject_turnstile_streams() {
-    let q = two_table();
-    let mut ops = OpStream::new();
-    ops.push_insert(0, vec![1, 2]);
-    ops.push_delete(0, vec![1, 2]);
-    for engine in Engine::ALL {
-        if engine.supports_deletes() || !engine.supports(&q) {
-            continue;
-        }
-        let mut s = engine.build(&q, 8, 1, &EngineOpts::default()).unwrap();
-        let err = s.process_op_stream(&ops).unwrap_err();
-        assert_eq!(err.engine, s.name(), "{engine}");
-        // The insert before the delete was applied; the delete was not.
-        assert_eq!(s.samples().len(), 0, "{engine}");
-    }
-    // A sharded wrapper around an insert-only engine rejects on the
-    // routing side, before anything crosses a worker channel.
-    let mut s = Engine::sharded(Engine::SJoinOpt, 2)
-        .build(&q, 8, 1, &EngineOpts::default())
+fn architecture_capability_table_matches_code() {
+    let doc = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/ARCHITECTURE.md"))
+        .expect("ARCHITECTURE.md at the repo root");
+    let section = doc
+        .split("### Engine × update-model capability matrix")
+        .nth(1)
+        .expect("capability-matrix section present")
+        .split("\n### ")
+        .next()
         .unwrap();
-    assert!(s.process_op_stream(&ops).is_err());
+    // Rows look like `| `Name` | update model | guarantee |`; the
+    // guarantee column may itself contain pipes (`|Q(R)|`), so only the
+    // first two cells are parsed.
+    let mut models: std::collections::HashMap<&str, &str> = Default::default();
+    for line in section.lines() {
+        let mut cells = line.split('|').map(str::trim);
+        let (Some(""), Some(name), Some(model)) = (cells.next(), cells.next(), cells.next()) else {
+            continue;
+        };
+        if name.starts_with('`') && name.ends_with('`') {
+            models.insert(name.trim_matches('`'), model);
+        }
+    }
+    for engine in Engine::ALL {
+        let model = models.get(engine.name()).unwrap_or_else(|| {
+            panic!("{engine}: missing from the ARCHITECTURE.md capability table")
+        });
+        assert_eq!(
+            !model.contains("insert-only"),
+            engine.supports_deletes(),
+            "{engine}: ARCHITECTURE.md update-model table drifted from \
+             Engine::supports_deletes (doc says {model:?})"
+        );
+    }
+    assert!(
+        models
+            .get("Sharded { inner }")
+            .is_some_and(|m| m.contains("mirrors")),
+        "sharded wrapper row missing from the capability table"
+    );
+}
+
+/// Capability rejection is still a contract even with every real engine
+/// family dynamic: an insert-only `JoinSampler` (third-party, or a future
+/// engine mid-bringup) must reject a delete-bearing batch *atomically* —
+/// nothing applied, state byte-identical to pre-batch.
+#[test]
+fn rejected_batches_leave_samplers_byte_identical() {
+    struct InsertOnlyStub {
+        query: Query,
+        applied: Vec<(usize, Vec<Value>)>,
+    }
+    impl JoinSampler for InsertOnlyStub {
+        fn name(&self) -> &'static str {
+            "InsertOnlyStub"
+        }
+        fn output_query(&self) -> &Query {
+            &self.query
+        }
+        fn process(&mut self, rel: usize, tuple: &[Value]) {
+            self.applied.push((rel, tuple.to_vec()));
+        }
+        fn samples(&self) -> Vec<Vec<Value>> {
+            Vec::new()
+        }
+        fn k(&self) -> usize {
+            1
+        }
+        fn supports_snapshot(&self) -> bool {
+            true
+        }
+        fn snapshot_state(&self) -> Option<Vec<u8>> {
+            let mut bytes = Vec::new();
+            for (rel, t) in &self.applied {
+                bytes.extend_from_slice(&(*rel as u64).to_le_bytes());
+                bytes.extend_from_slice(&(t.len() as u64).to_le_bytes());
+                for &v in t {
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Some(bytes)
+        }
+    }
+
+    let mut s = InsertOnlyStub {
+        query: two_table(),
+        applied: Vec::new(),
+    };
+    s.process_op(&StreamOp::insert(0, vec![1, 2])).unwrap();
+    let before = s.snapshot_state().unwrap();
+    let ops = vec![
+        StreamOp::insert(0, vec![3, 4]),
+        StreamOp::delete(0, vec![1, 2]),
+        StreamOp::insert(1, vec![5, 6]),
+    ];
+    let err = s.process_op_batch(&ops).unwrap_err();
+    assert_eq!(err.engine, "InsertOnlyStub");
+    assert_eq!(
+        s.snapshot_state().unwrap(),
+        before,
+        "rejected batch mutated sampler state"
+    );
+}
+
+/// The engines that report `exact_results` must agree with the
+/// brute-force `|Q(R)|` after a delete-heavy stream — the acceptance
+/// check that the `_opt` combiners and the cyclic bag store track the
+/// *live* database, not the arrival history.
+#[test]
+fn exact_result_counts_survive_turnstile() {
+    let query = line3();
+    let stream = random_stream(&query, 400, 6, 17);
+    let ops = TurnstileConfig {
+        delete_ratio: 0.3,
+        policy: VictimPolicy::Uniform,
+        seed: 3,
+    }
+    .weave(&stream);
+    let expect = brute_join_named(&query, &live_sets(&query, &ops)).len() as u128;
+    for engine in [
+        Engine::FkReservoir,
+        Engine::SJoinOpt,
+        Engine::Cyclic,
+        Engine::SJoin,
+    ] {
+        let mut s = engine.build(&query, 8, 5, &EngineOpts::default()).unwrap();
+        s.process_op_stream(&ops).unwrap();
+        let st = s.stats();
+        assert_eq!(st.exact_results, Some(expect), "{engine}");
+        assert!(st.deletes.unwrap() > 0, "{engine}: no deletes counted");
+    }
+}
+
+/// The `_opt` engines with a *real* foreign-key schema: deletes hit facts
+/// and both dimension levels (with PK slots re-filled by different
+/// tuples), and the signed combiner must still land on the brute-force
+/// live result set with an exact count.
+#[test]
+fn fk_combining_engines_stay_exact_under_pk_turnstile() {
+    let mut qb = QueryBuilder::new();
+    qb.relation("F", &["K", "M"]);
+    qb.relation("D1", &["K", "L"]);
+    qb.relation("D2", &["L", "W"]);
+    let query = qb.build().unwrap();
+    // Global attr ids: K=0, M=1, L=2, W=3. D1's PK is K, D2's is L.
+    let fks = FkSchema::none(3).with_pk(1, vec![0]).with_pk(2, vec![2]);
+    let mut ops = OpStream::new();
+    for k in 0..6u64 {
+        ops.push_insert(1, vec![k, k % 3 + 10]);
+    }
+    for l in 10..13u64 {
+        ops.push_insert(2, vec![l, l + 100]);
+    }
+    for i in 0..30u64 {
+        ops.push_insert(0, vec![i % 6, 1000 + i]);
+    }
+    ops.push_delete(2, vec![11, 111]); // kills every L=11 chain
+    ops.push_delete(1, vec![4, 11]); // kills the K=4 chains
+    ops.push_delete(0, vec![0, 1000]);
+    ops.push_delete(0, vec![3, 1003]);
+    ops.push_insert(1, vec![4, 12]); // PK K=4 re-filled, now pointing at L=12
+    ops.push_insert(2, vec![11, 211]); // PK L=11 re-filled with a new payload
+    ops.push_insert(0, vec![0, 2000]);
+    let expect = brute_join_named(&query, &live_sets(&query, &ops));
+    assert!(!expect.is_empty(), "degenerate instance");
+    let opts = EngineOpts {
+        fks: Some(fks),
+        ..EngineOpts::default()
+    };
+    for engine in [Engine::FkReservoir, Engine::SJoinOpt] {
+        let mut s = engine.build(&query, 1 << 16, 7, &opts).unwrap();
+        s.process_op_stream(&ops).unwrap();
+        let got: FxHashSet<Vec<(String, Value)>> = s.samples_named().into_iter().collect();
+        assert_eq!(got, expect, "{engine}");
+        let st = s.stats();
+        assert_eq!(st.exact_results, Some(expect.len() as u128), "{engine}");
+        assert!(st.deletes.unwrap() >= 4, "{engine}: deletes under-counted");
+    }
 }
 
 #[test]

@@ -138,6 +138,63 @@ fn row_shaped_ingest_reproduces_columnar_digests() {
     }
 }
 
+/// Post-delete reservoirs are golden too: the signed delta pipelines
+/// (`_opt` FK combiner retraction, cyclic bag delta forwarding) and the
+/// eviction-and-backfill repair they feed are all deterministic for a
+/// fixed seed, so a fixed turnstile weave pins the final bytes exactly
+/// like the insert-only digests above. A shift here means the *delete*
+/// path changed samples; the insert-only pins would not catch it.
+#[test]
+fn post_delete_reservoirs_are_pinned() {
+    use rsj_datagen::{TurnstileConfig, VictimPolicy};
+    let cases: [(&str, rsj_queries::Workload, Engine, u64); 4] = [
+        (
+            "RSJoin_opt/line3+deletes",
+            graph_workload(),
+            Engine::FkReservoir,
+            0x32D4_5898_FC46_EDF9,
+        ),
+        (
+            "RSJoin_cyclic/line3+deletes",
+            graph_workload(),
+            Engine::Cyclic,
+            0x32D4_5898_FC46_EDF9,
+        ),
+        (
+            "SJoin_opt/line3+deletes",
+            graph_workload(),
+            Engine::SJoinOpt,
+            0x86BA_1A96_C801_1427,
+        ),
+        (
+            "RSJoin_opt/QY+deletes",
+            relational_workload(),
+            Engine::FkReservoir,
+            0xBF6F_9FBC_1E0B_26A8,
+        ),
+    ];
+    for (name, w, engine, expect) in cases {
+        let mut s = engine
+            .build(&w.query, 64, 0xD15EA5E, &workload_opts(&w))
+            .unwrap();
+        s.process_batch(&w.preload);
+        let ops = TurnstileConfig {
+            delete_ratio: 0.2,
+            policy: VictimPolicy::Uniform,
+            seed: 9,
+        }
+        .weave(&w.stream);
+        assert!(ops.num_deletes() > 0, "{name}: weave produced no deletes");
+        s.process_op_stream(&ops).unwrap();
+        let d = digest(&s.samples());
+        if std::env::var_os("RSJ_PIN_PLANS").is_some() {
+            println!("{name}: 0x{d:016X}");
+            continue;
+        }
+        assert_eq!(d, expect, "{name}: post-delete reservoir bytes moved");
+    }
+}
+
 /// On-disk durability images are golden too: the WAL segment and the
 /// checkpoint written for a fixed engine/seed/stream must be
 /// byte-identical across releases, or old logs stop being replayable.

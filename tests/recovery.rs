@@ -4,9 +4,10 @@
 //! op boundary of a turnstile stream, recover from the checkpoint + WAL
 //! suffix into a freshly built engine, finish the stream — and the final
 //! reservoir is **byte-identical** (FNV digest over the sample matrix) to
-//! an uninterrupted run of the same stream. The sweep covers every
-//! delete-capable engine family, checkpoint cadences from every-op to
-//! never, torn log tails, and cross-engine checkpoint rejection.
+//! an uninterrupted run of the same stream. The sweep covers every engine
+//! family — including the signed-delta FK combiners and the cyclic GHD
+//! driver — checkpoint cadences from every-op to never, torn log tails,
+//! and cross-engine checkpoint rejection.
 
 use rsjoin::engine::Engine;
 use rsjoin::prelude::*;
@@ -128,13 +129,17 @@ fn uninterrupted_digest(engine: &Engine, query: &Query, ops: &[StreamOp]) -> u64
     digest(&s.samples())
 }
 
-/// The delete-capable engine families and the query each runs
-/// (SymmetricHashJoin is binary-only).
+/// Every engine family and the query each runs (SymmetricHashJoin is
+/// binary-only; the `_opt` engines recover their signed FK combiner, the
+/// cyclic driver its bag tries, alongside the inner reservoir).
 fn recovery_engines() -> Vec<(Engine, Query)> {
     vec![
         (Engine::Reservoir, line3()),
+        (Engine::FkReservoir, line3()),
+        (Engine::Cyclic, line3()),
         (Engine::Naive, line3()),
         (Engine::SJoin, line3()),
+        (Engine::SJoinOpt, line3()),
         (Engine::sharded(Engine::Reservoir, 2), line3()),
         (Engine::Symmetric, two_rel()),
     ]
@@ -416,18 +421,35 @@ fn recovery_rejects_checkpoint_from_different_engine() {
 }
 
 /// Engines without snapshot support are rejected up front, before any
-/// files are written.
+/// files are written. Every real engine family snapshots now, so the
+/// probe is exercised through a minimal snapshotless stub — the contract
+/// still protects third-party samplers and engines mid-bringup.
 #[test]
 fn snapshotless_engines_are_rejected() {
-    let query = line3();
+    struct Snapshotless(Query);
+    impl JoinSampler for Snapshotless {
+        fn name(&self) -> &'static str {
+            "Snapshotless"
+        }
+        fn output_query(&self) -> &Query {
+            &self.0
+        }
+        fn process(&mut self, _rel: usize, _tuple: &[Value]) {}
+        fn samples(&self) -> Vec<Vec<Value>> {
+            Vec::new()
+        }
+        fn k(&self) -> usize {
+            1
+        }
+    }
     let scratch = Scratch::new("unsupported");
     let err = Persistent::open(
-        build(&Engine::FkReservoir, &query),
+        Box::new(Snapshotless(line3())) as Box<dyn JoinSampler + Send>,
         scratch.path().join("nested"),
         CheckpointPolicy::Manual,
     )
     .err()
-    .expect("RSJoin_opt has no snapshot support");
+    .expect("snapshotless engines must be rejected");
     assert!(matches!(err, PersistError::Unsupported(_)));
     assert!(
         !scratch.path().join("nested").exists(),
